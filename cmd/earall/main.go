@@ -1,0 +1,184 @@
+// Command earall reproduces every table and figure of the paper's
+// evaluation in one run, printing the series each reports: Figure 3,
+// Theorem 1, Experiments A.1-A.3 (scaled mini-HDFS testbed), B.1-B.2
+// (discrete-event simulation), and C.1-C.2 (load-balancing Monte Carlo).
+// Its output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	earall            # moderate scale, minutes
+//	earall -quick     # reduced scale, tens of seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ear/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "reduced scale for fast runs")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	b2Runs, lbRuns, mc, thmStripes := 10, 20, 400, 500
+	testbed := experiments.TestbedOptions{Stripes: 24, Seed: *seed}
+	b1 := experiments.B1Options{Seed: *seed}
+	scale := 1
+	if *quick {
+		b2Runs, lbRuns, mc, thmStripes = 3, 5, 150, 120
+		testbed.Stripes = 6
+		b1.Stripes = 24
+		b1.LeadTime = 60
+		scale = 4
+	}
+
+	step := func(name string, fn func() error) error {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "[earall] running %s...\n", name)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[earall] %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := step("figure 3", func() error {
+		t, err := experiments.RunFig3(experiments.Fig3Options{MonteCarloStripes: mc, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("theorem 1", func() error {
+		t, err := experiments.RunTheorem1(experiments.Theorem1Options{Stripes: thmStripes, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment A.1 (fig 8a)", func() error {
+		t, err := experiments.RunA1(testbed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment A.1 UDP (fig 8b)", func() error {
+		t, err := experiments.RunA1UDP(testbed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment A.2 (fig 9)", func() error {
+		res, err := experiments.RunA2(experiments.A2Options{TestbedOptions: testbed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment A.3 (fig 10)", func() error {
+		jobs := 50
+		if *quick {
+			jobs = 12
+		}
+		res, err := experiments.RunA3(experiments.A3Options{TestbedOptions: testbed, Jobs: jobs})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment B.1 (fig 12 + table I)", func() error {
+		res, err := experiments.RunB1(b1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Progress)
+		fmt.Println(res.TableI)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, factor := range []experiments.B2Factor{
+		experiments.B2VaryK, experiments.B2VaryM, experiments.B2VaryBandwidth,
+		experiments.B2VaryWriteRate, experiments.B2VaryRackFT, experiments.B2VaryReplicas,
+	} {
+		factor := factor
+		if err := step(fmt.Sprintf("experiment B.2 (fig 13 %s)", factor), func() error {
+			res, err := experiments.RunB2(experiments.B2Options{
+				Factor: factor, Runs: b2Runs, Scale: scale, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Encode)
+			fmt.Println(res.Write)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if err := step("recovery trade-off (sec III-D)", func() error {
+		stripes := 8
+		if *quick {
+			stripes = 3
+		}
+		t, err := experiments.RunRecovery(experiments.RecoveryOptions{Stripes: stripes, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("experiment C.1 (fig 14)", func() error {
+		t, err := experiments.RunC1(experiments.LoadBalanceOptions{Runs: lbRuns, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return step("experiment C.2 (fig 15)", func() error {
+		t, err := experiments.RunC2(experiments.LoadBalanceOptions{Runs: lbRuns, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+}

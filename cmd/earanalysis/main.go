@@ -1,0 +1,78 @@
+// Command earanalysis reproduces the paper's analytical and Monte-Carlo
+// results: Figure 3 (Equation 1's rack-fault-tolerance violation
+// probability of the preliminary EAR), Theorem 1 (expected layout
+// iterations), and the Section V-C load-balancing experiments C.1 (storage,
+// Figure 14) and C.2 (read hotness, Figure 15).
+//
+// Usage:
+//
+//	earanalysis -fig3 -mc 500
+//	earanalysis -theorem1 -stripes 1000
+//	earanalysis -c1 -c2 -runs 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ear/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earanalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig3     = flag.Bool("fig3", false, "reproduce Figure 3 (violation probability)")
+		theorem1 = flag.Bool("theorem1", false, "reproduce the Theorem 1 iteration table")
+		c1       = flag.Bool("c1", false, "reproduce Experiment C.1 (storage balance, Figure 14)")
+		c2       = flag.Bool("c2", false, "reproduce Experiment C.2 (read hotness, Figure 15)")
+		all      = flag.Bool("all", false, "run every analysis")
+		mc       = flag.Int("mc", 0, "Monte-Carlo stripes per Figure 3 cell (0 = analytic only)")
+		stripes  = flag.Int("stripes", 500, "stripes measured for Theorem 1")
+		blocks   = flag.Int("blocks", 10000, "blocks placed in C.1")
+		runs     = flag.Int("runs", 20, "averaging runs for C.1 / C.2")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if !*fig3 && !*theorem1 && !*c1 && !*c2 {
+		*all = true
+	}
+	if *all {
+		*fig3, *theorem1, *c1, *c2 = true, true, true, true
+	}
+	if *fig3 {
+		t, err := experiments.RunFig3(experiments.Fig3Options{MonteCarloStripes: *mc, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if *theorem1 {
+		t, err := experiments.RunTheorem1(experiments.Theorem1Options{Stripes: *stripes, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if *c1 {
+		t, err := experiments.RunC1(experiments.LoadBalanceOptions{Blocks: *blocks, Runs: *runs, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if *c2 {
+		t, err := experiments.RunC2(experiments.LoadBalanceOptions{Runs: *runs, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command earfs is the client CLI for earfsd: put and get files, list the
+// namespace, trigger background encoding, and inject node failures and
+// repairs.
+//
+// Usage:
+//
+//	earfs -addr 127.0.0.1:7070 put local.bin /remote.bin
+//	earfs get /remote.bin local.out
+//	earfs ls
+//	earfs stat /remote.bin
+//	earfs encode
+//	earfs fail 3
+//	earfs revive 3
+//	earfs repair <blockID>
+//	earfs info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ear/internal/netcfs"
+	"ear/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earfs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: earfs [-addr host:port] {put SRC DST | get SRC DST | ls | stat PATH | rm PATH | encode | fail NODE | revive NODE | repair BLOCK | info}")
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7070", "earfsd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+	client, err := netcfs.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch cmd := args[0]; cmd {
+	case "put":
+		if len(args) != 3 {
+			return usage()
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		if err := client.Create(args[2]); err != nil {
+			return err
+		}
+		if err := client.Append(args[2], data); err != nil {
+			return err
+		}
+		if err := client.CloseFile(args[2]); err != nil {
+			return err
+		}
+		fmt.Printf("put %s -> %s (%d bytes)\n", args[1], args[2], len(data))
+	case "get":
+		if len(args) != 3 {
+			return usage()
+		}
+		data, err := client.Read(args[1])
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(args[2], data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("get %s -> %s (%d bytes)\n", args[1], args[2], len(data))
+	case "ls":
+		files, err := client.List()
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			fmt.Println(f)
+		}
+	case "stat":
+		if len(args) != 2 {
+			return usage()
+		}
+		fi, err := client.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d bytes, %d blocks, closed=%v\n", fi.Path, fi.Size, len(fi.Blocks), fi.Closed)
+		for i, b := range fi.Blocks {
+			fmt.Printf("  block %d (id %d) on nodes %v\n", i, b, fi.Locations[i])
+		}
+	case "rm":
+		if len(args) != 2 {
+			return usage()
+		}
+		if err := client.Delete(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("rm %s\n", args[1])
+	case "encode":
+		sum, err := client.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("encoded %d stripes (%.1f MB) in %.2fs at %.1f MB/s; cross-rack downloads %d; violations %d\n",
+			sum.Stripes, float64(sum.EncodedBytes)/(1<<20), sum.DurationSeconds,
+			sum.ThroughputMBps, sum.CrossRackDownloads, sum.Violations)
+	case "fail", "revive":
+		if len(args) != 2 {
+			return usage()
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("node id %q: %w", args[1], err)
+		}
+		if cmd == "fail" {
+			err = client.FailNode(topology.NodeID(n))
+		} else {
+			err = client.ReviveNode(topology.NodeID(n))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s node %d\n", cmd, n)
+	case "repair":
+		if len(args) != 2 {
+			return usage()
+		}
+		b, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("block id %q: %w", args[1], err)
+		}
+		node, err := client.RepairBlock(topology.BlockID(b))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repaired block %d onto node %d\n", b, node)
+	case "info":
+		info, err := client.ClusterInfo()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster: %d racks x %d nodes, policy=%s, (n,k)=(%d,%d), c=%d, block=%d B\n",
+			info.Racks, info.NodesPerRack, info.Policy, info.N, info.K, info.C, info.BlockSizeBytes)
+		fmt.Printf("blocks: %d, encoded stripes: %d\n", info.BlockCount, info.EncodedStripes)
+	default:
+		return usage()
+	}
+	return nil
+}

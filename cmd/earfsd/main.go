@@ -1,0 +1,76 @@
+// Command earfsd serves a mini-HDFS cluster over TCP: an in-process set of
+// racks, DataNodes, a NameNode with the chosen placement policy (RR or
+// EAR), a bandwidth-shaped network, and a RaidNode for background encoding.
+// Drive it with the earfs client.
+//
+// Usage:
+//
+//	earfsd -listen :7070 -policy ear -racks 8 -nodes 4 -k 6 -n 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ear/internal/hdfs"
+	"ear/internal/netcfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+		policy  = flag.String("policy", "ear", `placement policy: "rr" or "ear"`)
+		racks   = flag.Int("racks", 12, "racks")
+		nodes   = flag.Int("nodes", 4, "nodes per rack")
+		k       = flag.Int("k", 6, "data blocks per stripe")
+		n       = flag.Int("n", 9, "stripe width (data + parity)")
+		c       = flag.Int("c", 1, "max blocks of a stripe per rack after encoding")
+		block   = flag.Int("block", 1<<20, "block size in bytes")
+		bwMBps  = flag.Float64("bw", 64, "link bandwidth in MB/s")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", true, "log startup info")
+	)
+	flag.Parse()
+
+	cluster, err := hdfs.NewCluster(hdfs.Config{
+		Racks:                *racks,
+		NodesPerRack:         *nodes,
+		Policy:               *policy,
+		K:                    *k,
+		N:                    *n,
+		C:                    *c,
+		BlockSizeBytes:       *block,
+		BandwidthBytesPerSec: *bwMBps * (1 << 20),
+		Seed:                 *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	srv, err := netcfs.Serve(cluster, *listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *verbose {
+		fmt.Printf("earfsd: serving %d racks x %d nodes, policy=%s, (n,k)=(%d,%d), c=%d on %s\n",
+			*racks, *nodes, *policy, *n, *k, *c, srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("earfsd: shutting down")
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command earsim runs the paper's discrete-event simulations (Section
+// V-B): Experiment B.1 validates the simulator against the testbed setting
+// and reports Table I; Experiment B.2 sweeps one parameter of the 20x20
+// cluster and reports Figure 13's normalized EAR/RR throughput boxplots.
+//
+// Usage:
+//
+//	earsim -exp b1
+//	earsim -exp b2 -vary k -runs 30
+//	earsim -exp b2 -vary bw -runs 10 -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ear/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "b2", `experiment: "b1" or "b2"`)
+		vary    = flag.String("vary", "k", "B.2 factor: k, m, bw, writerate, rackft, replicas")
+		runs    = flag.Int("runs", 10, "seeded runs per configuration (paper: 30)")
+		scale   = flag.Int("scale", 1, "divide the encode workload by this factor for quick runs")
+		stripes = flag.Int("stripes", 96, "stripes encoded in B.1")
+		series  = flag.Bool("series", false, "print the B.1 per-stripe completion series")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	switch *exp {
+	case "b1":
+		res, err := experiments.RunB1(experiments.B1Options{Stripes: *stripes, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Progress)
+		fmt.Println(res.TableI)
+		if *series {
+			for _, policy := range []string{"rr", "ear"} {
+				fmt.Printf("-- %s encoded-stripes series (t, count) --\n", policy)
+				for _, p := range res.Series[policy].Points {
+					fmt.Printf("%.2f\t%.0f\n", p.T, p.V)
+				}
+			}
+		}
+		return nil
+	case "b2":
+		res, err := experiments.RunB2(experiments.B2Options{
+			Factor: experiments.B2Factor(*vary),
+			Runs:   *runs,
+			Scale:  *scale,
+			Seed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Encode)
+		fmt.Println(res.Write)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}

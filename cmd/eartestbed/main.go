@@ -1,0 +1,100 @@
+// Command eartestbed runs the paper's testbed experiments (Section V-A) on
+// the mini-HDFS cluster with a bandwidth-shaped fabric: A.1 measures raw
+// encoding throughput across codes and under injected cross traffic
+// (Figure 8), A.2 measures the impact of encoding on concurrent writes
+// (Figure 9), and A.3 replays a SWIM-style MapReduce workload (Figure 10).
+//
+// The testbed is scaled: 256 KiB blocks and proportionally scaled links
+// stand in for the paper's 64 MB blocks on 1 Gb/s Ethernet, so shapes and
+// ratios are preserved while runs finish in seconds.
+//
+// Usage:
+//
+//	eartestbed -exp a1 -stripes 24
+//	eartestbed -exp a1udp
+//	eartestbed -exp a2
+//	eartestbed -exp a3 -jobs 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ear/internal/experiments"
+	"ear/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eartestbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", or "recovery"`)
+		stripes = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
+		jobs    = flag.Int("jobs", 50, "SWIM jobs in A.3")
+		rate    = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
+		lead    = flag.Duration("lead", 2*time.Second, "A.2 write lead time before encoding")
+		series  = flag.Bool("series", false, "print the A.2 write-response series")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	base := experiments.TestbedOptions{Stripes: *stripes, Seed: *seed}
+	switch *exp {
+	case "a1":
+		t, err := experiments.RunA1(base)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "a1udp":
+		t, err := experiments.RunA1UDP(base)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "a2":
+		res, err := experiments.RunA2(experiments.A2Options{
+			TestbedOptions: base,
+			WriteRate:      *rate,
+			LeadTime:       *lead,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+		if *series {
+			for _, s := range []*stats.Series{res.RRSeries, res.EARSeries} {
+				// The paper plots the mean of three consecutive writes.
+				smoothed, err := s.Smooth(3)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("-- %s write responses (t, seconds) --\n", s.Name)
+				for _, p := range smoothed.Points {
+					fmt.Printf("%.2f\t%.3f\n", p.T, p.V)
+				}
+			}
+		}
+	case "a3":
+		res, err := experiments.RunA3(experiments.A3Options{TestbedOptions: base, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+	case "recovery":
+		t, err := experiments.RunRecovery(experiments.RecoveryOptions{Stripes: *stripes / 3, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

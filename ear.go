@@ -1,0 +1,146 @@
+// Package ear is a reproduction of "Enabling Efficient and Reliable
+// Transition from Replication to Erasure Coding for Clustered File Systems"
+// (Li, Hu, Lee — DSN 2015). It provides encoding-aware replication (EAR), a
+// replica placement policy for clustered file systems that perform
+// asynchronous encoding, together with everything needed to evaluate it:
+// the random-replication baseline, systematic Reed-Solomon coding, a
+// mini-HDFS testbed with a bandwidth-shaped network, a CSIM-style
+// discrete-event simulator, and runners for every experiment in the paper.
+//
+// The quickest path through the API:
+//
+//	top, _ := ear.NewTopology(20, 20)                  // 20 racks x 20 nodes
+//	cfg := ear.PlacementConfig{Topology: top, K: 10, N: 14}
+//	policy, _ := ear.NewEARPolicy(cfg, rand.New(rand.NewSource(1)))
+//	pl, _ := policy.Place(0)                           // replica locations
+//	stripes := policy.TakeSealed()                     // stripes ready to encode
+//	plan, _ := ear.PlanPostEncoding(cfg, stripes[0], rng)
+//
+// For a full system, hdfs.NewCluster (via ear.NewCluster) assembles a
+// NameNode, DataNodes, a RaidNode, and a map-only MapReduce scheduler; see
+// examples/ for runnable walkthroughs.
+package ear
+
+import (
+	"math/rand"
+
+	"ear/internal/erasure"
+	"ear/internal/hdfs"
+	"ear/internal/placement"
+	"ear/internal/simcfs"
+	"ear/internal/topology"
+)
+
+// Cluster-model types.
+type (
+	// Topology describes a homogeneous cluster of racks and nodes.
+	Topology = topology.Topology
+	// NodeID identifies a storage node.
+	NodeID = topology.NodeID
+	// RackID identifies a rack.
+	RackID = topology.RackID
+	// BlockID identifies a data block.
+	BlockID = topology.BlockID
+	// StripeID identifies an erasure-coded stripe.
+	StripeID = topology.StripeID
+	// Placement records the replica locations of one block.
+	Placement = topology.Placement
+	// StripeLayout is the post-encoding block layout of one stripe.
+	StripeLayout = topology.StripeLayout
+)
+
+// Placement-policy types (the paper's contribution).
+type (
+	// PlacementConfig parameterizes the policies and the post-encoding
+	// planner.
+	PlacementConfig = placement.Config
+	// Policy is a replica placement policy (RR or EAR).
+	Policy = placement.Policy
+	// StripeInfo describes a sealed stripe awaiting encoding.
+	StripeInfo = placement.StripeInfo
+	// PostEncodingPlan records which replicas survive encoding and where
+	// parity lands.
+	PostEncodingPlan = placement.PostEncodingPlan
+)
+
+// Erasure-coding types.
+type (
+	// Coder encodes and decodes (n, k) stripes.
+	Coder = erasure.Coder
+	// CodingScheme selects the generator construction.
+	CodingScheme = erasure.Scheme
+)
+
+// Coding schemes.
+const (
+	// ReedSolomon is the HDFS-RAID construction.
+	ReedSolomon = erasure.ReedSolomon
+	// CauchyReedSolomon uses a Cauchy parity matrix.
+	CauchyReedSolomon = erasure.CauchyReedSolomon
+)
+
+// Mini-HDFS testbed types.
+type (
+	// ClusterConfig configures a mini-HDFS cluster.
+	ClusterConfig = hdfs.Config
+	// Cluster is an in-process mini-HDFS with a shaped network.
+	Cluster = hdfs.Cluster
+	// EncodeStats summarizes an encoding job.
+	EncodeStats = hdfs.EncodeStats
+)
+
+// Discrete-event simulator types.
+type (
+	// SimParams configures one simulation run.
+	SimParams = simcfs.Params
+	// SimResult carries a run's measurements.
+	SimResult = simcfs.Result
+	// SimPolicy selects the simulated placement policy.
+	SimPolicy = simcfs.PolicyKind
+)
+
+// Simulator policies.
+const (
+	// SimRR simulates random replication.
+	SimRR = simcfs.PolicyRR
+	// SimEAR simulates encoding-aware replication.
+	SimEAR = simcfs.PolicyEAR
+)
+
+// NewTopology returns a cluster of racks x nodesPerRack nodes.
+func NewTopology(racks, nodesPerRack int) (*Topology, error) {
+	return topology.New(racks, nodesPerRack)
+}
+
+// NewRRPolicy returns the random-replication baseline (the HDFS default
+// placement).
+func NewRRPolicy(cfg PlacementConfig, rng *rand.Rand) (Policy, error) {
+	return placement.NewRandom(cfg, rng)
+}
+
+// NewEARPolicy returns the paper's encoding-aware replication policy.
+func NewEARPolicy(cfg PlacementConfig, rng *rand.Rand) (*placement.EAR, error) {
+	return placement.NewEAR(cfg, rng)
+}
+
+// PlanPostEncoding decides which replica of each stripe block survives
+// encoding and where the parity blocks go (Section III-B's matching).
+func PlanPostEncoding(cfg PlacementConfig, info *StripeInfo, rng *rand.Rand) (*PostEncodingPlan, error) {
+	return placement.PlanPostEncoding(cfg, info, rng)
+}
+
+// NewCoder returns an (n, k) systematic erasure coder.
+func NewCoder(n, k int, scheme CodingScheme) (*Coder, error) {
+	return erasure.New(n, k, scheme)
+}
+
+// NewCluster assembles a mini-HDFS cluster (NameNode, DataNodes, RaidNode,
+// JobTracker) over a bandwidth-shaped fabric.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return hdfs.NewCluster(cfg)
+}
+
+// Simulate executes one discrete-event simulation run (Section V-B).
+func Simulate(params SimParams) (*SimResult, error) {
+	return simcfs.Run(params)
+}

@@ -1,0 +1,95 @@
+package ear_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ear"
+)
+
+// TestFacadeEndToEnd exercises the whole public surface: topology, both
+// policies, the coder, the post-encoding planner, the mini-HDFS cluster,
+// and the simulator.
+func TestFacadeEndToEnd(t *testing.T) {
+	top, err := ear.NewTopology(8, 4)
+	if err != nil {
+		t.Fatalf("NewTopology: %v", err)
+	}
+	cfg := ear.PlacementConfig{Topology: top, Replicas: 3, K: 4, N: 6, C: 1}
+	rng := rand.New(rand.NewSource(1))
+
+	rr, err := ear.NewRRPolicy(cfg, rng)
+	if err != nil {
+		t.Fatalf("NewRRPolicy: %v", err)
+	}
+	if rr.Name() != "rr" {
+		t.Errorf("rr policy name = %q", rr.Name())
+	}
+	pl, err := rr.Place(0)
+	if err != nil || len(pl.Nodes) != 3 {
+		t.Fatalf("rr.Place = (%v, %v)", pl, err)
+	}
+
+	earPol, err := ear.NewEARPolicy(cfg, rng)
+	if err != nil {
+		t.Fatalf("NewEARPolicy: %v", err)
+	}
+	var sealed []*ear.StripeInfo
+	for b := ear.BlockID(0); len(sealed) == 0; b++ {
+		if _, err := earPol.Place(b); err != nil {
+			t.Fatalf("ear.Place: %v", err)
+		}
+		sealed = earPol.TakeSealed()
+	}
+	plan, err := ear.PlanPostEncoding(cfg, sealed[0], rng)
+	if err != nil {
+		t.Fatalf("PlanPostEncoding: %v", err)
+	}
+	if plan.Violation {
+		t.Error("EAR stripe violated")
+	}
+	layout := plan.Layout(sealed[0].ID)
+	if err := layout.Validate(top, cfg.C); err != nil {
+		t.Errorf("layout: %v", err)
+	}
+
+	coder, err := ear.NewCoder(6, 4, ear.CauchyReedSolomon)
+	if err != nil {
+		t.Fatalf("NewCoder: %v", err)
+	}
+	if coder.N() != 6 || coder.K() != 4 {
+		t.Error("coder geometry wrong")
+	}
+
+	cluster, err := ear.NewCluster(ear.ClusterConfig{
+		Racks: 8, NodesPerRack: 4, Policy: "ear", K: 4, N: 6, C: 1,
+		BlockSizeBytes: 4 << 10, BandwidthBytesPerSec: 1 << 30, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	payload := make([]byte, 4<<10)
+	rng.Read(payload)
+	id, err := cluster.WriteBlock(0, payload)
+	if err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	got, err := cluster.ReadBlock(1, id)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+
+	res, err := ear.Simulate(ear.SimParams{
+		Policy: ear.SimEAR, Racks: 8, NodesPerRack: 4, K: 4, N: 6,
+		EncodeProcesses: 2, StripesPerProcess: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.EncodedStripes != 4 || res.CrossRackDownloads != 0 {
+		t.Errorf("sim result: %d stripes, %d cross downloads",
+			res.EncodedStripes, res.CrossRackDownloads)
+	}
+}

@@ -1,0 +1,152 @@
+// Placementstudy contrasts RR and EAR placements head to head, measuring
+// the two quantities the paper's motivation section hinges on: how many
+// blocks an encoder must download across racks (Section II-B's performance
+// issue, expected ~k - 2k/R under RR, zero under EAR) and how often the
+// post-encoding layout violates rack-level fault tolerance, forcing block
+// relocation (the availability issue). It also confirms that EAR's extra
+// constraints do not skew the per-rack storage distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ear"
+	"ear/internal/analysis"
+	"ear/internal/placement"
+)
+
+const (
+	racks  = 20
+	nodes  = 20
+	k      = 10
+	n      = 14
+	trials = 300
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	top, err := ear.NewTopology(racks, nodes)
+	if err != nil {
+		return err
+	}
+	cfg := ear.PlacementConfig{Topology: top, Replicas: 3, K: k, N: n, C: 1}
+
+	fmt.Printf("cluster: %d racks x %d nodes, (n,k)=(%d,%d), 3-way replication\n\n",
+		racks, nodes, n, k)
+	for _, name := range []string{"rr", "ear"} {
+		downloads, violations, err := study(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4s mean cross-rack downloads per stripe: %5.2f (of %d blocks)\n",
+			name, downloads, k)
+		fmt.Printf("%-4s stripes needing relocation:           %5.1f%%\n\n",
+			name, violations*100)
+	}
+	fmt.Printf("analysis predicts RR downloads ~ k - 2k/R = %.2f\n",
+		float64(k)-2*float64(k)/float64(racks))
+	f, err := analysis.ViolationProbability(k, racks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Eq.(1) predicts the *preliminary* EAR would violate with p = %.3f;\n", f)
+	fmt.Println("the complete EAR's max-flow check drives that to zero.")
+
+	// Storage balance under both policies (Figure 14's claim).
+	for _, name := range []string{"rr", "ear"} {
+		pol, err := newPolicy(cfg, name, 99)
+		if err != nil {
+			return err
+		}
+		shares, err := analysis.StorageBalance(pol, top, 20000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4s per-rack storage share: max %.3f%%, min %.3f%% (uniform = %.3f%%)\n",
+			name, shares[0]*100, shares[len(shares)-1]*100, 100.0/racks)
+	}
+	return nil
+}
+
+func newPolicy(cfg ear.PlacementConfig, name string, seed int64) (ear.Policy, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if name == "ear" {
+		return ear.NewEARPolicy(cfg, rng)
+	}
+	return ear.NewRRPolicy(cfg, rng)
+}
+
+// study places `trials` stripes under a policy and measures encoding
+// downloads (from a random encoder for RR, a core-rack encoder for EAR) and
+// relocation violations.
+func study(cfg ear.PlacementConfig, name string) (meanDownloads, violationRate float64, err error) {
+	pol, err := newPolicy(cfg, name, 17)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(18))
+	var stripes []*ear.StripeInfo
+	var next ear.BlockID
+	pending := make([]ear.Placement, 0, k)
+	pendingBlocks := make([]ear.BlockID, 0, k)
+	for len(stripes) < trials {
+		pl, err := pol.Place(next)
+		if err != nil {
+			return 0, 0, err
+		}
+		if name == "ear" {
+			stripes = append(stripes, pol.TakeSealed()...)
+		} else {
+			pending = append(pending, pl)
+			pendingBlocks = append(pendingBlocks, next)
+			if len(pending) == k {
+				stripes = append(stripes, &ear.StripeInfo{
+					ID:         ear.StripeID(len(stripes)),
+					CoreRack:   -1,
+					Blocks:     append([]ear.BlockID(nil), pendingBlocks...),
+					Placements: append([]ear.Placement(nil), pending...),
+				})
+				pending = pending[:0]
+				pendingBlocks = pendingBlocks[:0]
+			}
+		}
+		next++
+	}
+	stripes = stripes[:trials]
+
+	var totalDownloads float64
+	var violations float64
+	top := cfg.Topology
+	for _, s := range stripes {
+		var encoder ear.NodeID
+		if s.CoreRack >= 0 {
+			coreNodes, err := top.NodesInRack(s.CoreRack)
+			if err != nil {
+				return 0, 0, err
+			}
+			encoder = coreNodes[rng.Intn(len(coreNodes))]
+		} else {
+			encoder = placement.RandomEncoderNode(top, rng)
+		}
+		dl, err := placement.CrossRackDownloads(top, s.Placements, encoder)
+		if err != nil {
+			return 0, 0, err
+		}
+		totalDownloads += float64(dl)
+		plan, err := ear.PlanPostEncoding(cfg, s, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		if plan.Violation {
+			violations++
+		}
+	}
+	return totalDownloads / trials, violations / trials, nil
+}

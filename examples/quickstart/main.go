@@ -1,0 +1,104 @@
+// Quickstart: place one stripe's worth of blocks under EAR, show that the
+// core rack holds a replica of every block (no cross-rack downloads at
+// encode time), run the post-encoding planner, and verify the resulting
+// layout satisfies node- and rack-level fault tolerance without relocation
+// — the paper's two headline properties, in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ear"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 20-rack cluster with 20 nodes per rack, (14, 10) coding as in
+	// Facebook's deployment, 3-way replication, at most c = 1 block of a
+	// stripe per rack after encoding.
+	top, err := ear.NewTopology(20, 20)
+	if err != nil {
+		return err
+	}
+	cfg := ear.PlacementConfig{Topology: top, Replicas: 3, K: 10, N: 14, C: 1}
+	rng := rand.New(rand.NewSource(42))
+	policy, err := ear.NewEARPolicy(cfg, rng)
+	if err != nil {
+		return err
+	}
+
+	// Write blocks until a stripe seals (k blocks sharing one core rack).
+	var sealed []*ear.StripeInfo
+	for b := ear.BlockID(0); len(sealed) == 0; b++ {
+		if _, err := policy.Place(b); err != nil {
+			return err
+		}
+		sealed = policy.TakeSealed()
+	}
+	stripe := sealed[0]
+	fmt.Printf("stripe %d sealed: %d blocks, core rack %d\n",
+		stripe.ID, len(stripe.Blocks), stripe.CoreRack)
+
+	// Property 1: an encoder in the core rack downloads nothing cross-rack.
+	coreNodes, err := top.NodesInRack(stripe.CoreRack)
+	if err != nil {
+		return err
+	}
+	downloads, err := crossRackDownloads(top, stripe, coreNodes[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cross-rack downloads from core rack: %d\n", downloads)
+
+	// Property 2: deletion + parity placement need no relocation.
+	plan, err := ear.PlanPostEncoding(cfg, stripe, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relocation needed: %v\n", plan.Violation)
+	layout := plan.Layout(stripe.ID)
+	if err := layout.Validate(top, cfg.C); err != nil {
+		return fmt.Errorf("layout invalid: %w", err)
+	}
+	ft, err := layout.TolerableRackFailures(top, cfg.K)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-encoding layout tolerates %d rack failures (paper requires %d)\n",
+		ft, cfg.N-cfg.K)
+	return nil
+}
+
+// crossRackDownloads counts stripe blocks with no replica in the encoder's
+// rack.
+func crossRackDownloads(top *ear.Topology, stripe *ear.StripeInfo, encoder ear.NodeID) (int, error) {
+	encRack, err := top.RackOf(encoder)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pl := range stripe.Placements {
+		inRack := false
+		for _, n := range pl.Nodes {
+			r, err := top.RackOf(n)
+			if err != nil {
+				return 0, err
+			}
+			if r == encRack {
+				inRack = true
+				break
+			}
+		}
+		if !inRack {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,3 @@
+module ear
+
+go 1.22

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+func TestViolationProbabilityPaperValues(t *testing.T) {
+	// Section III-A: "e.g., 0.97 for k = 12 and R = 16".
+	f, err := ViolationProbability(12, 16)
+	if err != nil {
+		t.Fatalf("ViolationProbability: %v", err)
+	}
+	if math.Abs(f-0.97) > 0.01 {
+		t.Errorf("f(k=12, R=16) = %.4f, want ~0.97", f)
+	}
+}
+
+func TestViolationProbabilityProperties(t *testing.T) {
+	// f decreases with R and increases with k; bounded in [0, 1].
+	for _, k := range []int{6, 8, 10, 12} {
+		prev := 1.1
+		for racks := k + 2; racks <= 60; racks += 2 {
+			f, err := ViolationProbability(k, racks)
+			if err != nil {
+				t.Fatalf("ViolationProbability(%d, %d): %v", k, racks, err)
+			}
+			if f < 0 || f > 1 {
+				t.Fatalf("f(%d, %d) = %g out of [0,1]", k, racks, f)
+			}
+			if f > prev+1e-12 {
+				t.Fatalf("f(%d, %d) = %g not decreasing in R (prev %g)", k, racks, f, prev)
+			}
+			prev = f
+		}
+	}
+	// With very few racks the violation is near-certain.
+	f, err := ViolationProbability(10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.98 {
+		t.Errorf("f(k=10, R=11) = %.4f, want ~0.98", f)
+	}
+	// Monotone in k at fixed R.
+	f6, _ := ViolationProbability(6, 20)
+	f12, _ := ViolationProbability(12, 20)
+	if f12 <= f6 {
+		t.Errorf("f should grow with k: f6=%.4f f12=%.4f", f6, f12)
+	}
+}
+
+func TestViolationProbabilityEdgeCases(t *testing.T) {
+	if _, err := ViolationProbability(0, 10); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := ViolationProbability(3, 1); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("R=1: %v", err)
+	}
+	// k=1: a single block can never violate (one rack pair suffices).
+	f, err := ViolationProbability(1, 10)
+	if err != nil || f != 0 {
+		t.Errorf("f(k=1) = (%g, %v), want (0, nil)", f, err)
+	}
+	// R-1 < k-1: survival impossible, f = 1.
+	f, err = ViolationProbability(10, 5)
+	if err != nil || f != 1 {
+		t.Errorf("f(k=10, R=5) = (%g, %v), want (1, nil)", f, err)
+	}
+}
+
+func TestMonteCarloMatchesEquation1(t *testing.T) {
+	// The empirical violation rate of preliminary EAR must track Eq. (1).
+	rng := rand.New(rand.NewSource(20))
+	for _, tc := range []struct{ k, racks int }{
+		{6, 10}, {8, 16}, {10, 24},
+	} {
+		want, err := ViolationProbability(tc.k, tc.racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MonteCarloViolation(tc.k, tc.racks, 20, 400, rng)
+		if err != nil {
+			t.Fatalf("MonteCarloViolation(%+v): %v", tc, err)
+		}
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("k=%d R=%d: monte carlo %.3f vs equation %.3f", tc.k, tc.racks, got, want)
+		}
+	}
+}
+
+func TestTheorem1Bound(t *testing.T) {
+	// Remarks after Theorem 1: R=20, c=1 => for the k-th block the bound is
+	// at most 1.9 for k=10.
+	b, err := Theorem1Bound(10, 1, 20)
+	if err != nil {
+		t.Fatalf("Theorem1Bound: %v", err)
+	}
+	if math.Abs(b-19.0/10.0) > 1e-9 {
+		t.Errorf("bound(i=10, c=1, R=20) = %.4f, want 1.9", b)
+	}
+	// First block never needs a retry in expectation terms: bound 1.
+	b, err = Theorem1Bound(1, 1, 20)
+	if err != nil || b != 1 {
+		t.Errorf("bound(i=1) = (%g, %v), want (1, nil)", b, err)
+	}
+	// Larger c weakens the constraint: bound shrinks.
+	b1, _ := Theorem1Bound(10, 1, 20)
+	b2, _ := Theorem1Bound(10, 2, 20)
+	if b2 >= b1 {
+		t.Errorf("bound should shrink with c: c=1 %.3f, c=2 %.3f", b1, b2)
+	}
+	// Saturated: more full racks than available => infinite bound.
+	b, err = Theorem1Bound(25, 1, 20)
+	if err != nil || !math.IsInf(b, 1) {
+		t.Errorf("saturated bound = (%g, %v), want +Inf", b, err)
+	}
+	if _, err := Theorem1Bound(0, 1, 20); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("i=0: %v", err)
+	}
+}
+
+func TestIterationStatsWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	means, err := IterationStats(14, 10, 1, 20, 20, 150, rng)
+	if err != nil {
+		t.Fatalf("IterationStats: %v", err)
+	}
+	if len(means) != 10 {
+		t.Fatalf("got %d means, want 10", len(means))
+	}
+	for i, m := range means {
+		bound, err := Theorem1Bound(i+1, 1, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > bound*1.6 {
+			t.Errorf("block %d: empirical %.3f exceeds bound %.3f", i+1, m, bound)
+		}
+		if m < 1 {
+			t.Errorf("block %d: mean iterations %.3f < 1", i+1, m)
+		}
+	}
+	// Later blocks need at least as many retries on average (monotone
+	// trend, allow sampling noise by comparing first and last).
+	if means[9] < means[0]-0.05 {
+		t.Errorf("iterations should grow with block index: first %.3f, last %.3f", means[0], means[9])
+	}
+}
+
+func TestStorageBalance(t *testing.T) {
+	// Figure 14: both policies spread replicas across racks within a few
+	// tenths of a percent of uniform (5% for R=20).
+	top, err := topology.New(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := placement.Config{Topology: top, K: 10, N: 14}
+	for _, mk := range []struct {
+		name string
+		pol  func() (placement.Policy, error)
+	}{
+		{"rr", func() (placement.Policy, error) {
+			return placement.NewRandom(cfg, rand.New(rand.NewSource(22)))
+		}},
+		{"ear", func() (placement.Policy, error) {
+			return placement.NewEAR(cfg, rand.New(rand.NewSource(23)))
+		}},
+	} {
+		pol, err := mk.pol()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		shares, err := StorageBalance(pol, top, 10000)
+		if err != nil {
+			t.Fatalf("%s StorageBalance: %v", mk.name, err)
+		}
+		if len(shares) != 20 {
+			t.Fatalf("%s: %d rack shares", mk.name, len(shares))
+		}
+		var sum float64
+		for i, s := range shares {
+			sum += s
+			if s < 0.04 || s > 0.06 {
+				t.Errorf("%s: rack rank %d share %.4f outside [0.04, 0.06]", mk.name, i, s)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: shares sum to %.6f", mk.name, sum)
+		}
+		// Sorted descending.
+		for i := 1; i < len(shares); i++ {
+			if shares[i] > shares[i-1] {
+				t.Fatalf("%s: shares not sorted", mk.name)
+			}
+		}
+	}
+	pol, _ := placement.NewRandom(cfg, rand.New(rand.NewSource(24)))
+	if _, err := StorageBalance(pol, top, 0); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("0 blocks: %v", err)
+	}
+}
+
+func TestHotnessIndexSimilarAcrossPolicies(t *testing.T) {
+	// Figure 15: RR and EAR have almost identical hotness index H.
+	top, err := topology.New(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := placement.Config{Topology: top, K: 10, N: 14}
+	rr, err := placement.NewRandom(cfg, rand.New(rand.NewSource(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	earPol, err := placement.NewEAR(cfg, rand.New(rand.NewSource(26)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRR, err := HotnessIndex(rr, top, 2000)
+	if err != nil {
+		t.Fatalf("HotnessIndex rr: %v", err)
+	}
+	hEAR, err := HotnessIndex(earPol, top, 2000)
+	if err != nil {
+		t.Fatalf("HotnessIndex ear: %v", err)
+	}
+	// Uniform load would be 0.05; both policies should be close.
+	for name, h := range map[string]float64{"rr": hRR, "ear": hEAR} {
+		if h < 0.05 || h > 0.08 {
+			t.Errorf("%s hotness = %.4f, want within [0.05, 0.08] for 2000 blocks", name, h)
+		}
+	}
+	if math.Abs(hRR-hEAR) > 0.015 {
+		t.Errorf("hotness differs: rr %.4f vs ear %.4f", hRR, hEAR)
+	}
+	if _, err := HotnessIndex(rr, top, 0); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("file size 0: %v", err)
+	}
+}
+
+func TestHotnessShrinksWithFileSize(t *testing.T) {
+	// Larger files smooth out load: H approaches the uniform 1/R.
+	top, err := topology.New(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := placement.Config{Topology: top, K: 10, N: 14}
+	pol, err := placement.NewRandom(cfg, rand.New(rand.NewSource(27)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSmall, err := HotnessIndex(pol, top, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hLarge, err := HotnessIndex(pol, top, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLarge >= hSmall {
+		t.Errorf("H should shrink with file size: small %.4f, large %.4f", hSmall, hLarge)
+	}
+}

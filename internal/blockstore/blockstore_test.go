@@ -1,0 +1,159 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	key := Key{ID: 7, Kind: Data}
+	data := []byte("block content")
+	if err := s.Put(key, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+	// Returned copy must not alias stored data.
+	got[0] = 'X'
+	again, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == 'X' {
+		t.Fatal("Get aliases stored data")
+	}
+	// Input copy: mutating the original must not affect the store.
+	data[1] = 'Z'
+	again, _ = s.Get(key)
+	if again[1] == 'Z' {
+		t.Fatal("Put aliases caller data")
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	s := New()
+	key := Key{ID: 1, Kind: Data}
+	if err := s.Put(key, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("b")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Put error = %v", err)
+	}
+	// Same ID, different kind is a different key.
+	if err := s.Put(Key{ID: 1, Kind: Parity}, []byte("p")); err != nil {
+		t.Errorf("parity with same ID: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	if _, err := s.Get(Key{ID: 404, Kind: Data}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing Get error = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	key := Key{ID: 2, Kind: Data}
+	if err := s.Put(key, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != 2 || s.Len() != 1 {
+		t.Fatalf("Bytes=%d Len=%d", s.Bytes(), s.Len())
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if s.Bytes() != 0 || s.Len() != 0 {
+		t.Fatalf("after delete Bytes=%d Len=%d", s.Bytes(), s.Len())
+	}
+	if err := s.Delete(key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete error = %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := New()
+	key := Key{ID: 3, Kind: Parity}
+	if err := s.Put(key, []byte("parity bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Corrupt(key); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted Get error = %v", err)
+	}
+	if err := s.Corrupt(Key{ID: 9, Kind: Data}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Corrupt missing error = %v", err)
+	}
+}
+
+func TestHasKeysClear(t *testing.T) {
+	s := New()
+	keys := []Key{{ID: 5, Kind: Parity}, {ID: 1, Kind: Data}, {ID: 3, Kind: Data}}
+	for _, k := range keys {
+		if err := s.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Has(keys[0]) || s.Has(Key{ID: 99, Kind: Data}) {
+		t.Error("Has wrong")
+	}
+	sorted := s.Keys()
+	want := []Key{{ID: 1, Kind: Data}, {ID: 3, Kind: Data}, {ID: 5, Kind: Parity}}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", sorted, want)
+		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestKindAndKeyString(t *testing.T) {
+	if Data.String() != "data" || Parity.String() != "parity" || Kind(9).String() != "kind(9)" {
+		t.Error("Kind.String wrong")
+	}
+	if (Key{ID: 4, Kind: Data}).String() != "data/4" {
+		t.Error("Key.String wrong")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := Key{ID: int64(i), Kind: Data}
+			if err := s.Put(key, []byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := s.Get(key)
+			if err != nil || got[0] != byte(i) {
+				t.Errorf("Get(%v): %v", key, err)
+			}
+			_ = s.Has(key)
+			_ = s.Keys()
+			_ = s.Bytes()
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Errorf("Len = %d, want 16", s.Len())
+	}
+}

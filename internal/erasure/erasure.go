@@ -1,0 +1,300 @@
+// Package erasure implements systematic (n, k) maximum-distance-separable
+// erasure codes over GF(2^8): k data blocks are expanded with m = n-k parity
+// blocks such that any k of the n blocks reconstruct the original data. Two
+// constructions are provided, Reed-Solomon codes built from a Vandermonde
+// matrix (the construction used by HDFS-RAID, which the paper's prototype
+// builds on) and Cauchy Reed-Solomon codes.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"ear/internal/gf256"
+)
+
+// Scheme selects the generator-matrix construction for a Coder.
+type Scheme int
+
+const (
+	// ReedSolomon is the systematic Vandermonde construction used by
+	// HDFS-RAID.
+	ReedSolomon Scheme = iota + 1
+	// CauchyReedSolomon uses a Cauchy matrix for the parity rows.
+	CauchyReedSolomon
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case ReedSolomon:
+		return "reed-solomon"
+	case CauchyReedSolomon:
+		return "cauchy-reed-solomon"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Errors returned by the package.
+var (
+	// ErrInvalidParams indicates an unusable (n, k) pair.
+	ErrInvalidParams = errors.New("erasure: invalid code parameters")
+	// ErrTooFewBlocks indicates fewer than k blocks survive, so the
+	// stripe is unrecoverable.
+	ErrTooFewBlocks = errors.New("erasure: too few surviving blocks to reconstruct")
+	// ErrShapeMismatch indicates block slices of inconsistent lengths.
+	ErrShapeMismatch = errors.New("erasure: block length mismatch")
+)
+
+// Coder encodes and decodes one stripe geometry. It is safe for concurrent
+// use: all state is immutable after construction.
+type Coder struct {
+	n, k   int
+	scheme Scheme
+	// gen is the full n x k systematic generator matrix: the top k rows are
+	// the identity and the bottom n-k rows produce parity blocks.
+	gen *gf256.Matrix
+	// parity is the bottom (n-k) x k portion of gen.
+	parity *gf256.Matrix
+}
+
+// New returns a Coder for an (n, k) code with the given scheme. It requires
+// 0 < k < n <= 256.
+func New(n, k int, scheme Scheme) (*Coder, error) {
+	if k <= 0 || n <= k || n > 256 {
+		return nil, fmt.Errorf("%w: (n, k) = (%d, %d)", ErrInvalidParams, n, k)
+	}
+	var parity *gf256.Matrix
+	var err error
+	switch scheme {
+	case ReedSolomon:
+		parity, err = systematicVandermondeParity(n, k)
+	case CauchyReedSolomon:
+		parity, err = gf256.Cauchy(n-k, k)
+	default:
+		return nil, fmt.Errorf("%w: unknown scheme %v", ErrInvalidParams, scheme)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("build parity matrix: %w", err)
+	}
+	id, err := gf256.Identity(k)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]byte, 0, n)
+	for r := 0; r < k; r++ {
+		rows = append(rows, id.Row(r))
+	}
+	for r := 0; r < n-k; r++ {
+		rows = append(rows, parity.Row(r))
+	}
+	gen, err := gf256.NewMatrixFromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Coder{n: n, k: k, scheme: scheme, gen: gen, parity: parity}, nil
+}
+
+// systematicVandermondeParity derives the parity portion of a systematic
+// generator from an n x k Vandermonde matrix V: multiplying V by the inverse
+// of its top k x k square yields a systematic generator whose every k x k row
+// subset remains invertible.
+func systematicVandermondeParity(n, k int) (*gf256.Matrix, error) {
+	v, err := gf256.Vandermonde(n, k)
+	if err != nil {
+		return nil, err
+	}
+	topRows := make([]int, k)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top, err := v.SelectRows(topRows)
+	if err != nil {
+		return nil, err
+	}
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := v.Mul(topInv)
+	if err != nil {
+		return nil, err
+	}
+	return sys.SubMatrix(k, n, 0, k)
+}
+
+// N returns the stripe width (data + parity blocks).
+func (c *Coder) N() int { return c.n }
+
+// K returns the number of data blocks per stripe.
+func (c *Coder) K() int { return c.k }
+
+// M returns the number of parity blocks per stripe, n - k.
+func (c *Coder) M() int { return c.n - c.k }
+
+// Scheme returns the generator construction in use.
+func (c *Coder) Scheme() Scheme { return c.scheme }
+
+// GeneratorRow returns a copy of row i of the systematic generator matrix.
+func (c *Coder) GeneratorRow(i int) ([]byte, error) {
+	if i < 0 || i >= c.n {
+		return nil, fmt.Errorf("%w: generator row %d of %d", ErrInvalidParams, i, c.n)
+	}
+	return c.gen.Row(i), nil
+}
+
+func checkShape(blocks [][]byte, want int) (int, error) {
+	if len(blocks) != want {
+		return 0, fmt.Errorf("%w: got %d blocks, want %d", ErrShapeMismatch, len(blocks), want)
+	}
+	size := len(blocks[0])
+	for i, b := range blocks {
+		if len(b) != size {
+			return 0, fmt.Errorf("%w: block %d has %d bytes, block 0 has %d", ErrShapeMismatch, i, len(b), size)
+		}
+	}
+	return size, nil
+}
+
+// Encode computes the m parity blocks for the given k data blocks. All data
+// blocks must have equal length; the returned parity blocks have the same
+// length. The data blocks are not modified.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	size, err := checkShape(data, c.k)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, c.M())
+	backing := make([]byte, c.M()*size)
+	for i := range parity {
+		parity[i], backing = backing[:size:size], backing[size:]
+		gf256.DotProduct(c.parityRow(i), data, parity[i])
+	}
+	return parity, nil
+}
+
+// parityRow returns (without copying) row i of the parity matrix.
+func (c *Coder) parityRow(i int) []byte {
+	row := make([]byte, c.k)
+	for j := 0; j < c.k; j++ {
+		row[j] = c.parity.At(i, j)
+	}
+	return row
+}
+
+// EncodeStripe returns the complete stripe: the k data blocks (shared, not
+// copied) followed by the m freshly computed parity blocks.
+func (c *Coder) EncodeStripe(data [][]byte) ([][]byte, error) {
+	parity, err := c.Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	stripe := make([][]byte, 0, c.n)
+	stripe = append(stripe, data...)
+	stripe = append(stripe, parity...)
+	return stripe, nil
+}
+
+// Reconstruct recovers the original k data blocks from any k surviving
+// blocks of the stripe. present maps stripe index (0..n-1, data first) to
+// the surviving block content. It returns the k data blocks in order.
+func (c *Coder) Reconstruct(present map[int][]byte) ([][]byte, error) {
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewBlocks, len(present), c.k)
+	}
+	// Choose k surviving indices deterministically (ascending), preferring
+	// data blocks since they need no matrix solve when all k survive.
+	indices := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(indices) < c.k; i++ {
+		if _, ok := present[i]; ok {
+			indices = append(indices, i)
+		}
+	}
+	if len(indices) < c.k {
+		return nil, fmt.Errorf("%w: have %d valid indices, need %d", ErrTooFewBlocks, len(indices), c.k)
+	}
+	blocks := make([][]byte, c.k)
+	for i, idx := range indices {
+		blocks[i] = present[idx]
+	}
+	size, err := checkShape(blocks, c.k)
+	if err != nil {
+		return nil, err
+	}
+
+	allData := true
+	for i, idx := range indices {
+		if idx != i {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		out := make([][]byte, c.k)
+		for i, b := range blocks {
+			out[i] = append([]byte(nil), b...)
+		}
+		return out, nil
+	}
+
+	sub, err := c.gen.SelectRows(indices)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("invert decode matrix: %w", err)
+	}
+	out := make([][]byte, c.k)
+	backing := make([]byte, c.k*size)
+	for r := 0; r < c.k; r++ {
+		out[r], backing = backing[:size:size], backing[size:]
+		gf256.DotProduct(inv.Row(r), blocks, out[r])
+	}
+	return out, nil
+}
+
+// ReconstructBlock recovers a single stripe block (data or parity) by index
+// from any k surviving blocks. This is the degraded-read / repair primitive:
+// a node recovering block idx downloads k blocks and solves for it.
+func (c *Coder) ReconstructBlock(present map[int][]byte, idx int) ([]byte, error) {
+	if idx < 0 || idx >= c.n {
+		return nil, fmt.Errorf("%w: block index %d of %d", ErrInvalidParams, idx, c.n)
+	}
+	if b, ok := present[idx]; ok {
+		return append([]byte(nil), b...), nil
+	}
+	data, err := c.Reconstruct(present)
+	if err != nil {
+		return nil, err
+	}
+	if idx < c.k {
+		return data[idx], nil
+	}
+	out := make([]byte, len(data[0]))
+	gf256.DotProduct(c.parityRow(idx-c.k), data, out)
+	return out, nil
+}
+
+// Verify reports whether the given full stripe (k data followed by m parity
+// blocks) is consistent: recomputing parity from the data yields the stored
+// parity blocks.
+func (c *Coder) Verify(stripe [][]byte) (bool, error) {
+	if _, err := checkShape(stripe, c.n); err != nil {
+		return false, err
+	}
+	parity, err := c.Encode(stripe[:c.k])
+	if err != nil {
+		return false, err
+	}
+	for i, p := range parity {
+		stored := stripe[c.k+i]
+		for j := range p {
+			if p[j] != stored[j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

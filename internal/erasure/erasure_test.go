@@ -1,0 +1,319 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var _schemes = []Scheme{ReedSolomon, CauchyReedSolomon}
+
+func randBlocks(rng *rand.Rand, k, size int) [][]byte {
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		blocks[i] = make([]byte, size)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	tests := []struct{ n, k int }{
+		{0, 0}, {4, 4}, {3, 4}, {4, 0}, {4, -1}, {300, 10},
+	}
+	for _, tt := range tests {
+		if _, err := New(tt.n, tt.k, ReedSolomon); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("New(%d, %d) error = %v, want ErrInvalidParams", tt.n, tt.k, err)
+		}
+	}
+	if _, err := New(6, 4, Scheme(99)); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("unknown scheme error = %v, want ErrInvalidParams", err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if ReedSolomon.String() != "reed-solomon" {
+		t.Errorf("ReedSolomon.String() = %q", ReedSolomon.String())
+	}
+	if CauchyReedSolomon.String() != "cauchy-reed-solomon" {
+		t.Errorf("CauchyReedSolomon.String() = %q", CauchyReedSolomon.String())
+	}
+	if Scheme(42).String() != "scheme(42)" {
+		t.Errorf("Scheme(42).String() = %q", Scheme(42).String())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, err := New(14, 10, ReedSolomon)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.N() != 14 || c.K() != 10 || c.M() != 4 || c.Scheme() != ReedSolomon {
+		t.Fatalf("accessors wrong: n=%d k=%d m=%d scheme=%v", c.N(), c.K(), c.M(), c.Scheme())
+	}
+	row, err := c.GeneratorRow(0)
+	if err != nil {
+		t.Fatalf("GeneratorRow: %v", err)
+	}
+	if row[0] != 1 {
+		t.Fatal("generator not systematic: row 0 should start with 1")
+	}
+	if _, err := c.GeneratorRow(14); err == nil {
+		t.Fatal("expected error for out-of-range generator row")
+	}
+}
+
+func TestSystematicProperty(t *testing.T) {
+	// Encoding then reading the first k stripe blocks must return the data
+	// unchanged for both schemes.
+	rng := rand.New(rand.NewSource(10))
+	for _, scheme := range _schemes {
+		c, err := New(9, 6, scheme)
+		if err != nil {
+			t.Fatalf("New(%v): %v", scheme, err)
+		}
+		data := randBlocks(rng, 6, 128)
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			t.Fatalf("EncodeStripe: %v", err)
+		}
+		if len(stripe) != 9 {
+			t.Fatalf("stripe has %d blocks, want 9", len(stripe))
+		}
+		for i := range data {
+			if !bytes.Equal(stripe[i], data[i]) {
+				t.Fatalf("%v: stripe data block %d modified", scheme, i)
+			}
+		}
+	}
+}
+
+func TestEncodeShapeErrors(t *testing.T) {
+	c, _ := New(6, 4, ReedSolomon)
+	if _, err := c.Encode(randBlocks(rand.New(rand.NewSource(1)), 3, 8)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("wrong block count error = %v, want ErrShapeMismatch", err)
+	}
+	blocks := randBlocks(rand.New(rand.NewSource(1)), 4, 8)
+	blocks[2] = blocks[2][:5]
+	if _, err := c.Encode(blocks); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("ragged blocks error = %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// For a small code, try every possible survivor subset of size >= k and
+	// confirm exact reconstruction.
+	rng := rand.New(rand.NewSource(11))
+	for _, scheme := range _schemes {
+		const n, k = 6, 3
+		c, err := New(n, k, scheme)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		data := randBlocks(rng, k, 64)
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			t.Fatalf("EncodeStripe: %v", err)
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			present := make(map[int][]byte)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					present[i] = stripe[i]
+				}
+			}
+			got, err := c.Reconstruct(present)
+			if len(present) < k {
+				if !errors.Is(err, ErrTooFewBlocks) {
+					t.Fatalf("%v mask %06b: error = %v, want ErrTooFewBlocks", scheme, mask, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%v mask %06b: Reconstruct: %v", scheme, mask, err)
+			}
+			for i := range data {
+				if !bytes.Equal(got[i], data[i]) {
+					t.Fatalf("%v mask %06b: data block %d mismatch", scheme, mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructBlockEveryIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, k = 8, 5
+	for _, scheme := range _schemes {
+		c, err := New(n, k, scheme)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		data := randBlocks(rng, k, 32)
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			t.Fatalf("EncodeStripe: %v", err)
+		}
+		for lost := 0; lost < n; lost++ {
+			present := make(map[int][]byte)
+			for i := 0; i < n; i++ {
+				if i != lost {
+					present[i] = stripe[i]
+				}
+			}
+			got, err := c.ReconstructBlock(present, lost)
+			if err != nil {
+				t.Fatalf("%v: ReconstructBlock(%d): %v", scheme, lost, err)
+			}
+			if !bytes.Equal(got, stripe[lost]) {
+				t.Fatalf("%v: reconstructed block %d mismatch", scheme, lost)
+			}
+		}
+		// Present block short-circuits.
+		present := map[int][]byte{2: stripe[2]}
+		got, err := c.ReconstructBlock(present, 2)
+		if err != nil || !bytes.Equal(got, stripe[2]) {
+			t.Fatalf("present short-circuit failed: %v", err)
+		}
+		if _, err := c.ReconstructBlock(present, n); !errors.Is(err, ErrInvalidParams) {
+			t.Fatalf("out-of-range index error = %v", err)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c, _ := New(10, 8, ReedSolomon)
+	data := randBlocks(rng, 8, 100)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatalf("EncodeStripe: %v", err)
+	}
+	ok, err := c.Verify(stripe)
+	if err != nil || !ok {
+		t.Fatalf("Verify(valid) = (%v, %v), want (true, nil)", ok, err)
+	}
+	stripe[9][3] ^= 0x40 // corrupt one parity byte
+	ok, err = c.Verify(stripe)
+	if err != nil || ok {
+		t.Fatalf("Verify(corrupt) = (%v, %v), want (false, nil)", ok, err)
+	}
+	if _, err := c.Verify(stripe[:5]); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("Verify(short) error = %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestPaperCodeParameters(t *testing.T) {
+	// The parameters exercised throughout the paper: n = k+2 for k in
+	// 4..10 (Experiment A.1), (14,10) Facebook, (16,12) Azure, (5,4) from
+	// the motivating example, and (6,3) from the target-rack example.
+	rng := rand.New(rand.NewSource(14))
+	params := [][2]int{{6, 4}, {8, 6}, {10, 8}, {12, 10}, {14, 10}, {16, 12}, {5, 4}, {6, 3}, {4, 3}}
+	for _, p := range params {
+		n, k := p[0], p[1]
+		c, err := New(n, k, ReedSolomon)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", n, k, err)
+		}
+		data := randBlocks(rng, k, 256)
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			t.Fatalf("(%d,%d) EncodeStripe: %v", n, k, err)
+		}
+		// Lose the maximum tolerable n-k blocks, chosen at random.
+		present := make(map[int][]byte, k)
+		for i, idx := range rng.Perm(n) {
+			if i < k {
+				present[idx] = stripe[idx]
+			}
+		}
+		got, err := c.Reconstruct(present)
+		if err != nil {
+			t.Fatalf("(%d,%d) Reconstruct: %v", n, k, err)
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("(%d,%d) block %d mismatch after max erasures", n, k, i)
+			}
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	// Property: for random geometry, data, and erasure pattern, decode
+	// inverts encode.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		n := k + 1 + rng.Intn(6)
+		scheme := _schemes[rng.Intn(len(_schemes))]
+		c, err := New(n, k, scheme)
+		if err != nil {
+			return false
+		}
+		data := randBlocks(rng, k, 1+rng.Intn(64))
+		stripe, err := c.EncodeStripe(data)
+		if err != nil {
+			return false
+		}
+		present := make(map[int][]byte, k)
+		for i, idx := range rng.Perm(n) {
+			if i < k {
+				present[idx] = stripe[idx]
+			}
+		}
+		got, err := c.Reconstruct(present)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c, _ := New(6, 4, ReedSolomon)
+	data := randBlocks(rng, 4, 16)
+	stripe, _ := c.EncodeStripe(data)
+	present := make(map[int][]byte)
+	for i := 0; i < 4; i++ {
+		present[i] = stripe[i]
+	}
+	got, err := c.Reconstruct(present)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	got[0][0] ^= 0xff
+	if stripe[0][0] == got[0][0] {
+		t.Fatal("Reconstruct aliases caller data")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	for _, p := range [][2]int{{10, 8}, {14, 10}} {
+		c, err := New(p[0], p[1], ReedSolomon)
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		data := randBlocks(rng, p[1], 1<<20)
+		b.Run(c.Scheme().String(), func(b *testing.B) {
+			b.SetBytes(int64(p[1]) << 20)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ear/internal/analysis"
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+// Fig3Options configures the Figure 3 reproduction.
+type Fig3Options struct {
+	Ks    []int
+	Racks []int
+	// MonteCarloStripes > 0 adds an empirical column per k using that many
+	// simulated stripes.
+	MonteCarloStripes int
+	Seed              int64
+}
+
+func (o Fig3Options) withDefaults() Fig3Options {
+	if len(o.Ks) == 0 {
+		o.Ks = []int{6, 8, 10, 12}
+	}
+	if len(o.Racks) == 0 {
+		o.Racks = []int{14, 16, 20, 24, 28, 32, 36, 40}
+	}
+	return o
+}
+
+// RunFig3 reproduces Figure 3: the probability that a stripe placed by the
+// preliminary EAR violates rack-level fault tolerance, per Equation (1),
+// optionally cross-checked by Monte-Carlo placement.
+func RunFig3(opts Fig3Options) (*Table, error) {
+	opts = opts.withDefaults()
+	headers := []string{"racks"}
+	for _, k := range opts.Ks {
+		headers = append(headers, fmt.Sprintf("k=%d", k))
+		if opts.MonteCarloStripes > 0 {
+			headers = append(headers, fmt.Sprintf("k=%d (mc)", k))
+		}
+	}
+	t := &Table{
+		ID:      "fig3",
+		Caption: "Figure 3: P(stripe violates rack fault tolerance) under preliminary EAR",
+		Headers: headers,
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for _, racks := range opts.Racks {
+		row := []string{fmt.Sprintf("%d", racks)}
+		for _, k := range opts.Ks {
+			f, err := analysis.ViolationProbability(k, racks)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(f))
+			if opts.MonteCarloStripes > 0 {
+				mc, err := analysis.MonteCarloViolation(k, racks, 20, opts.MonteCarloStripes, rng)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f3(mc))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Theorem1Options configures the iteration-bound experiment.
+type Theorem1Options struct {
+	N, K, C, Racks, NodesPerRack int
+	Stripes                      int
+	Seed                         int64
+}
+
+func (o Theorem1Options) withDefaults() Theorem1Options {
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.N == 0 {
+		o.N = o.K + 4
+	}
+	if o.C == 0 {
+		o.C = 1
+	}
+	if o.Racks == 0 {
+		o.Racks = 20
+	}
+	if o.NodesPerRack == 0 {
+		o.NodesPerRack = 20
+	}
+	if o.Stripes == 0 {
+		o.Stripes = 500
+	}
+	return o
+}
+
+// RunTheorem1 compares EAR's measured per-block layout iterations against
+// the Theorem 1 bound.
+func RunTheorem1(opts Theorem1Options) (*Table, error) {
+	opts = opts.withDefaults()
+	means, err := analysis.IterationStats(opts.N, opts.K, opts.C, opts.Racks,
+		opts.NodesPerRack, opts.Stripes, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "theorem1",
+		Caption: fmt.Sprintf("Theorem 1: expected layout iterations, (n,k)=(%d,%d), c=%d, R=%d",
+			opts.N, opts.K, opts.C, opts.Racks),
+		Headers: []string{"block index i", "measured E_i", "bound"},
+	}
+	for i, m := range means {
+		bound, err := analysis.Theorem1Bound(i+1, opts.C, opts.Racks)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", i+1), f3(m), f3(bound))
+	}
+	return t, nil
+}
+
+// LoadBalanceOptions configures the Section V-C Monte-Carlo studies.
+type LoadBalanceOptions struct {
+	Racks, NodesPerRack int
+	N, K                int
+	// Blocks placed in the storage-balance study (paper: 10,000).
+	Blocks int
+	// FileSizes swept in the read-balance study (paper: 100..10,000).
+	FileSizes []int
+	// Runs averaged per configuration (paper: 10,000; default smaller).
+	Runs int
+	Seed int64
+}
+
+func (o LoadBalanceOptions) withDefaults() LoadBalanceOptions {
+	if o.Racks == 0 {
+		o.Racks = 20
+	}
+	if o.NodesPerRack == 0 {
+		o.NodesPerRack = 20
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.N == 0 {
+		o.N = 14
+	}
+	if o.Blocks == 0 {
+		o.Blocks = 10000
+	}
+	if len(o.FileSizes) == 0 {
+		o.FileSizes = []int{100, 500, 1000, 5000, 10000}
+	}
+	if o.Runs == 0 {
+		o.Runs = 20
+	}
+	return o
+}
+
+// newPolicies builds fresh RR and EAR policies over the same topology.
+func (o LoadBalanceOptions) newPolicies(seed int64) (*topology.Topology, placement.Policy, placement.Policy, error) {
+	top, err := topology.New(o.Racks, o.NodesPerRack)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := placement.Config{Topology: top, K: o.K, N: o.N}
+	rr, err := placement.NewRandom(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	earPol, err := placement.NewEAR(cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return top, rr, earPol, nil
+}
+
+// RunC1 reproduces Experiment C.1 / Figure 14: the per-rack share of
+// replicas under both policies, ranked in descending order.
+func RunC1(opts LoadBalanceOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	sums := map[string][]float64{
+		"rr":  make([]float64, opts.Racks),
+		"ear": make([]float64, opts.Racks),
+	}
+	for run := 0; run < opts.Runs; run++ {
+		top, rr, earPol, err := opts.newPolicies(opts.Seed + int64(run)*313)
+		if err != nil {
+			return nil, err
+		}
+		for name, pol := range map[string]placement.Policy{"rr": rr, "ear": earPol} {
+			shares, err := analysis.StorageBalance(pol, top, opts.Blocks)
+			if err != nil {
+				return nil, err
+			}
+			for i, s := range shares {
+				sums[name][i] += s
+			}
+		}
+	}
+	t := &Table{
+		ID:      "fig14",
+		Caption: fmt.Sprintf("Experiment C.1: %% of replicas per rack rank (%d blocks, %d runs)", opts.Blocks, opts.Runs),
+		Headers: []string{"rack rank", "RR %", "EAR %"},
+	}
+	for i := 0; i < opts.Racks; i++ {
+		t.AddRow(fmt.Sprintf("%d", i+1),
+			f3(sums["rr"][i]/float64(opts.Runs)*100),
+			f3(sums["ear"][i]/float64(opts.Runs)*100))
+	}
+	return t, nil
+}
+
+// RunC2 reproduces Experiment C.2 / Figure 15: the read hotness index H vs
+// file size under both policies.
+func RunC2(opts LoadBalanceOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "fig15",
+		Caption: fmt.Sprintf("Experiment C.2: read hotness index H vs file size (%d runs)", opts.Runs),
+		Headers: []string{"file size (blocks)", "RR H%", "EAR H%"},
+	}
+	for _, size := range opts.FileSizes {
+		var rrSum, earSum float64
+		for run := 0; run < opts.Runs; run++ {
+			top, rr, earPol, err := opts.newPolicies(opts.Seed + int64(run)*521)
+			if err != nil {
+				return nil, err
+			}
+			h, err := analysis.HotnessIndex(rr, top, size)
+			if err != nil {
+				return nil, err
+			}
+			rrSum += h
+			h, err = analysis.HotnessIndex(earPol, top, size)
+			if err != nil {
+				return nil, err
+			}
+			earSum += h
+		}
+		t.AddRow(fmt.Sprintf("%d", size),
+			f3(rrSum/float64(opts.Runs)*100),
+			f3(earSum/float64(opts.Runs)*100))
+	}
+	return t, nil
+}

@@ -1,0 +1,58 @@
+// Package experiments contains one runner per experiment in the paper's
+// evaluation (Section V): the testbed experiments A.1-A.3 on the mini-HDFS
+// cluster, the discrete-event simulations B.1-B.2, the load-balancing
+// analyses C.1-C.2, and the analytical results (Figure 3, Theorem 1). Every
+// runner produces a Table whose rows mirror the series the corresponding
+// paper figure or table reports.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// ErrBadOptions indicates unusable experiment options.
+var ErrBadOptions = errors.New("experiments: bad options")
+
+// Table is a printable experiment result: a caption, column headers, and
+// rows of cells.
+type Table struct {
+	ID      string // e.g. "fig8a"
+	Caption string
+	Headers []string
+	Rows    [][]string
+	// Notes carry methodology remarks (scaling, substitutions).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Caption)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a gain ratio (e.g. 1.57 -> "+57.0%").
+func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", (ratio-1)*100) }

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ear/internal/hdfs"
+	"ear/internal/topology"
+)
+
+// RecoveryOptions configures the Section III-D recovery-traffic study: the
+// trade-off between rack-level fault tolerance and cross-rack recovery
+// traffic obtained by packing stripes into R' target racks with up to c
+// blocks per rack.
+type RecoveryOptions struct {
+	Racks        int
+	NodesPerRack int
+	K, N         int
+	// Stripes to encode; one block of each is failed and repaired.
+	Stripes int
+	// Cs are the swept values of the per-rack block bound.
+	Cs   []int
+	Seed int64
+}
+
+func (o RecoveryOptions) withDefaults() RecoveryOptions {
+	if o.Racks == 0 {
+		o.Racks = 14
+	}
+	if o.NodesPerRack == 0 {
+		o.NodesPerRack = 4
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.N == 0 {
+		o.N = 14
+	}
+	if o.Stripes == 0 {
+		o.Stripes = 8
+	}
+	if len(o.Cs) == 0 {
+		o.Cs = []int{1, 2, 4}
+	}
+	return o
+}
+
+// RunRecovery reproduces the Section III-D analysis on the mini-HDFS: with
+// c = 1 a repair downloads k-1 of its k blocks across racks; raising c (and
+// shrinking the target-rack set R' = ceil(n/c)) keeps more of the stripe in
+// the repair node's rack, cutting cross-rack recovery traffic at the price
+// of tolerating only floor((n-k)/c) rack failures.
+func RunRecovery(opts RecoveryOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "sec3d-recovery",
+		Caption: "Section III-D: cross-rack recovery traffic vs rack fault tolerance (EAR)",
+		Headers: []string{"c", "target racks R'", "rack failures tolerated", "cross-rack MB per repair", "blocks fetched cross-rack"},
+		Notes: []string{
+			fmt.Sprintf("(n,k)=(%d,%d), %d racks x %d nodes, %d repairs averaged",
+				opts.N, opts.K, opts.Racks, opts.NodesPerRack, opts.Stripes),
+		},
+	}
+	for _, c := range opts.Cs {
+		targets := int(math.Ceil(float64(opts.N) / float64(c)))
+		if targets > opts.Racks {
+			targets = opts.Racks
+		}
+		crossMB, blocks, err := measureRecovery(opts, c, targets)
+		if err != nil {
+			return nil, fmt.Errorf("recovery c=%d: %w", c, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%d", targets),
+			fmt.Sprintf("%d", (opts.N-opts.K)/c),
+			f2(crossMB),
+			f2(blocks),
+		)
+	}
+	return t, nil
+}
+
+// measureRecovery encodes stripes under EAR with the given c, then fails
+// and repairs one block per stripe, returning mean cross-rack MB and mean
+// cross-rack block fetches per repair.
+func measureRecovery(opts RecoveryOptions, c, targets int) (float64, float64, error) {
+	cfg := hdfs.Config{
+		Racks:                opts.Racks,
+		NodesPerRack:         opts.NodesPerRack,
+		Policy:               "ear",
+		Replicas:             3,
+		K:                    opts.K,
+		N:                    opts.N,
+		C:                    c,
+		TargetRacks:          targets,
+		BlockSizeBytes:       64 << 10,
+		BandwidthBytesPerSec: 1 << 30, // unshaped: we measure traffic, not time
+		Seed:                 opts.Seed,
+	}
+	if targets == opts.Racks {
+		cfg.TargetRacks = 0
+	}
+	cluster, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cluster.Close()
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	payload := make([]byte, cfg.BlockSizeBytes)
+
+	// Write until the requested number of stripes seal, then encode.
+	var written []topology.BlockID
+	maxBlocks := opts.Stripes * opts.K * 20
+	for cluster.NameNode().PendingStripeCount() < opts.Stripes {
+		if len(written) > maxBlocks {
+			return 0, 0, fmt.Errorf("%w: stripes did not seal", ErrBadOptions)
+		}
+		rng.Read(payload)
+		id, err := cluster.WriteBlock(topology.NodeID(rng.Intn(cluster.Topology().Nodes())), payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		written = append(written, id)
+	}
+	if _, err := cluster.RaidNode().EncodeAll(); err != nil {
+		return 0, 0, err
+	}
+
+	var totalCrossMB, totalBlocks float64
+	repairs := 0
+	for _, sid := range cluster.NameNode().EncodedStripes() {
+		if repairs == opts.Stripes {
+			break
+		}
+		sm, err := cluster.NameNode().Stripe(sid)
+		if err != nil {
+			return 0, 0, err
+		}
+		victim := sm.Info.Blocks[rng.Intn(len(sm.Info.Blocks))]
+		meta, err := cluster.NameNode().Block(victim)
+		if err != nil {
+			return 0, 0, err
+		}
+		failedNode := meta.Nodes[0]
+		cluster.NameNode().MarkDead(failedNode)
+		before := cluster.Fabric().CrossRackBytes()
+		beforeTotal := before + cluster.Fabric().IntraRackBytes()
+		if _, err := cluster.RepairBlock(victim); err != nil {
+			return 0, 0, err
+		}
+		crossDelta := float64(cluster.Fabric().CrossRackBytes() - before)
+		totalCrossMB += crossDelta / (1 << 20)
+		totalBlocks += crossDelta / float64(cfg.BlockSizeBytes)
+		_ = beforeTotal
+		// The node "rejoins": its stale replica was invalidated by repair.
+		if dn, err := cluster.DataNodeOf(failedNode); err == nil {
+			_ = dn.Store.Delete(hdfs.DataKey(victim))
+		}
+		cluster.NameNode().MarkAlive(failedNode)
+		repairs++
+	}
+	if repairs == 0 {
+		return 0, 0, fmt.Errorf("%w: no stripes to repair", ErrBadOptions)
+	}
+	return totalCrossMB / float64(repairs), totalBlocks / float64(repairs), nil
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ear/internal/simcfs"
+	"ear/internal/stats"
+)
+
+// B1Options configures the simulator-validation experiment.
+type B1Options struct {
+	// Stripes encoded (paper: 96, spread over 12 map processes).
+	Stripes int
+	// WriteRate in requests/s and the lead time before encoding starts
+	// (paper: 0.5 req/s, 300 s).
+	WriteRate float64
+	LeadTime  float64
+	Seed      int64
+}
+
+func (o B1Options) withDefaults() B1Options {
+	if o.Stripes == 0 {
+		o.Stripes = 96
+	}
+	if o.WriteRate == 0 {
+		o.WriteRate = 0.5
+	}
+	if o.LeadTime == 0 {
+		o.LeadTime = 300
+	}
+	return o
+}
+
+// b1Params mirrors the paper's testbed in the simulator: 12 single-node
+// racks, 1 Gb/s links, 2-way replication, (10, 8) coding, 12 encoding
+// processes.
+func (o B1Options) params(policy simcfs.PolicyKind, encode bool) simcfs.Params {
+	p := simcfs.Params{
+		Policy:            policy,
+		Racks:             12,
+		NodesPerRack:      1,
+		LinkBandwidthMBps: 125,
+		DiskBandwidthMBps: 250, // local reads hit page cache/sequential disk, ~2x the 1 GbE rate
+		BlockSizeMB:       64,
+		Replicas:          2,
+		K:                 8,
+		N:                 10,
+		C:                 1,
+		EncodeProcesses:   12,
+		StripesPerProcess: o.Stripes / 12,
+		EncodeStartTime:   o.LeadTime,
+		WriteRate:         o.WriteRate,
+		Seed:              o.Seed,
+	}
+	if !encode {
+		p.EncodeProcesses = -1
+		p.WriteDuration = o.LeadTime
+		p.EncodeStartTime = 0
+	}
+	return p
+}
+
+// B1Result carries the validation outputs: the Figure 12 cumulative
+// encoded-stripes series and the Table I response-time matrix.
+type B1Result struct {
+	Progress *Table
+	TableI   *Table
+	// Series maps policy to the (time-since-encode-start, stripes) curve.
+	Series map[string]*stats.Series
+}
+
+// RunB1 reproduces Experiment B.1: the simulator replays the testbed's A.2
+// setting; the encoded-stripes-vs-time curves and write response times are
+// the quantities the paper validates against the testbed.
+func RunB1(opts B1Options) (*B1Result, error) {
+	opts = opts.withDefaults()
+	res := &B1Result{Series: make(map[string]*stats.Series, 2)}
+	progress := &Table{
+		ID:      "fig12",
+		Caption: "Experiment B.1: cumulative encoded stripes vs time (simulation)",
+		Headers: []string{"fraction encoded", "RR time (s)", "EAR time (s)"},
+	}
+	tableI := &Table{
+		ID:      "tableI",
+		Caption: "Table I: mean write response times (simulation, seconds)",
+		Headers: []string{"condition", "RR", "EAR"},
+	}
+	type measured struct {
+		with, without float64
+		series        *stats.Series
+		encodeTime    float64
+	}
+	byPolicy := make(map[simcfs.PolicyKind]measured, 2)
+	for _, pk := range []simcfs.PolicyKind{simcfs.PolicyRR, simcfs.PolicyEAR} {
+		withEnc, err := simcfs.Run(opts.params(pk, true))
+		if err != nil {
+			return nil, fmt.Errorf("b1 %v with encoding: %w", pk, err)
+		}
+		noEnc, err := simcfs.Run(opts.params(pk, false))
+		if err != nil {
+			return nil, fmt.Errorf("b1 %v without encoding: %w", pk, err)
+		}
+		s := withEnc.StripeCompletions
+		res.Series[pk.String()] = &s
+		byPolicy[pk] = measured{
+			with:       withEnc.MeanWriteResponseDuringEncode,
+			without:    noEnc.MeanWriteResponse,
+			series:     &s,
+			encodeTime: withEnc.EncodeEnd - withEnc.EncodeStart,
+		}
+	}
+	rr, ear := byPolicy[simcfs.PolicyRR], byPolicy[simcfs.PolicyEAR]
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		idx := func(s *stats.Series) float64 {
+			i := int(frac*float64(s.Len())) - 1
+			if i < 0 {
+				i = 0
+			}
+			return s.Points[i].T
+		}
+		progress.AddRow(f2(frac), f2(idx(rr.series)), f2(idx(ear.series)))
+	}
+	tableI.AddRow("without encoding", f3(rr.without), f3(ear.without))
+	tableI.AddRow("with encoding", f3(rr.with), f3(ear.with))
+	tableI.AddRow("encoding time (s)", f2(rr.encodeTime), f2(ear.encodeTime))
+	res.Progress = progress
+	res.TableI = tableI
+	return res, nil
+}
+
+// B2Factor selects which parameter Experiment B.2 sweeps.
+type B2Factor string
+
+// The sweeps of Figure 13(a)-(f).
+const (
+	B2VaryK         B2Factor = "k"         // 13(a)
+	B2VaryM         B2Factor = "m"         // 13(b): n-k
+	B2VaryBandwidth B2Factor = "bw"        // 13(c)
+	B2VaryWriteRate B2Factor = "writerate" // 13(d)
+	B2VaryRackFT    B2Factor = "rackft"    // 13(e)
+	B2VaryReplicas  B2Factor = "replicas"  // 13(f)
+)
+
+// B2Options configures a parameter sweep.
+type B2Options struct {
+	Factor B2Factor
+	// Runs is the number of seeded runs per configuration (paper: 30).
+	Runs int
+	// Values overrides the swept values (defaults follow the paper).
+	Values []float64
+	// Scale shrinks the workload for quick runs: encode processes and
+	// stripes per process are divided by it (1 = paper scale).
+	Scale int
+	Seed  int64
+}
+
+func (o B2Options) withDefaults() (B2Options, error) {
+	if o.Factor == "" {
+		o.Factor = B2VaryK
+	}
+	if o.Runs == 0 {
+		o.Runs = 10
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Values) == 0 {
+		switch o.Factor {
+		case B2VaryK:
+			o.Values = []float64{6, 8, 10, 12}
+		case B2VaryM:
+			o.Values = []float64{2, 3, 4, 5}
+		case B2VaryBandwidth:
+			o.Values = []float64{0.2, 0.5, 1, 2} // Gb/s
+		case B2VaryWriteRate:
+			o.Values = []float64{1, 2, 3, 4}
+		case B2VaryRackFT:
+			o.Values = []float64{4, 2, 1}
+		case B2VaryReplicas:
+			o.Values = []float64{2, 3, 4, 6, 8}
+		default:
+			return o, fmt.Errorf("%w: unknown B2 factor %q", ErrBadOptions, o.Factor)
+		}
+	}
+	return o, nil
+}
+
+// b2Params builds the run parameters for one swept value.
+func b2Params(factor B2Factor, value float64, policy simcfs.PolicyKind, scale int, seed int64) (simcfs.Params, error) {
+	p := simcfs.Params{
+		Policy:            policy,
+		WriteRate:         1,
+		BackgroundRate:    1,
+		EncodeProcesses:   20 / scale,
+		StripesPerProcess: 5,
+		Seed:              seed,
+	}
+	if p.EncodeProcesses < 1 {
+		p.EncodeProcesses = 1
+	}
+	switch factor {
+	case B2VaryK:
+		p.K = int(value)
+		p.N = p.K + 4
+	case B2VaryM:
+		p.K = 10
+		p.N = 10 + int(value)
+	case B2VaryBandwidth:
+		p.LinkBandwidthMBps = value * 125
+	case B2VaryWriteRate:
+		p.WriteRate = value
+	case B2VaryRackFT:
+		// RR keeps the default full spread; EAR trades rack failures for
+		// fewer target racks: c = (n-k)/failures, R' = ceil(n/c).
+		if policy == simcfs.PolicyEAR {
+			failures := int(value)
+			p.C = 4 / failures
+			if p.C < 1 {
+				p.C = 1
+			}
+			p.TargetRacks = int(math.Ceil(14.0 / float64(p.C)))
+		}
+	case B2VaryReplicas:
+		p.Replicas = int(value)
+		p.SpreadReplicas = true
+	default:
+		return p, fmt.Errorf("%w: unknown B2 factor %q", ErrBadOptions, factor)
+	}
+	return p, nil
+}
+
+// B2Result is a sweep result: per swept value, boxplot summaries of the
+// EAR/RR throughput ratios over the seeded runs.
+type B2Result struct {
+	Encode *Table
+	Write  *Table
+}
+
+// RunB2 reproduces one panel of Figure 13: normalized throughput of EAR
+// over RR for encode and write operations across a parameter sweep.
+func RunB2(opts B2Options) (*B2Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	encode := &Table{
+		ID:      "fig13-" + string(opts.Factor) + "-encode",
+		Caption: fmt.Sprintf("Experiment B.2 (%s): normalized EAR/RR encoding throughput", opts.Factor),
+		Headers: []string{string(opts.Factor), "min", "q1", "median", "q3", "max", "gain(med)"},
+	}
+	write := &Table{
+		ID:      "fig13-" + string(opts.Factor) + "-write",
+		Caption: fmt.Sprintf("Experiment B.2 (%s): normalized EAR/RR write throughput", opts.Factor),
+		Headers: encode.Headers,
+	}
+	for _, v := range opts.Values {
+		encRatios := make([]float64, 0, opts.Runs)
+		wrRatios := make([]float64, 0, opts.Runs)
+		for run := 0; run < opts.Runs; run++ {
+			seed := opts.Seed + int64(run)*1009
+			rrP, err := b2Params(opts.Factor, v, simcfs.PolicyRR, opts.Scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			earP, err := b2Params(opts.Factor, v, simcfs.PolicyEAR, opts.Scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := simcfs.Run(rrP)
+			if err != nil {
+				return nil, fmt.Errorf("b2 %s=%g rr: %w", opts.Factor, v, err)
+			}
+			ear, err := simcfs.Run(earP)
+			if err != nil {
+				return nil, fmt.Errorf("b2 %s=%g ear: %w", opts.Factor, v, err)
+			}
+			if rr.EncodeThroughputMBps > 0 {
+				encRatios = append(encRatios, ear.EncodeThroughputMBps/rr.EncodeThroughputMBps)
+			}
+			if rr.WriteThroughputMBps > 0 && ear.WriteThroughputMBps > 0 {
+				wrRatios = append(wrRatios, ear.WriteThroughputMBps/rr.WriteThroughputMBps)
+			}
+		}
+		if err := addBoxRow(encode, v, encRatios); err != nil {
+			return nil, err
+		}
+		if err := addBoxRow(write, v, wrRatios); err != nil {
+			return nil, err
+		}
+	}
+	return &B2Result{Encode: encode, Write: write}, nil
+}
+
+// addBoxRow appends a five-number summary row.
+func addBoxRow(t *Table, value float64, ratios []float64) error {
+	if len(ratios) == 0 {
+		t.AddRow(f2(value), "-", "-", "-", "-", "-", "-")
+		return nil
+	}
+	bp, err := stats.NewBoxPlot(ratios)
+	if err != nil {
+		return err
+	}
+	t.AddRow(f2(value), f3(bp.Min), f3(bp.Q1), f3(bp.Median), f3(bp.Q3), f3(bp.Max), pct(bp.Median))
+	return nil
+}

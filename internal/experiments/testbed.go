@@ -1,0 +1,536 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ear/internal/hdfs"
+	"ear/internal/mapred"
+	"ear/internal/stats"
+	"ear/internal/topology"
+)
+
+// TestbedOptions configures the mini-HDFS experiments. The defaults mirror
+// the paper's 13-machine testbed (12 single-node racks, 2-way replication,
+// 12 map tasks) scaled down: 256 KiB blocks instead of 64 MB and link
+// bandwidth scaled by the same factor, so transfer times per block match
+// the testbed's while wall-clock runs stay short.
+type TestbedOptions struct {
+	Racks        int
+	NodesPerRack int
+	Replicas     int
+	// Stripes is the number of stripes encoded per run (paper: 96).
+	Stripes int
+	// BlockSizeBytes and BandwidthBytesPerSec are the scaled block size
+	// and per-link bandwidth.
+	BlockSizeBytes       int
+	BandwidthBytesPerSec float64
+	// DiskBytesPerSec shapes local block reads (defaults to roughly the
+	// link rate, like the testbed's SATA disks vs 1 GbE).
+	DiskBytesPerSec float64
+	MapTasks        int
+	Seed            int64
+}
+
+// withDefaults fills zero fields with the scaled testbed setting.
+func (o TestbedOptions) withDefaults() TestbedOptions {
+	if o.Racks == 0 {
+		o.Racks = 12
+	}
+	if o.NodesPerRack == 0 {
+		o.NodesPerRack = 1
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 2
+	}
+	if o.Stripes == 0 {
+		o.Stripes = 24
+	}
+	if o.BlockSizeBytes == 0 {
+		o.BlockSizeBytes = 256 << 10
+	}
+	if o.BandwidthBytesPerSec == 0 {
+		// 4 MB/s: a 1 Gb/s link scaled down with the block size so one
+		// 256 KiB block takes 64 ms, an 8x-accelerated testbed second.
+		o.BandwidthBytesPerSec = 4 << 20
+	}
+	if o.MapTasks == 0 {
+		o.MapTasks = 12
+	}
+	if o.DiskBytesPerSec == 0 {
+		// Local reads of recently written blocks are served from the page
+		// cache / sequential disk at well above the 1 GbE rate; 2x the
+		// link rate reproduces the testbed's local-read advantage.
+		o.DiskBytesPerSec = o.BandwidthBytesPerSec * 2
+	}
+	return o
+}
+
+// clusterConfig derives the hdfs config for a policy and code.
+func (o TestbedOptions) clusterConfig(policy string, n, k int) hdfs.Config {
+	return hdfs.Config{
+		Racks:                    o.Racks,
+		NodesPerRack:             o.NodesPerRack,
+		Policy:                   policy,
+		Replicas:                 o.Replicas,
+		K:                        k,
+		N:                        n,
+		C:                        1,
+		BlockSizeBytes:           o.BlockSizeBytes,
+		BandwidthBytesPerSec:     o.BandwidthBytesPerSec,
+		DiskBandwidthBytesPerSec: o.DiskBytesPerSec,
+		MapTasks:                 o.MapTasks,
+		Seed:                     o.Seed,
+	}
+}
+
+// populate writes blocks at full speed until the pre-encoding store holds
+// the requested number of stripes, then throttles the fabric to the
+// measured bandwidth. It returns the written block IDs.
+func populate(c *hdfs.Cluster, stripes int, rng *rand.Rand) ([]topology.BlockID, error) {
+	// Populate unthrottled; the write phase is not part of the measurement.
+	if err := c.Fabric().SetAllRates(64 << 30); err != nil {
+		return nil, err
+	}
+	if err := c.Fabric().SetDiskRates(64 << 30); err != nil {
+		return nil, err
+	}
+	var ids []topology.BlockID
+	payload := make([]byte, c.Config().BlockSizeBytes)
+	maxBlocks := stripes * c.Config().K * 10
+	for c.NameNode().PendingStripeCount() < stripes {
+		if len(ids) >= maxBlocks {
+			return nil, fmt.Errorf("%w: %d blocks written without sealing %d stripes",
+				ErrBadOptions, len(ids), stripes)
+		}
+		rng.Read(payload)
+		client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+		id, err := c.WriteBlock(client, payload)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	if err := c.Fabric().SetAllRates(c.Config().BandwidthBytesPerSec); err != nil {
+		return nil, err
+	}
+	if d := c.Config().DiskBandwidthBytesPerSec; d > 0 {
+		if err := c.Fabric().SetDiskRates(d); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// encodeOnce builds a cluster, populates it, and measures one encoding job.
+func encodeOnce(opts TestbedOptions, policy string, n, k int) (hdfs.EncodeStats, error) {
+	cfg := opts.clusterConfig(policy, n, k)
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return hdfs.EncodeStats{}, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(opts.Seed + 77))
+	if _, err := populate(c, opts.Stripes, rng); err != nil {
+		return hdfs.EncodeStats{}, err
+	}
+	return c.RaidNode().EncodeAll()
+}
+
+// RunA1 reproduces Experiment A.1 / Figure 8(a): raw encoding throughput of
+// RR vs EAR across (n, k) with n = k+2.
+func RunA1(opts TestbedOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "fig8a",
+		Caption: "Experiment A.1: raw encoding throughput vs (n,k)",
+		Headers: []string{"(n,k)", "RR MB/s", "EAR MB/s", "EAR gain", "RR cross-dl", "EAR cross-dl"},
+		Notes: []string{
+			fmt.Sprintf("scaled testbed: %d racks x %d node(s), %d-way replication, %d stripes, %d B blocks, %.1f MB/s links",
+				opts.Racks, opts.NodesPerRack, opts.Replicas, opts.Stripes, opts.BlockSizeBytes, opts.BandwidthBytesPerSec/(1<<20)),
+		},
+	}
+	for _, k := range []int{4, 6, 8, 10} {
+		n := k + 2
+		rr, err := encodeOnce(opts, "rr", n, k)
+		if err != nil {
+			return nil, fmt.Errorf("a1 rr k=%d: %w", k, err)
+		}
+		ear, err := encodeOnce(opts, "ear", n, k)
+		if err != nil {
+			return nil, fmt.Errorf("a1 ear k=%d: %w", k, err)
+		}
+		t.AddRow(fmt.Sprintf("(%d,%d)", n, k), f2(rr.ThroughputMBps), f2(ear.ThroughputMBps),
+			pct(ear.ThroughputMBps/rr.ThroughputMBps),
+			fmt.Sprintf("%d", rr.CrossRackDownloads), fmt.Sprintf("%d", ear.CrossRackDownloads))
+	}
+	return t, nil
+}
+
+// RunA1UDP reproduces Experiment A.1 / Figure 8(b): encoding throughput of
+// (10,8) under increasing UDP-style cross traffic. Rates are expressed as a
+// fraction of link bandwidth (the paper's 0-800 Mb/s on 1 Gb/s links).
+func RunA1UDP(opts TestbedOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "fig8b",
+		Caption: "Experiment A.1: encoding throughput of (10,8) vs injected cross traffic",
+		Headers: []string{"injected (frac of link)", "RR MB/s", "EAR MB/s", "EAR gain"},
+	}
+	for _, frac := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		var thpt [2]float64
+		for i, policy := range []string{"rr", "ear"} {
+			cfg := opts.clusterConfig(policy, 10, 8)
+			c, err := hdfs.NewCluster(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + 77))
+			if _, err := populate(c, opts.Stripes, rng); err != nil {
+				c.Close()
+				return nil, err
+			}
+			// Pair up nodes as Iperf sender/receiver, half the cluster like
+			// the paper's six pairs on twelve slaves.
+			var injectors []interface{ Close() }
+			if frac > 0 {
+				nodes := c.Topology().Nodes()
+				for a := 0; a+1 < nodes; a += 2 {
+					inj, err := c.Fabric().InjectTraffic(topology.NodeID(a), topology.NodeID(a+1),
+						frac*opts.BandwidthBytesPerSec)
+					if err != nil {
+						c.Close()
+						return nil, err
+					}
+					injectors = append(injectors, inj)
+				}
+			}
+			st, err := c.RaidNode().EncodeAll()
+			for _, inj := range injectors {
+				inj.Close()
+			}
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			thpt[i] = st.ThroughputMBps
+		}
+		t.AddRow(f2(frac), f2(thpt[0]), f2(thpt[1]), pct(thpt[1]/thpt[0]))
+	}
+	return t, nil
+}
+
+// A2Result is Experiment A.2's output: the summary table plus the raw write
+// response series (the paper's Figure 9 curves).
+type A2Result struct {
+	Summary   *Table
+	RRSeries  *stats.Series
+	EARSeries *stats.Series
+}
+
+// A2Options extends the testbed options with the write workload.
+type A2Options struct {
+	TestbedOptions
+	// WriteRate is the Poisson arrival rate of single-block writes
+	// (requests/s, in scaled time).
+	WriteRate float64
+	// LeadTime is how long writes run before encoding starts.
+	LeadTime time.Duration
+}
+
+func (o A2Options) withDefaults() A2Options {
+	o.TestbedOptions = o.TestbedOptions.withDefaults()
+	if o.WriteRate == 0 {
+		o.WriteRate = 4
+	}
+	if o.LeadTime == 0 {
+		o.LeadTime = 2 * time.Second
+	}
+	return o
+}
+
+// runA2Policy measures write responses around one encoding run.
+func runA2Policy(opts A2Options, policy string) (*stats.Series, hdfs.EncodeStats, float64, float64, error) {
+	cfg := opts.clusterConfig(policy, 10, 8)
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return nil, hdfs.EncodeStats{}, 0, 0, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(opts.Seed + 99))
+	if _, err := populate(c, opts.Stripes, rng); err != nil {
+		return nil, hdfs.EncodeStats{}, 0, 0, err
+	}
+
+	series := &stats.Series{Name: policy}
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Now()
+	writerRng := rand.New(rand.NewSource(opts.Seed + 101))
+	var wg sync.WaitGroup
+	go func() {
+		defer close(done)
+		payload := make([]byte, cfg.BlockSizeBytes)
+		writerRng.Read(payload)
+		for {
+			wait := time.Duration(stats.Exponential(writerRng, 1/opts.WriteRate) * float64(time.Second))
+			select {
+			case <-stop:
+				return
+			case <-time.After(wait):
+			}
+			client := topology.NodeID(writerRng.Intn(c.Topology().Nodes()))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				if _, err := c.WriteBlock(client, payload); err != nil {
+					return
+				}
+				mu.Lock()
+				series.Add(time.Since(start).Seconds(), time.Since(t0).Seconds())
+				mu.Unlock()
+			}()
+		}
+	}()
+
+	time.Sleep(opts.LeadTime)
+	encStats, err := c.RaidNode().EncodeAll()
+	close(stop)
+	<-done
+	wg.Wait()
+	if err != nil {
+		return nil, hdfs.EncodeStats{}, 0, 0, err
+	}
+	encStart := opts.LeadTime.Seconds()
+	encEnd := encStart + encStats.Duration.Seconds()
+	mu.Lock()
+	before, _ := series.WindowMean(0, encStart)
+	during, _ := series.WindowMean(encStart, encEnd)
+	mu.Unlock()
+	return series, encStats, before, during, nil
+}
+
+// RunA2 reproduces Experiment A.2 / Figure 9: the impact of encoding on
+// write performance.
+func RunA2(opts A2Options) (*A2Result, error) {
+	opts = opts.withDefaults()
+	rrSeries, rrStats, rrBefore, rrDuring, err := runA2Policy(opts, "rr")
+	if err != nil {
+		return nil, fmt.Errorf("a2 rr: %w", err)
+	}
+	earSeries, earStats, earBefore, earDuring, err := runA2Policy(opts, "ear")
+	if err != nil {
+		return nil, fmt.Errorf("a2 ear: %w", err)
+	}
+	t := &Table{
+		ID:      "fig9",
+		Caption: "Experiment A.2: impact of encoding on write performance",
+		Headers: []string{"metric", "RR", "EAR", "EAR improvement"},
+	}
+	t.AddRow("write resp before encode (s)", f3(rrBefore), f3(earBefore), pct(rrBefore/nonZero(earBefore)))
+	t.AddRow("write resp during encode (s)", f3(rrDuring), f3(earDuring), pct(rrDuring/nonZero(earDuring)))
+	t.AddRow("encoding time (s)", f3(rrStats.Duration.Seconds()), f3(earStats.Duration.Seconds()),
+		pct(rrStats.Duration.Seconds()/nonZero(earStats.Duration.Seconds())))
+	return &A2Result{Summary: t, RRSeries: rrSeries, EARSeries: earSeries}, nil
+}
+
+// nonZero guards ratio denominators.
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1e-9
+	}
+	return v
+}
+
+// A3Options configures the SWIM replay.
+type A3Options struct {
+	TestbedOptions
+	Jobs int
+	// MeanInterarrival between jobs, in scaled time.
+	MeanInterarrival time.Duration
+	SlotsPerNode     int
+}
+
+func (o A3Options) withDefaults() A3Options {
+	o.TestbedOptions = o.TestbedOptions.withDefaults()
+	if o.Jobs == 0 {
+		o.Jobs = 50
+	}
+	if o.MeanInterarrival == 0 {
+		o.MeanInterarrival = 100 * time.Millisecond
+	}
+	if o.SlotsPerNode == 0 {
+		o.SlotsPerNode = 4
+	}
+	return o
+}
+
+// A3Result carries the completion curves of both policies.
+type A3Result struct {
+	Summary *Table
+	// Completions maps policy name to sorted job completion offsets.
+	Completions map[string][]time.Duration
+}
+
+// runSwim replays the workload on a cluster under one policy and returns
+// sorted completion offsets.
+func runSwim(opts A3Options, policy string, jobs []mapred.SwimJob) ([]time.Duration, error) {
+	cfg := opts.clusterConfig(policy, 10, 8)
+	cfg.SlotsPerNode = opts.SlotsPerNode
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(opts.Seed + 55))
+	payload := make([]byte, cfg.BlockSizeBytes)
+	rng.Read(payload)
+
+	// Pre-write every job's input at full speed.
+	if err := c.Fabric().SetAllRates(64 << 30); err != nil {
+		return nil, err
+	}
+	inputs := make([][]topology.BlockID, len(jobs))
+	for i, j := range jobs {
+		for b := 0; b < j.InputBlocks; b++ {
+			id, err := c.WriteBlock(topology.NodeID(rng.Intn(c.Topology().Nodes())), payload)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = append(inputs[i], id)
+		}
+	}
+	if err := c.Fabric().SetAllRates(cfg.BandwidthBytesPerSec); err != nil {
+		return nil, err
+	}
+
+	completions := make([]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if wait := j.Arrival - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+			errs[i] = runSwimJob(c, j, inputs[i], opts.Seed+int64(i))
+			completions[i] = time.Since(start)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(completions, func(a, b int) bool { return completions[a] < completions[b] })
+	return completions, nil
+}
+
+// runSwimJob executes one job: map tasks read their input blocks with
+// locality preference, shuffle a share of intermediate data, and write the
+// job's output back to the CFS.
+func runSwimJob(c *hdfs.Cluster, j mapred.SwimJob, input []topology.BlockID, seed int64) error {
+	maps := j.Maps
+	if maps > len(input) {
+		maps = len(input)
+	}
+	if maps < 1 {
+		maps = 1
+	}
+	job := mapred.Job{Name: j.Name}
+	blockSize := c.Config().BlockSizeBytes
+	shufflePerMap := int(j.ShuffleMB * (1 << 20) / float64(maps))
+	outPerMap := j.OutputBlocks / maps
+	outExtra := j.OutputBlocks % maps
+	for m := 0; m < maps; m++ {
+		m := m
+		var myBlocks []topology.BlockID
+		for b := m; b < len(input); b += maps {
+			myBlocks = append(myBlocks, input[b])
+		}
+		// Prefer the node holding the first input block's replica.
+		preferred := mapred.AnyNode
+		if meta, err := c.NameNode().Block(myBlocks[0]); err == nil && len(meta.Nodes) > 0 {
+			preferred = meta.Nodes[0]
+		}
+		outBlocks := outPerMap
+		if m < outExtra {
+			outBlocks++
+		}
+		taskSeed := seed + int64(m)*7919
+		job.Tasks = append(job.Tasks, &mapred.Task{
+			Name:      fmt.Sprintf("%s-m%d", j.Name, m),
+			Preferred: preferred,
+			Run: func(on topology.NodeID) error {
+				taskRng := rand.New(rand.NewSource(taskSeed))
+				for _, b := range myBlocks {
+					if _, err := c.ReadBlock(on, b); err != nil {
+						return err
+					}
+				}
+				if shufflePerMap > 0 {
+					dst := topology.NodeID(taskRng.Intn(c.Topology().Nodes()))
+					if _, err := c.Fabric().Transfer(on, dst, make([]byte, shufflePerMap)); err != nil {
+						return err
+					}
+				}
+				payload := make([]byte, blockSize)
+				taskRng.Read(payload)
+				for b := 0; b < outBlocks; b++ {
+					if _, err := c.WriteBlock(on, payload); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+	_, err := c.JobTracker().Submit(job)
+	return err
+}
+
+// RunA3 reproduces Experiment A.3 / Figure 10: MapReduce performance on
+// replicated data under RR vs EAR.
+func RunA3(opts A3Options) (*A3Result, error) {
+	opts = opts.withDefaults()
+	jobs, err := mapred.GenerateSwim(mapred.SwimConfig{
+		Jobs:             opts.Jobs,
+		MeanInterarrival: opts.MeanInterarrival,
+		BlockSizeMB:      float64(opts.BlockSizeBytes) / (1 << 20),
+	}, rand.New(rand.NewSource(opts.Seed+33)))
+	if err != nil {
+		return nil, err
+	}
+	res := &A3Result{Completions: make(map[string][]time.Duration, 2)}
+	for _, policy := range []string{"rr", "ear"} {
+		comps, err := runSwim(opts, policy, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("a3 %s: %w", policy, err)
+		}
+		res.Completions[policy] = comps
+	}
+	t := &Table{
+		ID:      "fig10",
+		Caption: "Experiment A.3: MapReduce job completion under RR vs EAR (similar expected)",
+		Headers: []string{"completed jobs", "RR elapsed (s)", "EAR elapsed (s)"},
+	}
+	rr, ear := res.Completions["rr"], res.Completions["ear"]
+	for _, q := range []float64{0.25, 0.5, 0.75, 1.0} {
+		idx := int(q*float64(len(rr))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		t.AddRow(fmt.Sprintf("%d", idx+1), f3(rr[idx].Seconds()), f3(ear[idx].Seconds()))
+	}
+	res.Summary = t
+	return res, nil
+}

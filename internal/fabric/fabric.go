@@ -1,0 +1,300 @@
+// Package fabric is the bandwidth-shaped network used by the mini-HDFS
+// testbed (the stand-in for the paper's 13-machine 1 GbE cluster). Every
+// node has full-duplex NIC links and every rack shares full-duplex
+// core-facing links; a transfer moves real bytes and blocks the caller for
+// the time dictated by token-bucket shaping on every link of its path, so
+// cross-rack contention emerges exactly as on the paper's testbed. An
+// injector can consume link capacity the way the paper's Iperf UDP streams
+// do (Experiment A.1).
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ear/internal/topology"
+)
+
+// ErrInvalidRate indicates a non-positive bandwidth.
+var ErrInvalidRate = errors.New("fabric: invalid rate")
+
+// chunkBytes is the shaping granularity. Flows sharing a link interleave at
+// this grain, approximating fair sharing.
+const chunkBytes = 64 << 10
+
+// Link is a token-bucket shaped unidirectional link.
+type Link struct {
+	name string
+
+	mu       sync.Mutex
+	rate     float64 // bytes per second
+	nextFree time.Time
+	moved    int64 // total bytes shaped through the link
+}
+
+// NewLink creates a link with the given rate in bytes per second.
+func NewLink(name string, bytesPerSec float64) (*Link, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("%w: %q at %g B/s", ErrInvalidRate, name, bytesPerSec)
+	}
+	return &Link{name: name, rate: bytesPerSec}, nil
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the configured rate in bytes per second.
+func (l *Link) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
+}
+
+// SetRate changes the link rate (used to model varying effective bandwidth).
+func (l *Link) SetRate(bytesPerSec float64) error {
+	if bytesPerSec <= 0 {
+		return fmt.Errorf("%w: %q at %g B/s", ErrInvalidRate, l.name, bytesPerSec)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rate = bytesPerSec
+	return nil
+}
+
+// Moved returns the total bytes shaped through the link.
+func (l *Link) Moved() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.moved
+}
+
+// reserve books n bytes of capacity and returns how long the caller must
+// wait before the bytes have "arrived".
+func (l *Link) reserve(n int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if l.nextFree.Before(now) {
+		l.nextFree = now
+	}
+	l.nextFree = l.nextFree.Add(time.Duration(float64(n) / l.rate * float64(time.Second)))
+	l.moved += int64(n)
+	return l.nextFree.Sub(now)
+}
+
+// Fabric wires the links of a cluster topology.
+type Fabric struct {
+	top *topology.Topology
+
+	nodeUp   []*Link
+	nodeDown []*Link
+	rackUp   []*Link
+	rackDown []*Link
+	// disk, when non-nil, shapes local (same-node) reads: on the paper's
+	// testbed a local block read costs a SATA-disk pass comparable to one
+	// network transfer, which matters when the encoder already holds the
+	// blocks it encodes.
+	disk []*Link
+
+	crossRack int64 // bytes, updated atomically under mu
+	intraRack int64
+	mu        sync.Mutex
+}
+
+// New builds a fabric where every node NIC and every rack core link runs at
+// the given rate (bytes per second), mirroring the paper's uniform 1 Gb/s
+// testbed and the Experiment B.2(c) single link-bandwidth knob.
+func New(top *topology.Topology, bytesPerSec float64) (*Fabric, error) {
+	f := &Fabric{
+		top:      top,
+		nodeUp:   make([]*Link, top.Nodes()),
+		nodeDown: make([]*Link, top.Nodes()),
+		rackUp:   make([]*Link, top.Racks()),
+		rackDown: make([]*Link, top.Racks()),
+	}
+	for i := 0; i < top.Nodes(); i++ {
+		var err error
+		if f.nodeUp[i], err = NewLink(fmt.Sprintf("node%d.up", i), bytesPerSec); err != nil {
+			return nil, err
+		}
+		if f.nodeDown[i], err = NewLink(fmt.Sprintf("node%d.down", i), bytesPerSec); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < top.Racks(); r++ {
+		var err error
+		if f.rackUp[r], err = NewLink(fmt.Sprintf("rack%d.up", r), bytesPerSec); err != nil {
+			return nil, err
+		}
+		if f.rackDown[r], err = NewLink(fmt.Sprintf("rack%d.down", r), bytesPerSec); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Topology returns the wired topology.
+func (f *Fabric) Topology() *topology.Topology { return f.top }
+
+// SetAllRates changes every network link's rate (disk rates are separate).
+// Experiments use it to pre-populate data at full speed before throttling
+// to the measured configuration.
+func (f *Fabric) SetAllRates(bytesPerSec float64) error {
+	for _, group := range [][]*Link{f.nodeUp, f.nodeDown, f.rackUp, f.rackDown} {
+		for _, l := range group {
+			if err := l.SetRate(bytesPerSec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EnableDisk attaches a shaped disk to every node: local (same-node)
+// transfers thereafter cost bytes/rate seconds instead of being free.
+func (f *Fabric) EnableDisk(bytesPerSec float64) error {
+	disks := make([]*Link, f.top.Nodes())
+	for i := range disks {
+		l, err := NewLink(fmt.Sprintf("node%d.disk", i), bytesPerSec)
+		if err != nil {
+			return err
+		}
+		disks[i] = l
+	}
+	f.disk = disks
+	return nil
+}
+
+// SetDiskRates changes every disk's rate; a no-op when disks are disabled.
+func (f *Fabric) SetDiskRates(bytesPerSec float64) error {
+	for _, l := range f.disk {
+		if err := l.SetRate(bytesPerSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrossRackBytes returns cumulative cross-rack payload bytes.
+func (f *Fabric) CrossRackBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crossRack
+}
+
+// IntraRackBytes returns cumulative intra-rack payload bytes.
+func (f *Fabric) IntraRackBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.intraRack
+}
+
+// path returns the links a src->dst transfer traverses.
+func (f *Fabric) path(src, dst topology.NodeID) ([]*Link, bool, error) {
+	srcRack, err := f.top.RackOf(src)
+	if err != nil {
+		return nil, false, err
+	}
+	dstRack, err := f.top.RackOf(dst)
+	if err != nil {
+		return nil, false, err
+	}
+	links := []*Link{f.nodeUp[src], f.nodeDown[dst]}
+	cross := srcRack != dstRack
+	if cross {
+		links = append(links, f.rackUp[srcRack], f.rackDown[dstRack])
+	}
+	return links, cross, nil
+}
+
+// Transfer ships data from src to dst, returning a copy of the payload
+// after blocking the caller for the shaped duration. A transfer to the same
+// node is an unshaped copy (local disk access is not modeled by the
+// network). The returned slice never aliases the input.
+func (f *Fabric) Transfer(src, dst topology.NodeID, data []byte) ([]byte, error) {
+	out := append([]byte(nil), data...)
+	if src == dst {
+		if _, err := f.top.RackOf(src); err != nil {
+			return nil, err
+		}
+		if f.disk != nil {
+			if wait := f.disk[src].reserve(len(data)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		return out, nil
+	}
+	links, cross, err := f.path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	for off := 0; off < len(data); off += chunkBytes {
+		n := chunkBytes
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		var wait time.Duration
+		for _, l := range links {
+			if d := l.reserve(n); d > wait {
+				wait = d
+			}
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	f.mu.Lock()
+	if cross {
+		f.crossRack += int64(len(data))
+	} else {
+		f.intraRack += int64(len(data))
+	}
+	f.mu.Unlock()
+	return out, nil
+}
+
+// Injector drains link capacity continuously, modeling the paper's Iperf
+// UDP cross-traffic between node pairs (Experiment A.1's network-condition
+// sweep). Stop it with Close.
+type Injector struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// InjectTraffic starts a background stream of rateBytesPerSec from src to
+// dst. The stream only consumes capacity; no payload is delivered.
+func (f *Fabric) InjectTraffic(src, dst topology.NodeID, rateBytesPerSec float64) (*Injector, error) {
+	if rateBytesPerSec <= 0 {
+		return nil, fmt.Errorf("%w: injector at %g B/s", ErrInvalidRate, rateBytesPerSec)
+	}
+	links, _, err := f.path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	inj := &Injector{stop: make(chan struct{}), done: make(chan struct{})}
+	interval := time.Duration(float64(chunkBytes) / rateBytesPerSec * float64(time.Second))
+	go func() {
+		defer close(inj.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				for _, l := range links {
+					l.reserve(chunkBytes)
+				}
+			case <-inj.stop:
+				return
+			}
+		}
+	}()
+	return inj, nil
+}
+
+// Close stops the injector and waits for its goroutine to exit.
+func (i *Injector) Close() {
+	close(i.stop)
+	<-i.done
+}

@@ -1,0 +1,273 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ear/internal/topology"
+)
+
+func mustTop(t *testing.T, racks, nodes int) *topology.Topology {
+	t.Helper()
+	top, err := topology.New(racks, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink("x", 0); !errors.Is(err, ErrInvalidRate) {
+		t.Errorf("rate 0: %v", err)
+	}
+	l, err := NewLink("x", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "x" || l.Rate() != 100 {
+		t.Error("accessors wrong")
+	}
+	if err := l.SetRate(-1); !errors.Is(err, ErrInvalidRate) {
+		t.Errorf("SetRate(-1): %v", err)
+	}
+	if err := l.SetRate(200); err != nil || l.Rate() != 200 {
+		t.Errorf("SetRate(200): %v, rate %g", err, l.Rate())
+	}
+}
+
+func TestTransferDeliversPayload(t *testing.T) {
+	f, err := New(mustTop(t, 2, 2), 1<<30) // 1 GB/s: effectively instant
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, rack-aware world")
+	got, err := f.Transfer(0, 3, data)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload corrupted")
+	}
+	// No aliasing.
+	got[0] = 'X'
+	if data[0] == 'X' {
+		t.Fatal("returned slice aliases input")
+	}
+	if f.CrossRackBytes() != int64(len(data)) {
+		t.Errorf("CrossRackBytes = %d", f.CrossRackBytes())
+	}
+	if _, err := f.Transfer(0, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if f.IntraRackBytes() != int64(len(data)) {
+		t.Errorf("IntraRackBytes = %d", f.IntraRackBytes())
+	}
+}
+
+func TestTransferLocalIsUnshaped(t *testing.T) {
+	f, err := New(mustTop(t, 1, 1), 1) // 1 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.Transfer(0, 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("local transfer was shaped")
+	}
+	if f.CrossRackBytes() != 0 || f.IntraRackBytes() != 0 {
+		t.Error("local transfer counted as network traffic")
+	}
+}
+
+func TestTransferShapingDuration(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100 ms.
+	f, err := New(mustTop(t, 2, 1), 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.Transfer(0, 1, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	got := time.Since(start)
+	if got < 70*time.Millisecond || got > 400*time.Millisecond {
+		t.Errorf("1MB at 10MB/s took %v, want ~100ms", got)
+	}
+}
+
+func TestSharedUplinkHalvesThroughput(t *testing.T) {
+	// Two nodes of rack 0 send cross-rack concurrently: the shared rack
+	// uplink should make each flow take roughly twice as long as alone.
+	top := mustTop(t, 2, 2)
+	f, err := New(top, 8<<20) // 8 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20) // 1 MB: alone ~125ms, shared ~250ms
+	var wg sync.WaitGroup
+	start := time.Now()
+	var errs [2]error
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = f.Transfer(topology.NodeID(i), topology.NodeID(2+i), payload)
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("two shared flows finished in %v; uplink sharing not enforced", elapsed)
+	}
+}
+
+func TestTransferBadNodes(t *testing.T) {
+	f, err := New(mustTop(t, 2, 2), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Transfer(0, 99, nil); err == nil {
+		t.Error("bad dst: expected error")
+	}
+	if _, err := f.Transfer(99, 0, nil); err == nil {
+		t.Error("bad src: expected error")
+	}
+	if _, err := f.Transfer(99, 99, nil); err == nil {
+		t.Error("bad local: expected error")
+	}
+}
+
+func TestNewRejectsBadRate(t *testing.T) {
+	if _, err := New(mustTop(t, 2, 2), 0); !errors.Is(err, ErrInvalidRate) {
+		t.Errorf("rate 0: %v", err)
+	}
+}
+
+func TestInjectorConsumesCapacity(t *testing.T) {
+	top := mustTop(t, 2, 1)
+	f, err := New(top, 4<<20) // 4 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: 512 KB cross-rack at 4 MB/s ~ 128 ms.
+	payload := make([]byte, 512<<10)
+	start := time.Now()
+	if _, err := f.Transfer(0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Since(start)
+
+	inj, err := f.InjectTraffic(0, 1, 3<<20) // eat 3 of the 4 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	time.Sleep(50 * time.Millisecond) // let the injector claim capacity
+	start = time.Now()
+	if _, err := f.Transfer(0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	loaded := time.Since(start)
+	if loaded < base*2 {
+		t.Errorf("transfer under injection took %v, baseline %v; expected clear slowdown", loaded, base)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	f, err := New(mustTop(t, 2, 1), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.InjectTraffic(0, 1, 0); !errors.Is(err, ErrInvalidRate) {
+		t.Errorf("rate 0: %v", err)
+	}
+	if _, err := f.InjectTraffic(0, 42, 100); err == nil {
+		t.Error("bad node: expected error")
+	}
+}
+
+func TestLinkMovedAccounting(t *testing.T) {
+	l, err := NewLink("x", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.reserve(1000)
+	l.reserve(24)
+	if l.Moved() != 1024 {
+		t.Errorf("Moved = %d, want 1024", l.Moved())
+	}
+}
+
+func TestConcurrentTransfersRace(t *testing.T) {
+	// Exercised under -race: many goroutines sharing links.
+	top := mustTop(t, 3, 3)
+	f, err := New(top, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := topology.NodeID(i % top.Nodes())
+			dst := topology.NodeID((i * 7) % top.Nodes())
+			if _, err := f.Transfer(src, dst, make([]byte, 100<<10)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDiskShapedLocalRead(t *testing.T) {
+	f, err := New(mustTop(t, 1, 1), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableDisk(0); err == nil {
+		t.Error("EnableDisk(0): expected error")
+	}
+	if err := f.EnableDisk(10 << 20); err != nil { // 10 MB/s
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.Transfer(0, 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 70*time.Millisecond {
+		t.Errorf("disk-shaped local read took %v, want ~100ms", elapsed)
+	}
+	// SetDiskRates speeds it up.
+	if err := f.SetDiskRates(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := f.Transfer(0, 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("SetDiskRates did not take effect")
+	}
+	// SetDiskRates with disks disabled is a no-op.
+	f2, err := New(mustTop(t, 1, 1), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.SetDiskRates(1); err != nil {
+		t.Errorf("SetDiskRates without disks: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8) with the
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field used by
+// standard Reed-Solomon implementations such as HDFS-RAID. It provides scalar
+// operations, slice kernels used on the encoding hot path, and dense matrix
+// algebra (multiplication, inversion) needed to build and invert generator
+// matrices.
+package gf256
+
+import (
+	"errors"
+	"fmt"
+)
+
+// polynomial is the primitive polynomial used to generate the field,
+// x^8 + x^4 + x^3 + x^2 + 1, in binary 1_0001_1101.
+const polynomial = 0x11d
+
+// fieldSize is the number of elements in GF(2^8).
+const fieldSize = 256
+
+var (
+	// _exp[i] = g^i where g = 2 is a generator. Doubled in length so that
+	// Mul can index _exp[logA+logB] without a modulo reduction.
+	_exp [2 * fieldSize]byte
+	// _log[x] = i such that g^i = x, for x != 0.
+	_log [fieldSize]int
+	// _inv[x] = multiplicative inverse of x, for x != 0.
+	_inv [fieldSize]byte
+	// _mul is the full 256x256 multiplication table, laid out row-major.
+	// Row a holds a*b for every b. Used by the slice kernels.
+	_mul [fieldSize][fieldSize]byte
+)
+
+// The table construction is deterministic precomputation of field constants,
+// one of the sanctioned uses of package-level initialization.
+var _ = buildTables()
+
+func buildTables() struct{} {
+	x := 1
+	for i := 0; i < fieldSize-1; i++ {
+		_exp[i] = byte(x)
+		_log[x] = i
+		x <<= 1
+		if x >= fieldSize {
+			x ^= polynomial
+		}
+	}
+	// g^(255+i) = g^i; fill the doubled region so exponent sums need no mod.
+	for i := fieldSize - 1; i < len(_exp); i++ {
+		_exp[i] = _exp[i-(fieldSize-1)]
+	}
+	for a := 1; a < fieldSize; a++ {
+		_inv[a] = _exp[fieldSize-1-_log[a]]
+	}
+	for a := 0; a < fieldSize; a++ {
+		for b := 0; b < fieldSize; b++ {
+			_mul[a][b] = mulSlow(byte(a), byte(b))
+		}
+	}
+	return struct{}{}
+}
+
+// mulSlow multiplies two field elements by carry-less (polynomial)
+// multiplication followed by reduction. Used only to build the tables.
+func mulSlow(a, b byte) byte {
+	var product int
+	aa, bb := int(a), int(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			product ^= aa
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= polynomial
+		}
+		bb >>= 1
+	}
+	return byte(product)
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse,
+// so Sub is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8), which equals a + b.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _exp[_log[a]+_log[b]]
+}
+
+// ErrDivideByZero is returned by Div and Inv when the divisor is zero.
+var ErrDivideByZero = errors.New("gf256: divide by zero")
+
+// Div returns a / b in GF(2^8). It returns ErrDivideByZero if b == 0.
+func Div(a, b byte) (byte, error) {
+	if b == 0 {
+		return 0, ErrDivideByZero
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	return _exp[_log[a]-_log[b]+fieldSize-1], nil
+}
+
+// Inv returns the multiplicative inverse of a. It returns ErrDivideByZero
+// if a == 0.
+func Inv(a byte) (byte, error) {
+	if a == 0 {
+		return 0, ErrDivideByZero
+	}
+	return _inv[a], nil
+}
+
+// Exp returns the generator raised to the power e, g^e with g = 2.
+func Exp(e int) byte {
+	e %= fieldSize - 1
+	if e < 0 {
+		e += fieldSize - 1
+	}
+	return _exp[e]
+}
+
+// Pow returns a raised to the power e. Pow(0, 0) is 1 by convention.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (_log[a] * e) % (fieldSize - 1)
+	if le < 0 {
+		le += fieldSize - 1
+	}
+	return _exp[le]
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. dst and src must have the
+// same length; dst may alias src.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := &_mul[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for every i: the multiply-accumulate
+// kernel at the core of Reed-Solomon encoding. dst and src must have the same
+// length and must not alias unless c == 0.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := &_mul[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for every i.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf256: AddSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// DotProduct returns the inner product of coefficient vector coeffs with the
+// rows of data: out[j] = XOR_i coeffs[i] * data[i][j]. All rows of data must
+// have length len(out).
+func DotProduct(coeffs []byte, data [][]byte, out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, c := range coeffs {
+		MulAddSlice(c, data[i], out)
+	}
+}

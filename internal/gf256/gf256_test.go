@@ -1,0 +1,253 @@
+package gf256
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0x53, 0xca, 0x99},
+		{0xff, 0x0f, 0xf0},
+	}
+	for _, tt := range tests {
+		if got := Add(tt.a, tt.b); got != tt.want {
+			t.Errorf("Add(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+		if got := Sub(tt.a, tt.b); got != tt.want {
+			t.Errorf("Sub(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-checked products under polynomial 0x11d.
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0x7b, 0x7b},
+		{2, 2, 4},
+		{2, 0x80, 0x1d},    // overflow triggers reduction
+		{0x80, 0x80, 0x13}, // x^14 mod p = x^4 + x + 1
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulMatchesSlowMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Exhaustive verification on a sampled triple grid plus full pair grid.
+	for a := 0; a < 256; a++ {
+		ab := byte(a)
+		if Mul(ab, 1) != ab {
+			t.Fatalf("1 is not multiplicative identity for %#x", a)
+		}
+		for b := 0; b < 256; b++ {
+			bb := byte(b)
+			if Mul(ab, bb) != Mul(bb, ab) {
+				t.Fatalf("multiplication not commutative at (%#x, %#x)", a, b)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if Mul(a, Mul(b, c)) != Mul(Mul(a, b), c) {
+			t.Fatalf("multiplication not associative at (%#x, %#x, %#x)", a, b, c)
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatalf("multiplication not distributive at (%#x, %#x, %#x)", a, b, c)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	if _, err := Inv(0); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("Inv(0) error = %v, want ErrDivideByZero", err)
+	}
+	for a := 1; a < 256; a++ {
+		inv, err := Inv(byte(a))
+		if err != nil {
+			t.Fatalf("Inv(%#x): %v", a, err)
+		}
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("%#x * Inv(%#x) = %#x, want 1", a, a, got)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	if _, err := Div(3, 0); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("Div(3, 0) error = %v, want ErrDivideByZero", err)
+	}
+	if got, err := Div(0, 7); err != nil || got != 0 {
+		t.Fatalf("Div(0, 7) = (%#x, %v), want (0, nil)", got, err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b := byte(rng.Intn(256)), byte(1+rng.Intn(255))
+		q, err := Div(a, b)
+		if err != nil {
+			t.Fatalf("Div(%#x, %#x): %v", a, b, err)
+		}
+		if got := Mul(q, b); got != a {
+			t.Fatalf("Div(%#x, %#x)*%#x = %#x, want %#x", a, b, b, got, a)
+		}
+	}
+}
+
+func TestExpPow(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Errorf("Exp(0) = %#x, want 1", Exp(0))
+	}
+	if Exp(1) != 2 {
+		t.Errorf("Exp(1) = %#x, want 2", Exp(1))
+	}
+	if Exp(255) != Exp(0) {
+		t.Errorf("Exp should be periodic with period 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Errorf("Exp should handle negative exponents")
+	}
+	if Pow(0, 0) != 1 {
+		t.Errorf("Pow(0, 0) = %#x, want 1", Pow(0, 0))
+	}
+	if Pow(0, 5) != 0 {
+		t.Errorf("Pow(0, 5) = %#x, want 0", Pow(0, 5))
+	}
+	for a := 1; a < 256; a++ {
+		acc := byte(1)
+		for e := 0; e < 10; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestPropertyMulInverseRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		q, err := Div(a, b)
+		if err != nil {
+			return false
+		}
+		return Mul(q, b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0xff, 0}
+	dst := make([]byte, len(src))
+	MulSlice(0, src, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("MulSlice(0)[%d] = %#x, want 0", i, v)
+		}
+	}
+	MulSlice(1, src, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("MulSlice(1)[%d] = %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+	MulSlice(7, src, dst)
+	for i := range src {
+		if want := Mul(7, src[i]); dst[i] != want {
+			t.Fatalf("MulSlice(7)[%d] = %#x, want %#x", i, dst[i], want)
+		}
+	}
+	// In-place multiplication.
+	inPlace := append([]byte(nil), src...)
+	MulSlice(7, inPlace, inPlace)
+	for i := range src {
+		if want := Mul(7, src[i]); inPlace[i] != want {
+			t.Fatalf("in-place MulSlice(7)[%d] = %#x, want %#x", i, inPlace[i], want)
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{9, 8, 7, 6}
+	dst := []byte{1, 1, 1, 1}
+	orig := append([]byte(nil), dst...)
+	MulAddSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != orig[i] {
+			t.Fatalf("MulAddSlice(0) modified dst at %d", i)
+		}
+	}
+	MulAddSlice(3, src, dst)
+	for i := range dst {
+		if want := orig[i] ^ Mul(3, src[i]); dst[i] != want {
+			t.Fatalf("MulAddSlice(3)[%d] = %#x, want %#x", i, dst[i], want)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	AddSlice(a, b)
+	want := []byte{5, 7, 5}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("AddSlice[%d] = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	coeffs := []byte{1, 2, 3}
+	data := [][]byte{{1, 0}, {0, 1}, {1, 1}}
+	out := make([]byte, 2)
+	DotProduct(coeffs, data, out)
+	want0 := Mul(1, 1) ^ Mul(2, 0) ^ Mul(3, 1)
+	want1 := Mul(1, 0) ^ Mul(2, 1) ^ Mul(3, 1)
+	if out[0] != want0 || out[1] != want1 {
+		t.Fatalf("DotProduct = %v, want [%#x %#x]", out, want0, want1)
+	}
+}
+
+func TestSliceKernelLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice": func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,326 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major as a slice of rows.
+type Matrix struct {
+	rows, cols int
+	data       [][]byte
+}
+
+// ErrSingular is returned when inverting a matrix that has no inverse.
+var ErrSingular = errors.New("gf256: singular matrix")
+
+// NewMatrix returns a zero rows x cols matrix. Both dimensions must be
+// positive.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gf256: invalid matrix dimensions %dx%d", rows, cols)
+	}
+	data := make([][]byte, rows)
+	backing := make([]byte, rows*cols)
+	for r := range data {
+		data[r], backing = backing[:cols:cols], backing[cols:]
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
+// NewMatrixFromRows builds a matrix from the given rows, copying them. All
+// rows must be non-empty and the same length.
+func NewMatrixFromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("gf256: empty matrix")
+	}
+	m, err := NewMatrix(len(rows), len(rows[0]))
+	if err != nil {
+		return nil, err
+	}
+	for r, row := range rows {
+		if len(row) != m.cols {
+			return nil, fmt.Errorf("gf256: ragged matrix: row %d has %d columns, want %d", r, len(row), m.cols)
+		}
+		copy(m.data[r], row)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.data[i][i] = 1
+	}
+	return m, nil
+}
+
+// Vandermonde returns the rows x cols matrix with entry (r, c) = r^c.
+// Any cols x cols submatrix formed from distinct rows is invertible.
+func Vandermonde(rows, cols int) (*Matrix, error) {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.data[r][c] = Pow(byte(r), c)
+		}
+	}
+	return m, nil
+}
+
+// Cauchy returns the rows x cols Cauchy matrix with entry
+// (r, c) = 1 / (x_r + y_c) where x_r = r + cols and y_c = c. Every square
+// submatrix of a Cauchy matrix is invertible, which makes it a valid
+// generator for MDS codes as long as rows+cols <= 256.
+func Cauchy(rows, cols int) (*Matrix, error) {
+	if rows+cols > fieldSize {
+		return nil, fmt.Errorf("gf256: cauchy matrix %dx%d exceeds field size", rows, cols)
+	}
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v, err := Inv(byte(r+cols) ^ byte(c))
+			if err != nil {
+				return nil, err
+			}
+			m.data[r][c] = v
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.data[r][c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.data[r][c] = v }
+
+// Row returns a copy of row r.
+func (m *Matrix) Row(r int) []byte {
+	row := make([]byte, m.cols)
+	copy(row, m.data[r])
+	return row
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c, _ := NewMatrix(m.rows, m.cols)
+	for r := range m.data {
+		copy(c.data[r], m.data[r])
+	}
+	return c
+}
+
+// Equal reports whether m and other have identical shape and contents.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for r := range m.data {
+		for c := range m.data[r] {
+			if m.data[r][c] != other.data[r][c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("gf256: dimension mismatch %dx%d * %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out, err := NewMatrix(m.rows, other.cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			if a := m.data[r][k]; a != 0 {
+				MulAddSlice(a, other.data[k], out.data[r])
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVector returns m * v for a column vector v of length Cols().
+func (m *Matrix) MulVector(v []byte) ([]byte, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("gf256: vector length %d, want %d", len(v), m.cols)
+	}
+	out := make([]byte, m.rows)
+	for r := 0; r < m.rows; r++ {
+		var acc byte
+		for c, x := range v {
+			acc ^= Mul(m.data[r][c], x)
+		}
+		out[r] = acc
+	}
+	return out, nil
+}
+
+// SubMatrix returns a copy of the rectangle [r0, r1) x [c0, c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) (*Matrix, error) {
+	if r0 < 0 || c0 < 0 || r1 > m.rows || c1 > m.cols || r0 >= r1 || c0 >= c1 {
+		return nil, fmt.Errorf("gf256: submatrix bounds [%d:%d, %d:%d] of %dx%d", r0, r1, c0, c1, m.rows, m.cols)
+	}
+	out, err := NewMatrix(r1-r0, c1-c0)
+	if err != nil {
+		return nil, err
+	}
+	for r := r0; r < r1; r++ {
+		copy(out.data[r-r0], m.data[r][c0:c1])
+	}
+	return out, nil
+}
+
+// SelectRows returns a new matrix consisting of the given rows, in order.
+func (m *Matrix) SelectRows(rows []int) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("gf256: no rows selected")
+	}
+	out, err := NewMatrix(len(rows), m.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("gf256: row %d out of range [0, %d)", r, m.rows)
+		}
+		copy(out.data[i], m.data[r])
+	}
+	return out, nil
+}
+
+// Augment returns the matrix [m | other]: the two operands side by side.
+func (m *Matrix) Augment(other *Matrix) (*Matrix, error) {
+	if m.rows != other.rows {
+		return nil, fmt.Errorf("gf256: augment row mismatch %d != %d", m.rows, other.rows)
+	}
+	out, err := NewMatrix(m.rows, m.cols+other.cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < m.rows; r++ {
+		copy(out.data[r], m.data[r])
+		copy(out.data[r][m.cols:], other.data[r])
+	}
+	return out, nil
+}
+
+// swapRows exchanges rows r1 and r2 in place.
+func (m *Matrix) swapRows(r1, r2 int) {
+	m.data[r1], m.data[r2] = m.data[r2], m.data[r1]
+}
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan elimination.
+// It returns ErrSingular if the matrix is not invertible.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gf256: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	id, err := Identity(n)
+	if err != nil {
+		return nil, err
+	}
+	work, err := m.Augment(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := work.gaussJordan(); err != nil {
+		return nil, err
+	}
+	return work.SubMatrix(0, n, n, 2*n)
+}
+
+// gaussJordan reduces the left square portion of the matrix to the identity,
+// applying the same operations across all columns. It returns ErrSingular if
+// a pivot cannot be found.
+func (m *Matrix) gaussJordan() error {
+	n := m.rows
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m.data[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return ErrSingular
+		}
+		if pivot != col {
+			m.swapRows(pivot, col)
+		}
+		if pv := m.data[col][col]; pv != 1 {
+			inv, err := Inv(pv)
+			if err != nil {
+				return err
+			}
+			MulSlice(inv, m.data[col], m.data[col])
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := m.data[r][col]; f != 0 {
+				MulAddSlice(f, m.data[col], m.data[r])
+			}
+		}
+	}
+	return nil
+}
+
+// IsIdentity reports whether m is a square identity matrix.
+func (m *Matrix) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.data[r][c] != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix in a compact hexadecimal grid, mainly for tests
+// and debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%02x", m.data[r][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

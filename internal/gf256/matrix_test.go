@@ -1,0 +1,284 @@
+package gf256
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(t *testing.T, rng *rand.Rand, rows, cols int) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, byte(rng.Intn(256)))
+		}
+	}
+	return m
+}
+
+func TestNewMatrixRejectsBadDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}, {3, -1}} {
+		if _, err := NewMatrix(dims[0], dims[1]); err == nil {
+			t.Errorf("NewMatrix(%d, %d): expected error", dims[0], dims[1])
+		}
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %d, want 3", m.At(1, 0))
+	}
+	if _, err := NewMatrixFromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows: expected error")
+	}
+	if _, err := NewMatrixFromRows(nil); err == nil {
+		t.Error("nil rows: expected error")
+	}
+}
+
+func TestIdentityProperties(t *testing.T) {
+	id, err := Identity(5)
+	if err != nil {
+		t.Fatalf("Identity: %v", err)
+	}
+	if !id.IsIdentity() {
+		t.Fatal("Identity(5) is not identity")
+	}
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(t, rng, 5, 5)
+	left, err := id.Mul(m)
+	if err != nil {
+		t.Fatalf("id*m: %v", err)
+	}
+	right, err := m.Mul(id)
+	if err != nil {
+		t.Fatalf("m*id: %v", err)
+	}
+	if !left.Equal(m) || !right.Equal(m) {
+		t.Fatal("identity does not preserve matrix under multiplication")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		var m *Matrix
+		// Rejection-sample an invertible matrix.
+		for {
+			m = randomMatrix(t, rng, n, n)
+			if _, err := m.Invert(); err == nil {
+				break
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatalf("Invert: %v", err)
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatalf("m*inv: %v", err)
+		}
+		if !prod.IsIdentity() {
+			t.Fatalf("trial %d: m * m^-1 != I:\n%v", trial, prod)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]byte{{1, 2}, {1, 2}})
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert singular: err = %v, want ErrSingular", err)
+	}
+	zero, _ := NewMatrix(3, 3)
+	if _, err := zero.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert zero: err = %v, want ErrSingular", err)
+	}
+	rect, _ := NewMatrix(2, 3)
+	if _, err := rect.Invert(); err == nil {
+		t.Fatal("Invert rectangular: expected error")
+	}
+}
+
+func TestVandermondeSquareSubmatricesInvertible(t *testing.T) {
+	// Any k distinct rows of a k-column Vandermonde matrix over distinct
+	// evaluation points form an invertible matrix.
+	const k, n = 4, 10
+	v, err := Vandermonde(n, k)
+	if err != nil {
+		t.Fatalf("Vandermonde: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		rows := rng.Perm(n)[:k]
+		sub, err := v.SelectRows(rows)
+		if err != nil {
+			t.Fatalf("SelectRows: %v", err)
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("Vandermonde rows %v not invertible: %v", rows, err)
+		}
+	}
+}
+
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	const k, m = 6, 4
+	cm, err := Cauchy(m, k)
+	if err != nil {
+		t.Fatalf("Cauchy: %v", err)
+	}
+	// Every square submatrix of a Cauchy matrix is invertible; spot-check
+	// all 2x2 submatrices.
+	for r1 := 0; r1 < m; r1++ {
+		for r2 := r1 + 1; r2 < m; r2++ {
+			for c1 := 0; c1 < k; c1++ {
+				for c2 := c1 + 1; c2 < k; c2++ {
+					sub, err := NewMatrixFromRows([][]byte{
+						{cm.At(r1, c1), cm.At(r1, c2)},
+						{cm.At(r2, c1), cm.At(r2, c2)},
+					})
+					if err != nil {
+						t.Fatalf("submatrix: %v", err)
+					}
+					if _, err := sub.Invert(); err != nil {
+						t.Fatalf("2x2 Cauchy submatrix (%d,%d)x(%d,%d) singular", r1, r2, c1, c2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCauchyTooLarge(t *testing.T) {
+	if _, err := Cauchy(200, 100); err == nil {
+		t.Fatal("expected error for oversized Cauchy matrix")
+	}
+}
+
+func TestMulVector(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]byte{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}})
+	v := []byte{5, 6, 7}
+	out, err := m.MulVector(v)
+	if err != nil {
+		t.Fatalf("MulVector: %v", err)
+	}
+	want := []byte{5, 6, 5 ^ 6 ^ 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MulVector[%d] = %#x, want %#x", i, out[i], want[i])
+		}
+	}
+	if _, err := m.MulVector([]byte{1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestSubMatrixAndAugment(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]byte{{1, 2, 3}, {4, 5, 6}})
+	sub, err := m.SubMatrix(0, 2, 1, 3)
+	if err != nil {
+		t.Fatalf("SubMatrix: %v", err)
+	}
+	if sub.Rows() != 2 || sub.Cols() != 2 || sub.At(0, 0) != 2 || sub.At(1, 1) != 6 {
+		t.Fatalf("SubMatrix content wrong: %v", sub)
+	}
+	if _, err := m.SubMatrix(0, 3, 0, 1); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+	aug, err := m.Augment(sub)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if aug.Cols() != 5 || aug.At(0, 3) != 2 {
+		t.Fatalf("Augment content wrong: %v", aug)
+	}
+	tall, _ := NewMatrix(3, 1)
+	if _, err := m.Augment(tall); err == nil {
+		t.Error("expected row mismatch error")
+	}
+}
+
+func TestSelectRowsErrors(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	if _, err := m.SelectRows(nil); err == nil {
+		t.Error("empty selection: expected error")
+	}
+	if _, err := m.SelectRows([]int{5}); err == nil {
+		t.Error("out-of-range selection: expected error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]byte{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(3, 2)
+	if a.Equal(b) {
+		t.Fatal("matrices of different shapes reported equal")
+	}
+}
+
+func TestPropertyMatrixVectorLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(t, rng, 6, 6)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := make([]byte, 6)
+		v := make([]byte, 6)
+		sum := make([]byte, 6)
+		for i := range u {
+			u[i] = byte(r.Intn(256))
+			v[i] = byte(r.Intn(256))
+			sum[i] = u[i] ^ v[i]
+		}
+		mu, err1 := m.MulVector(u)
+		mv, err2 := m.MulVector(v)
+		msum, err3 := m.MulVector(sum)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range msum {
+			if msum[i] != mu[i]^mv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]byte{{0x0a, 0xff}})
+	if got, want := m.String(), "0a ff\n"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,343 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"ear/internal/blockstore"
+	"ear/internal/topology"
+)
+
+// DataKey builds the store key for a data block replica.
+func DataKey(id topology.BlockID) blockstore.Key {
+	return blockstore.Key{ID: int64(id), Kind: blockstore.Data}
+}
+
+// ParityKey builds the store key for parity block idx of a stripe. Stripe
+// IDs and parity indices are folded into one ID space.
+func ParityKey(stripe topology.StripeID, idx int) blockstore.Key {
+	return blockstore.Key{ID: int64(stripe)*1024 + int64(idx), Kind: blockstore.Parity}
+}
+
+// WriteBlock writes one block from the given client node: the NameNode
+// allocates the block and decides placement, then the data flows down the
+// HDFS replication pipeline (client -> replica 1 -> replica 2 -> ...), with
+// every hop shaped by the fabric.
+func (c *Cluster) WriteBlock(client topology.NodeID, data []byte) (topology.BlockID, error) {
+	if len(data) != c.cfg.BlockSizeBytes {
+		return 0, fmt.Errorf("%w: block of %d bytes, configured size %d",
+			ErrInvalidConfig, len(data), c.cfg.BlockSizeBytes)
+	}
+	meta, err := c.nn.AllocateBlock(len(data))
+	if err != nil {
+		return 0, err
+	}
+	payload := data
+	prev := client
+	for _, n := range meta.Nodes {
+		payload, err = c.fab.Transfer(prev, n, payload)
+		if err != nil {
+			return 0, err
+		}
+		dn, err := c.DataNodeOf(n)
+		if err != nil {
+			return 0, err
+		}
+		if err := dn.Store.Put(DataKey(meta.ID), payload); err != nil {
+			return 0, fmt.Errorf("replica on node %d: %w", n, err)
+		}
+		prev = n
+	}
+	if err := c.nn.CommitBlock(meta.ID); err != nil {
+		return 0, err
+	}
+	return meta.ID, nil
+}
+
+// chooseReplica picks the replica a reader should use: the reader itself if
+// it holds one, else a same-rack replica, else a uniformly random one.
+func (c *Cluster) chooseReplica(nodes []topology.NodeID, reader topology.NodeID) (topology.NodeID, error) {
+	if len(nodes) == 0 {
+		return 0, ErrNoReplica
+	}
+	readerRack, err := c.top.RackOf(reader)
+	if err != nil {
+		return 0, err
+	}
+	var sameRack []topology.NodeID
+	for _, n := range nodes {
+		if n == reader {
+			return n, nil
+		}
+		rk, err := c.top.RackOf(n)
+		if err != nil {
+			return 0, err
+		}
+		if rk == readerRack {
+			sameRack = append(sameRack, n)
+		}
+	}
+	if len(sameRack) > 0 {
+		return sameRack[c.randIntn(len(sameRack))], nil
+	}
+	return nodes[c.randIntn(len(nodes))], nil
+}
+
+// ReadBlock reads a block to the client node from its nearest live replica.
+// If every replica is lost but the block's stripe is encoded, the read
+// degrades to erasure-coded reconstruction.
+func (c *Cluster) ReadBlock(client topology.NodeID, id topology.BlockID) ([]byte, error) {
+	live, err := c.nn.LiveReplicas(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(live) == 0 {
+		return c.DegradedRead(client, id)
+	}
+	src, err := c.chooseReplica(live, client)
+	if err != nil {
+		return nil, err
+	}
+	dn, err := c.DataNodeOf(src)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dn.Store.Get(DataKey(id))
+	if err != nil {
+		return nil, err
+	}
+	return c.fab.Transfer(src, client, data)
+}
+
+// stripeSurvivors gathers up to k live blocks of a stripe (data and
+// parity), transferring each to the gatherer node. It returns them indexed
+// by stripe position.
+func (c *Cluster) stripeSurvivors(gatherer topology.NodeID, sm *StripeMeta) (map[int][]byte, error) {
+	if sm.Plan == nil {
+		return nil, fmt.Errorf("%w: stripe %d not encoded", ErrUnknownStripe, sm.Info.ID)
+	}
+	// Parity occupies stripe positions k..n-1 of the code geometry even for
+	// short stripes (positions len(Blocks)..k-1 are zero padding).
+	k := c.cfg.K
+	present := make(map[int][]byte, c.cfg.K)
+	fetch := func(node topology.NodeID, key blockstore.Key, pos int) error {
+		if c.nn.IsDead(node) {
+			return nil
+		}
+		dn, err := c.DataNodeOf(node)
+		if err != nil {
+			return err
+		}
+		data, err := dn.Store.Get(key)
+		if err != nil {
+			return nil // missing or corrupt: treat as erased
+		}
+		data, err = c.fab.Transfer(node, gatherer, data)
+		if err != nil {
+			return err
+		}
+		present[pos] = data
+		return nil
+	}
+	// Order candidate blocks so survivors in the gatherer's rack come
+	// first: each local fetch replaces one cross-rack download (the
+	// Section III-D recovery-traffic saving of c > 1).
+	gatherRack, err := c.top.RackOf(gatherer)
+	if err != nil {
+		return nil, err
+	}
+	type candidate struct {
+		node topology.NodeID
+		key  blockstore.Key
+		pos  int
+	}
+	var local, remote []candidate
+	add := func(cand candidate) error {
+		r, err := c.top.RackOf(cand.node)
+		if err != nil {
+			return err
+		}
+		if r == gatherRack {
+			local = append(local, cand)
+		} else {
+			remote = append(remote, cand)
+		}
+		return nil
+	}
+	for i, b := range sm.Info.Blocks {
+		live, err := c.nn.LiveReplicas(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(live) == 0 {
+			continue
+		}
+		if err := add(candidate{node: live[0], key: DataKey(b), pos: i}); err != nil {
+			return nil, err
+		}
+	}
+	for j, node := range sm.Plan.Parity {
+		if err := add(candidate{node: node, key: ParityKey(sm.Info.ID, j), pos: k + j}); err != nil {
+			return nil, err
+		}
+	}
+	for _, cand := range append(local, remote...) {
+		if len(present) == c.cfg.K {
+			break
+		}
+		if err := fetch(cand.node, cand.key, cand.pos); err != nil {
+			return nil, err
+		}
+	}
+	return present, nil
+}
+
+// padStripe extends the survivor map with zero blocks for the positions of
+// a short stripe (fewer than k data blocks, zero-padded at encode time).
+func (c *Cluster) padStripe(present map[int][]byte, sm *StripeMeta) {
+	for i := len(sm.Info.Blocks); i < c.cfg.K; i++ {
+		present[i] = make([]byte, c.cfg.BlockSizeBytes)
+	}
+}
+
+// DegradedRead reconstructs a lost block from its stripe: the client
+// gathers any k surviving blocks and decodes (Section VI's degraded read).
+func (c *Cluster) DegradedRead(client topology.NodeID, id topology.BlockID) ([]byte, error) {
+	meta, err := c.nn.Block(id)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Stripe < 0 {
+		return nil, fmt.Errorf("%w: block %d lost before encoding", ErrNoReplica, id)
+	}
+	sm, err := c.nn.Stripe(meta.Stripe)
+	if err != nil {
+		return nil, err
+	}
+	pos := -1
+	for i, b := range sm.Info.Blocks {
+		if b == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, meta.Stripe)
+	}
+	present, err := c.stripeSurvivors(client, sm)
+	if err != nil {
+		return nil, err
+	}
+	c.padStripe(present, sm)
+	return c.coder.ReconstructBlock(present, pos)
+}
+
+// RepairBlock rebuilds a lost block onto a fresh live node and updates the
+// NameNode, the RaidNode recovery path. It returns the chosen node.
+func (c *Cluster) RepairBlock(id topology.BlockID) (topology.NodeID, error) {
+	meta, err := c.nn.Block(id)
+	if err != nil {
+		return 0, err
+	}
+	if meta.Stripe < 0 {
+		return 0, fmt.Errorf("%w: block %d has no stripe", ErrNoReplica, id)
+	}
+	sm, err := c.nn.Stripe(meta.Stripe)
+	if err != nil {
+		return 0, err
+	}
+	target, err := c.pickRepairNode(sm)
+	if err != nil {
+		return 0, err
+	}
+	data, err := c.DegradedRead(target, id)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := c.DataNodeOf(target)
+	if err != nil {
+		return 0, err
+	}
+	if err := dn.Store.Put(DataKey(id), data); err != nil {
+		return 0, err
+	}
+	if err := c.nn.UpdateBlockLocation(id, []topology.NodeID{target}); err != nil {
+		return 0, err
+	}
+	return target, nil
+}
+
+// pickRepairNode selects a live node holding no block of the stripe, in a
+// rack whose stripe population stays within c (preserving fault tolerance).
+func (c *Cluster) pickRepairNode(sm *StripeMeta) (topology.NodeID, error) {
+	used := make(map[topology.NodeID]bool)
+	rackCount := make(map[topology.RackID]int)
+	note := func(n topology.NodeID) error {
+		if c.nn.IsDead(n) {
+			return nil
+		}
+		used[n] = true
+		r, err := c.top.RackOf(n)
+		if err != nil {
+			return err
+		}
+		rackCount[r]++
+		return nil
+	}
+	for _, b := range sm.Info.Blocks {
+		live, err := c.nn.LiveReplicas(b)
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range live {
+			if err := note(n); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if sm.Plan != nil {
+		for _, n := range sm.Plan.Parity {
+			if err := note(n); err != nil {
+				return 0, err
+			}
+		}
+	}
+	maxPerRack := c.cfg.C
+	if maxPerRack <= 0 {
+		maxPerRack = 1
+	}
+	// Prefer racks that already hold blocks of the stripe but have spare
+	// capacity: co-locating the repaired block with survivors minimizes
+	// the cross-rack recovery downloads (Section III-D). Fall back to any
+	// rack with spare capacity.
+	pick := func(wantCoLocated bool) (topology.NodeID, bool, error) {
+		start := c.randIntn(c.top.Nodes())
+		for off := 0; off < c.top.Nodes(); off++ {
+			n := topology.NodeID((start + off) % c.top.Nodes())
+			if c.nn.IsDead(n) || used[n] {
+				continue
+			}
+			r, err := c.top.RackOf(n)
+			if err != nil {
+				return 0, false, err
+			}
+			if rackCount[r] >= maxPerRack {
+				continue
+			}
+			if wantCoLocated && rackCount[r] == 0 {
+				continue
+			}
+			return n, true, nil
+		}
+		return 0, false, nil
+	}
+	for _, coLocated := range []bool{true, false} {
+		n, ok, err := pick(coLocated)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("hdfs: no eligible repair node for stripe %d", sm.Info.ID)
+}

@@ -1,0 +1,223 @@
+// Package hdfs is the in-process mini-HDFS testbed: a NameNode holding all
+// metadata and the placement-policy hook, DataNodes storing checksummed
+// blocks, a client write/read path that moves real bytes over a
+// bandwidth-shaped fabric, and a RaidNode that performs the paper's
+// asynchronous encoding operation through a map-only MapReduce job. It is
+// the reproduction substrate for the paper's testbed experiments (Section
+// V-A), substituting Facebook's HDFS + HDFS-RAID deployment.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ear/internal/blockstore"
+	"ear/internal/erasure"
+	"ear/internal/fabric"
+	"ear/internal/mapred"
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+// ErrInvalidConfig indicates an unusable cluster configuration.
+var ErrInvalidConfig = errors.New("hdfs: invalid config")
+
+// Config describes a mini-HDFS cluster.
+type Config struct {
+	Racks        int
+	NodesPerRack int
+	// Policy selects the replica placement policy: "rr" (default) or
+	// "ear".
+	Policy string
+	// Replicas is the replication factor (default 3; the paper's testbed
+	// uses 2 because each machine is its own rack).
+	Replicas int
+	// K and N define the (n, k) erasure code; C bounds blocks per rack
+	// after encoding; TargetRacks is R' (0 = all racks).
+	K, N, C     int
+	TargetRacks int
+	// SpreadReplicas places each replica in its own rack.
+	SpreadReplicas bool
+	// BlockSizeBytes is the fixed block size (default 1 MiB; scaled down
+	// from HDFS's 64 MB so experiments complete quickly — bandwidth scales
+	// with it).
+	BlockSizeBytes int
+	// BandwidthBytesPerSec shapes every fabric link (default 32 MiB/s,
+	// a 1 Gb/s link scaled to the reduced block size).
+	BandwidthBytesPerSec float64
+	// DiskBandwidthBytesPerSec, when positive, charges local (same-node)
+	// block reads at this rate, modeling the testbed's SATA disks. 0
+	// leaves local reads unshaped.
+	DiskBandwidthBytesPerSec float64
+	// Scheme selects the erasure code construction (default Reed-Solomon,
+	// matching HDFS-RAID).
+	Scheme erasure.Scheme
+	// SlotsPerNode is the TaskTracker map-slot count (default 4).
+	SlotsPerNode int
+	// MapTasks is the number of map tasks per encoding job (default 12,
+	// the paper's setting).
+	MapTasks int
+	Seed     int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "rr"
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.BlockSizeBytes == 0 {
+		c.BlockSizeBytes = 1 << 20
+	}
+	if c.BandwidthBytesPerSec == 0 {
+		c.BandwidthBytesPerSec = 32 << 20
+	}
+	if c.Scheme == 0 {
+		c.Scheme = erasure.ReedSolomon
+	}
+	if c.SlotsPerNode == 0 {
+		c.SlotsPerNode = 4
+	}
+	if c.MapTasks == 0 {
+		c.MapTasks = 12
+	}
+	return c
+}
+
+// DataNode stores blocks for one node of the cluster.
+type DataNode struct {
+	ID    topology.NodeID
+	Store *blockstore.Store
+}
+
+// Cluster wires the mini-HDFS components together.
+type Cluster struct {
+	cfg   Config
+	top   *topology.Topology
+	fab   *fabric.Fabric
+	nn    *NameNode
+	dns   []*DataNode
+	coder *erasure.Coder
+	jt    *mapred.JobTracker
+	raid  *RaidNode
+
+	// rng guarded by rngMu serves concurrent client-path random choices;
+	// the NameNode's policy rng is separate and serialized by its lock.
+	// rngMu also guards lazy creation of the namespace.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	ns    *Namespace
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	top, err := topology.New(cfg.Racks, cfg.NodesPerRack)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := placement.Config{
+		Topology:       top,
+		Replicas:       cfg.Replicas,
+		K:              cfg.K,
+		N:              cfg.N,
+		C:              cfg.C,
+		TargetRacks:    cfg.TargetRacks,
+		SpreadReplicas: cfg.SpreadReplicas,
+	}
+	nnRng := rand.New(rand.NewSource(cfg.Seed))
+	var pol placement.Policy
+	switch cfg.Policy {
+	case "rr":
+		pol, err = placement.NewRandom(pcfg, nnRng)
+	case "ear":
+		pol, err = placement.NewEAR(pcfg, nnRng)
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %q", ErrInvalidConfig, cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	nn, err := NewNameNode(pcfg, pol, nnRng)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := fabric.New(top, cfg.BandwidthBytesPerSec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DiskBandwidthBytesPerSec > 0 {
+		if err := fab.EnableDisk(cfg.DiskBandwidthBytesPerSec); err != nil {
+			return nil, err
+		}
+	}
+	coder, err := erasure.New(cfg.N, cfg.K, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	jt, err := mapred.NewJobTracker(top, cfg.SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	dns := make([]*DataNode, top.Nodes())
+	for i := range dns {
+		dns[i] = &DataNode{ID: topology.NodeID(i), Store: blockstore.New()}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		top:   top,
+		fab:   fab,
+		nn:    nn,
+		dns:   dns,
+		coder: coder,
+		jt:    jt,
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	c.raid = newRaidNode(c)
+	return c, nil
+}
+
+// Close shuts down the cluster's background components.
+func (c *Cluster) Close() {
+	c.jt.Close()
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Topology returns the cluster topology.
+func (c *Cluster) Topology() *topology.Topology { return c.top }
+
+// Fabric returns the shaped network (for traffic injection and accounting).
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// NameNode returns the metadata service.
+func (c *Cluster) NameNode() *NameNode { return c.nn }
+
+// RaidNode returns the encoding coordinator.
+func (c *Cluster) RaidNode() *RaidNode { return c.raid }
+
+// JobTracker returns the MapReduce scheduler.
+func (c *Cluster) JobTracker() *mapred.JobTracker { return c.jt }
+
+// Coder returns the erasure coder.
+func (c *Cluster) Coder() *erasure.Coder { return c.coder }
+
+// DataNodeOf returns the DataNode with the given ID.
+func (c *Cluster) DataNodeOf(n topology.NodeID) (*DataNode, error) {
+	if n < 0 || int(n) >= len(c.dns) {
+		return nil, fmt.Errorf("%w: %d", topology.ErrUnknownNode, n)
+	}
+	return c.dns[n], nil
+}
+
+// randIntn draws from the cluster's client-path rng under its own lock.
+func (c *Cluster) randIntn(n int) int {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Intn(n)
+}

@@ -1,0 +1,465 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ear/internal/topology"
+)
+
+// testConfig returns a fast configuration: tiny blocks, generous bandwidth.
+func testConfig(policy string) Config {
+	return Config{
+		Racks:                6,
+		NodesPerRack:         3,
+		Policy:               policy,
+		Replicas:             3,
+		K:                    4,
+		N:                    6,
+		C:                    1,
+		BlockSizeBytes:       8 << 10,  // 8 KiB
+		BandwidthBytesPerSec: 64 << 20, // effectively instant
+		MapTasks:             4,
+		Seed:                 1,
+	}
+}
+
+func newTestCluster(t *testing.T, policy string) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testConfig(policy))
+	if err != nil {
+		t.Fatalf("NewCluster(%s): %v", policy, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func writeBlocks(t *testing.T, c *Cluster, count int, rng *rand.Rand) ([]topology.BlockID, map[topology.BlockID][]byte) {
+	t.Helper()
+	ids := make([]topology.BlockID, 0, count)
+	contents := make(map[topology.BlockID][]byte, count)
+	for i := 0; i < count; i++ {
+		data := make([]byte, c.Config().BlockSizeBytes)
+		rng.Read(data)
+		client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+		id, err := c.WriteBlock(client, data)
+		if err != nil {
+			t.Fatalf("WriteBlock %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		contents[id] = data
+	}
+	return ids, contents
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	cfg := testConfig("rr")
+	cfg.Policy = "bogus"
+	if _, err := NewCluster(cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("bogus policy: %v", err)
+	}
+	cfg = testConfig("rr")
+	cfg.Racks = 0
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("0 racks: expected error")
+	}
+	cfg = testConfig("rr")
+	cfg.K = 10
+	cfg.N = 9
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("n < k: expected error")
+	}
+}
+
+func TestWriteAndReadBack(t *testing.T) {
+	for _, policy := range []string{"rr", "ear"} {
+		t.Run(policy, func(t *testing.T) {
+			c := newTestCluster(t, policy)
+			rng := rand.New(rand.NewSource(2))
+			ids, contents := writeBlocks(t, c, 8, rng)
+			for _, id := range ids {
+				got, err := c.ReadBlock(0, id)
+				if err != nil {
+					t.Fatalf("ReadBlock(%d): %v", id, err)
+				}
+				if !bytes.Equal(got, contents[id]) {
+					t.Fatalf("block %d content mismatch", id)
+				}
+				// Replication factor respected.
+				meta, err := c.NameNode().Block(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(meta.Nodes) != 3 {
+					t.Fatalf("block %d has %d replicas", id, len(meta.Nodes))
+				}
+				for _, n := range meta.Nodes {
+					dn, err := c.DataNodeOf(n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !dn.Store.Has(DataKey(id)) {
+						t.Fatalf("replica of %d missing on node %d", id, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWriteBlockSizeMismatch(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	if _, err := c.WriteBlock(0, make([]byte, 10)); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("wrong size: %v", err)
+	}
+}
+
+func TestEncodeLifecycle(t *testing.T) {
+	for _, policy := range []string{"rr", "ear"} {
+		t.Run(policy, func(t *testing.T) {
+			c := newTestCluster(t, policy)
+			rng := rand.New(rand.NewSource(3))
+			ids, contents := writeBlocks(t, c, 12, rng) // 3 stripes of k=4
+			// EAR seals per core rack; flush so all 12 blocks encode.
+			c.NameNode().FlushOpenStripes()
+			stats, err := c.RaidNode().EncodeAll()
+			if err != nil {
+				t.Fatalf("EncodeAll: %v", err)
+			}
+			if policy == "rr" && stats.Stripes != 3 {
+				t.Fatalf("encoded %d stripes, want 3", stats.Stripes)
+			}
+			if stats.Stripes < 3 {
+				t.Fatalf("encoded %d stripes, want >= 3", stats.Stripes)
+			}
+			if stats.ThroughputMBps <= 0 {
+				t.Error("throughput not measured")
+			}
+			// All data still readable; exactly one replica left per block.
+			for _, id := range ids {
+				meta, err := c.NameNode().Block(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !meta.Encoded || len(meta.Nodes) != 1 {
+					t.Fatalf("block %d post-encode meta: %+v", id, meta)
+				}
+				got, err := c.ReadBlock(5, id)
+				if err != nil {
+					t.Fatalf("ReadBlock(%d): %v", id, err)
+				}
+				if !bytes.Equal(got, contents[id]) {
+					t.Fatalf("block %d corrupted by encoding", id)
+				}
+			}
+			// Parity stored where the plan says.
+			for _, sid := range c.NameNode().EncodedStripes() {
+				sm, err := c.NameNode().Stripe(sid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sm.Plan.Parity) != 2 {
+					t.Fatalf("stripe %d has %d parity blocks", sid, len(sm.Plan.Parity))
+				}
+				for j, n := range sm.Plan.Parity {
+					dn, err := c.DataNodeOf(n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !dn.Store.Has(ParityKey(sid, j)) {
+						t.Fatalf("stripe %d parity %d missing on node %d", sid, j, n)
+					}
+				}
+			}
+			// Idempotent drain: nothing left to encode.
+			again, err := c.RaidNode().EncodeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Stripes != 0 {
+				t.Errorf("second EncodeAll found %d stripes", again.Stripes)
+			}
+		})
+	}
+}
+
+func TestEARNoCrossRackDownloadsAndCoreRackTasks(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	rng := rand.New(rand.NewSource(4))
+	writeBlocks(t, c, 16, rng)
+	c.NameNode().FlushOpenStripes()
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatalf("EncodeAll: %v", err)
+	}
+	if stats.CrossRackDownloads != 0 {
+		t.Errorf("EAR cross-rack downloads = %d, want 0", stats.CrossRackDownloads)
+	}
+	if stats.Violations != 0 {
+		t.Errorf("EAR violations = %d, want 0", stats.Violations)
+	}
+	for _, pl := range stats.TaskPlacements {
+		if !pl.Rack {
+			t.Errorf("encode task %q ran outside its core rack (node %d)", pl.Task, pl.Node)
+		}
+	}
+	// PlacementMonitor agrees: nothing to fix.
+	bad, err := c.RaidNode().PlacementMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Errorf("PlacementMonitor found %d violating stripes under EAR", len(bad))
+	}
+}
+
+func TestRRCrossRackDownloadsObserved(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	rng := rand.New(rand.NewSource(5))
+	writeBlocks(t, c, 16, rng)
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatalf("EncodeAll: %v", err)
+	}
+	if stats.CrossRackDownloads == 0 {
+		t.Error("RR encoding produced no cross-rack downloads (unexpected)")
+	}
+}
+
+func TestBlockMoverRestoresFaultTolerance(t *testing.T) {
+	// With few racks RR violates often; after BlockMover the monitor must
+	// be clean and data must remain readable.
+	cfg := testConfig("rr")
+	cfg.Racks = 6
+	cfg.K = 5
+	cfg.N = 6
+	cfg.Seed = 6
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(6))
+	var ids []topology.BlockID
+	contents := map[topology.BlockID][]byte{}
+	for i := 0; i < 30; i++ {
+		data := make([]byte, cfg.BlockSizeBytes)
+		rng.Read(data)
+		id, err := c.WriteBlock(0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		contents[id] = data
+	}
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations == 0 {
+		t.Skip("no violations this seed; nothing to exercise")
+	}
+	moved, movedBytes, err := c.RaidNode().BlockMover()
+	if err != nil {
+		t.Fatalf("BlockMover: %v", err)
+	}
+	if moved == 0 || movedBytes == 0 {
+		t.Fatalf("BlockMover moved nothing despite %d violations", stats.Violations)
+	}
+	bad, err := c.RaidNode().PlacementMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("%d stripes still violating after BlockMover", len(bad))
+	}
+	for _, id := range ids {
+		got, err := c.ReadBlock(3, id)
+		if err != nil {
+			t.Fatalf("ReadBlock(%d) after move: %v", id, err)
+		}
+		if !bytes.Equal(got, contents[id]) {
+			t.Fatalf("block %d corrupted by relocation", id)
+		}
+	}
+}
+
+func TestDegradedReadAfterNodeFailure(t *testing.T) {
+	for _, policy := range []string{"rr", "ear"} {
+		t.Run(policy, func(t *testing.T) {
+			c := newTestCluster(t, policy)
+			rng := rand.New(rand.NewSource(7))
+			ids, contents := writeBlocks(t, c, 8, rng)
+			c.NameNode().FlushOpenStripes()
+			if _, err := c.RaidNode().EncodeAll(); err != nil {
+				t.Fatal(err)
+			}
+			// Fail the single node holding block ids[0].
+			meta, err := c.NameNode().Block(ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			failed := meta.Nodes[0]
+			c.NameNode().MarkDead(failed)
+			if !c.NameNode().IsDead(failed) {
+				t.Fatal("MarkDead not recorded")
+			}
+			reader := topology.NodeID(0)
+			if reader == failed {
+				reader = 1
+			}
+			got, err := c.ReadBlock(reader, ids[0])
+			if err != nil {
+				t.Fatalf("degraded ReadBlock: %v", err)
+			}
+			if !bytes.Equal(got, contents[ids[0]]) {
+				t.Fatal("degraded read returned wrong data")
+			}
+		})
+	}
+}
+
+func TestRepairBlock(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	rng := rand.New(rand.NewSource(8))
+	ids, contents := writeBlocks(t, c, 8, rng)
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.NameNode().Block(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := meta.Nodes[0]
+	c.NameNode().MarkDead(failed)
+	target, err := c.RepairBlock(ids[1])
+	if err != nil {
+		t.Fatalf("RepairBlock: %v", err)
+	}
+	if target == failed {
+		t.Fatal("repair placed block on the dead node")
+	}
+	dn, err := c.DataNodeOf(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := dn.Store.Get(DataKey(ids[1]))
+	if err != nil {
+		t.Fatalf("repaired block not stored: %v", err)
+	}
+	if !bytes.Equal(stored, contents[ids[1]]) {
+		t.Fatal("repaired block content wrong")
+	}
+	// Normal read works again.
+	got, err := c.ReadBlock(2, ids[1])
+	if err != nil || !bytes.Equal(got, contents[ids[1]]) {
+		t.Fatalf("read after repair: %v", err)
+	}
+}
+
+func TestDegradedReadUnencodedBlockFails(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	rng := rand.New(rand.NewSource(9))
+	ids, _ := writeBlocks(t, c, 1, rng)
+	meta, err := c.NameNode().Block(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range meta.Nodes {
+		c.NameNode().MarkDead(n)
+	}
+	if _, err := c.ReadBlock(0, ids[0]); !errors.Is(err, ErrNoReplica) {
+		t.Errorf("read of fully failed unencoded block: %v", err)
+	}
+}
+
+func TestShortStripeFlushAndEncode(t *testing.T) {
+	// RR leaves a remainder smaller than k pending; those blocks stay
+	// replicated and readable.
+	c := newTestCluster(t, "rr")
+	rng := rand.New(rand.NewSource(10))
+	ids, contents := writeBlocks(t, c, 6, rng) // k=4: one stripe + 2 leftover
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripes != 1 {
+		t.Fatalf("encoded %d stripes, want 1", stats.Stripes)
+	}
+	for i, id := range ids {
+		meta, err := c.NameNode().Block(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEncoded := i < 4
+		if meta.Encoded != wantEncoded {
+			t.Errorf("block %d encoded = %v, want %v", id, meta.Encoded, wantEncoded)
+		}
+		got, err := c.ReadBlock(1, id)
+		if err != nil || !bytes.Equal(got, contents[id]) {
+			t.Fatalf("ReadBlock(%d): %v", id, err)
+		}
+	}
+}
+
+func TestNameNodeErrors(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	nn := c.NameNode()
+	if _, err := nn.Block(999); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown block: %v", err)
+	}
+	if _, err := nn.Stripe(999); !errors.Is(err, ErrUnknownStripe) {
+		t.Errorf("unknown stripe: %v", err)
+	}
+	if err := nn.CommitBlock(999); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("commit unknown: %v", err)
+	}
+	if err := nn.CommitEncoding(999, nil); !errors.Is(err, ErrUnknownStripe) {
+		t.Errorf("commit unknown stripe: %v", err)
+	}
+	if _, err := nn.LiveReplicas(999); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("live replicas unknown: %v", err)
+	}
+	if err := nn.UpdateBlockLocation(999, nil); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("update unknown: %v", err)
+	}
+	if err := nn.UpdateParityLocation(999, 0, 0); !errors.Is(err, ErrUnknownStripe) {
+		t.Errorf("update parity unknown: %v", err)
+	}
+	if _, err := c.DataNodeOf(-1); err == nil {
+		t.Error("DataNodeOf(-1): expected error")
+	}
+}
+
+func TestCorruptReplicaFallsBackInDegradedRead(t *testing.T) {
+	// Corrupt the surviving replica of an encoded block: the store detects
+	// it (CRC) and the degraded path reconstructs from the stripe.
+	c := newTestCluster(t, "ear")
+	rng := rand.New(rand.NewSource(11))
+	ids, contents := writeBlocks(t, c, 4, rng)
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.NameNode().Block(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := c.DataNodeOf(meta.Nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.Store.Corrupt(DataKey(ids[2])); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DegradedRead(1, ids[2])
+	if err != nil {
+		t.Fatalf("DegradedRead with corrupt replica: %v", err)
+	}
+	if !bytes.Equal(got, contents[ids[2]]) {
+		t.Fatal("reconstruction produced wrong data")
+	}
+}

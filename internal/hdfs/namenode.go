@@ -1,0 +1,335 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+// Errors returned by the NameNode.
+var (
+	// ErrUnknownBlock indicates a block ID with no metadata.
+	ErrUnknownBlock = errors.New("hdfs: unknown block")
+	// ErrUnknownStripe indicates a stripe ID with no metadata.
+	ErrUnknownStripe = errors.New("hdfs: unknown stripe")
+	// ErrNoReplica indicates no live replica is available.
+	ErrNoReplica = errors.New("hdfs: no live replica")
+)
+
+// BlockMeta is the NameNode's record of one data block.
+type BlockMeta struct {
+	ID   topology.BlockID
+	Size int
+	// Nodes lists the current replica locations (a single node once the
+	// block's stripe is encoded).
+	Nodes []topology.NodeID
+	// Stripe is the stripe the block belongs to, or -1 before assignment.
+	Stripe topology.StripeID
+	// Encoded marks blocks whose stripe completed encoding.
+	Encoded bool
+}
+
+// StripeMeta is the NameNode's record of one stripe.
+type StripeMeta struct {
+	Info *placement.StripeInfo
+	// Plan is the post-encoding layout, set when encoding commits.
+	Plan *placement.PostEncodingPlan
+	// Encoded marks completion of the encoding operation.
+	Encoded bool
+}
+
+// NameNode holds all metadata: block locations, the placement policy hook
+// (the paper's first HDFS modification), and the pre-encoding store mapping
+// stripes to their block lists (the second modification).
+type NameNode struct {
+	mu     sync.Mutex
+	cfg    placement.Config
+	policy placement.Policy
+	rng    *rand.Rand
+
+	nextBlock  topology.BlockID
+	nextStripe topology.StripeID
+	blocks     map[topology.BlockID]*BlockMeta
+	stripes    map[topology.StripeID]*StripeMeta
+	// preEncoding holds sealed stripes awaiting encoding.
+	preEncoding []*placement.StripeInfo
+	// rrPending holds committed RR blocks not yet grouped into stripes.
+	rrPending []topology.BlockID
+	dead      map[topology.NodeID]bool
+}
+
+// NewNameNode builds a NameNode with the given placement policy.
+func NewNameNode(cfg placement.Config, policy placement.Policy, rng *rand.Rand) (*NameNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil || rng == nil {
+		return nil, fmt.Errorf("%w: nil policy or rng", placement.ErrInvalidConfig)
+	}
+	return &NameNode{
+		cfg:     cfg,
+		policy:  policy,
+		rng:     rng,
+		blocks:  make(map[topology.BlockID]*BlockMeta),
+		stripes: make(map[topology.StripeID]*StripeMeta),
+		dead:    make(map[topology.NodeID]bool),
+	}, nil
+}
+
+// AllocateBlock reserves a block ID and decides its replica placement.
+func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	id := nn.nextBlock
+	nn.nextBlock++
+	pl, err := nn.policy.Place(id)
+	if err != nil {
+		return nil, err
+	}
+	meta := &BlockMeta{ID: id, Size: size, Nodes: append([]topology.NodeID(nil), pl.Nodes...), Stripe: -1}
+	nn.blocks[id] = meta
+	return cloneBlockMeta(meta), nil
+}
+
+// CommitBlock records that the block's replicas are durably written; the
+// block becomes eligible for stripe grouping (EAR sealed the stripe at
+// placement time; RR blocks queue for RaidNode grouping).
+func (nn *NameNode) CommitBlock(id topology.BlockID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.blocks[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	for _, s := range nn.policy.TakeSealed() {
+		nn.registerStripeLocked(s)
+	}
+	if nn.policy.Name() == "rr" {
+		nn.rrPending = append(nn.rrPending, id)
+	}
+	return nil
+}
+
+// registerStripeLocked assigns the next stripe ID and stores the stripe.
+func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) {
+	info.ID = nn.nextStripe
+	nn.nextStripe++
+	nn.stripes[info.ID] = &StripeMeta{Info: info}
+	nn.preEncoding = append(nn.preEncoding, info)
+	for _, b := range info.Blocks {
+		if meta, ok := nn.blocks[b]; ok {
+			meta.Stripe = info.ID
+		}
+	}
+}
+
+// TakePendingStripes drains the pre-encoding store. Under RR it first
+// groups pending blocks k at a time with no placement knowledge, exactly as
+// HDFS-RAID's RaidNode does. Incomplete groups stay queued.
+func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if nn.policy.Name() == "rr" && len(nn.rrPending) >= nn.cfg.K {
+		placements := make(map[topology.BlockID]topology.Placement, len(nn.rrPending))
+		for _, b := range nn.rrPending {
+			meta := nn.blocks[b]
+			placements[b] = topology.Placement{Block: b, Nodes: meta.Nodes}
+		}
+		groups, err := placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
+		if err != nil {
+			return nil, err
+		}
+		grouped := len(groups) * nn.cfg.K
+		nn.rrPending = nn.rrPending[grouped:]
+		for _, g := range groups {
+			nn.registerStripeLocked(g)
+		}
+	}
+	out := nn.preEncoding
+	nn.preEncoding = nil
+	return out, nil
+}
+
+// PendingStripeCount reports how many sealed stripes await encoding
+// (including, under RR, the full groups formable from pending blocks).
+func (nn *NameNode) PendingStripeCount() int {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	n := len(nn.preEncoding)
+	if nn.policy.Name() == "rr" {
+		n += len(nn.rrPending) / nn.cfg.K
+	}
+	return n
+}
+
+// flusher is the optional policy capability of sealing in-progress stripes
+// early (EAR implements it).
+type flusher interface {
+	FlushOpen() []*placement.StripeInfo
+}
+
+// FlushOpenStripes seals every in-progress stripe regardless of fill level
+// (short stripes are zero-padded at encode time). Under RR it is a no-op:
+// leftover blocks smaller than one stripe stay replicated.
+func (nn *NameNode) FlushOpenStripes() int {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.policy.(flusher)
+	if !ok {
+		return 0
+	}
+	flushed := f.FlushOpen()
+	for _, s := range flushed {
+		nn.registerStripeLocked(s)
+	}
+	return len(flushed)
+}
+
+// PlanStripe computes the post-encoding layout for a stripe.
+func (nn *NameNode) PlanStripe(info *placement.StripeInfo) (*placement.PostEncodingPlan, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return placement.PlanPostEncoding(nn.cfg, info, nn.rng)
+}
+
+// CommitEncoding records the outcome of an encoding operation: every data
+// block keeps a single replica and the stripe stores its plan.
+func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEncodingPlan) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	sm, ok := nn.stripes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	sm.Plan = plan
+	sm.Encoded = true
+	for i, b := range sm.Info.Blocks {
+		meta, ok := nn.blocks[b]
+		if !ok {
+			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, id)
+		}
+		meta.Nodes = []topology.NodeID{plan.Keep[i]}
+		meta.Encoded = true
+	}
+	return nil
+}
+
+// Block returns a copy of the block's metadata.
+func (nn *NameNode) Block(id topology.BlockID) (*BlockMeta, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	meta, ok := nn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	return cloneBlockMeta(meta), nil
+}
+
+// Stripe returns the stripe metadata (shared pointers; callers must not
+// mutate).
+func (nn *NameNode) Stripe(id topology.StripeID) (*StripeMeta, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	sm, ok := nn.stripes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	return sm, nil
+}
+
+// EncodedStripes lists the IDs of stripes that completed encoding.
+func (nn *NameNode) EncodedStripes() []topology.StripeID {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	out := make([]topology.StripeID, 0, len(nn.stripes))
+	for id, sm := range nn.stripes {
+		if sm.Encoded {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// LiveReplicas returns the block's replica nodes that are not dead.
+func (nn *NameNode) LiveReplicas(id topology.BlockID) ([]topology.NodeID, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	meta, ok := nn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	live := make([]topology.NodeID, 0, len(meta.Nodes))
+	for _, n := range meta.Nodes {
+		if !nn.dead[n] {
+			live = append(live, n)
+		}
+	}
+	return live, nil
+}
+
+// MarkDead declares a node failed; its replicas become unreadable.
+func (nn *NameNode) MarkDead(n topology.NodeID) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.dead[n] = true
+}
+
+// MarkAlive reverses MarkDead: the node rejoins the cluster (its stale
+// replicas are assumed invalidated by the rejoin protocol).
+func (nn *NameNode) MarkAlive(n topology.NodeID) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	delete(nn.dead, n)
+}
+
+// IsDead reports whether the node failed.
+func (nn *NameNode) IsDead(n topology.NodeID) bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.dead[n]
+}
+
+// UpdateBlockLocation rewrites a block's replica set (used by the
+// BlockMover and by repair).
+func (nn *NameNode) UpdateBlockLocation(id topology.BlockID, nodes []topology.NodeID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	meta, ok := nn.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	meta.Nodes = append([]topology.NodeID(nil), nodes...)
+	return nil
+}
+
+// UpdateParityLocation rewrites the location of one parity block of a
+// stripe (used by the BlockMover).
+func (nn *NameNode) UpdateParityLocation(id topology.StripeID, idx int, node topology.NodeID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	sm, ok := nn.stripes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	if sm.Plan == nil || idx < 0 || idx >= len(sm.Plan.Parity) {
+		return fmt.Errorf("hdfs: stripe %d has no parity index %d", id, idx)
+	}
+	sm.Plan.Parity[idx] = node
+	return nil
+}
+
+// BlockCount returns the number of allocated blocks.
+func (nn *NameNode) BlockCount() int {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return len(nn.blocks)
+}
+
+func cloneBlockMeta(m *BlockMeta) *BlockMeta {
+	c := *m
+	c.Nodes = append([]topology.NodeID(nil), m.Nodes...)
+	return &c
+}

@@ -1,0 +1,198 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNamespaceLifecycle(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	ns := c.Namespace()
+	if same := c.Namespace(); same != ns {
+		t.Fatal("Namespace not a singleton")
+	}
+
+	if err := ns.Create("/logs/day1"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := ns.Create("/logs/day1"); !errors.Is(err, ErrFileExists) {
+		t.Errorf("duplicate Create: %v", err)
+	}
+	if err := ns.Create(""); err == nil {
+		t.Error("empty path: expected error")
+	}
+
+	// 2.5 blocks of data: final block zero-padded.
+	bs := c.Config().BlockSizeBytes
+	payload := make([]byte, bs*2+bs/2)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := ns.Append(0, "/logs/day1", payload); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fi, err := ns.Stat("/logs/day1")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if len(fi.Blocks) != 3 || fi.Size != len(payload) || fi.Closed {
+		t.Fatalf("Stat = %+v", fi)
+	}
+
+	got, err := ns.Read(5, "/logs/day1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("file content mismatch")
+	}
+
+	// Second append grows the file.
+	more := make([]byte, bs/4)
+	for i := range more {
+		more[i] = 0xAB
+	}
+	if err := ns.Append(1, "/logs/day1", more); err != nil {
+		t.Fatalf("second Append: %v", err)
+	}
+	got, err = ns.Read(2, "/logs/day1")
+	if err != nil {
+		t.Fatalf("Read after append: %v", err)
+	}
+	if len(got) != len(payload)+len(more) {
+		t.Fatalf("size = %d, want %d", len(got), len(payload)+len(more))
+	}
+	if !bytes.Equal(got[len(payload):], more) {
+		t.Fatal("appended content mismatch")
+	}
+
+	if err := ns.Close("/logs/day1"); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ns.Append(0, "/logs/day1", more); err == nil {
+		t.Error("append to closed file: expected error")
+	}
+}
+
+func TestNamespaceErrors(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	ns := c.Namespace()
+	if _, err := ns.Read(0, "/missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("Read missing: %v", err)
+	}
+	if _, err := ns.Stat("/missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("Stat missing: %v", err)
+	}
+	if err := ns.Append(0, "/missing", []byte("x")); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("Append missing: %v", err)
+	}
+	if err := ns.Close("/missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("Close missing: %v", err)
+	}
+	if err := ns.Delete("/missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("Delete missing: %v", err)
+	}
+	if err := ns.Create("/open"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Delete("/open"); !errors.Is(err, ErrFileOpen) {
+		t.Errorf("Delete open: %v", err)
+	}
+}
+
+func TestNamespaceList(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	ns := c.Namespace()
+	for _, p := range []string{"/c", "/a", "/b"} {
+		if err := ns.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ns.List()
+	want := []string{"/a", "/b", "/c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+}
+
+func TestNamespaceInterFileEncoding(t *testing.T) {
+	// Blocks of several small files share stripes (inter-file encoding,
+	// Section IV-A), and all files survive encoding intact.
+	c := newTestCluster(t, "rr") // k=4
+	ns := c.Namespace()
+	bs := c.Config().BlockSizeBytes
+	rng := rand.New(rand.NewSource(2))
+	contents := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		path := string(rune('a'+i)) + ".dat"
+		if err := ns.Create(path); err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, bs*2) // 2 blocks per file; 12 blocks = 3 stripes
+		rng.Read(data)
+		if err := ns.Append(0, path, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := ns.Close(path); err != nil {
+			t.Fatal(err)
+		}
+		contents[path] = data
+	}
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatalf("EncodeAll: %v", err)
+	}
+	if stats.Stripes != 3 {
+		t.Fatalf("stripes = %d, want 3 (inter-file)", stats.Stripes)
+	}
+	// A stripe must span blocks of more than one file: file i owns blocks
+	// 2i, 2i+1, and stripes group 4 consecutive blocks.
+	for path, want := range contents {
+		got, err := ns.Read(3, path)
+		if err != nil {
+			t.Fatalf("Read %s after encode: %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted by encoding", path)
+		}
+	}
+}
+
+func TestNamespaceDeleteFreesReplicas(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	ns := c.Namespace()
+	bs := c.Config().BlockSizeBytes
+	if err := ns.Create("/tmp1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Append(0, "/tmp1", make([]byte, bs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Close("/tmp1"); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := ns.Stat("/tmp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := fi.Blocks[0]
+	meta, err := c.NameNode().Block(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Delete("/tmp1"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	for _, n := range meta.Nodes {
+		dn, err := c.DataNodeOf(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dn.Store.Has(DataKey(block)) {
+			t.Fatalf("replica of deleted file still on node %d", n)
+		}
+	}
+	if len(ns.List()) != 0 {
+		t.Error("deleted file still listed")
+	}
+}

@@ -1,0 +1,493 @@
+package hdfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ear/internal/mapred"
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+// RaidNode coordinates the asynchronous encoding operation, the role
+// HDFS-RAID's RaidNode plays: it drains the pre-encoding store, submits a
+// map-only MapReduce encoding job whose tasks prefer (and, with the strict
+// flag, are pinned to) each stripe's core rack, verifies post-encoding
+// placement (PlacementMonitor), and relocates blocks when rack-level fault
+// tolerance is violated (BlockMover).
+type RaidNode struct {
+	c *Cluster
+
+	mu    sync.Mutex
+	stats EncodeStats
+}
+
+// EncodeStats aggregates the outcome of encoding jobs.
+type EncodeStats struct {
+	Stripes        int
+	EncodedBytes   int64
+	Duration       time.Duration
+	ThroughputMBps float64
+	// CrossRackDownloads counts data blocks fetched across racks by
+	// encoding tasks (zero under EAR with strict scheduling).
+	CrossRackDownloads int
+	// Violations counts stripes whose post-encoding layout breaks
+	// rack-level fault tolerance and needs the BlockMover.
+	Violations int
+	// TaskPlacements records where each encoding map task ran.
+	TaskPlacements []mapred.Placement
+}
+
+func newRaidNode(c *Cluster) *RaidNode { return &RaidNode{c: c} }
+
+// Stats returns a copy of the accumulated encoding statistics.
+func (r *RaidNode) Stats() EncodeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.TaskPlacements = append([]mapred.Placement(nil), r.stats.TaskPlacements...)
+	return s
+}
+
+// encodeTask is one map task's work: the stripes it encodes and its
+// scheduling preference.
+type encodeTask struct {
+	stripes   []*placement.StripeInfo
+	preferred topology.NodeID
+	strict    bool
+}
+
+// buildTasks splits the pending stripes into at most MapTasks map tasks.
+// Under EAR, stripes sharing a core rack stay in the same task and the task
+// is pinned to that rack (the paper's second and third modifications);
+// under RR tasks have no placement preference.
+func (r *RaidNode) buildTasks(stripes []*placement.StripeInfo) ([]*encodeTask, error) {
+	if len(stripes) == 0 {
+		return nil, nil
+	}
+	perTask := (len(stripes) + r.c.cfg.MapTasks - 1) / r.c.cfg.MapTasks
+
+	if r.c.cfg.Policy != "ear" {
+		var tasks []*encodeTask
+		for start := 0; start < len(stripes); start += perTask {
+			end := start + perTask
+			if end > len(stripes) {
+				end = len(stripes)
+			}
+			tasks = append(tasks, &encodeTask{stripes: stripes[start:end], preferred: mapred.AnyNode})
+		}
+		return tasks, nil
+	}
+
+	byRack := make(map[topology.RackID][]*placement.StripeInfo)
+	var rackOrder []topology.RackID
+	for _, s := range stripes {
+		if _, ok := byRack[s.CoreRack]; !ok {
+			rackOrder = append(rackOrder, s.CoreRack)
+		}
+		byRack[s.CoreRack] = append(byRack[s.CoreRack], s)
+	}
+	var tasks []*encodeTask
+	for _, rack := range rackOrder {
+		group := byRack[rack]
+		nodes, err := r.c.top.NodesInRack(rack)
+		if err != nil {
+			return nil, err
+		}
+		for start := 0; start < len(group); start += perTask {
+			end := start + perTask
+			if end > len(group) {
+				end = len(group)
+			}
+			tasks = append(tasks, &encodeTask{
+				stripes:   group[start:end],
+				preferred: nodes[r.c.randIntn(len(nodes))],
+				strict:    true,
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// EncodeAll drains the pre-encoding store and encodes every pending stripe
+// through one MapReduce job, returning the job's statistics.
+func (r *RaidNode) EncodeAll() (EncodeStats, error) {
+	stripes, err := r.c.nn.TakePendingStripes()
+	if err != nil {
+		return EncodeStats{}, err
+	}
+	tasks, err := r.buildTasks(stripes)
+	if err != nil {
+		return EncodeStats{}, err
+	}
+	var job mapred.Job
+	job.Name = fmt.Sprintf("encode-%d-stripes", len(stripes))
+	var mu sync.Mutex
+	stats := EncodeStats{Stripes: len(stripes)}
+	for i, t := range tasks {
+		t := t
+		job.Tasks = append(job.Tasks, &mapred.Task{
+			Name:       fmt.Sprintf("%s-map%d", job.Name, i),
+			Preferred:  t.preferred,
+			StrictRack: t.strict,
+			Run: func(on topology.NodeID) error {
+				for _, s := range t.stripes {
+					cross, violated, err := r.c.encodeStripe(s, on)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					stats.CrossRackDownloads += cross
+					if violated {
+						stats.Violations++
+					}
+					stats.EncodedBytes += int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
+					mu.Unlock()
+				}
+				return nil
+			},
+		})
+	}
+	start := time.Now()
+	placements, err := r.c.jt.Submit(job)
+	stats.Duration = time.Since(start)
+	stats.TaskPlacements = placements
+	if err != nil {
+		return stats, err
+	}
+	if stats.Duration > 0 {
+		stats.ThroughputMBps = float64(stats.EncodedBytes) / (1 << 20) / stats.Duration.Seconds()
+	}
+	r.mu.Lock()
+	r.stats.Stripes += stats.Stripes
+	r.stats.EncodedBytes += stats.EncodedBytes
+	r.stats.Duration += stats.Duration
+	r.stats.CrossRackDownloads += stats.CrossRackDownloads
+	r.stats.Violations += stats.Violations
+	r.stats.TaskPlacements = append(r.stats.TaskPlacements, placements...)
+	r.mu.Unlock()
+	return stats, nil
+}
+
+// encodeStripe performs the paper's three-step encoding operation on the
+// given node: download one replica of each data block, compute and upload
+// the parity blocks, delete the redundant replicas. It returns the number
+// of cross-rack downloads and whether the stripe's layout violates
+// rack-level fault tolerance.
+func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.NodeID) (int, bool, error) {
+	encRack, err := c.top.RackOf(encoder)
+	if err != nil {
+		return 0, false, err
+	}
+	data := make([][]byte, c.cfg.K)
+	cross := 0
+	// The TaskTracker issues the k block reads in parallel (Section II-A);
+	// the fabric's shaping serializes them where links are shared.
+	var wg sync.WaitGroup
+	var fetchMu sync.Mutex
+	var fetchErr error
+	for i, b := range info.Blocks {
+		live, err := c.nn.LiveReplicas(b)
+		if err != nil {
+			return 0, false, err
+		}
+		src, err := c.chooseReplica(live, encoder)
+		if err != nil {
+			return 0, false, fmt.Errorf("stripe %d block %d: %w", info.ID, b, err)
+		}
+		srcRack, err := c.top.RackOf(src)
+		if err != nil {
+			return 0, false, err
+		}
+		if srcRack != encRack {
+			cross++
+		}
+		i, b, src := i, b, src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dn, err := c.DataNodeOf(src)
+			if err == nil {
+				var payload []byte
+				payload, err = dn.Store.Get(DataKey(b))
+				if err == nil {
+					payload, err = c.fab.Transfer(src, encoder, payload)
+					data[i] = payload
+				}
+			}
+			if err != nil {
+				fetchMu.Lock()
+				if fetchErr == nil {
+					fetchErr = fmt.Errorf("fetch block %d from node %d: %w", b, src, err)
+				}
+				fetchMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fetchErr != nil {
+		return 0, false, fetchErr
+	}
+	// Zero-pad short stripes to k blocks.
+	for i := len(info.Blocks); i < c.cfg.K; i++ {
+		data[i] = make([]byte, c.cfg.BlockSizeBytes)
+	}
+	parity, err := c.coder.Encode(data)
+	if err != nil {
+		return 0, false, err
+	}
+	plan, err := c.nn.PlanStripe(info)
+	if err != nil {
+		return 0, false, err
+	}
+	// Parity uploads go out in parallel as well.
+	var upErr error
+	var upMu sync.Mutex
+	for j, node := range plan.Parity {
+		j, node := j, node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, err := c.fab.Transfer(encoder, node, parity[j])
+			if err == nil {
+				var dn *DataNode
+				dn, err = c.DataNodeOf(node)
+				if err == nil {
+					err = dn.Store.Put(ParityKey(info.ID, j), payload)
+				}
+			}
+			if err != nil {
+				upMu.Lock()
+				if upErr == nil {
+					upErr = fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
+				}
+				upMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if upErr != nil {
+		return 0, false, upErr
+	}
+	// Delete redundant replicas, keeping the plan's chosen one.
+	for i, b := range info.Blocks {
+		for _, n := range info.Placements[i].Nodes {
+			if n == plan.Keep[i] {
+				continue
+			}
+			dn, err := c.DataNodeOf(n)
+			if err != nil {
+				return 0, false, err
+			}
+			if err := dn.Store.Delete(DataKey(b)); err != nil {
+				return 0, false, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
+			}
+		}
+	}
+	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
+		return 0, false, err
+	}
+	return cross, plan.Violation, nil
+}
+
+// PlacementMonitor scans encoded stripes and returns the IDs of those whose
+// current layout violates the rack-level fault-tolerance requirement.
+func (r *RaidNode) PlacementMonitor() ([]topology.StripeID, error) {
+	var bad []topology.StripeID
+	for _, id := range r.c.nn.EncodedStripes() {
+		sm, err := r.c.nn.Stripe(id)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := r.currentLayout(sm)
+		if err != nil {
+			return nil, err
+		}
+		if err := layout.Validate(r.c.top, r.c.cfg.C); err != nil {
+			bad = append(bad, id)
+		}
+	}
+	return bad, nil
+}
+
+// currentLayout assembles the live layout of an encoded stripe.
+func (r *RaidNode) currentLayout(sm *StripeMeta) (topology.StripeLayout, error) {
+	layout := topology.StripeLayout{Stripe: sm.Info.ID}
+	for _, b := range sm.Info.Blocks {
+		meta, err := r.c.nn.Block(b)
+		if err != nil {
+			return layout, err
+		}
+		layout.Data = append(layout.Data, meta.Nodes...)
+	}
+	if sm.Plan != nil {
+		layout.Parity = append(layout.Parity, sm.Plan.Parity...)
+	}
+	return layout, nil
+}
+
+// BlockMover relocates blocks of violating stripes until each rack holds at
+// most c blocks of the stripe, returning the number of blocks moved and the
+// bytes of relocation traffic generated (the overhead EAR avoids).
+func (r *RaidNode) BlockMover() (moved int, movedBytes int64, err error) {
+	bad, err := r.PlacementMonitor()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, id := range bad {
+		sm, err := r.c.nn.Stripe(id)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		n, b, err := r.fixStripe(sm)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		moved += n
+		movedBytes += b
+	}
+	return moved, movedBytes, nil
+}
+
+// fixStripe moves excess blocks of one stripe out of over-full racks.
+func (r *RaidNode) fixStripe(sm *StripeMeta) (int, int64, error) {
+	moved := 0
+	var movedBytes int64
+	maxPerRack := r.c.cfg.C
+	if maxPerRack <= 0 {
+		maxPerRack = 1
+	}
+	for {
+		layout, err := r.currentLayout(sm)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		counts, err := layout.BlocksPerRack(r.c.top)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		var overRack topology.RackID = -1
+		for rk, cnt := range counts {
+			if cnt > maxPerRack {
+				overRack = rk
+				break
+			}
+		}
+		if overRack < 0 {
+			return moved, movedBytes, nil
+		}
+		// Pick a data block of the stripe sitting in the over-full rack.
+		var victim topology.BlockID = -1
+		var victimNode topology.NodeID
+		for _, b := range sm.Info.Blocks {
+			meta, err := r.c.nn.Block(b)
+			if err != nil {
+				return moved, movedBytes, err
+			}
+			if len(meta.Nodes) != 1 {
+				continue
+			}
+			rk, err := r.c.top.RackOf(meta.Nodes[0])
+			if err != nil {
+				return moved, movedBytes, err
+			}
+			if rk == overRack {
+				victim = b
+				victimNode = meta.Nodes[0]
+				break
+			}
+		}
+		if victim < 0 {
+			// Only parity blocks in the over-full rack; move one of those
+			// and re-check the layout.
+			b, err := r.fixParity(sm, overRack)
+			if err != nil {
+				return moved, movedBytes, err
+			}
+			moved++
+			movedBytes += b
+			continue
+		}
+		target, err := r.c.pickRepairNode(sm)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		srcDN, err := r.c.DataNodeOf(victimNode)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		payload, err := srcDN.Store.Get(DataKey(victim))
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		payload, err = r.c.fab.Transfer(victimNode, target, payload)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		dstDN, err := r.c.DataNodeOf(target)
+		if err != nil {
+			return moved, movedBytes, err
+		}
+		if err := dstDN.Store.Put(DataKey(victim), payload); err != nil {
+			return moved, movedBytes, err
+		}
+		if err := srcDN.Store.Delete(DataKey(victim)); err != nil {
+			return moved, movedBytes, err
+		}
+		if err := r.c.nn.UpdateBlockLocation(victim, []topology.NodeID{target}); err != nil {
+			return moved, movedBytes, err
+		}
+		moved++
+		movedBytes += int64(len(payload))
+	}
+}
+
+// fixParity relocates one parity block out of the over-full rack and
+// returns the bytes moved.
+func (r *RaidNode) fixParity(sm *StripeMeta, overRack topology.RackID) (int64, error) {
+	if sm.Plan == nil {
+		return 0, fmt.Errorf("hdfs: stripe %d violating without plan", sm.Info.ID)
+	}
+	for j, node := range sm.Plan.Parity {
+		rk, err := r.c.top.RackOf(node)
+		if err != nil {
+			return 0, err
+		}
+		if rk != overRack {
+			continue
+		}
+		target, err := r.c.pickRepairNode(sm)
+		if err != nil {
+			return 0, err
+		}
+		srcDN, err := r.c.DataNodeOf(node)
+		if err != nil {
+			return 0, err
+		}
+		key := ParityKey(sm.Info.ID, j)
+		payload, err := srcDN.Store.Get(key)
+		if err != nil {
+			return 0, err
+		}
+		payload, err = r.c.fab.Transfer(node, target, payload)
+		if err != nil {
+			return 0, err
+		}
+		dstDN, err := r.c.DataNodeOf(target)
+		if err != nil {
+			return 0, err
+		}
+		if err := dstDN.Store.Put(key, payload); err != nil {
+			return 0, err
+		}
+		if err := srcDN.Store.Delete(key); err != nil {
+			return 0, err
+		}
+		if err := r.c.nn.UpdateParityLocation(sm.Info.ID, j, target); err != nil {
+			return 0, err
+		}
+		return int64(len(payload)), nil
+	}
+	return 0, fmt.Errorf("hdfs: stripe %d: nothing movable in rack %d", sm.Info.ID, overRack)
+}

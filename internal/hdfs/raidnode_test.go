@@ -1,0 +1,193 @@
+package hdfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"ear/internal/mapred"
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+func TestRaidNodeStatsAccumulate(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	rng := rand.New(rand.NewSource(40))
+	writeBlocks(t, c, 8, rng) // 2 stripes
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	writeBlocks(t, c, 4, rng) // 1 more stripe
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.RaidNode().Stats()
+	if stats.Stripes != 3 {
+		t.Errorf("accumulated stripes = %d, want 3", stats.Stripes)
+	}
+	if stats.EncodedBytes != int64(3*4*c.Config().BlockSizeBytes) {
+		t.Errorf("accumulated bytes = %d", stats.EncodedBytes)
+	}
+	if len(stats.TaskPlacements) == 0 {
+		t.Error("no task placements recorded")
+	}
+	// The returned copy must not alias internal state.
+	stats.TaskPlacements[0].Task = "mutated"
+	if again := c.RaidNode().Stats(); again.TaskPlacements[0].Task == "mutated" {
+		t.Error("Stats aliases internal slice")
+	}
+}
+
+func TestChooseReplicaPreference(t *testing.T) {
+	c := newTestCluster(t, "rr") // 6 racks x 3 nodes
+	// Reader itself holds a replica: always chosen.
+	got, err := c.chooseReplica([]topology.NodeID{9, 4, 2}, 4)
+	if err != nil || got != 4 {
+		t.Errorf("local preference = (%d, %v), want node 4", got, err)
+	}
+	// Same-rack replica preferred over remote: reader 0 is in rack 0
+	// (nodes 0-2); candidate 1 shares it.
+	got, err = c.chooseReplica([]topology.NodeID{9, 1}, 0)
+	if err != nil || got != 1 {
+		t.Errorf("rack preference = (%d, %v), want node 1", got, err)
+	}
+	// No candidates: error.
+	if _, err := c.chooseReplica(nil, 0); err == nil {
+		t.Error("empty candidates: expected error")
+	}
+}
+
+func TestBuildTasksChunking(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	var stripes []*placement.StripeInfo
+	for i := 0; i < 10; i++ {
+		stripes = append(stripes, &placement.StripeInfo{ID: topology.StripeID(i), CoreRack: -1})
+	}
+	tasks, err := c.RaidNode().buildTasks(stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MapTasks = 4: ceil(10/4) = 3 stripes per task -> 4 tasks.
+	if len(tasks) != 4 {
+		t.Fatalf("got %d tasks, want 4", len(tasks))
+	}
+	total := 0
+	for _, task := range tasks {
+		total += len(task.stripes)
+		if task.strict || task.preferred != mapred.AnyNode {
+			t.Error("RR tasks must not be rack-pinned")
+		}
+	}
+	if total != 10 {
+		t.Errorf("tasks cover %d stripes, want 10", total)
+	}
+	// Empty input: no tasks.
+	none, err := c.RaidNode().buildTasks(nil)
+	if err != nil || none != nil {
+		t.Errorf("empty stripes = (%v, %v)", none, err)
+	}
+}
+
+func TestBuildTasksEARGroupsByCoreRack(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	stripes := []*placement.StripeInfo{
+		{ID: 1, CoreRack: 2},
+		{ID: 2, CoreRack: 5},
+		{ID: 3, CoreRack: 2},
+	}
+	tasks, err := c.RaidNode().buildTasks(stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if !task.strict {
+			t.Error("EAR tasks must be rack-pinned")
+		}
+		rack, err := c.Topology().RackOf(task.preferred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range task.stripes {
+			if s.CoreRack != rack {
+				t.Errorf("task preferring rack %d contains stripe with core rack %d", rack, s.CoreRack)
+			}
+		}
+	}
+}
+
+func TestPlacementMonitorDetectsManualViolation(t *testing.T) {
+	// Encode cleanly, then move a block into an over-full rack by hand and
+	// confirm the monitor flags the stripe and the mover repairs it.
+	c := newTestCluster(t, "ear")
+	rng := rand.New(rand.NewSource(41))
+	writeBlocks(t, c, 40, rng)
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a stripe with at least two data blocks.
+	var sm *StripeMeta
+	var sid topology.StripeID = -1
+	for _, id := range c.NameNode().EncodedStripes() {
+		cand, err := c.NameNode().Stripe(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cand.Info.Blocks) >= 2 {
+			sm, sid = cand, id
+			break
+		}
+	}
+	if sm == nil {
+		t.Fatal("no multi-block stripe sealed")
+	}
+	// Teleport block 0's surviving replica into block 1's rack.
+	b0, b1 := sm.Info.Blocks[0], sm.Info.Blocks[1]
+	m0, _ := c.NameNode().Block(b0)
+	m1, _ := c.NameNode().Block(b1)
+	rack1, _ := c.Topology().RackOf(m1.Nodes[0])
+	nodes, _ := c.Topology().NodesInRack(rack1)
+	var target topology.NodeID = -1
+	for _, n := range nodes {
+		if n != m1.Nodes[0] {
+			target = n
+			break
+		}
+	}
+	srcDN, _ := c.DataNodeOf(m0.Nodes[0])
+	payload, err := srcDN.Store.Get(DataKey(b0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstDN, _ := c.DataNodeOf(target)
+	if err := dstDN.Store.Put(DataKey(b0), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := srcDN.Store.Delete(DataKey(b0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.NameNode().UpdateBlockLocation(b0, []topology.NodeID{target}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := c.RaidNode().PlacementMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != sid {
+		t.Fatalf("monitor = %v, want [%d]", bad, sid)
+	}
+	moved, _, err := c.RaidNode().BlockMover()
+	if err != nil {
+		t.Fatalf("BlockMover: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("mover did nothing")
+	}
+	bad, err = c.RaidNode().PlacementMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("still violating after mover: %v", bad)
+	}
+}

@@ -1,0 +1,211 @@
+// Package mapred is a miniature map-only MapReduce framework reproducing
+// the scheduling behaviour the paper's HDFS integration relies on (Section
+// IV): a JobTracker assigns map tasks to per-node TaskTracker slots,
+// honoring a task's preferred node by locality (node, then rack, then
+// anywhere), and an "encoding job" flag that restricts a task strictly to
+// the preferred node's rack — the paper's third HDFS modification, which
+// guarantees EAR's encoding maps run inside the core rack.
+package mapred
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ear/internal/topology"
+)
+
+// Errors returned by the package.
+var (
+	// ErrClosed indicates a Submit after Close.
+	ErrClosed = errors.New("mapred: job tracker closed")
+	// ErrBadTask indicates an unrunnable task definition.
+	ErrBadTask = errors.New("mapred: bad task")
+)
+
+// AnyNode marks a task with no placement preference.
+const AnyNode topology.NodeID = -1
+
+// Task is one map task. Run receives the node the scheduler placed it on.
+type Task struct {
+	Name string
+	// Preferred is the node the task would like to run on (AnyNode for no
+	// preference). The scheduler falls back to the preferred node's rack,
+	// then to any node — unless StrictRack pins it to the rack.
+	Preferred topology.NodeID
+	// StrictRack confines the task to the preferred node's rack, the
+	// encoding-job flag of Section IV-B.
+	StrictRack bool
+	Run        func(ranOn topology.NodeID) error
+}
+
+// Job is a named set of map tasks (map-only: no reduce phase, like the
+// HDFS-RAID encoding jobs).
+type Job struct {
+	Name  string
+	Tasks []*Task
+}
+
+// Placement records where a task ran, for locality assertions in tests and
+// experiments.
+type Placement struct {
+	Task  string
+	Node  topology.NodeID
+	Local bool // ran on the preferred node
+	Rack  bool // ran in the preferred node's rack
+}
+
+// JobTracker schedules tasks onto per-node slots. Multiple Submit calls may
+// run concurrently; slots are shared across jobs.
+type JobTracker struct {
+	top          *topology.Topology
+	slotsPerNode int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []int // free slots per node
+	closed bool
+}
+
+// NewJobTracker creates a tracker with the given map slots per node (the
+// paper's Experiment A.3 configures four).
+func NewJobTracker(top *topology.Topology, slotsPerNode int) (*JobTracker, error) {
+	if slotsPerNode <= 0 {
+		return nil, fmt.Errorf("mapred: slots per node must be positive, got %d", slotsPerNode)
+	}
+	jt := &JobTracker{
+		top:          top,
+		slotsPerNode: slotsPerNode,
+		free:         make([]int, top.Nodes()),
+	}
+	for i := range jt.free {
+		jt.free[i] = slotsPerNode
+	}
+	jt.cond = sync.NewCond(&jt.mu)
+	return jt, nil
+}
+
+// Close rejects future submissions and wakes any waiting tasks so they can
+// observe the shutdown. In-flight tasks complete.
+func (jt *JobTracker) Close() {
+	jt.mu.Lock()
+	jt.closed = true
+	jt.mu.Unlock()
+	jt.cond.Broadcast()
+}
+
+// acquire blocks until a slot compatible with the task is free, claims it,
+// and returns the node. It prefers the exact node, then the rack, then (for
+// non-strict tasks) any node.
+func (jt *JobTracker) acquire(t *Task) (topology.NodeID, error) {
+	var rackNodes []topology.NodeID
+	if t.Preferred != AnyNode {
+		rack, err := jt.top.RackOf(t.Preferred)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q preferred node: %v", ErrBadTask, t.Name, err)
+		}
+		rackNodes, err = jt.top.NodesInRack(rack)
+		if err != nil {
+			return 0, err
+		}
+	} else if t.StrictRack {
+		return 0, fmt.Errorf("%w: %q strict without preferred node", ErrBadTask, t.Name)
+	}
+
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	for {
+		if jt.closed {
+			return 0, ErrClosed
+		}
+		if t.Preferred != AnyNode && jt.free[t.Preferred] > 0 {
+			jt.free[t.Preferred]--
+			return t.Preferred, nil
+		}
+		if t.Preferred != AnyNode {
+			for _, n := range rackNodes {
+				if jt.free[n] > 0 {
+					jt.free[n]--
+					return n, nil
+				}
+			}
+		}
+		if !t.StrictRack {
+			for n := range jt.free {
+				if jt.free[n] > 0 {
+					jt.free[n]--
+					return topology.NodeID(n), nil
+				}
+			}
+		}
+		jt.cond.Wait()
+	}
+}
+
+// release frees the slot on node n.
+func (jt *JobTracker) release(n topology.NodeID) {
+	jt.mu.Lock()
+	jt.free[n]++
+	jt.mu.Unlock()
+	jt.cond.Broadcast()
+}
+
+// Submit runs every task of the job and blocks until all finish, returning
+// the first task error (all tasks still run to completion) along with where
+// each task executed.
+func (jt *JobTracker) Submit(job Job) ([]Placement, error) {
+	jt.mu.Lock()
+	if jt.closed {
+		jt.mu.Unlock()
+		return nil, ErrClosed
+	}
+	jt.mu.Unlock()
+
+	placements := make([]Placement, len(job.Tasks))
+	errs := make([]error, len(job.Tasks))
+	var wg sync.WaitGroup
+	for i, t := range job.Tasks {
+		if t == nil || t.Run == nil {
+			return nil, fmt.Errorf("%w: job %q task %d has no body", ErrBadTask, job.Name, i)
+		}
+		i, t := i, t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, err := jt.acquire(t)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer jt.release(node)
+			pl := Placement{Task: t.Name, Node: node}
+			if t.Preferred != AnyNode {
+				pl.Local = node == t.Preferred
+				same, err := jt.top.SameRack(node, t.Preferred)
+				if err == nil {
+					pl.Rack = same
+				}
+			}
+			placements[i] = pl
+			errs[i] = t.Run(node)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return placements, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+	}
+	return placements, nil
+}
+
+// FreeSlots returns the current total free slots (diagnostics).
+func (jt *JobTracker) FreeSlots() int {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	total := 0
+	for _, f := range jt.free {
+		total += f
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ear/internal/stats"
+)
+
+// SwimJob describes one synthetic MapReduce job in the style of SWIM, the
+// Facebook-trace workload replay tool the paper's Experiment A.3 uses: an
+// arrival offset and the input, shuffle, and output data volumes.
+type SwimJob struct {
+	Name    string
+	Arrival time.Duration
+	// InputBlocks to read from the CFS, ShuffleMB to move between nodes,
+	// OutputBlocks to write back.
+	InputBlocks  int
+	ShuffleMB    float64
+	OutputBlocks int
+	// Maps is the number of map tasks the job fans out to.
+	Maps int
+}
+
+// SwimConfig parameterizes the generator. The defaults follow the shape of
+// the 2009 Facebook trace SWIM ships: most jobs are small, sizes are
+// heavy-tailed (log-normal), and arrivals form a Poisson process.
+type SwimConfig struct {
+	Jobs int
+	// MeanInterarrival between job submissions.
+	MeanInterarrival time.Duration
+	// Log-normal parameters (of the underlying normal) for input size in
+	// blocks; shuffle and output are derived with per-job ratios.
+	InputMu, InputSigma float64
+	// ShuffleRatio and OutputRatio scale input volume into shuffle MB and
+	// output blocks; both get log-normal jitter.
+	ShuffleRatio, OutputRatio float64
+	// BlockSizeMB converts blocks to MB for the shuffle computation.
+	BlockSizeMB float64
+	// MapsPerJob caps fan-out; 0 derives it from input size.
+	MapsPerJob int
+}
+
+// withDefaults fills unset fields.
+func (c SwimConfig) withDefaults() SwimConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 50
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 2 * time.Second
+	}
+	if c.InputMu == 0 {
+		c.InputMu = 1.2 // median ~3.3 blocks
+	}
+	if c.InputSigma == 0 {
+		c.InputSigma = 1.0
+	}
+	if c.ShuffleRatio == 0 {
+		c.ShuffleRatio = 0.4
+	}
+	if c.OutputRatio == 0 {
+		c.OutputRatio = 0.3
+	}
+	if c.BlockSizeMB == 0 {
+		c.BlockSizeMB = 64
+	}
+	return c
+}
+
+// GenerateSwim produces a reproducible synthetic workload.
+func GenerateSwim(cfg SwimConfig, rng *rand.Rand) ([]SwimJob, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Jobs < 0 {
+		return nil, fmt.Errorf("mapred: negative job count %d", cfg.Jobs)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mapred: nil rng")
+	}
+	jobs := make([]SwimJob, 0, cfg.Jobs)
+	var clock time.Duration
+	for i := 0; i < cfg.Jobs; i++ {
+		clock += time.Duration(stats.Exponential(rng, float64(cfg.MeanInterarrival)))
+		in := int(stats.LogNormal(rng, cfg.InputMu, cfg.InputSigma))
+		if in < 1 {
+			in = 1
+		}
+		shuffle := float64(in) * cfg.BlockSizeMB * cfg.ShuffleRatio * stats.LogNormal(rng, 0, 0.5)
+		out := int(float64(in) * cfg.OutputRatio * stats.LogNormal(rng, 0, 0.5))
+		maps := cfg.MapsPerJob
+		if maps == 0 {
+			maps = in
+			if maps > 8 {
+				maps = 8
+			}
+		}
+		jobs = append(jobs, SwimJob{
+			Name:         fmt.Sprintf("swim-%03d", i),
+			Arrival:      clock,
+			InputBlocks:  in,
+			ShuffleMB:    shuffle,
+			OutputBlocks: out,
+			Maps:         maps,
+		})
+	}
+	return jobs, nil
+}

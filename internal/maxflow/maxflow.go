@@ -1,0 +1,231 @@
+// Package maxflow provides a Dinic maximum-flow solver and a bipartite
+// matching helper. The EAR placement algorithm (paper Section III-B)
+// determines whether a replica layout admits a post-encoding block layout
+// satisfying rack-level fault tolerance by solving a maximum-flow problem on
+// a four-layer graph: source -> blocks -> nodes -> racks -> sink.
+package maxflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidVertex indicates an edge endpoint outside the graph.
+var ErrInvalidVertex = errors.New("maxflow: invalid vertex")
+
+// Graph is a flow network on vertices 0..n-1 using adjacency lists with
+// paired residual edges (the classic Dinic representation).
+type Graph struct {
+	n     int
+	heads [][]int // heads[v] lists indices into edges
+	edges []edge
+
+	// scratch reused across MaxFlow calls
+	level []int
+	iter  []int
+}
+
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in heads[to]
+}
+
+// NewGraph returns an empty flow network with n vertices.
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("maxflow: graph must have positive vertex count, got %d", n)
+	}
+	return &Graph{
+		n:     n,
+		heads: make([][]int, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+	}, nil
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// Clone returns a deep copy of the graph including any residual flow state,
+// so a caller can tentatively add edges and push flow without committing.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:     g.n,
+		heads: make([][]int, g.n),
+		edges: append([]edge(nil), g.edges...),
+		level: make([]int, g.n),
+		iter:  make([]int, g.n),
+	}
+	for v, hs := range g.heads {
+		c.heads[v] = append([]int(nil), hs...)
+	}
+	return c
+}
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// returns an identifier usable with EdgeFlow.
+func (g *Graph) AddEdge(from, to int, capacity int64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, fmt.Errorf("%w: edge %d -> %d in graph of %d", ErrInvalidVertex, from, to, g.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("maxflow: negative capacity %d", capacity)
+	}
+	id := len(g.edges)
+	g.heads[from] = append(g.heads[from], id)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, rev: id + 1})
+	g.heads[to] = append(g.heads[to], id+1)
+	g.edges = append(g.edges, edge{to: from, cap: 0, rev: id})
+	return id, nil
+}
+
+// EdgeFlow returns the flow pushed through the edge with the given
+// identifier after a MaxFlow call: the capacity accumulated on its reverse
+// edge.
+func (g *Graph) EdgeFlow(id int) (int64, error) {
+	if id < 0 || id >= len(g.edges) || id%2 != 0 {
+		return 0, fmt.Errorf("maxflow: invalid edge id %d", id)
+	}
+	return g.edges[id+1].cap, nil
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm. It may be
+// called repeatedly after adding edges; flow accumulates across calls (each
+// call returns only the additional flow pushed), which gives the EAR
+// algorithm its cheap incremental feasibility checks.
+func (g *Graph) MaxFlow(s, t int) (int64, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return 0, fmt.Errorf("%w: flow %d -> %d in graph of %d", ErrInvalidVertex, s, t, g.n)
+	}
+	if s == t {
+		return 0, errors.New("maxflow: source equals sink")
+	}
+	var flow int64
+	for g.bfs(s, t) {
+		copy(g.iter, zeroes(g.n))
+		for {
+			f := g.dfs(s, t, math.MaxInt64)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow, nil
+}
+
+func zeroes(n int) []int { return make([]int, n) }
+
+// bfs builds the level graph; returns false when t is unreachable.
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	g.level[s] = 0
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.heads[v] {
+			e := g.edges[id]
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs finds one blocking-flow augmenting path in the level graph.
+func (g *Graph) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] < len(g.heads[v]); g.iter[v]++ {
+		id := g.heads[v][g.iter[v]]
+		e := &g.edges[id]
+		if e.cap <= 0 || g.level[e.to] != g.level[v]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, min64(f, e.cap))
+		if d > 0 {
+			e.cap -= d
+			g.edges[e.rev].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BipartiteMatch computes a maximum matching between `left` vertices and
+// `right` vertices given the adjacency adj[l] = list of right vertices. It
+// returns match[l] = matched right vertex or -1, and the matching size. It
+// is implemented on top of the flow solver so that the two stay consistent.
+func BipartiteMatch(left, right int, adj [][]int) ([]int, int, error) {
+	if left < 0 || right < 0 {
+		return nil, 0, fmt.Errorf("maxflow: negative partition sizes %d, %d", left, right)
+	}
+	match := make([]int, left)
+	for i := range match {
+		match[i] = -1
+	}
+	if left == 0 || right == 0 {
+		return match, 0, nil
+	}
+	// Vertices: 0 = source, 1..left = left side, left+1..left+right = right
+	// side, left+right+1 = sink.
+	s, t := 0, left+right+1
+	g, err := NewGraph(left + right + 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	type lrEdge struct {
+		l, r, id int
+	}
+	var lrEdges []lrEdge
+	for l := 0; l < left; l++ {
+		if _, err := g.AddEdge(s, 1+l, 1); err != nil {
+			return nil, 0, err
+		}
+		for _, r := range adj[l] {
+			if r < 0 || r >= right {
+				return nil, 0, fmt.Errorf("%w: right vertex %d of %d", ErrInvalidVertex, r, right)
+			}
+			id, err := g.AddEdge(1+l, 1+left+r, 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			lrEdges = append(lrEdges, lrEdge{l: l, r: r, id: id})
+		}
+	}
+	for r := 0; r < right; r++ {
+		if _, err := g.AddEdge(1+left+r, t, 1); err != nil {
+			return nil, 0, err
+		}
+	}
+	size, err := g.MaxFlow(s, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range lrEdges {
+		f, err := g.EdgeFlow(e.id)
+		if err != nil {
+			return nil, 0, err
+		}
+		if f > 0 {
+			match[e.l] = e.r
+		}
+	}
+	return match, int(size), nil
+}

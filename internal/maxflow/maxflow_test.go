@@ -1,0 +1,306 @@
+package maxflow
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(0); err == nil {
+		t.Error("NewGraph(0): expected error")
+	}
+	if _, err := NewGraph(-2); err == nil {
+		t.Error("NewGraph(-2): expected error")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g, _ := NewGraph(3)
+	if _, err := g.AddEdge(0, 5, 1); !errors.Is(err, ErrInvalidVertex) {
+		t.Errorf("bad to vertex: error = %v", err)
+	}
+	if _, err := g.AddEdge(-1, 0, 1); !errors.Is(err, ErrInvalidVertex) {
+		t.Errorf("bad from vertex: error = %v", err)
+	}
+	if _, err := g.AddEdge(0, 1, -3); err == nil {
+		t.Error("negative capacity: expected error")
+	}
+}
+
+func TestMaxFlowSimplePath(t *testing.T) {
+	g, _ := NewGraph(3)
+	if _, err := g.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if f != 3 {
+		t.Fatalf("MaxFlow = %d, want 3 (bottleneck)", f)
+	}
+}
+
+func TestMaxFlowClassicNetwork(t *testing.T) {
+	// CLRS-style example with known max flow 23.
+	g, _ := NewGraph(6)
+	edges := []struct {
+		u, v int
+		c    int64
+	}{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	}
+	for _, e := range edges {
+		if _, err := g.AddEdge(e.u, e.v, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := g.MaxFlow(0, 5)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if f != 23 {
+		t.Fatalf("MaxFlow = %d, want 23", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g, _ := NewGraph(4)
+	if _, err := g.AddEdge(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	f, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if f != 0 {
+		t.Fatalf("MaxFlow disconnected = %d, want 0", f)
+	}
+}
+
+func TestMaxFlowErrors(t *testing.T) {
+	g, _ := NewGraph(2)
+	if _, err := g.MaxFlow(0, 0); err == nil {
+		t.Error("source == sink: expected error")
+	}
+	if _, err := g.MaxFlow(0, 5); !errors.Is(err, ErrInvalidVertex) {
+		t.Errorf("bad sink: error = %v", err)
+	}
+}
+
+func TestMaxFlowIncremental(t *testing.T) {
+	// The EAR algorithm adds one block's edges at a time and re-solves; each
+	// call must return only the additional flow.
+	g, _ := NewGraph(4)
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := g.MaxFlow(0, 3)
+	if err != nil || f1 != 1 {
+		t.Fatalf("first MaxFlow = (%d, %v), want (1, nil)", f1, err)
+	}
+	if _, err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := g.MaxFlow(0, 3)
+	if err != nil || f2 != 1 {
+		t.Fatalf("incremental MaxFlow = (%d, %v), want (1, nil)", f2, err)
+	}
+}
+
+func TestEdgeFlow(t *testing.T) {
+	g, _ := NewGraph(3)
+	id1, _ := g.AddEdge(0, 1, 4)
+	id2, _ := g.AddEdge(1, 2, 2)
+	if _, err := g.MaxFlow(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := g.EdgeFlow(id1)
+	if err != nil || f1 != 2 {
+		t.Fatalf("EdgeFlow(id1) = (%d, %v), want (2, nil)", f1, err)
+	}
+	f2, err := g.EdgeFlow(id2)
+	if err != nil || f2 != 2 {
+		t.Fatalf("EdgeFlow(id2) = (%d, %v), want (2, nil)", f2, err)
+	}
+	if _, err := g.EdgeFlow(id1 + 1); err == nil {
+		t.Error("odd edge id (reverse edge): expected error")
+	}
+	if _, err := g.EdgeFlow(9999); err == nil {
+		t.Error("out-of-range edge id: expected error")
+	}
+}
+
+func TestBipartiteMatchPerfect(t *testing.T) {
+	adj := [][]int{{0, 1}, {0}, {1, 2}}
+	match, size, err := BipartiteMatch(3, 3, adj)
+	if err != nil {
+		t.Fatalf("BipartiteMatch: %v", err)
+	}
+	if size != 3 {
+		t.Fatalf("matching size = %d, want 3", size)
+	}
+	used := make(map[int]bool)
+	for l, r := range match {
+		if r < 0 {
+			t.Fatalf("left %d unmatched", l)
+		}
+		if used[r] {
+			t.Fatalf("right %d matched twice", r)
+		}
+		used[r] = true
+		found := false
+		for _, a := range adj[l] {
+			if a == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("match %d -> %d not in adjacency", l, r)
+		}
+	}
+}
+
+func TestBipartiteMatchImperfect(t *testing.T) {
+	// Both left vertices only connect to right 0; only one can match.
+	adj := [][]int{{0}, {0}}
+	match, size, err := BipartiteMatch(2, 2, adj)
+	if err != nil {
+		t.Fatalf("BipartiteMatch: %v", err)
+	}
+	if size != 1 {
+		t.Fatalf("matching size = %d, want 1", size)
+	}
+	matched := 0
+	for _, r := range match {
+		if r >= 0 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("%d left vertices matched, want 1", matched)
+	}
+}
+
+func TestBipartiteMatchEdgeCases(t *testing.T) {
+	match, size, err := BipartiteMatch(0, 5, nil)
+	if err != nil || size != 0 || len(match) != 0 {
+		t.Fatalf("empty left = (%v, %d, %v)", match, size, err)
+	}
+	if _, _, err := BipartiteMatch(-1, 2, nil); err == nil {
+		t.Error("negative left: expected error")
+	}
+	if _, _, err := BipartiteMatch(1, 1, [][]int{{7}}); !errors.Is(err, ErrInvalidVertex) {
+		t.Errorf("bad adjacency: error = %v", err)
+	}
+}
+
+// hungarianSize computes maximum bipartite matching by augmenting paths, an
+// independent oracle for the property test.
+func hungarianSize(left, right int, adj [][]int) int {
+	matchR := make([]int, right)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(l int, seen []bool) bool
+	try = func(l int, seen []bool) bool {
+		for _, r := range adj[l] {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] < 0 || try(matchR[r], seen) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < left; l++ {
+		if try(l, make([]bool, right)) {
+			size++
+		}
+	}
+	return size
+}
+
+func TestPropertyMatchingAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left := 1 + rng.Intn(8)
+		right := 1 + rng.Intn(8)
+		adj := make([][]int, left)
+		for l := range adj {
+			for r := 0; r < right; r++ {
+				if rng.Intn(3) == 0 {
+					adj[l] = append(adj[l], r)
+				}
+			}
+		}
+		_, size, err := BipartiteMatch(left, right, adj)
+		if err != nil {
+			return false
+		}
+		return size == hungarianSize(left, right, adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFlowConservation(t *testing.T) {
+	// Max flow on a random DAG must not exceed the total capacity out of the
+	// source or into the sink, and repeated MaxFlow calls with no new edges
+	// must return 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g, err := NewGraph(n)
+		if err != nil {
+			return false
+		}
+		var srcCap, sinkCap int64
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					c := int64(rng.Intn(10))
+					if _, err := g.AddEdge(u, v, c); err != nil {
+						return false
+					}
+					if u == 0 {
+						srcCap += c
+					}
+					if v == n-1 {
+						sinkCap += c
+					}
+				}
+			}
+		}
+		flow, err := g.MaxFlow(0, n-1)
+		if err != nil {
+			return false
+		}
+		if flow > srcCap || flow > sinkCap {
+			return false
+		}
+		again, err := g.MaxFlow(0, n-1)
+		return err == nil && again == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

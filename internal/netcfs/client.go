@@ -1,0 +1,167 @@
+package netcfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ear/internal/topology"
+)
+
+// ErrRemote wraps server-side failures; the server's message is appended.
+var ErrRemote = errors.New("netcfs: remote error")
+
+// Client talks to a Server over one TCP connection. Methods are safe for
+// concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	// ClientNode attributes operations to a cluster node for locality;
+	// negative (the default) lets the server pick randomly per request.
+	ClientNode topology.NodeID
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcfs dial: %w", err)
+	}
+	return &Client{
+		conn:       conn,
+		enc:        gob.NewEncoder(conn),
+		dec:        gob.NewDecoder(conn),
+		ClientNode: -1,
+	}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one round trip.
+func (c *Client) call(req Request) (Response, error) {
+	req.Client = c.ClientNode
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("netcfs send %v: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("netcfs recv %v: %w", req.Op, err)
+	}
+	if resp.Err != "" {
+		return Response{}, fmt.Errorf("%w: %s: %s", ErrRemote, req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(Request{Op: OpPing})
+	return err
+}
+
+// Create registers an empty file.
+func (c *Client) Create(path string) error {
+	_, err := c.call(Request{Op: OpCreate, Path: path})
+	return err
+}
+
+// Append writes data to the end of an open file.
+func (c *Client) Append(path string, data []byte) error {
+	_, err := c.call(Request{Op: OpAppend, Path: path, Data: data})
+	return err
+}
+
+// CloseFile seals a file, making it immutable and encodable.
+func (c *Client) CloseFile(path string) error {
+	_, err := c.call(Request{Op: OpCloseFile, Path: path})
+	return err
+}
+
+// Read returns a file's contents.
+func (c *Client) Read(path string) ([]byte, error) {
+	resp, err := c.call(Request{Op: OpRead, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Stat returns file metadata.
+func (c *Client) Stat(path string) (*FileInfo, error) {
+	resp, err := c.call(Request{Op: OpStat, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Info == nil {
+		return nil, fmt.Errorf("%w: stat returned no info", ErrProtocol)
+	}
+	return resp.Info, nil
+}
+
+// List returns all paths.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.call(Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Files, nil
+}
+
+// Delete removes a closed file.
+func (c *Client) Delete(path string) error {
+	_, err := c.call(Request{Op: OpDelete, Path: path})
+	return err
+}
+
+// Encode seals open stripes and runs the background encoding job,
+// returning its statistics.
+func (c *Client) Encode() (*EncodeSummary, error) {
+	resp, err := c.call(Request{Op: OpEncode})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Encode == nil {
+		return nil, fmt.Errorf("%w: encode returned no summary", ErrProtocol)
+	}
+	return resp.Encode, nil
+}
+
+// FailNode marks a node dead.
+func (c *Client) FailNode(n topology.NodeID) error {
+	_, err := c.call(Request{Op: OpFailNode, Node: n})
+	return err
+}
+
+// ReviveNode brings a node back.
+func (c *Client) ReviveNode(n topology.NodeID) error {
+	_, err := c.call(Request{Op: OpReviveNode, Node: n})
+	return err
+}
+
+// RepairBlock reconstructs a lost block onto a fresh node and returns it.
+func (c *Client) RepairBlock(b topology.BlockID) (topology.NodeID, error) {
+	resp, err := c.call(Request{Op: OpRepairBlock, Block: b})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Node, nil
+}
+
+// ClusterInfo describes the served cluster.
+func (c *Client) ClusterInfo() (*ClusterInfo, error) {
+	resp, err := c.call(Request{Op: OpClusterInfo})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Cluster == nil {
+		return nil, fmt.Errorf("%w: info returned no cluster", ErrProtocol)
+	}
+	return resp.Cluster, nil
+}

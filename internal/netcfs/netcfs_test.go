@@ -1,0 +1,221 @@
+package netcfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ear/internal/hdfs"
+)
+
+func startServer(t *testing.T, policy string) (*Server, *Client) {
+	t.Helper()
+	cluster, err := hdfs.NewCluster(hdfs.Config{
+		Racks:                6,
+		NodesPerRack:         3,
+		Policy:               policy,
+		K:                    4,
+		N:                    6,
+		C:                    1,
+		BlockSizeBytes:       8 << 10,
+		BandwidthBytesPerSec: 1 << 30,
+		Seed:                 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(cluster, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cluster.Close()
+	})
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestPingAndInfo(t *testing.T) {
+	_, c := startServer(t, "ear")
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	info, err := c.ClusterInfo()
+	if err != nil {
+		t.Fatalf("ClusterInfo: %v", err)
+	}
+	if info.Racks != 6 || info.Policy != "ear" || info.K != 4 || info.N != 6 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestFileRoundTripOverTCP(t *testing.T) {
+	_, c := startServer(t, "ear")
+	payload := make([]byte, 20<<10) // 2.5 blocks
+	rand.New(rand.NewSource(22)).Read(payload)
+
+	if err := c.Create("/data/trace.bin"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := c.Append("/data/trace.bin", payload); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, err := c.Read("/data/trace.bin")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("content mismatch over TCP")
+	}
+	fi, err := c.Stat("/data/trace.bin")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if fi.Size != len(payload) || len(fi.Blocks) != 3 {
+		t.Fatalf("Stat = %+v", fi)
+	}
+	files, err := c.List()
+	if err != nil || len(files) != 1 || files[0] != "/data/trace.bin" {
+		t.Fatalf("List = (%v, %v)", files, err)
+	}
+}
+
+func TestEncodeFailRepairOverTCP(t *testing.T) {
+	_, c := startServer(t, "ear")
+	payload := make([]byte, 64<<10) // 8 blocks = 2 stripes (k=4)
+	rand.New(rand.NewSource(23)).Read(payload)
+	if err := c.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("/big", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseFile("/big"); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if sum.Stripes == 0 || sum.CrossRackDownloads != 0 {
+		t.Fatalf("encode summary = %+v (EAR should have 0 cross downloads)", sum)
+	}
+	// Fail the node holding the first block and read through degraded path.
+	fi, err := c.Stat("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fi.Locations) != len(fi.Blocks) || len(fi.Locations[0]) != 1 {
+		t.Fatalf("post-encode locations = %v", fi.Locations)
+	}
+	victim := fi.Locations[0][0]
+	if err := c.FailNode(victim); err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	got, err := c.Read("/big")
+	if err != nil {
+		t.Fatalf("Read with failed node: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded content mismatch")
+	}
+	repairedTo, err := c.RepairBlock(fi.Blocks[0])
+	if err != nil {
+		t.Fatalf("RepairBlock: %v", err)
+	}
+	if repairedTo == victim {
+		t.Fatal("repair landed on the dead node")
+	}
+	if err := c.ReviveNode(victim); err != nil {
+		t.Fatalf("ReviveNode: %v", err)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	_, c := startServer(t, "rr")
+	if _, err := c.Read("/nope"); !errors.Is(err, ErrRemote) {
+		t.Errorf("Read missing: %v", err)
+	}
+	if err := c.Create("/dup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/dup"); !errors.Is(err, ErrRemote) {
+		t.Errorf("duplicate Create: %v", err)
+	}
+	if err := c.FailNode(999); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad node: %v", err)
+	}
+	if err := c.Delete("/dup"); !errors.Is(err, ErrRemote) {
+		t.Errorf("delete open file: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, "rr")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			path := string(rune('a'+i)) + ".txt"
+			if err := c.Create(path); err != nil {
+				errs[i] = err
+				return
+			}
+			data := bytes.Repeat([]byte{byte(i)}, 8<<10)
+			if err := c.Append(path, data); err != nil {
+				errs[i] = err
+				return
+			}
+			got, err := c.Read(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs[i] = errors.New("content mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, c := startServer(t, "rr")
+	srv.Close()
+	if err := c.Ping(); err == nil {
+		t.Error("Ping after server close should fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to closed port should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpPing.String() != "ping" || OpEncode.String() != "encode" || Op(99).String() != "op(99)" {
+		t.Error("Op.String wrong")
+	}
+}

@@ -1,0 +1,146 @@
+// Package netcfs exposes a mini-HDFS cluster over TCP: a gateway server
+// wraps an hdfs.Cluster and speaks a small gob-framed request/response
+// protocol, and a client provides file and administrative operations
+// (write, read, list, encode, fail, repair, stats). It turns the in-process
+// reproduction into a system a client on another machine can actually use.
+package netcfs
+
+import (
+	"errors"
+	"fmt"
+
+	"ear/internal/hdfs"
+	"ear/internal/topology"
+)
+
+// ErrProtocol indicates a malformed or unexpected message.
+var ErrProtocol = errors.New("netcfs: protocol error")
+
+// Op identifies a request type.
+type Op int
+
+// Protocol operations.
+const (
+	OpPing Op = iota + 1
+	OpCreate
+	OpAppend
+	OpCloseFile
+	OpRead
+	OpStat
+	OpList
+	OpDelete
+	OpEncode
+	OpFailNode
+	OpReviveNode
+	OpRepairBlock
+	OpClusterInfo
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpCreate:
+		return "create"
+	case OpAppend:
+		return "append"
+	case OpCloseFile:
+		return "close"
+	case OpRead:
+		return "read"
+	case OpStat:
+		return "stat"
+	case OpList:
+		return "list"
+	case OpDelete:
+		return "delete"
+	case OpEncode:
+		return "encode"
+	case OpFailNode:
+		return "fail"
+	case OpReviveNode:
+		return "revive"
+	case OpRepairBlock:
+		return "repair"
+	case OpClusterInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is the client -> server message. Fields are used per operation.
+type Request struct {
+	Op   Op
+	Path string
+	// Client is the node the operation should be attributed to for
+	// locality; negative values let the server pick one at random.
+	Client topology.NodeID
+	Data   []byte
+	Node   topology.NodeID
+	Block  topology.BlockID
+}
+
+// EncodeSummary is the wire form of hdfs.EncodeStats.
+type EncodeSummary struct {
+	Stripes            int
+	EncodedBytes       int64
+	DurationSeconds    float64
+	ThroughputMBps     float64
+	CrossRackDownloads int
+	Violations         int
+}
+
+// ClusterInfo describes the served cluster.
+type ClusterInfo struct {
+	Racks          int
+	NodesPerRack   int
+	Policy         string
+	K, N, C        int
+	BlockSizeBytes int
+	EncodedStripes int
+	BlockCount     int
+}
+
+// Response is the server -> client message.
+type Response struct {
+	// Err is the error text ("" for success). Errors cross the wire as
+	// strings; clients match on substrings, not sentinel identity.
+	Err     string
+	Data    []byte
+	Files   []string
+	Info    *FileInfo
+	Encode  *EncodeSummary
+	Node    topology.NodeID
+	Cluster *ClusterInfo
+}
+
+// FileInfo is the wire form of hdfs.FileInfo.
+type FileInfo struct {
+	Path   string
+	Blocks []topology.BlockID
+	// Locations[i] lists the live replica nodes of Blocks[i].
+	Locations [][]topology.NodeID
+	Size      int
+	Closed    bool
+}
+
+// toWireInfo converts hdfs metadata to the wire form, resolving each
+// block's live replica locations.
+func toWireInfo(c *hdfs.Cluster, fi hdfs.FileInfo) (*FileInfo, error) {
+	out := &FileInfo{
+		Path:   fi.Path,
+		Blocks: append([]topology.BlockID(nil), fi.Blocks...),
+		Size:   fi.Size,
+		Closed: fi.Closed,
+	}
+	for _, b := range fi.Blocks {
+		live, err := c.NameNode().LiveReplicas(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Locations = append(out.Locations, live)
+	}
+	return out, nil
+}

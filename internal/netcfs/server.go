@@ -1,0 +1,224 @@
+package netcfs
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+
+	"ear/internal/hdfs"
+	"ear/internal/topology"
+)
+
+// Server serves one hdfs.Cluster over TCP. Each connection gets its own
+// goroutine; requests on a connection are processed in order.
+type Server struct {
+	cluster *hdfs.Cluster
+	ln      net.Listener
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on addr (use "127.0.0.1:0" to let the
+// OS pick a port; the bound address is available via Addr).
+func Serve(cluster *hdfs.Cluster, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcfs listen: %w", err)
+	}
+	s := &Server{
+		cluster: cluster,
+		ln:      ln,
+		rng:     rand.New(rand.NewSource(cluster.Config().Seed + 1000)),
+		conns:   make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes the listener and every active connection,
+// and waits for all connection goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			// Transient accept failure; keep serving.
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn processes requests until the peer disconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			// Malformed stream: report once and drop the connection.
+			_ = enc.Encode(Response{Err: fmt.Sprintf("decode: %v", err)})
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// pickClient resolves the request's client node, drawing one uniformly when
+// unspecified.
+func (s *Server) pickClient(req *Request) topology.NodeID {
+	if req.Client >= 0 && int(req.Client) < s.cluster.Topology().Nodes() {
+		return req.Client
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return topology.NodeID(s.rng.Intn(s.cluster.Topology().Nodes()))
+}
+
+// handle dispatches one request.
+func (s *Server) handle(req *Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	ns := s.cluster.Namespace()
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpCreate:
+		if err := ns.Create(req.Path); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpAppend:
+		if err := ns.Append(s.pickClient(req), req.Path, req.Data); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpCloseFile:
+		if err := ns.Close(req.Path); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpRead:
+		data, err := ns.Read(s.pickClient(req), req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Data: data}
+	case OpStat:
+		fi, err := ns.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		info, err := toWireInfo(s.cluster, fi)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Info: info}
+	case OpList:
+		return Response{Files: ns.List()}
+	case OpDelete:
+		if err := ns.Delete(req.Path); err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpEncode:
+		s.cluster.NameNode().FlushOpenStripes()
+		stats, err := s.cluster.RaidNode().EncodeAll()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Encode: &EncodeSummary{
+			Stripes:            stats.Stripes,
+			EncodedBytes:       stats.EncodedBytes,
+			DurationSeconds:    stats.Duration.Seconds(),
+			ThroughputMBps:     stats.ThroughputMBps,
+			CrossRackDownloads: stats.CrossRackDownloads,
+			Violations:         stats.Violations,
+		}}
+	case OpFailNode:
+		if req.Node < 0 || int(req.Node) >= s.cluster.Topology().Nodes() {
+			return fail(fmt.Errorf("%w: node %d", ErrProtocol, req.Node))
+		}
+		s.cluster.NameNode().MarkDead(req.Node)
+		return Response{}
+	case OpReviveNode:
+		s.cluster.NameNode().MarkAlive(req.Node)
+		return Response{}
+	case OpRepairBlock:
+		node, err := s.cluster.RepairBlock(req.Block)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Node: node}
+	case OpClusterInfo:
+		cfg := s.cluster.Config()
+		return Response{Cluster: &ClusterInfo{
+			Racks:          cfg.Racks,
+			NodesPerRack:   cfg.NodesPerRack,
+			Policy:         cfg.Policy,
+			K:              cfg.K,
+			N:              cfg.N,
+			C:              cfg.C,
+			BlockSizeBytes: cfg.BlockSizeBytes,
+			EncodedStripes: len(s.cluster.NameNode().EncodedStripes()),
+			BlockCount:     s.cluster.NameNode().BlockCount(),
+		}}
+	default:
+		return fail(fmt.Errorf("%w: unknown op %v", ErrProtocol, req.Op))
+	}
+}

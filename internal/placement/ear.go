@@ -1,0 +1,377 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ear/internal/maxflow"
+	"ear/internal/topology"
+)
+
+// EAR implements encoding-aware replication (paper Section III). Each rack
+// owns one open stripe at a time; a block's first replica lands in some rack
+// (the stripe's core rack) and the remaining replicas are placed randomly,
+// regenerated until the stripe's flow graph keeps a maximum flow equal to
+// the number of blocks placed so far (Section III-C). Once a stripe
+// accumulates k blocks it is sealed and handed to the encoding pipeline via
+// TakeSealed.
+type EAR struct {
+	cfg Config
+	rng *rand.Rand
+
+	nextStripe topology.StripeID
+	// open maps core rack to the stripe currently accumulating blocks there.
+	open map[topology.RackID]*openStripe
+	// sealed holds completed stripes not yet drained by TakeSealed.
+	sealed []*StripeInfo
+}
+
+// openStripe tracks an in-progress stripe together with its incremental
+// flow state.
+type openStripe struct {
+	info *StripeInfo
+	// flow is the feasibility graph over all blocks accepted so far, with
+	// flow equal to len(info.Blocks) already pushed. Nil in preliminary or
+	// full-recompute modes.
+	flow *stripeFlow
+}
+
+var _ Policy = (*EAR)(nil)
+
+// NewEAR returns an EAR policy (or the paper's "preliminary EAR" when
+// cfg.Preliminary is set).
+func NewEAR(cfg Config, rng *rand.Rand) (*EAR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalidConfig)
+	}
+	return &EAR{
+		cfg:  cfg.withDefaults(),
+		rng:  rng,
+		open: make(map[topology.RackID]*openStripe),
+	}, nil
+}
+
+// Name returns "ear" (or "ear-preliminary").
+func (p *EAR) Name() string {
+	if p.cfg.Preliminary {
+		return "ear-preliminary"
+	}
+	return "ear"
+}
+
+// Place decides the replica locations for a new block. The first replica's
+// rack is chosen uniformly at random, mirroring RR's load balancing; that
+// rack becomes (or already is) the core rack of the stripe the block joins.
+func (p *EAR) Place(block topology.BlockID) (topology.Placement, error) {
+	core := topology.RackID(p.rng.Intn(p.cfg.Topology.Racks()))
+	return p.PlaceAt(block, core)
+}
+
+// PlaceAt places a block whose first replica must land in the given rack,
+// the case where the writer is a node of that rack (HDFS writes the first
+// replica locally).
+func (p *EAR) PlaceAt(block topology.BlockID, core topology.RackID) (topology.Placement, error) {
+	if int(core) < 0 || int(core) >= p.cfg.Topology.Racks() {
+		return topology.Placement{}, fmt.Errorf("%w: %d", topology.ErrUnknownRack, core)
+	}
+	os, err := p.openFor(core)
+	if err != nil {
+		return topology.Placement{}, err
+	}
+	nodes, iters, err := p.placeInStripe(os, block)
+	if err != nil {
+		return topology.Placement{}, err
+	}
+	pl := topology.Placement{Block: block, Nodes: nodes}
+	os.info.Blocks = append(os.info.Blocks, block)
+	os.info.Placements = append(os.info.Placements, pl.Clone())
+	os.info.Iterations = append(os.info.Iterations, iters)
+	if len(os.info.Blocks) == p.cfg.K {
+		p.sealed = append(p.sealed, os.info)
+		delete(p.open, core)
+	}
+	return pl, nil
+}
+
+// TakeSealed drains and returns stripes completed since the previous call.
+func (p *EAR) TakeSealed() []*StripeInfo {
+	s := p.sealed
+	p.sealed = nil
+	return s
+}
+
+// FlushOpen seals and returns every in-progress stripe regardless of how
+// many blocks it holds (short stripes at end of workload). Open state is
+// cleared.
+func (p *EAR) FlushOpen() []*StripeInfo {
+	out := make([]*StripeInfo, 0, len(p.open))
+	for r, os := range p.open {
+		out = append(out, os.info)
+		delete(p.open, r)
+	}
+	return out
+}
+
+// openFor returns the open stripe for the rack, creating one (and drawing
+// its target racks, Section III-D) on first use.
+func (p *EAR) openFor(core topology.RackID) (*openStripe, error) {
+	if os, ok := p.open[core]; ok {
+		return os, nil
+	}
+	info := &StripeInfo{
+		ID:       p.nextStripe,
+		CoreRack: core,
+	}
+	p.nextStripe++
+	if p.cfg.TargetRacks > 0 && p.cfg.TargetRacks < p.cfg.Topology.Racks() {
+		others, err := sampleRacksExcluding(allRacks(p.cfg.Topology), core, p.cfg.TargetRacks-1, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		info.Targets = append([]topology.RackID{core}, others...)
+	}
+	os := &openStripe{info: info}
+	if !p.cfg.Preliminary && !p.cfg.FullRecompute {
+		f, err := newStripeFlow(p.cfg, info)
+		if err != nil {
+			return nil, err
+		}
+		os.flow = f
+	}
+	p.open[core] = os
+	return os, nil
+}
+
+// remoteRacks returns the racks eligible for a stripe's non-first replicas:
+// the stripe's target racks when configured, otherwise every rack. The core
+// rack is excluded by randomLayout.
+func (p *EAR) remoteRacks(info *StripeInfo) []topology.RackID {
+	if len(info.Targets) > 0 {
+		return info.Targets
+	}
+	return allRacks(p.cfg.Topology)
+}
+
+// placeInStripe generates candidate layouts for the block until the
+// stripe's flow graph accepts one (Section III-C step 5), returning the
+// layout and the number of candidates generated (Theorem 1's iteration
+// count).
+func (p *EAR) placeInStripe(os *openStripe, block topology.BlockID) ([]topology.NodeID, int, error) {
+	info := os.info
+	i := len(info.Blocks) + 1 // this block's 1-based index within the stripe
+	remote := p.remoteRacks(info)
+	for attempt := 1; attempt <= p.cfg.MaxRetries; attempt++ {
+		nodes, err := randomLayout(p.cfg, info.CoreRack, remote, p.rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if p.cfg.Preliminary {
+			return nodes, attempt, nil
+		}
+		ok, err := p.accept(os, nodes, i)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			return nodes, attempt, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: block %d of stripe %d after %d attempts",
+		ErrRetriesExhausted, i, info.ID, p.cfg.MaxRetries)
+}
+
+// accept checks whether adding the candidate layout keeps the stripe
+// feasible (max flow == i) and, if so, commits it to the incremental flow
+// state.
+func (p *EAR) accept(os *openStripe, nodes []topology.NodeID, i int) (bool, error) {
+	if p.cfg.FullRecompute {
+		layouts := make([][]topology.NodeID, 0, i)
+		for _, pl := range os.info.Placements {
+			layouts = append(layouts, pl.Nodes)
+		}
+		layouts = append(layouts, nodes)
+		flow, err := solveStripeFlow(p.cfg, os.info, layouts)
+		if err != nil {
+			return false, err
+		}
+		return flow == int64(i), nil
+	}
+	gain, next, err := os.flow.tryAdd(nodes)
+	if err != nil {
+		return false, err
+	}
+	if gain != 1 {
+		return false, nil
+	}
+	os.flow = next
+	return true, nil
+}
+
+// stripeFlow is the paper's Section III-B flow graph for one stripe:
+// source -> block vertices -> node vertices -> rack vertices -> sink, with
+// unit capacities except rack->sink edges which carry capacity c and exist
+// only for target racks. The struct supports incremental extension: tryAdd
+// clones the graph, wires a new block's replicas in, and pushes flow.
+type stripeFlow struct {
+	cfg    Config
+	info   *StripeInfo
+	graph  *maxflow.Graph
+	blocks int
+	// vertex ids
+	source, sink int
+	nodeVertex   map[topology.NodeID]int
+	rackVertex   map[topology.RackID]int
+	nextVertex   int
+	// blockEdges[i] records the block->node edges of block i so the
+	// post-encoding planner can read the matching back out of the flow.
+	blockEdges [][]blockEdge
+}
+
+// blockEdge pairs a replica node with its block->node edge id.
+type blockEdge struct {
+	node   topology.NodeID
+	edgeID int
+}
+
+// flowVertexBudget sizes the graph: source + sink + k blocks + up to k*r
+// replica nodes + up to R racks.
+func flowVertexBudget(cfg Config) int {
+	return 2 + cfg.K + cfg.K*cfg.Replicas + cfg.Topology.Racks()
+}
+
+func newStripeFlow(cfg Config, info *StripeInfo) (*stripeFlow, error) {
+	n := flowVertexBudget(cfg)
+	g, err := maxflow.NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	return &stripeFlow{
+		cfg:        cfg,
+		info:       info,
+		graph:      g,
+		source:     0,
+		sink:       1,
+		nodeVertex: make(map[topology.NodeID]int),
+		rackVertex: make(map[topology.RackID]int),
+		nextVertex: 2,
+	}, nil
+}
+
+// isTarget reports whether rack r may hold post-encoding blocks.
+func (f *stripeFlow) isTarget(r topology.RackID) bool {
+	if len(f.info.Targets) == 0 {
+		return true
+	}
+	for _, t := range f.info.Targets {
+		if t == r {
+			return true
+		}
+	}
+	return false
+}
+
+// clone deep-copies the flow state.
+func (f *stripeFlow) clone() *stripeFlow {
+	c := &stripeFlow{
+		cfg:        f.cfg,
+		info:       f.info,
+		graph:      f.graph.Clone(),
+		blocks:     f.blocks,
+		source:     f.source,
+		sink:       f.sink,
+		nodeVertex: make(map[topology.NodeID]int, len(f.nodeVertex)),
+		rackVertex: make(map[topology.RackID]int, len(f.rackVertex)),
+		nextVertex: f.nextVertex,
+	}
+	for k, v := range f.nodeVertex {
+		c.nodeVertex[k] = v
+	}
+	for k, v := range f.rackVertex {
+		c.rackVertex[k] = v
+	}
+	c.blockEdges = make([][]blockEdge, len(f.blockEdges))
+	for i, edges := range f.blockEdges {
+		c.blockEdges[i] = append([]blockEdge(nil), edges...)
+	}
+	return c
+}
+
+// addBlock wires one block's replica nodes into the graph.
+func (f *stripeFlow) addBlock(nodes []topology.NodeID) error {
+	if f.nextVertex >= f.graph.N() {
+		return fmt.Errorf("placement: flow graph vertex budget exceeded")
+	}
+	blockV := f.nextVertex
+	f.nextVertex++
+	if _, err := f.graph.AddEdge(f.source, blockV, 1); err != nil {
+		return err
+	}
+	edges := make([]blockEdge, 0, len(nodes))
+	for _, n := range nodes {
+		nv, ok := f.nodeVertex[n]
+		if !ok {
+			nv = f.nextVertex
+			f.nextVertex++
+			f.nodeVertex[n] = nv
+			r, err := f.cfg.Topology.RackOf(n)
+			if err != nil {
+				return err
+			}
+			rv, ok := f.rackVertex[r]
+			if !ok {
+				rv = f.nextVertex
+				f.nextVertex++
+				f.rackVertex[r] = rv
+				if f.isTarget(r) {
+					if _, err := f.graph.AddEdge(rv, f.sink, int64(f.cfg.C)); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := f.graph.AddEdge(nv, rv, 1); err != nil {
+				return err
+			}
+		}
+		id, err := f.graph.AddEdge(blockV, nv, 1)
+		if err != nil {
+			return err
+		}
+		edges = append(edges, blockEdge{node: n, edgeID: id})
+	}
+	f.blockEdges = append(f.blockEdges, edges)
+	f.blocks++
+	return nil
+}
+
+// tryAdd tentatively adds a block layout and reports the flow gain. On
+// gain == 1 the returned stripeFlow is the committed successor state.
+func (f *stripeFlow) tryAdd(nodes []topology.NodeID) (int64, *stripeFlow, error) {
+	next := f.clone()
+	if err := next.addBlock(nodes); err != nil {
+		return 0, nil, err
+	}
+	gain, err := next.graph.MaxFlow(next.source, next.sink)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gain, next, nil
+}
+
+// solveStripeFlow builds the flow graph for the given layouts from scratch
+// and returns its maximum flow (the full-recompute ablation path; also used
+// by the post-encoding planner).
+func solveStripeFlow(cfg Config, info *StripeInfo, layouts [][]topology.NodeID) (int64, error) {
+	f, err := newStripeFlow(cfg, info)
+	if err != nil {
+		return 0, err
+	}
+	for _, nodes := range layouts {
+		if err := f.addBlock(nodes); err != nil {
+			return 0, err
+		}
+	}
+	return f.graph.MaxFlow(f.source, f.sink)
+}

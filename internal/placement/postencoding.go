@@ -1,0 +1,205 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ear/internal/topology"
+)
+
+// PostEncodingPlan is the output of the post-encoding layout planner: which
+// replica of each data block survives the encoding operation, where the
+// parity blocks go, and whether the fault-tolerance requirement forces block
+// relocation (the availability issue of Section II-B, impossible under
+// complete EAR by construction).
+type PostEncodingPlan struct {
+	// Keep[i] is the node retaining data block i. When Violation is set,
+	// unmatched blocks keep their first replica and appear in Relocated.
+	Keep []topology.NodeID
+	// Parity[j] is the node assigned parity block j.
+	Parity []topology.NodeID
+	// Violation reports that no deletion choice satisfies the rack-level
+	// fault-tolerance requirement, so the blocks listed in Relocated must
+	// move after encoding (HDFS-RAID's PlacementMonitor + BlockMover).
+	Violation bool
+	// Relocated lists the indices of data blocks requiring relocation.
+	Relocated []int
+}
+
+// Layout converts the plan into a StripeLayout for validation.
+func (p *PostEncodingPlan) Layout(id topology.StripeID) topology.StripeLayout {
+	return topology.StripeLayout{
+		Stripe: id,
+		Data:   append([]topology.NodeID(nil), p.Keep...),
+		Parity: append([]topology.NodeID(nil), p.Parity...),
+	}
+}
+
+// PlanPostEncoding decides the post-encoding layout for a stripe. It solves
+// the Section III-B maximum-matching problem over the replica locations; if
+// a full matching exists the kept replicas and parity placements satisfy
+// node-level and rack-level fault tolerance with no relocation. Otherwise it
+// keeps first replicas for the unmatched blocks, marks them for relocation,
+// and still places parity as well as possible.
+//
+// For stripes produced by EAR the matching always exists (the policy
+// enforced feasibility at write time); for RR-placed blocks grouped into a
+// stripe at encoding time, a violation is the common case the paper's
+// Figure 3 and motivating example describe.
+func PlanPostEncoding(cfg Config, info *StripeInfo, rng *rand.Rand) (*PostEncodingPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(info.Blocks) == 0 || len(info.Blocks) != len(info.Placements) {
+		return nil, fmt.Errorf("%w: stripe %d has %d blocks and %d placements",
+			ErrInvalidConfig, info.ID, len(info.Blocks), len(info.Placements))
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalidConfig)
+	}
+
+	f, err := newStripeFlow(cfg, info)
+	if err != nil {
+		return nil, err
+	}
+	for _, pl := range info.Placements {
+		if err := f.addBlock(pl.Nodes); err != nil {
+			return nil, err
+		}
+	}
+	flow, err := f.graph.MaxFlow(f.source, f.sink)
+	if err != nil {
+		return nil, err
+	}
+	match, err := f.matching()
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &PostEncodingPlan{Keep: make([]topology.NodeID, len(info.Blocks))}
+	for i, node := range match {
+		if node >= 0 {
+			plan.Keep[i] = node
+			continue
+		}
+		// Unmatched: fall back to the first replica and schedule relocation.
+		plan.Keep[i] = info.Placements[i].Nodes[0]
+		plan.Relocated = append(plan.Relocated, i)
+	}
+	plan.Violation = flow < int64(len(info.Blocks))
+
+	parity, err := placeParity(cfg, info, plan.Keep, rng)
+	if err != nil {
+		return nil, err
+	}
+	plan.Parity = parity
+	return plan, nil
+}
+
+// matching extracts, after MaxFlow, the node matched to each block (or -1).
+func (f *stripeFlow) matching() ([]topology.NodeID, error) {
+	out := make([]topology.NodeID, f.blocks)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, edges := range f.blockEdges {
+		for _, be := range edges {
+			fl, err := f.graph.EdgeFlow(be.edgeID)
+			if err != nil {
+				return nil, err
+			}
+			if fl > 0 {
+				out[i] = be.node
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// placeParity assigns the n-k parity blocks to nodes of target racks that
+// still have spare stripe capacity (fewer than c stripe blocks), never
+// reusing a node that keeps a data block. Racks and nodes are drawn
+// uniformly among the eligible, preserving load balancing.
+func placeParity(cfg Config, info *StripeInfo, keep []topology.NodeID, rng *rand.Rand) ([]topology.NodeID, error) {
+	top := cfg.Topology
+	used := make(map[topology.NodeID]bool, len(keep))
+	rackCount := make(map[topology.RackID]int)
+	for _, n := range keep {
+		used[n] = true
+		r, err := top.RackOf(n)
+		if err != nil {
+			return nil, err
+		}
+		rackCount[r]++
+	}
+	eligible := info.Targets
+	if len(eligible) == 0 {
+		eligible = allRacks(top)
+	}
+
+	// Short stripes are zero-padded to k blocks before encoding, so the
+	// parity count is always n-k.
+	m := cfg.N - cfg.K
+	parity := make([]topology.NodeID, 0, m)
+	for j := 0; j < m; j++ {
+		// Racks with spare capacity, uniformly shuffled.
+		candidates := make([]topology.RackID, 0, len(eligible))
+		for _, r := range eligible {
+			if rackCount[r] < cfg.C {
+				candidates = append(candidates, r)
+			}
+		}
+		rng.Shuffle(len(candidates), func(a, b int) { candidates[a], candidates[b] = candidates[b], candidates[a] })
+		placed := false
+		for _, r := range candidates {
+			nodes, err := top.NodesInRack(r)
+			if err != nil {
+				return nil, err
+			}
+			free := make([]topology.NodeID, 0, len(nodes))
+			for _, n := range nodes {
+				if !used[n] {
+					free = append(free, n)
+				}
+			}
+			if len(free) == 0 {
+				continue
+			}
+			n := free[rng.Intn(len(free))]
+			parity = append(parity, n)
+			used[n] = true
+			rackCount[r]++
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("placement: no eligible node for parity block %d of stripe %d", j, info.ID)
+		}
+	}
+	return parity, nil
+}
+
+// GroupIntoStripes partitions RR-placed blocks into stripes of k, the way
+// HDFS-RAID's RaidNode groups blocks at encoding time with no knowledge of
+// placement. Leftover blocks (fewer than k) are not grouped.
+func GroupIntoStripes(k int, blocks []topology.BlockID, placements map[topology.BlockID]topology.Placement, firstID topology.StripeID) ([]*StripeInfo, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrInvalidConfig, k)
+	}
+	var out []*StripeInfo
+	for start := 0; start+k <= len(blocks); start += k {
+		info := &StripeInfo{ID: firstID + topology.StripeID(len(out)), CoreRack: -1}
+		for _, b := range blocks[start : start+k] {
+			pl, ok := placements[b]
+			if !ok {
+				return nil, fmt.Errorf("placement: block %d has no recorded placement", b)
+			}
+			info.Blocks = append(info.Blocks, b)
+			info.Placements = append(info.Placements, pl.Clone())
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ear/internal/topology"
+)
+
+// randomValidConfig draws a random configuration that passes Validate.
+func randomValidConfig(t *testing.T, rng *rand.Rand) Config {
+	t.Helper()
+	for attempt := 0; attempt < 100; attempt++ {
+		k := 2 + rng.Intn(8)     // 2..9
+		n := k + 1 + rng.Intn(4) // k+1..k+4
+		c := 1 + rng.Intn(3)     // 1..3
+		racks := n/c + 1 + rng.Intn(10)
+		if racks*c < n || k > racks*c {
+			continue
+		}
+		nodes := 2 + rng.Intn(5)
+		replicas := 2 + rng.Intn(2) // 2..3
+		spread := rng.Intn(4) == 0
+		if spread && replicas > racks {
+			continue
+		}
+		if !spread && replicas-1 > nodes {
+			continue
+		}
+		top, err := topology.New(racks, nodes)
+		if err != nil {
+			continue
+		}
+		cfg := Config{
+			Topology:       top,
+			Replicas:       replicas,
+			K:              k,
+			N:              n,
+			C:              c,
+			SpreadReplicas: spread,
+		}
+		if cfg.Validate() == nil {
+			return cfg
+		}
+	}
+	t.Fatal("could not draw a valid config")
+	return Config{}
+}
+
+// TestPropertyEARInvariants checks, over random valid configurations, the
+// three guarantees of Section III: every sealed stripe has one replica of
+// each block in the core rack; the post-encoding plan never violates; and
+// the resulting layout passes node- and rack-level validation.
+func TestPropertyEARInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomValidConfig(t, rng)
+		pol, err := NewEAR(cfg, rng)
+		if err != nil {
+			t.Logf("seed %d: NewEAR: %v", seed, err)
+			return false
+		}
+		var sealed []*StripeInfo
+		for b := 0; b < cfg.K*6 && len(sealed) < 2; b++ {
+			if _, err := pol.Place(topology.BlockID(b)); err != nil {
+				t.Logf("seed %d cfg %+v: Place: %v", seed, cfg, err)
+				return false
+			}
+			sealed = append(sealed, pol.TakeSealed()...)
+		}
+		for _, s := range sealed {
+			for _, pl := range s.Placements {
+				r, err := cfg.Topology.RackOf(pl.Nodes[0])
+				if err != nil || r != s.CoreRack {
+					t.Logf("seed %d: first replica not in core rack", seed)
+					return false
+				}
+				// All replicas on distinct nodes.
+				seen := map[topology.NodeID]bool{}
+				for _, n := range pl.Nodes {
+					if seen[n] {
+						t.Logf("seed %d: duplicate replica node", seed)
+						return false
+					}
+					seen[n] = true
+				}
+			}
+			plan, err := PlanPostEncoding(cfg, s, rng)
+			if err != nil {
+				t.Logf("seed %d cfg %+v: plan: %v", seed, cfg, err)
+				return false
+			}
+			if plan.Violation {
+				t.Logf("seed %d cfg %+v: EAR stripe violated", seed, cfg)
+				return false
+			}
+			if err := plan.Layout(s.ID).Validate(cfg.Topology, cfg.C); err != nil {
+				t.Logf("seed %d cfg %+v: layout: %v", seed, cfg, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRRPlacementShape checks RR's structural invariants over
+// random configurations: correct replica count, distinct nodes, and the
+// HDFS two-rack (or spread) rack pattern.
+func TestPropertyRRPlacementShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomValidConfig(t, rng)
+		pol, err := NewRandom(cfg, rng)
+		if err != nil {
+			return false
+		}
+		for b := 0; b < 30; b++ {
+			pl, err := pol.Place(topology.BlockID(b))
+			if err != nil {
+				t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+				return false
+			}
+			if len(pl.Nodes) != cfg.Replicas {
+				return false
+			}
+			seen := map[topology.NodeID]bool{}
+			for _, n := range pl.Nodes {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+			}
+			set, err := pl.RackSet(cfg.Topology)
+			if err != nil {
+				return false
+			}
+			want := 2
+			if cfg.SpreadReplicas {
+				want = cfg.Replicas
+			}
+			if cfg.Replicas == 1 {
+				want = 1
+			}
+			if len(set) != want {
+				t.Logf("seed %d: placement spans %d racks, want %d (spread=%v r=%d)",
+					seed, len(set), want, cfg.SpreadReplicas, cfg.Replicas)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPlanKeepsRealReplicas verifies that for both policies the
+// planner only ever keeps nodes that actually hold a replica, and that
+// parity nodes never collide with kept nodes.
+func TestPropertyPlanKeepsRealReplicas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomValidConfig(t, rng)
+		pol, err := NewRandom(cfg, rng)
+		if err != nil {
+			return false
+		}
+		info := &StripeInfo{ID: 1, CoreRack: -1}
+		for b := 0; b < cfg.K; b++ {
+			pl, err := pol.Place(topology.BlockID(b))
+			if err != nil {
+				return false
+			}
+			info.Blocks = append(info.Blocks, pl.Block)
+			info.Placements = append(info.Placements, pl)
+		}
+		plan, err := PlanPostEncoding(cfg, info, rng)
+		if err != nil {
+			t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+			return false
+		}
+		used := map[topology.NodeID]bool{}
+		for i, keep := range plan.Keep {
+			if !info.Placements[i].Contains(keep) {
+				return false
+			}
+			used[keep] = true
+		}
+		for _, p := range plan.Parity {
+			if used[p] {
+				t.Logf("seed %d: parity node %d collides with kept node", seed, p)
+				return false
+			}
+			used[p] = true
+		}
+		return len(plan.Parity) == cfg.N-cfg.K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

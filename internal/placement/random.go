@@ -1,0 +1,97 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ear/internal/topology"
+)
+
+// Random implements RR, the HDFS default replica placement (paper Section
+// II-A): the first replica goes to a node in a randomly chosen rack and the
+// remaining r-1 replicas go to distinct nodes in one different randomly
+// chosen rack, protecting against a two-node failure or a single-rack
+// failure. With Config.SpreadReplicas every replica instead lands in its own
+// rack.
+type Random struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns an RR policy. The rng drives all randomized choices and
+// makes runs reproducible.
+func NewRandom(cfg Config, rng *rand.Rand) (*Random, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrInvalidConfig)
+	}
+	return &Random{cfg: cfg.withDefaults(), rng: rng}, nil
+}
+
+// Name returns "rr".
+func (p *Random) Name() string { return "rr" }
+
+// Place chooses replica locations for the block.
+func (p *Random) Place(block topology.BlockID) (topology.Placement, error) {
+	nodes, err := randomLayout(p.cfg, topology.RackID(-1), allRacks(p.cfg.Topology), p.rng)
+	if err != nil {
+		return topology.Placement{}, err
+	}
+	return topology.Placement{Block: block, Nodes: nodes}, nil
+}
+
+// TakeSealed always returns nil: RR groups blocks into stripes only at
+// encoding time.
+func (p *Random) TakeSealed() []*StripeInfo { return nil }
+
+// randomLayout generates one replica layout. If coreRack >= 0 the first
+// replica is pinned to a random node of that rack (the EAR case) and the
+// remaining replicas avoid it; otherwise the first replica's rack is chosen
+// uniformly. remoteRacks is the eligible set for the non-first replicas.
+func randomLayout(cfg Config, coreRack topology.RackID, remoteRacks []topology.RackID, rng *rand.Rand) ([]topology.NodeID, error) {
+	top := cfg.Topology
+	nodes := make([]topology.NodeID, 0, cfg.Replicas)
+
+	firstRack := coreRack
+	if firstRack < 0 {
+		firstRack = topology.RackID(rng.Intn(top.Racks()))
+	}
+	first, err := sampleNodesInRack(top, firstRack, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodes = append(nodes, first[0])
+	if cfg.Replicas == 1 {
+		return nodes, nil
+	}
+
+	if cfg.SpreadReplicas {
+		racks, err := sampleRacksExcluding(remoteRacks, firstRack, cfg.Replicas-1, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range racks {
+			n, err := sampleNodesInRack(top, r, 1, rng)
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n[0])
+		}
+		return nodes, nil
+	}
+
+	racks, err := sampleRacksExcluding(remoteRacks, firstRack, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := sampleNodesInRack(top, racks[0], cfg.Replicas-1, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodes = append(nodes, remote...)
+	return nodes, nil
+}

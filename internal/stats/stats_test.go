@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("Mean(nil) error = %v", err)
+	}
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = (%v, %v), want (2.5, nil)", got, err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if _, err := StdDev([]float64{1}); !errors.Is(err, ErrNoData) {
+		t.Errorf("StdDev(single) error = %v", err)
+	}
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatalf("StdDev: %v", err)
+	}
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %.4f, want ~2.138", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%g): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: error = %v", err)
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("p < 0: expected error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("p > 100: expected error")
+	}
+	if got, err := Percentile([]float64{7}, 50); err != nil || got != 7 {
+		t.Errorf("single sample = (%v, %v)", got, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	if _, err := NewBoxPlot(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: error = %v", err)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	bp, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatalf("NewBoxPlot: %v", err)
+	}
+	if bp.Median != 5 {
+		t.Errorf("median = %g, want 5", bp.Median)
+	}
+	if len(bp.Outliers) != 1 || bp.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", bp.Outliers)
+	}
+	if bp.Min != 1 || bp.Max != 8 {
+		t.Errorf("whiskers = [%g, %g], want [1, 8]", bp.Min, bp.Max)
+	}
+	if bp.String() == "" {
+		t.Error("String() empty")
+	}
+	// Degenerate: constant sample, no outliers possible.
+	bp2, err := NewBoxPlot([]float64{5, 5, 5})
+	if err != nil || bp2.Min != 5 || bp2.Max != 5 || len(bp2.Outliers) != 0 {
+		t.Errorf("constant sample boxplot = %+v (%v)", bp2, err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(Exponential(rng, 2.0))
+	}
+	if math.Abs(w.Mean()-2.0) > 0.05 {
+		t.Errorf("exponential mean = %.4f, want ~2.0", w.Mean())
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 100001)
+	for i := range xs {
+		xs[i] = LogNormal(rng, 1.0, 0.5)
+	}
+	med, err := Percentile(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-math.E) > 0.1 {
+		t.Errorf("log-normal median = %.4f, want ~e", med)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if Poisson(rng, 0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+	if Poisson(rng, -1) != 0 {
+		t.Error("Poisson(negative) != 0")
+	}
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(float64(Poisson(rng, 3.5)))
+	}
+	if math.Abs(w.Mean()-3.5) > 0.1 {
+		t.Errorf("Poisson mean = %.4f, want ~3.5", w.Mean())
+	}
+	if math.Abs(w.Variance()-3.5) > 0.2 {
+		t.Errorf("Poisson variance = %.4f, want ~3.5", w.Variance())
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		bm, err1 := Mean(xs)
+		bs, err2 := StdDev(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(w.Mean()-bm) < 1e-9 && math.Abs(w.StdDev()-bs) < 1e-9 && w.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not neutral")
+	}
+	w.Add(5)
+	if w.Variance() != 0 {
+		t.Error("variance with one sample should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "resp"
+	for i := 0; i < 6; i++ {
+		s.Add(float64(i), float64(i*10))
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	vs := s.Values()
+	if vs[3] != 30 {
+		t.Fatalf("Values[3] = %g", vs[3])
+	}
+	m, err := s.WindowMean(2, 5)
+	if err != nil || m != 30 {
+		t.Fatalf("WindowMean = (%g, %v), want (30, nil)", m, err)
+	}
+	if _, err := s.WindowMean(100, 200); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty window error = %v", err)
+	}
+}
+
+func TestSeriesSmooth(t *testing.T) {
+	var s Series
+	for i := 0; i < 7; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	sm, err := s.Smooth(3)
+	if err != nil {
+		t.Fatalf("Smooth: %v", err)
+	}
+	if sm.Len() != 3 {
+		t.Fatalf("smoothed Len = %d, want 3", sm.Len())
+	}
+	if sm.Points[0].V != 1 { // mean of 0,1,2
+		t.Errorf("first smoothed value = %g, want 1", sm.Points[0].V)
+	}
+	if sm.Points[2].V != 6 { // lone tail point
+		t.Errorf("tail smoothed value = %g, want 6", sm.Points[2].V)
+	}
+	if _, err := s.Smooth(0); err == nil {
+		t.Error("Smooth(0): expected error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package topology models the cluster architecture of a clustered file
+// system (CFS) as described in the paper's Section II-A: storage nodes
+// grouped into racks, where nodes within a rack share a top-of-rack switch
+// and racks are joined by an over-subscribed network core. It also defines
+// the block, replica, and stripe metadata shared by the placement policies,
+// the discrete-event simulator, and the mini-HDFS testbed.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a storage node cluster-wide. IDs are dense, assigned in
+// rack-major order: rack r holds nodes [r*nodesPerRack, (r+1)*nodesPerRack).
+type NodeID int
+
+// RackID identifies a rack.
+type RackID int
+
+// BlockID identifies a data block.
+type BlockID int64
+
+// StripeID identifies an erasure-coded stripe.
+type StripeID int64
+
+// Errors returned by the package.
+var (
+	// ErrInvalidTopology indicates nonsensical rack or node counts.
+	ErrInvalidTopology = errors.New("topology: invalid topology")
+	// ErrUnknownNode indicates a NodeID outside the cluster.
+	ErrUnknownNode = errors.New("topology: unknown node")
+	// ErrUnknownRack indicates a RackID outside the cluster.
+	ErrUnknownRack = errors.New("topology: unknown rack")
+)
+
+// Topology is an immutable description of a homogeneous cluster: R racks
+// with a fixed number of nodes each. All methods are safe for concurrent
+// use.
+type Topology struct {
+	racks        int
+	nodesPerRack int
+}
+
+// New returns a topology with the given number of racks and nodes per rack.
+func New(racks, nodesPerRack int) (*Topology, error) {
+	if racks <= 0 || nodesPerRack <= 0 {
+		return nil, fmt.Errorf("%w: %d racks x %d nodes", ErrInvalidTopology, racks, nodesPerRack)
+	}
+	return &Topology{racks: racks, nodesPerRack: nodesPerRack}, nil
+}
+
+// Racks returns the number of racks R.
+func (t *Topology) Racks() int { return t.racks }
+
+// NodesPerRack returns the number of nodes in each rack.
+func (t *Topology) NodesPerRack() int { return t.nodesPerRack }
+
+// Nodes returns the total number of nodes in the cluster.
+func (t *Topology) Nodes() int { return t.racks * t.nodesPerRack }
+
+// RackOf returns the rack containing node n.
+func (t *Topology) RackOf(n NodeID) (RackID, error) {
+	if n < 0 || int(n) >= t.Nodes() {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, n)
+	}
+	return RackID(int(n) / t.nodesPerRack), nil
+}
+
+// NodesInRack returns the IDs of all nodes in rack r, in ascending order.
+func (t *Topology) NodesInRack(r RackID) ([]NodeID, error) {
+	if r < 0 || int(r) >= t.racks {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRack, r)
+	}
+	nodes := make([]NodeID, t.nodesPerRack)
+	base := int(r) * t.nodesPerRack
+	for i := range nodes {
+		nodes[i] = NodeID(base + i)
+	}
+	return nodes, nil
+}
+
+// SameRack reports whether two nodes share a rack.
+func (t *Topology) SameRack(a, b NodeID) (bool, error) {
+	ra, err := t.RackOf(a)
+	if err != nil {
+		return false, err
+	}
+	rb, err := t.RackOf(b)
+	if err != nil {
+		return false, err
+	}
+	return ra == rb, nil
+}
+
+// String describes the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology(%d racks x %d nodes)", t.racks, t.nodesPerRack)
+}
+
+// Placement records where the replicas of one block live. The first entry is
+// the "first replica" in the HDFS sense; under EAR it resides in the stripe's
+// core rack.
+type Placement struct {
+	Block BlockID
+	Nodes []NodeID
+}
+
+// Clone returns a deep copy of the placement.
+func (p Placement) Clone() Placement {
+	nodes := make([]NodeID, len(p.Nodes))
+	copy(nodes, p.Nodes)
+	return Placement{Block: p.Block, Nodes: nodes}
+}
+
+// Contains reports whether the placement includes node n.
+func (p Placement) Contains(n NodeID) bool {
+	for _, v := range p.Nodes {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// RackSet returns the set of racks spanned by the placement.
+func (p Placement) RackSet(t *Topology) (map[RackID]bool, error) {
+	set := make(map[RackID]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		r, err := t.RackOf(n)
+		if err != nil {
+			return nil, err
+		}
+		set[r] = true
+	}
+	return set, nil
+}
+
+// StripeLayout records the final on-disk layout of one erasure-coded stripe
+// after the encoding operation: for each of the k data blocks, the single
+// node keeping its replica, plus the nodes storing the n-k parity blocks.
+type StripeLayout struct {
+	Stripe StripeID
+	// Data[i] is the node retaining data block i of the stripe.
+	Data []NodeID
+	// Parity[j] is the node storing parity block j.
+	Parity []NodeID
+}
+
+// AllNodes returns data then parity node IDs in stripe order.
+func (l StripeLayout) AllNodes() []NodeID {
+	all := make([]NodeID, 0, len(l.Data)+len(l.Parity))
+	all = append(all, l.Data...)
+	all = append(all, l.Parity...)
+	return all
+}
+
+// BlocksPerRack counts, for each rack, how many blocks of the stripe it
+// stores after encoding.
+func (l StripeLayout) BlocksPerRack(t *Topology) (map[RackID]int, error) {
+	counts := make(map[RackID]int)
+	for _, n := range l.AllNodes() {
+		r, err := t.RackOf(n)
+		if err != nil {
+			return nil, err
+		}
+		counts[r]++
+	}
+	return counts, nil
+}
+
+// Validate checks the layout's structural invariants: every block on a
+// distinct node (node-level fault tolerance for n-k failures) and at most
+// maxPerRack blocks in any rack (rack-level fault tolerance for
+// floor((n-k)/maxPerRack) rack failures, per Section III-B).
+func (l StripeLayout) Validate(t *Topology, maxPerRack int) error {
+	seen := make(map[NodeID]bool)
+	for _, n := range l.AllNodes() {
+		if _, err := t.RackOf(n); err != nil {
+			return err
+		}
+		if seen[n] {
+			return fmt.Errorf("topology: stripe %d places two blocks on node %d", l.Stripe, n)
+		}
+		seen[n] = true
+	}
+	if maxPerRack > 0 {
+		counts, err := l.BlocksPerRack(t)
+		if err != nil {
+			return err
+		}
+		for r, c := range counts {
+			if c > maxPerRack {
+				return fmt.Errorf("topology: stripe %d places %d blocks in rack %d, max %d", l.Stripe, c, r, maxPerRack)
+			}
+		}
+	}
+	return nil
+}
+
+// TolerableRackFailures returns the number of rack failures the layout
+// survives: the stripe tolerates losing n-k blocks, so with at most c blocks
+// per rack it tolerates floor((n-k)/c) rack failures (Section III-B).
+func (l StripeLayout) TolerableRackFailures(t *Topology, k int) (int, error) {
+	counts, err := l.BlocksPerRack(t)
+	if err != nil {
+		return 0, err
+	}
+	maxPerRack := 0
+	for _, c := range counts {
+		if c > maxPerRack {
+			maxPerRack = c
+		}
+	}
+	if maxPerRack == 0 {
+		return 0, errors.New("topology: empty stripe layout")
+	}
+	m := len(l.AllNodes()) - k
+	return m / maxPerRack, nil
+}

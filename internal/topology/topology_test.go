@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustTopology(t *testing.T, racks, nodes int) *Topology {
+	t.Helper()
+	top, err := New(racks, nodes)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", racks, nodes, err)
+	}
+	return top
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tt := range [][2]int{{0, 5}, {5, 0}, {-1, 1}, {1, -1}} {
+		if _, err := New(tt[0], tt[1]); !errors.Is(err, ErrInvalidTopology) {
+			t.Errorf("New(%d, %d) error = %v, want ErrInvalidTopology", tt[0], tt[1], err)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	top := mustTopology(t, 5, 6) // the paper's motivating example: 30 nodes
+	if top.Racks() != 5 || top.NodesPerRack() != 6 || top.Nodes() != 30 {
+		t.Fatalf("accessors wrong: %v", top)
+	}
+	if got := top.String(); got != "topology(5 racks x 6 nodes)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRackOf(t *testing.T) {
+	top := mustTopology(t, 4, 2) // Section III-B example: 8 nodes, 4 racks
+	tests := []struct {
+		node NodeID
+		rack RackID
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {6, 3}, {7, 3},
+	}
+	for _, tt := range tests {
+		got, err := top.RackOf(tt.node)
+		if err != nil {
+			t.Fatalf("RackOf(%d): %v", tt.node, err)
+		}
+		if got != tt.rack {
+			t.Errorf("RackOf(%d) = %d, want %d", tt.node, got, tt.rack)
+		}
+	}
+	if _, err := top.RackOf(8); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("RackOf(8) error = %v, want ErrUnknownNode", err)
+	}
+	if _, err := top.RackOf(-1); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("RackOf(-1) error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestNodesInRack(t *testing.T) {
+	top := mustTopology(t, 3, 4)
+	nodes, err := top.NodesInRack(1)
+	if err != nil {
+		t.Fatalf("NodesInRack: %v", err)
+	}
+	want := []NodeID{4, 5, 6, 7}
+	if len(nodes) != len(want) {
+		t.Fatalf("NodesInRack(1) = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("NodesInRack(1) = %v, want %v", nodes, want)
+		}
+	}
+	if _, err := top.NodesInRack(3); !errors.Is(err, ErrUnknownRack) {
+		t.Errorf("NodesInRack(3) error = %v, want ErrUnknownRack", err)
+	}
+}
+
+func TestSameRack(t *testing.T) {
+	top := mustTopology(t, 2, 3)
+	same, err := top.SameRack(0, 2)
+	if err != nil || !same {
+		t.Errorf("SameRack(0, 2) = (%v, %v), want (true, nil)", same, err)
+	}
+	same, err = top.SameRack(2, 3)
+	if err != nil || same {
+		t.Errorf("SameRack(2, 3) = (%v, %v), want (false, nil)", same, err)
+	}
+	if _, err := top.SameRack(0, 99); err == nil {
+		t.Error("SameRack with bad node: expected error")
+	}
+	if _, err := top.SameRack(99, 0); err == nil {
+		t.Error("SameRack with bad node: expected error")
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	top := mustTopology(t, 3, 2)
+	p := Placement{Block: 7, Nodes: []NodeID{0, 2, 3}}
+	if !p.Contains(3) || p.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	set, err := p.RackSet(top)
+	if err != nil {
+		t.Fatalf("RackSet: %v", err)
+	}
+	if len(set) != 2 || !set[0] || !set[1] {
+		t.Errorf("RackSet = %v, want racks {0, 1} (nodes 2,3 share rack 1)", set)
+	}
+	c := p.Clone()
+	c.Nodes[0] = 5
+	if p.Nodes[0] != 0 {
+		t.Error("Clone shares node slice")
+	}
+	bad := Placement{Block: 1, Nodes: []NodeID{99}}
+	if _, err := bad.RackSet(top); err == nil {
+		t.Error("RackSet with bad node: expected error")
+	}
+}
+
+func TestStripeLayoutValidate(t *testing.T) {
+	top := mustTopology(t, 4, 2)
+	// (4,3) code spread over 4 racks, one block each: valid with c=1.
+	l := StripeLayout{Stripe: 1, Data: []NodeID{0, 2, 4}, Parity: []NodeID{6}}
+	if err := l.Validate(top, 1); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Two blocks in rack 0 violates c=1 but passes c=2.
+	l2 := StripeLayout{Stripe: 2, Data: []NodeID{0, 1, 2}, Parity: []NodeID{4}}
+	if err := l2.Validate(top, 1); err == nil {
+		t.Fatal("Validate should reject 2 blocks in one rack with c=1")
+	}
+	if err := l2.Validate(top, 2); err != nil {
+		t.Fatalf("Validate with c=2: %v", err)
+	}
+	// Duplicate node violates node-level fault tolerance.
+	l3 := StripeLayout{Stripe: 3, Data: []NodeID{0, 0, 2}, Parity: []NodeID{4}}
+	if err := l3.Validate(top, 0); err == nil {
+		t.Fatal("Validate should reject duplicate node")
+	}
+	// Unknown node.
+	l4 := StripeLayout{Stripe: 4, Data: []NodeID{99}, Parity: nil}
+	if err := l4.Validate(top, 0); err == nil {
+		t.Fatal("Validate should reject unknown node")
+	}
+}
+
+func TestStripeLayoutCounts(t *testing.T) {
+	top := mustTopology(t, 3, 3)
+	l := StripeLayout{Stripe: 9, Data: []NodeID{0, 1, 3}, Parity: []NodeID{6}}
+	counts, err := l.BlocksPerRack(top)
+	if err != nil {
+		t.Fatalf("BlocksPerRack: %v", err)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("BlocksPerRack = %v", counts)
+	}
+	all := l.AllNodes()
+	if len(all) != 4 || all[3] != 6 {
+		t.Fatalf("AllNodes = %v", all)
+	}
+}
+
+func TestTolerableRackFailures(t *testing.T) {
+	top := mustTopology(t, 6, 2)
+	// (6,3): m=3 parity. One block per rack => tolerate 3 rack failures.
+	spread := StripeLayout{Stripe: 1, Data: []NodeID{0, 2, 4}, Parity: []NodeID{6, 8, 10}}
+	got, err := spread.TolerableRackFailures(top, 3)
+	if err != nil || got != 3 {
+		t.Fatalf("spread TolerableRackFailures = (%d, %v), want (3, nil)", got, err)
+	}
+	// Packed two-per-rack across 3 racks => floor(3/2) = 1 rack failure.
+	packed := StripeLayout{Stripe: 2, Data: []NodeID{0, 1, 2}, Parity: []NodeID{3, 4, 5}}
+	got, err = packed.TolerableRackFailures(top, 3)
+	if err != nil || got != 1 {
+		t.Fatalf("packed TolerableRackFailures = (%d, %v), want (1, nil)", got, err)
+	}
+	empty := StripeLayout{}
+	if _, err := empty.TolerableRackFailures(top, 3); err == nil {
+		t.Fatal("empty layout: expected error")
+	}
+}
