@@ -13,6 +13,7 @@
 //	earfs revive 3
 //	earfs repair <blockID>
 //	earfs info
+//	earfs stats
 package main
 
 import (
@@ -33,7 +34,26 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: earfs [-addr host:port] {put SRC DST | get SRC DST | ls | stat PATH | rm PATH | encode | fail NODE | revive NODE | repair BLOCK | info}")
+	return fmt.Errorf("usage: earfs [-addr host:port] {put SRC DST | get SRC DST | ls | stat PATH | rm PATH | encode | fail NODE | revive NODE | repair BLOCK | info | stats}")
+}
+
+// printStats renders a StatsReport as aligned human-readable tables.
+func printStats(rep *netcfs.StatsReport) {
+	fmt.Printf("%-8s %8s %12s %12s %12s\n", "op", "count", "mean", "p50", "p99")
+	for _, m := range rep.Ops {
+		fmt.Printf("%-8s %8d %11.3fms %11.3fms %11.3fms\n",
+			m.Op, m.Count, m.MeanSeconds*1e3, m.P50Seconds*1e3, m.P99Seconds*1e3)
+	}
+	e := rep.Encode
+	fmt.Printf("\nencoding: %d stripes, %.1f MB in %.2fs (%.1f MB/s), cross-rack downloads %d, violations %d\n",
+		e.Stripes, float64(e.EncodedBytes)/(1<<20), e.DurationSeconds,
+		e.ThroughputMBps, e.CrossRackDownloads, e.Violations)
+	if len(rep.TaskLocality) > 0 {
+		fmt.Printf("task locality: node=%d rack=%d remote=%d\n",
+			rep.TaskLocality["node"], rep.TaskLocality["rack"], rep.TaskLocality["remote"])
+	}
+	fmt.Printf("fabric: %.1f MB cross-rack, %.1f MB intra-rack\n",
+		float64(rep.CrossRackBytes)/(1<<20), float64(rep.IntraRackBytes)/(1<<20))
 }
 
 func run() error {
@@ -154,6 +174,12 @@ func run() error {
 		fmt.Printf("cluster: %d racks x %d nodes, policy=%s, (n,k)=(%d,%d), c=%d, block=%d B\n",
 			info.Racks, info.NodesPerRack, info.Policy, info.N, info.K, info.C, info.BlockSizeBytes)
 		fmt.Printf("blocks: %d, encoded stripes: %d\n", info.BlockCount, info.EncodedStripes)
+	case "stats":
+		rep, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		printStats(rep)
 	default:
 		return usage()
 	}

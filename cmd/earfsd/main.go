@@ -6,17 +6,30 @@
 // Usage:
 //
 //	earfsd -listen :7070 -policy ear -racks 8 -nodes 4 -k 6 -n 9
+//
+// With -admin, earfsd also serves an HTTP observability endpoint:
+// /metrics (Prometheus text format), /debug/vars (expvar, including the
+// RaidNode's cumulative encoding statistics) and /debug/pprof/*:
+//
+//	earfsd -admin 127.0.0.1:7071
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"ear/internal/hdfs"
 	"ear/internal/netcfs"
+	"ear/internal/telemetry"
 )
 
 func main() {
@@ -26,21 +39,84 @@ func main() {
 	}
 }
 
+// parseLevel maps a -log-level value to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", s)
+	}
+	return lvl, nil
+}
+
+// adminMux builds the admin endpoint: Prometheus metrics, expvar, pprof.
+func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			slog.Warn("metrics write failed", "err", err)
+		}
+	})
+
+	// Publish the RaidNode's cumulative encoding statistics as one expvar
+	// map, folded incrementally so each poll is O(new work) (StatsSince).
+	var mu sync.Mutex
+	var cursor hdfs.StatsCursor
+	totals := map[string]any{}
+	encodeVar := expvar.Func(func() any {
+		mu.Lock()
+		defer mu.Unlock()
+		d, next := cluster.RaidNode().StatsSince(cursor)
+		cursor = next
+		add := func(k string, v float64) {
+			prev, _ := totals[k].(float64)
+			totals[k] = prev + v
+		}
+		add("stripes", float64(d.Stripes))
+		add("encoded_bytes", float64(d.EncodedBytes))
+		add("duration_seconds", d.Duration.Seconds())
+		add("cross_rack_downloads", float64(d.CrossRackDownloads))
+		add("violations", float64(d.Violations))
+		out := make(map[string]any, len(totals))
+		for k, v := range totals {
+			out[k] = v
+		}
+		return out
+	})
+	vars := expvar.NewMap("earfsd")
+	vars.Set("encode", encodeVar)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func run() error {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7070", "address to listen on")
-		policy  = flag.String("policy", "ear", `placement policy: "rr" or "ear"`)
-		racks   = flag.Int("racks", 12, "racks")
-		nodes   = flag.Int("nodes", 4, "nodes per rack")
-		k       = flag.Int("k", 6, "data blocks per stripe")
-		n       = flag.Int("n", 9, "stripe width (data + parity)")
-		c       = flag.Int("c", 1, "max blocks of a stripe per rack after encoding")
-		block   = flag.Int("block", 1<<20, "block size in bytes")
-		bwMBps  = flag.Float64("bw", 64, "link bandwidth in MB/s")
-		seed    = flag.Int64("seed", 1, "random seed")
-		verbose = flag.Bool("v", true, "log startup info")
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+		policy   = flag.String("policy", "ear", `placement policy: "rr" or "ear"`)
+		racks    = flag.Int("racks", 12, "racks")
+		nodes    = flag.Int("nodes", 4, "nodes per rack")
+		k        = flag.Int("k", 6, "data blocks per stripe")
+		n        = flag.Int("n", 9, "stripe width (data + parity)")
+		c        = flag.Int("c", 1, "max blocks of a stripe per rack after encoding")
+		block    = flag.Int("block", 1<<20, "block size in bytes")
+		bwMBps   = flag.Float64("bw", 64, "link bandwidth in MB/s")
+		seed     = flag.Int64("seed", 1, "random seed")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	lvl, err := parseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	cluster, err := hdfs.NewCluster(hdfs.Config{
 		Racks:                *racks,
@@ -58,19 +134,40 @@ func run() error {
 	}
 	defer cluster.Close()
 
+	// One registry backs everything: cluster internals (client latency,
+	// RaidNode counters, fabric bytes, MapReduce gauges) plus the RPC
+	// server's per-op series, all visible on /metrics.
+	reg := telemetry.NewRegistry()
+	cluster.SetTelemetry(reg)
+
 	srv, err := netcfs.Serve(cluster, *listen)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	if *verbose {
-		fmt.Printf("earfsd: serving %d racks x %d nodes, policy=%s, (n,k)=(%d,%d), c=%d on %s\n",
-			*racks, *nodes, *policy, *n, *k, *c, srv.Addr())
+	srv.SetTelemetry(reg)
+
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, adminMux(reg, cluster)); err != nil {
+				slog.Debug("admin server stopped", "err", err)
+			}
+		}()
+		slog.Info("admin endpoint up", "addr", ln.Addr().String())
 	}
+
+	slog.Info("serving",
+		"racks", *racks, "nodes_per_rack", *nodes, "policy", *policy,
+		"n", *n, "k", *k, "c", *c, "addr", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("earfsd: shutting down")
+	slog.Info("shutting down")
 	return nil
 }

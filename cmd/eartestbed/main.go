@@ -14,16 +14,23 @@
 //	eartestbed -exp a1udp
 //	eartestbed -exp a2
 //	eartestbed -exp a3 -jobs 50
+//
+// With -trace, the encode jobs' span timeline is written as Chrome trace
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev:
+//
+//	eartestbed -exp a1 -trace out.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"ear/internal/experiments"
 	"ear/internal/stats"
+	"ear/internal/telemetry"
 )
 
 func main() {
@@ -35,16 +42,32 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", or "recovery"`)
-		stripes = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
-		jobs    = flag.Int("jobs", 50, "SWIM jobs in A.3")
-		rate    = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
-		lead    = flag.Duration("lead", 2*time.Second, "A.2 write lead time before encoding")
-		series  = flag.Bool("series", false, "print the A.2 write-response series")
-		seed    = flag.Int64("seed", 1, "random seed")
+		exp      = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", or "recovery"`)
+		stripes  = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
+		jobs     = flag.Int("jobs", 50, "SWIM jobs in A.3")
+		rate     = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
+		lead     = flag.Duration("lead", 2*time.Second, "A.2 write lead time before encoding")
+		series   = flag.Bool("series", false, "print the A.2 write-response series")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceOut = flag.String("trace", "", "write the encode-path span timeline to this file as Chrome trace JSON")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
-	base := experiments.TestbedOptions{Stripes: *stripes, Seed: *seed}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", *logLevel)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	base := experiments.TestbedOptions{Stripes: *stripes, Seed: *seed, Tracer: tracer}
+
+	slog.Info("running experiment", "exp", *exp, "stripes", *stripes, "seed", *seed)
+	start := time.Now()
 	switch *exp {
 	case "a1":
 		t, err := experiments.RunA1(base)
@@ -95,6 +118,22 @@ func run() error {
 		fmt.Println(t)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	slog.Debug("experiment finished", "elapsed", time.Since(start))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		slog.Info("trace written", "path", *traceOut, "spans", len(tracer.Spans()))
 	}
 	return nil
 }

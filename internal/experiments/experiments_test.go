@@ -207,7 +207,11 @@ func TestRunA1(t *testing.T) {
 	for _, row := range tb.Rows {
 		rr, ear := parseRow(t, row[1]), parseRow(t, row[2])
 		if ear <= rr {
-			t.Errorf("(n,k)=%s: EAR %.2f <= RR %.2f MB/s", row[0], ear, rr)
+			if raceEnabled {
+				t.Logf("(n,k)=%s: EAR %.2f <= RR %.2f MB/s (ignored under -race)", row[0], ear, rr)
+			} else {
+				t.Errorf("(n,k)=%s: EAR %.2f <= RR %.2f MB/s", row[0], ear, rr)
+			}
 		}
 		if earCross := parseRow(t, row[5]); earCross != 0 {
 			t.Errorf("(n,k)=%s: EAR cross-rack downloads %v", row[0], earCross)
@@ -229,13 +233,22 @@ func TestRunA1UDP(t *testing.T) {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	// Gains should not collapse as traffic increases (paper: they grow).
+	// Wall-clock throughput ratios are advisory under -race.
 	first := parseRow(t, tb.Rows[0][3])
 	last := parseRow(t, tb.Rows[len(tb.Rows)-1][3])
 	if first <= 0 {
-		t.Errorf("unloaded gain %.1f%%, want positive", first)
+		if raceEnabled {
+			t.Logf("unloaded gain %.1f%% (ignored under -race)", first)
+		} else {
+			t.Errorf("unloaded gain %.1f%%, want positive", first)
+		}
 	}
 	if last <= 0 {
-		t.Errorf("loaded gain %.1f%%, want positive", last)
+		if raceEnabled {
+			t.Logf("loaded gain %.1f%% (ignored under -race)", last)
+		} else {
+			t.Errorf("loaded gain %.1f%%, want positive", last)
+		}
 	}
 }
 
@@ -254,11 +267,17 @@ func TestRunA2(t *testing.T) {
 	if res.RRSeries.Len() == 0 || res.EARSeries.Len() == 0 {
 		t.Fatal("empty write response series")
 	}
-	// Encoding time: EAR faster.
+	// Encoding time: EAR faster. The margin at this scale is tens of
+	// milliseconds, within the race detector's distortion, so the
+	// comparison is advisory under -race.
 	rrEnc := parseRow(t, res.Summary.Rows[2][1])
 	earEnc := parseRow(t, res.Summary.Rows[2][2])
 	if earEnc >= rrEnc {
-		t.Errorf("EAR encode %.2fs >= RR %.2fs", earEnc, rrEnc)
+		if raceEnabled {
+			t.Logf("EAR encode %.2fs >= RR %.2fs (ignored under -race)", earEnc, rrEnc)
+		} else {
+			t.Errorf("EAR encode %.2fs >= RR %.2fs", earEnc, rrEnc)
+		}
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; wall-clock
+// performance assertions are advisory under its slowdown.
+const raceEnabled = true

@@ -145,15 +145,13 @@ func measureRecovery(opts RecoveryOptions, c, targets int) (float64, float64, er
 		}
 		failedNode := meta.Nodes[0]
 		cluster.NameNode().MarkDead(failedNode)
-		before := cluster.Fabric().CrossRackBytes()
-		beforeTotal := before + cluster.Fabric().IntraRackBytes()
+		before := cluster.Fabric().Snapshot()
 		if _, err := cluster.RepairBlock(victim); err != nil {
 			return 0, 0, err
 		}
-		crossDelta := float64(cluster.Fabric().CrossRackBytes() - before)
+		crossDelta := float64(cluster.Fabric().Snapshot().Sub(before).CrossRackBytes)
 		totalCrossMB += crossDelta / (1 << 20)
 		totalBlocks += crossDelta / float64(cfg.BlockSizeBytes)
-		_ = beforeTotal
 		// The node "rejoins": its stale replica was invalidated by repair.
 		if dn, err := cluster.DataNodeOf(failedNode); err == nil {
 			_ = dn.Store.Delete(hdfs.DataKey(victim))

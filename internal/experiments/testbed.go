@@ -10,6 +10,7 @@ import (
 	"ear/internal/hdfs"
 	"ear/internal/mapred"
 	"ear/internal/stats"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -33,6 +34,9 @@ type TestbedOptions struct {
 	DiskBytesPerSec float64
 	MapTasks        int
 	Seed            int64
+	// Tracer, when non-nil, is installed on every cluster the experiment
+	// builds, so encoding jobs emit per-phase spans (eartestbed -trace).
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults fills zero fields with the scaled testbed setting.
@@ -125,19 +129,28 @@ func populate(c *hdfs.Cluster, stripes int, rng *rand.Rand) ([]topology.BlockID,
 	return ids, nil
 }
 
-// encodeOnce builds a cluster, populates it, and measures one encoding job.
-func encodeOnce(opts TestbedOptions, policy string, n, k int) (hdfs.EncodeStats, error) {
+// encodeOnce builds a cluster, populates it, and measures one encoding job,
+// returning its statistics and the cross-rack traffic the job generated (a
+// fabric snapshot delta, so the populate phase is excluded).
+func encodeOnce(opts TestbedOptions, policy string, n, k int) (hdfs.EncodeStats, float64, error) {
 	cfg := opts.clusterConfig(policy, n, k)
 	c, err := hdfs.NewCluster(cfg)
 	if err != nil {
-		return hdfs.EncodeStats{}, err
+		return hdfs.EncodeStats{}, 0, err
 	}
 	defer c.Close()
+	c.SetTracer(opts.Tracer)
 	rng := rand.New(rand.NewSource(opts.Seed + 77))
 	if _, err := populate(c, opts.Stripes, rng); err != nil {
-		return hdfs.EncodeStats{}, err
+		return hdfs.EncodeStats{}, 0, err
 	}
-	return c.RaidNode().EncodeAll()
+	before := c.Fabric().Snapshot()
+	st, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		return st, 0, err
+	}
+	d := c.Fabric().Snapshot().Sub(before)
+	return st, float64(d.CrossRackBytes) / (1 << 20), nil
 }
 
 // RunA1 reproduces Experiment A.1 / Figure 8(a): raw encoding throughput of
@@ -147,7 +160,7 @@ func RunA1(opts TestbedOptions) (*Table, error) {
 	t := &Table{
 		ID:      "fig8a",
 		Caption: "Experiment A.1: raw encoding throughput vs (n,k)",
-		Headers: []string{"(n,k)", "RR MB/s", "EAR MB/s", "EAR gain", "RR cross-dl", "EAR cross-dl"},
+		Headers: []string{"(n,k)", "RR MB/s", "EAR MB/s", "EAR gain", "RR cross-dl", "EAR cross-dl", "RR xrack MB", "EAR xrack MB"},
 		Notes: []string{
 			fmt.Sprintf("scaled testbed: %d racks x %d node(s), %d-way replication, %d stripes, %d B blocks, %.1f MB/s links",
 				opts.Racks, opts.NodesPerRack, opts.Replicas, opts.Stripes, opts.BlockSizeBytes, opts.BandwidthBytesPerSec/(1<<20)),
@@ -155,17 +168,18 @@ func RunA1(opts TestbedOptions) (*Table, error) {
 	}
 	for _, k := range []int{4, 6, 8, 10} {
 		n := k + 2
-		rr, err := encodeOnce(opts, "rr", n, k)
+		rr, rrCrossMB, err := encodeOnce(opts, "rr", n, k)
 		if err != nil {
 			return nil, fmt.Errorf("a1 rr k=%d: %w", k, err)
 		}
-		ear, err := encodeOnce(opts, "ear", n, k)
+		ear, earCrossMB, err := encodeOnce(opts, "ear", n, k)
 		if err != nil {
 			return nil, fmt.Errorf("a1 ear k=%d: %w", k, err)
 		}
 		t.AddRow(fmt.Sprintf("(%d,%d)", n, k), f2(rr.ThroughputMBps), f2(ear.ThroughputMBps),
 			pct(ear.ThroughputMBps/rr.ThroughputMBps),
-			fmt.Sprintf("%d", rr.CrossRackDownloads), fmt.Sprintf("%d", ear.CrossRackDownloads))
+			fmt.Sprintf("%d", rr.CrossRackDownloads), fmt.Sprintf("%d", ear.CrossRackDownloads),
+			f2(rrCrossMB), f2(earCrossMB))
 	}
 	return t, nil
 }
@@ -188,6 +202,7 @@ func RunA1UDP(opts TestbedOptions) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.SetTracer(opts.Tracer)
 			rng := rand.New(rand.NewSource(opts.Seed + 77))
 			if _, err := populate(c, opts.Stripes, rng); err != nil {
 				c.Close()
@@ -260,6 +275,7 @@ func runA2Policy(opts A2Options, policy string) (*stats.Series, hdfs.EncodeStats
 		return nil, hdfs.EncodeStats{}, 0, 0, err
 	}
 	defer c.Close()
+	c.SetTracer(opts.Tracer)
 	rng := rand.New(rand.NewSource(opts.Seed + 99))
 	if _, err := populate(c, opts.Stripes, rng); err != nil {
 		return nil, hdfs.EncodeStats{}, 0, 0, err
@@ -387,6 +403,7 @@ func runSwim(opts A3Options, policy string, jobs []mapred.SwimJob) ([]time.Durat
 		return nil, err
 	}
 	defer c.Close()
+	c.SetTracer(opts.Tracer)
 	rng := rand.New(rand.NewSource(opts.Seed + 55))
 	payload := make([]byte, cfg.BlockSizeBytes)
 	rng.Read(payload)

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -24,26 +25,61 @@ var ErrInvalidRate = errors.New("fabric: invalid rate")
 // this grain, approximating fair sharing.
 const chunkBytes = 64 << 10
 
+// LinkClass groups links by their position in the topology, the grouping
+// Snapshot and the telemetry labels report.
+type LinkClass string
+
+// Link classes. Node NIC links carry every transfer (the intra-rack hops);
+// rack links carry only the cross-rack portion through the core.
+const (
+	// ClassNodeUp is a node NIC transmitting toward the rack switch.
+	ClassNodeUp LinkClass = "node-up"
+	// ClassNodeDown is a node NIC receiving from the rack switch.
+	ClassNodeDown LinkClass = "node-down"
+	// ClassRackUp is a rack uplink into the core.
+	ClassRackUp LinkClass = "rack-up"
+	// ClassRackDown is a rack downlink out of the core.
+	ClassRackDown LinkClass = "rack-down"
+	// ClassDisk is a node's local disk (EnableDisk).
+	ClassDisk LinkClass = "disk"
+	// ClassOther marks standalone links built with NewLink.
+	ClassOther LinkClass = "other"
+)
+
 // Link is a token-bucket shaped unidirectional link.
 type Link struct {
-	name string
+	name  string
+	class LinkClass
 
 	mu       sync.Mutex
 	rate     float64 // bytes per second
 	nextFree time.Time
-	moved    int64 // total bytes shaped through the link
+	moved    int64         // total bytes shaped through the link
+	waited   time.Duration // total shaping delay imposed on callers
+
+	// Telemetry handles, set by SetTelemetry; nil when unobserved.
+	mBytes *telemetry.Metric
+	mWait  *telemetry.Metric
 }
 
 // NewLink creates a link with the given rate in bytes per second.
 func NewLink(name string, bytesPerSec float64) (*Link, error) {
+	return newLink(name, ClassOther, bytesPerSec)
+}
+
+// newLink creates a classified link.
+func newLink(name string, class LinkClass, bytesPerSec float64) (*Link, error) {
 	if bytesPerSec <= 0 {
 		return nil, fmt.Errorf("%w: %q at %g B/s", ErrInvalidRate, name, bytesPerSec)
 	}
-	return &Link{name: name, rate: bytesPerSec}, nil
+	return &Link{name: name, class: class, rate: bytesPerSec}, nil
 }
 
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
+
+// Class returns the link's topology class.
+func (l *Link) Class() LinkClass { return l.class }
 
 // Rate returns the configured rate in bytes per second.
 func (l *Link) Rate() float64 {
@@ -70,6 +106,22 @@ func (l *Link) Moved() int64 {
 	return l.moved
 }
 
+// Waited returns the cumulative token-bucket delay the link has imposed:
+// the sum over reservations of how long each caller had to wait for its
+// bytes to clear the link.
+func (l *Link) Waited() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waited
+}
+
+// setTelemetry attaches per-link counters; nil detaches.
+func (l *Link) setTelemetry(bytes, wait *telemetry.Metric) {
+	l.mu.Lock()
+	l.mBytes, l.mWait = bytes, wait
+	l.mu.Unlock()
+}
+
 // reserve books n bytes of capacity and returns how long the caller must
 // wait before the bytes have "arrived".
 func (l *Link) reserve(n int) time.Duration {
@@ -81,7 +133,15 @@ func (l *Link) reserve(n int) time.Duration {
 	}
 	l.nextFree = l.nextFree.Add(time.Duration(float64(n) / l.rate * float64(time.Second)))
 	l.moved += int64(n)
-	return l.nextFree.Sub(now)
+	wait := l.nextFree.Sub(now)
+	l.waited += wait
+	if l.mBytes != nil {
+		l.mBytes.Add(float64(n))
+	}
+	if l.mWait != nil {
+		l.mWait.Add(wait.Seconds())
+	}
+	return wait
 }
 
 // Fabric wires the links of a cluster topology.
@@ -101,6 +161,10 @@ type Fabric struct {
 	crossRack int64 // bytes, updated atomically under mu
 	intraRack int64
 	mu        sync.Mutex
+
+	// Aggregate telemetry handles, set by SetTelemetry (guarded by mu).
+	mCross *telemetry.Metric
+	mIntra *telemetry.Metric
 }
 
 // New builds a fabric where every node NIC and every rack core link runs at
@@ -116,19 +180,19 @@ func New(top *topology.Topology, bytesPerSec float64) (*Fabric, error) {
 	}
 	for i := 0; i < top.Nodes(); i++ {
 		var err error
-		if f.nodeUp[i], err = NewLink(fmt.Sprintf("node%d.up", i), bytesPerSec); err != nil {
+		if f.nodeUp[i], err = newLink(fmt.Sprintf("node%d.up", i), ClassNodeUp, bytesPerSec); err != nil {
 			return nil, err
 		}
-		if f.nodeDown[i], err = NewLink(fmt.Sprintf("node%d.down", i), bytesPerSec); err != nil {
+		if f.nodeDown[i], err = newLink(fmt.Sprintf("node%d.down", i), ClassNodeDown, bytesPerSec); err != nil {
 			return nil, err
 		}
 	}
 	for r := 0; r < top.Racks(); r++ {
 		var err error
-		if f.rackUp[r], err = NewLink(fmt.Sprintf("rack%d.up", r), bytesPerSec); err != nil {
+		if f.rackUp[r], err = newLink(fmt.Sprintf("rack%d.up", r), ClassRackUp, bytesPerSec); err != nil {
 			return nil, err
 		}
-		if f.rackDown[r], err = NewLink(fmt.Sprintf("rack%d.down", r), bytesPerSec); err != nil {
+		if f.rackDown[r], err = newLink(fmt.Sprintf("rack%d.down", r), ClassRackDown, bytesPerSec); err != nil {
 			return nil, err
 		}
 	}
@@ -157,7 +221,7 @@ func (f *Fabric) SetAllRates(bytesPerSec float64) error {
 func (f *Fabric) EnableDisk(bytesPerSec float64) error {
 	disks := make([]*Link, f.top.Nodes())
 	for i := range disks {
-		l, err := NewLink(fmt.Sprintf("node%d.disk", i), bytesPerSec)
+		l, err := newLink(fmt.Sprintf("node%d.disk", i), ClassDisk, bytesPerSec)
 		if err != nil {
 			return err
 		}
@@ -189,6 +253,112 @@ func (f *Fabric) IntraRackBytes() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.intraRack
+}
+
+// LinkStat is one link's totals in a Snapshot.
+type LinkStat struct {
+	Name            string
+	Class           LinkClass
+	RateBytesPerSec float64
+	MovedBytes      int64
+	WaitSeconds     float64
+}
+
+// Snapshot is a consistent-enough point-in-time view of every link's byte
+// and wait totals, grouped by class, plus the payload-level cross-rack vs
+// intra-rack split. Subtract two snapshots with Sub to measure one
+// operation's traffic.
+type Snapshot struct {
+	Links            []LinkStat
+	ClassBytes       map[LinkClass]int64
+	ClassWaitSeconds map[LinkClass]float64
+	CrossRackBytes   int64
+	IntraRackBytes   int64
+}
+
+// Snapshot captures every link's totals. Links appear in a stable order:
+// node NICs, rack links, then disks.
+func (f *Fabric) Snapshot() Snapshot {
+	s := Snapshot{
+		ClassBytes:       make(map[LinkClass]int64),
+		ClassWaitSeconds: make(map[LinkClass]float64),
+	}
+	for _, group := range [][]*Link{f.nodeUp, f.nodeDown, f.rackUp, f.rackDown, f.disk} {
+		for _, l := range group {
+			l.mu.Lock()
+			st := LinkStat{
+				Name:            l.name,
+				Class:           l.class,
+				RateBytesPerSec: l.rate,
+				MovedBytes:      l.moved,
+				WaitSeconds:     l.waited.Seconds(),
+			}
+			l.mu.Unlock()
+			s.Links = append(s.Links, st)
+			s.ClassBytes[st.Class] += st.MovedBytes
+			s.ClassWaitSeconds[st.Class] += st.WaitSeconds
+		}
+	}
+	f.mu.Lock()
+	s.CrossRackBytes = f.crossRack
+	s.IntraRackBytes = f.intraRack
+	f.mu.Unlock()
+	return s
+}
+
+// Sub returns the delta s - prev, matching links by name. Links absent from
+// prev (e.g. disks enabled in between) keep their full totals.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	prevByName := make(map[string]LinkStat, len(prev.Links))
+	for _, l := range prev.Links {
+		prevByName[l.Name] = l
+	}
+	out := Snapshot{
+		ClassBytes:       make(map[LinkClass]int64),
+		ClassWaitSeconds: make(map[LinkClass]float64),
+		CrossRackBytes:   s.CrossRackBytes - prev.CrossRackBytes,
+		IntraRackBytes:   s.IntraRackBytes - prev.IntraRackBytes,
+	}
+	for _, l := range s.Links {
+		p := prevByName[l.Name]
+		d := LinkStat{
+			Name:            l.Name,
+			Class:           l.Class,
+			RateBytesPerSec: l.RateBytesPerSec,
+			MovedBytes:      l.MovedBytes - p.MovedBytes,
+			WaitSeconds:     l.WaitSeconds - p.WaitSeconds,
+		}
+		out.Links = append(out.Links, d)
+		out.ClassBytes[d.Class] += d.MovedBytes
+		out.ClassWaitSeconds[d.Class] += d.WaitSeconds
+	}
+	return out
+}
+
+// SetTelemetry publishes the fabric's counters into the registry:
+// fabric_bytes_total{locality} for the payload-level cross/intra split and
+// fabric_link_bytes_total / fabric_link_wait_seconds_total{link,class} per
+// link. Call it before traffic flows; totals accumulated earlier are not
+// backfilled.
+func (f *Fabric) SetTelemetry(reg *telemetry.Registry) {
+	bytes := reg.Counter("fabric_bytes_total",
+		"Payload bytes transferred, split by rack locality.", "locality")
+	linkBytes := reg.Counter("fabric_link_bytes_total",
+		"Bytes shaped through each fabric link.", "link", "class")
+	linkWait := reg.Counter("fabric_link_wait_seconds_total",
+		"Cumulative token-bucket shaping delay imposed by each link.", "link", "class")
+	f.mu.Lock()
+	f.mCross = bytes.With("cross-rack")
+	f.mIntra = bytes.With("intra-rack")
+	f.mu.Unlock()
+	for _, group := range [][]*Link{f.nodeUp, f.nodeDown, f.rackUp, f.rackDown, f.disk} {
+		for _, l := range group {
+			l.setTelemetry(
+				linkBytes.With(l.name, string(l.class)),
+				linkWait.With(l.name, string(l.class)),
+			)
+		}
+	}
 }
 
 // path returns the links a src->dst transfer traverses.
@@ -246,12 +416,18 @@ func (f *Fabric) Transfer(src, dst topology.NodeID, data []byte) ([]byte, error)
 		}
 	}
 	f.mu.Lock()
+	var m *telemetry.Metric
 	if cross {
 		f.crossRack += int64(len(data))
+		m = f.mCross
 	} else {
 		f.intraRack += int64(len(data))
+		m = f.mIntra
 	}
 	f.mu.Unlock()
+	if m != nil {
+		m.Add(float64(len(data)))
+	}
 	return out, nil
 }
 

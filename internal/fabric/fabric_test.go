@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -269,5 +270,85 @@ func TestDiskShapedLocalRead(t *testing.T) {
 	}
 	if err := f2.SetDiskRates(1); err != nil {
 		t.Errorf("SetDiskRates without disks: %v", err)
+	}
+}
+
+func TestSnapshotClassesAndDeltas(t *testing.T) {
+	top := mustTop(t, 2, 2)
+	f, err := New(top, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableDisk(1 << 28); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Snapshot()
+	wantLinks := 2*top.Nodes() + 2*2 + top.Nodes() // NICs + rack links + disks
+	if len(before.Links) != wantLinks {
+		t.Fatalf("links = %d, want %d", len(before.Links), wantLinks)
+	}
+
+	payload := make([]byte, 128<<10)
+	if _, err := f.Transfer(0, 3, payload); err != nil { // cross-rack
+		t.Fatal(err)
+	}
+	if _, err := f.Transfer(0, 1, payload); err != nil { // intra-rack
+		t.Fatal(err)
+	}
+	if _, err := f.Transfer(2, 2, payload); err != nil { // local disk
+		t.Fatal(err)
+	}
+
+	d := f.Snapshot().Sub(before)
+	if d.CrossRackBytes != int64(len(payload)) || d.IntraRackBytes != int64(len(payload)) {
+		t.Errorf("cross/intra deltas = %d/%d, want %d each",
+			d.CrossRackBytes, d.IntraRackBytes, len(payload))
+	}
+	// Both network transfers traverse a node-up link; only the cross-rack
+	// one touches rack links.
+	if got := d.ClassBytes[ClassNodeUp]; got != 2*int64(len(payload)) {
+		t.Errorf("node-up bytes = %d, want %d", got, 2*len(payload))
+	}
+	if got := d.ClassBytes[ClassRackUp]; got != int64(len(payload)) {
+		t.Errorf("rack-up bytes = %d, want %d", got, len(payload))
+	}
+	if got := d.ClassBytes[ClassDisk]; got != int64(len(payload)) {
+		t.Errorf("disk bytes = %d, want %d", got, len(payload))
+	}
+}
+
+func TestLinkWaitedAccounting(t *testing.T) {
+	l, err := NewLink("x", 1<<20) // 1 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.reserve(1 << 20) // one full second of backlog
+	if w := l.Waited(); w < 900*time.Millisecond {
+		t.Errorf("Waited = %v, want ~1s", w)
+	}
+	if l.Class() != ClassOther {
+		t.Errorf("Class = %q, want %q", l.Class(), ClassOther)
+	}
+}
+
+func TestFabricTelemetry(t *testing.T) {
+	top := mustTop(t, 2, 1)
+	f, err := New(top, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	f.SetTelemetry(reg)
+	payload := make([]byte, 64<<10)
+	if _, err := f.Transfer(0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	cross := reg.Counter("fabric_bytes_total", "", "locality").With("cross-rack")
+	if got := cross.Value(); got != float64(len(payload)) {
+		t.Errorf("fabric_bytes_total{cross-rack} = %g, want %d", got, len(payload))
+	}
+	linkBytes := reg.Counter("fabric_link_bytes_total", "", "link", "class")
+	if got := linkBytes.With("node0.up", string(ClassNodeUp)).Value(); got != float64(len(payload)) {
+		t.Errorf("link bytes = %g, want %d", got, len(payload))
 	}
 }

@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"fmt"
+	"time"
 
 	"ear/internal/blockstore"
 	"ear/internal/topology"
@@ -26,6 +27,9 @@ func (c *Cluster) WriteBlock(client topology.NodeID, data []byte) (topology.Bloc
 	if len(data) != c.cfg.BlockSizeBytes {
 		return 0, fmt.Errorf("%w: block of %d bytes, configured size %d",
 			ErrInvalidConfig, len(data), c.cfg.BlockSizeBytes)
+	}
+	if m := c.metrics(); m != nil {
+		defer func(t0 time.Time) { m.writeLat.Observe(time.Since(t0).Seconds()) }(time.Now())
 	}
 	meta, err := c.nn.AllocateBlock(len(data))
 	if err != nil {
@@ -86,6 +90,9 @@ func (c *Cluster) chooseReplica(nodes []topology.NodeID, reader topology.NodeID)
 // If every replica is lost but the block's stripe is encoded, the read
 // degrades to erasure-coded reconstruction.
 func (c *Cluster) ReadBlock(client topology.NodeID, id topology.BlockID) ([]byte, error) {
+	if m := c.metrics(); m != nil {
+		defer func(t0 time.Time) { m.readLat.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
 	live, err := c.nn.LiveReplicas(id)
 	if err != nil {
 		return nil, err

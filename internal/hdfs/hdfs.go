@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"ear/internal/blockstore"
 	"ear/internal/erasure"
 	"ear/internal/fabric"
 	"ear/internal/mapred"
 	"ear/internal/placement"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -111,7 +113,63 @@ type Cluster struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 	ns    *Namespace
+
+	// tel and tracer are the observability sinks, installed by
+	// SetTelemetry / SetTracer (atomic so installation never races with
+	// in-flight operations; nil means unobserved).
+	tel    atomic.Pointer[clusterMetrics]
+	tracer atomic.Pointer[telemetry.Tracer]
 }
+
+// clusterMetrics bundles the cluster's metric handles.
+type clusterMetrics struct {
+	writeLat   *telemetry.Metric // hdfs_client_write_seconds
+	readLat    *telemetry.Metric // hdfs_client_read_seconds
+	stripes    *telemetry.Metric // raidnode_stripes_encoded_total
+	encBytes   *telemetry.Metric // raidnode_encoded_bytes_total
+	crossDl    *telemetry.Metric // raidnode_cross_rack_downloads_total
+	violations *telemetry.Metric // raidnode_placement_violations_total
+	encJobs    *telemetry.Metric // raidnode_encode_jobs_total
+}
+
+// SetTelemetry publishes the cluster's metrics into the registry and wires
+// the underlying fabric and JobTracker to the same registry: client
+// write/read latency histograms, RaidNode encode counters
+// (raidnode_stripes_encoded_total, raidnode_encoded_bytes_total,
+// raidnode_cross_rack_downloads_total, raidnode_placement_violations_total),
+// fabric byte counters, and MapReduce scheduling gauges. Install it before
+// serving traffic; earlier activity is not backfilled.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	m := &clusterMetrics{
+		writeLat: reg.Histogram("hdfs_client_write_seconds",
+			"Block write latency through the replication pipeline.", nil).With(),
+		readLat: reg.Histogram("hdfs_client_read_seconds",
+			"Block read latency from the nearest live replica.", nil).With(),
+		stripes: reg.Counter("raidnode_stripes_encoded_total",
+			"Stripes encoded by the RaidNode.").With(),
+		encBytes: reg.Counter("raidnode_encoded_bytes_total",
+			"Data bytes encoded into stripes.").With(),
+		crossDl: reg.Counter("raidnode_cross_rack_downloads_total",
+			"Data blocks fetched across racks by encoding tasks (zero under EAR with strict scheduling).").With(),
+		violations: reg.Counter("raidnode_placement_violations_total",
+			"Stripes whose post-encoding layout broke rack-level fault tolerance.").With(),
+		encJobs: reg.Counter("raidnode_encode_jobs_total",
+			"Encoding jobs run.").With(),
+	}
+	c.tel.Store(m)
+	c.fab.SetTelemetry(reg)
+	c.jt.SetTelemetry(reg)
+}
+
+// SetTracer installs a span tracer for the encode path (nil disables).
+func (c *Cluster) SetTracer(tr *telemetry.Tracer) { c.tracer.Store(tr) }
+
+// metrics returns the installed metric handles, nil when unobserved.
+func (c *Cluster) metrics() *clusterMetrics { return c.tel.Load() }
+
+// trace returns the installed tracer; nil (a valid no-op tracer) when
+// unobserved.
+func (c *Cluster) trace() *telemetry.Tracer { return c.tracer.Load() }
 
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {

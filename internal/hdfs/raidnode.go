@@ -2,11 +2,13 @@ package hdfs
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"ear/internal/mapred"
 	"ear/internal/placement"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -41,13 +43,59 @@ type EncodeStats struct {
 
 func newRaidNode(c *Cluster) *RaidNode { return &RaidNode{c: c} }
 
-// Stats returns a copy of the accumulated encoding statistics.
+// Stats returns a copy of the accumulated encoding statistics, including
+// every task placement ever recorded (an O(total-placements) copy). Pollers
+// should prefer StatsSince.
 func (r *RaidNode) Stats() EncodeStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.stats
 	s.TaskPlacements = append([]mapred.Placement(nil), r.stats.TaskPlacements...)
 	return s
+}
+
+// StatsCursor marks a position in the RaidNode's cumulative stats stream.
+// The zero value means "since startup". Obtain updated cursors from
+// StatsSince.
+type StatsCursor struct {
+	stripes      int
+	encodedBytes int64
+	duration     time.Duration
+	crossRack    int
+	violations   int
+	placements   int
+}
+
+// StatsSince returns the statistics accumulated after the cursor and the
+// cursor to pass on the next call. Only task placements recorded since the
+// cursor are copied, so a periodic poller (the admin endpoint, the OpStats
+// RPC) pays O(new placements) per call instead of re-copying the whole
+// history like Stats.
+func (r *RaidNode) StatsSince(cur StatsCursor) (EncodeStats, StatsCursor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := EncodeStats{
+		Stripes:            r.stats.Stripes - cur.stripes,
+		EncodedBytes:       r.stats.EncodedBytes - cur.encodedBytes,
+		Duration:           r.stats.Duration - cur.duration,
+		CrossRackDownloads: r.stats.CrossRackDownloads - cur.crossRack,
+		Violations:         r.stats.Violations - cur.violations,
+	}
+	if cur.placements < len(r.stats.TaskPlacements) {
+		d.TaskPlacements = append([]mapred.Placement(nil), r.stats.TaskPlacements[cur.placements:]...)
+	}
+	if d.Duration > 0 {
+		d.ThroughputMBps = float64(d.EncodedBytes) / (1 << 20) / d.Duration.Seconds()
+	}
+	next := StatsCursor{
+		stripes:      r.stats.Stripes,
+		encodedBytes: r.stats.EncodedBytes,
+		duration:     r.stats.Duration,
+		crossRack:    r.stats.CrossRackDownloads,
+		violations:   r.stats.Violations,
+		placements:   len(r.stats.TaskPlacements),
+	}
+	return d, next
 }
 
 // encodeTask is one map task's work: the stripes it encodes and its
@@ -111,39 +159,67 @@ func (r *RaidNode) buildTasks(stripes []*placement.StripeInfo) ([]*encodeTask, e
 }
 
 // EncodeAll drains the pre-encoding store and encodes every pending stripe
-// through one MapReduce job, returning the job's statistics.
+// through one MapReduce job, returning the job's statistics. When a tracer
+// is installed (Cluster.SetTracer) the job emits one span per phase:
+// stripe-selection, then per map task download / encode / parity-write /
+// replica-delete.
 func (r *RaidNode) EncodeAll() (EncodeStats, error) {
+	jobSpan := r.c.trace().Start("encode-job")
+	defer jobSpan.End()
+	tel := r.c.metrics()
+
+	sel := jobSpan.Child("stripe-selection")
 	stripes, err := r.c.nn.TakePendingStripes()
 	if err != nil {
+		sel.End()
 		return EncodeStats{}, err
 	}
 	tasks, err := r.buildTasks(stripes)
+	sel.End()
 	if err != nil {
 		return EncodeStats{}, err
 	}
+	jobSpan.Arg("stripes", strconv.Itoa(len(stripes))).Arg("tasks", strconv.Itoa(len(tasks)))
 	var job mapred.Job
 	job.Name = fmt.Sprintf("encode-%d-stripes", len(stripes))
 	var mu sync.Mutex
 	stats := EncodeStats{Stripes: len(stripes)}
+	if tel != nil {
+		tel.encJobs.Inc()
+		tel.stripes.Add(float64(len(stripes)))
+	}
 	for i, t := range tasks {
 		t := t
+		name := fmt.Sprintf("%s-map%d", job.Name, i)
 		job.Tasks = append(job.Tasks, &mapred.Task{
-			Name:       fmt.Sprintf("%s-map%d", job.Name, i),
+			Name:       name,
 			Preferred:  t.preferred,
 			StrictRack: t.strict,
 			Run: func(on topology.NodeID) error {
+				taskSpan := jobSpan.ChildTrack("map-task").
+					Arg("task", name).
+					Arg("node", strconv.Itoa(int(on)))
+				defer taskSpan.End()
 				for _, s := range t.stripes {
-					cross, violated, err := r.c.encodeStripe(s, on)
+					cross, violated, err := r.c.encodeStripe(s, on, taskSpan)
 					if err != nil {
 						return err
 					}
+					encodedBytes := int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
 					mu.Lock()
 					stats.CrossRackDownloads += cross
 					if violated {
 						stats.Violations++
 					}
-					stats.EncodedBytes += int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
+					stats.EncodedBytes += encodedBytes
 					mu.Unlock()
+					if tel != nil {
+						tel.crossDl.Add(float64(cross))
+						if violated {
+							tel.violations.Inc()
+						}
+						tel.encBytes.Add(float64(encodedBytes))
+					}
 				}
 				return nil
 			},
@@ -174,12 +250,14 @@ func (r *RaidNode) EncodeAll() (EncodeStats, error) {
 // given node: download one replica of each data block, compute and upload
 // the parity blocks, delete the redundant replicas. It returns the number
 // of cross-rack downloads and whether the stripe's layout violates
-// rack-level fault tolerance.
-func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.NodeID) (int, bool, error) {
+// rack-level fault tolerance. The parent span (nil for untraced runs)
+// receives one child span per phase.
+func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.NodeID, parent *telemetry.Span) (int, bool, error) {
 	encRack, err := c.top.RackOf(encoder)
 	if err != nil {
 		return 0, false, err
 	}
+	dl := parent.Child("download").Arg("stripe", strconv.FormatInt(int64(info.ID), 10))
 	data := make([][]byte, c.cfg.K)
 	cross := 0
 	// The TaskTracker issues the k block reads in parallel (Section II-A);
@@ -190,14 +268,17 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 	for i, b := range info.Blocks {
 		live, err := c.nn.LiveReplicas(b)
 		if err != nil {
+			dl.End()
 			return 0, false, err
 		}
 		src, err := c.chooseReplica(live, encoder)
 		if err != nil {
+			dl.End()
 			return 0, false, fmt.Errorf("stripe %d block %d: %w", info.ID, b, err)
 		}
 		srcRack, err := c.top.RackOf(src)
 		if err != nil {
+			dl.End()
 			return 0, false, err
 		}
 		if srcRack != encRack {
@@ -226,6 +307,7 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 		}()
 	}
 	wg.Wait()
+	dl.Arg("cross_rack_downloads", strconv.Itoa(cross)).End()
 	if fetchErr != nil {
 		return 0, false, fetchErr
 	}
@@ -233,7 +315,9 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 	for i := len(info.Blocks); i < c.cfg.K; i++ {
 		data[i] = make([]byte, c.cfg.BlockSizeBytes)
 	}
+	encSpan := parent.Child("encode")
 	parity, err := c.coder.Encode(data)
+	encSpan.End()
 	if err != nil {
 		return 0, false, err
 	}
@@ -242,6 +326,7 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 		return 0, false, err
 	}
 	// Parity uploads go out in parallel as well.
+	pw := parent.Child("parity-write")
 	var upErr error
 	var upMu sync.Mutex
 	for j, node := range plan.Parity {
@@ -267,10 +352,13 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 		}()
 	}
 	wg.Wait()
+	pw.End()
 	if upErr != nil {
 		return 0, false, upErr
 	}
 	// Delete redundant replicas, keeping the plan's chosen one.
+	del := parent.Child("replica-delete")
+	defer del.End()
 	for i, b := range info.Blocks {
 		for _, n := range info.Placements[i].Nodes {
 			if n == plan.Keep[i] {

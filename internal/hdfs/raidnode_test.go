@@ -6,6 +6,7 @@ import (
 
 	"ear/internal/mapred"
 	"ear/internal/placement"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -189,5 +190,158 @@ func TestPlacementMonitorDetectsManualViolation(t *testing.T) {
 	}
 	if len(bad) != 0 {
 		t.Fatalf("still violating after mover: %v", bad)
+	}
+}
+
+func TestStatsSinceDeltas(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	rng := rand.New(rand.NewSource(41))
+	writeBlocks(t, c, 8, rng) // 2 stripes
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	d1, cur := c.RaidNode().StatsSince(StatsCursor{})
+	if d1.Stripes != 2 {
+		t.Errorf("first delta stripes = %d, want 2", d1.Stripes)
+	}
+	if len(d1.TaskPlacements) == 0 {
+		t.Error("first delta has no placements")
+	}
+	// Nothing happened since: delta must be empty.
+	d2, cur2 := c.RaidNode().StatsSince(cur)
+	if d2.Stripes != 0 || d2.EncodedBytes != 0 || len(d2.TaskPlacements) != 0 {
+		t.Errorf("idle delta nonzero: %+v", d2)
+	}
+	// Second encode round: only the new round shows up.
+	writeBlocks(t, c, 4, rng) // 1 stripe
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	d3, _ := c.RaidNode().StatsSince(cur2)
+	if d3.Stripes != 1 {
+		t.Errorf("second delta stripes = %d, want 1", d3.Stripes)
+	}
+	if d3.EncodedBytes != int64(4*c.Config().BlockSizeBytes) {
+		t.Errorf("second delta bytes = %d", d3.EncodedBytes)
+	}
+	if want := c.RaidNode().Stats().TaskPlacements; len(d1.TaskPlacements)+len(d3.TaskPlacements) != len(want) {
+		t.Errorf("delta placements %d+%d, cumulative %d",
+			len(d1.TaskPlacements), len(d3.TaskPlacements), len(want))
+	}
+	if d3.Duration > 0 && d3.ThroughputMBps <= 0 {
+		t.Error("delta throughput not computed")
+	}
+	// The delta copy must not alias internal state.
+	if len(d3.TaskPlacements) > 0 {
+		d3.TaskPlacements[0].Task = "mutated"
+		if again := c.RaidNode().Stats(); again.TaskPlacements[len(d1.TaskPlacements)].Task == "mutated" {
+			t.Error("StatsSince aliases internal slice")
+		}
+	}
+}
+
+func TestEncodeTelemetryAndTrace(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+	tr := telemetry.NewTracer()
+	c.SetTracer(tr)
+
+	rng := rand.New(rand.NewSource(42))
+	writeBlocks(t, c, 8, rng) // 2 stripes
+	c.NameNode().FlushOpenStripes()
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats.Stripes == 0 {
+		t.Fatal("no stripes encoded")
+	}
+	get := func(name string) float64 {
+		return reg.Counter(name, "").With().Value()
+	}
+	if got := get("raidnode_stripes_encoded_total"); got != float64(stats.Stripes) {
+		t.Errorf("stripes counter = %g, want %d", got, stats.Stripes)
+	}
+	if got := get("raidnode_encode_jobs_total"); got != 1 {
+		t.Errorf("jobs counter = %g, want 1", got)
+	}
+	if got := get("raidnode_encoded_bytes_total"); got != float64(stats.EncodedBytes) {
+		t.Errorf("bytes counter = %g, want %d", got, stats.EncodedBytes)
+	}
+	// EAR with strict scheduling downloads every block inside the core rack.
+	if got := get("raidnode_cross_rack_downloads_total"); got != 0 {
+		t.Errorf("cross-rack downloads = %g, want 0 under EAR strict", got)
+	}
+	if got := get("raidnode_placement_violations_total"); got != float64(stats.Violations) {
+		t.Errorf("violations = %g, want %d", got, stats.Violations)
+	}
+	// Client latency histogram observed the 8 writes.
+	if got := reg.Histogram("hdfs_client_write_seconds", "", nil).With().Count(); got != 8 {
+		t.Errorf("write latency count = %d, want 8", got)
+	}
+
+	// One span per phase, parented into the encode job.
+	spans := tr.Spans()
+	counts := map[string]int{}
+	byID := map[int64]telemetry.SpanSnapshot{}
+	for _, s := range spans {
+		counts[s.Name]++
+		byID[s.ID] = s
+	}
+	if counts["encode-job"] != 1 || counts["stripe-selection"] != 1 {
+		t.Errorf("job/selection spans = %d/%d, want 1/1",
+			counts["encode-job"], counts["stripe-selection"])
+	}
+	if counts["map-task"] == 0 {
+		t.Error("no map-task spans")
+	}
+	for _, phase := range []string{"download", "encode", "parity-write", "replica-delete"} {
+		if counts[phase] != stats.Stripes { // one per stripe
+			t.Errorf("%s spans = %d, want %d", phase, counts[phase], stats.Stripes)
+		}
+	}
+	for _, s := range spans {
+		if s.Name == "download" {
+			parent, ok := byID[s.Parent]
+			if !ok || parent.Name != "map-task" {
+				t.Errorf("download span parent = %+v", parent)
+			}
+		}
+		if s.Dur < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+		if !s.Ended {
+			t.Errorf("span %s never ended", s.Name)
+		}
+	}
+}
+
+func TestEncodeCrossRackCountersUnderRR(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+	rng := rand.New(rand.NewSource(43))
+	writeBlocks(t, c, 16, rng) // 4 stripes
+	c.NameNode().FlushOpenStripes()
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reg.Counter("raidnode_cross_rack_downloads_total", "").With().Value()
+	if got != float64(stats.CrossRackDownloads) {
+		t.Errorf("counter = %g, stats = %d", got, stats.CrossRackDownloads)
+	}
+	// With 6 racks, C=1 and random placement, some downloads must cross
+	// racks (every replica co-resident with the encoder is essentially
+	// impossible at this scale).
+	if stats.CrossRackDownloads == 0 {
+		t.Error("RR encode saw zero cross-rack downloads")
+	}
+	if v := reg.Counter("fabric_bytes_total", "", "locality").With("cross-rack").Value(); v <= 0 {
+		t.Error("fabric cross-rack byte counter not bumped")
 	}
 }

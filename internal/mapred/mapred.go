@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -65,6 +66,12 @@ type JobTracker struct {
 	cond   *sync.Cond
 	free   []int // free slots per node
 	closed bool
+
+	// Telemetry handles, set by SetTelemetry (guarded by mu); nil when
+	// unobserved.
+	mWaiting  *telemetry.Metric
+	mBusy     *telemetry.Metric
+	mLocality *telemetry.Vec
 }
 
 // NewJobTracker creates a tracker with the given map slots per node (the
@@ -83,6 +90,46 @@ func NewJobTracker(top *topology.Topology, slotsPerNode int) (*JobTracker, error
 	}
 	jt.cond = sync.NewCond(&jt.mu)
 	return jt, nil
+}
+
+// SetTelemetry publishes the tracker's scheduling metrics into the
+// registry: mapred_tasks_waiting (queue depth), mapred_slots_busy and
+// mapred_slots_total (slot utilization), and mapred_tasks_total{locality}
+// (locality hit rate: node / rack / remote / any). Call it before
+// submitting jobs.
+func (jt *JobTracker) SetTelemetry(reg *telemetry.Registry) {
+	waiting := reg.Gauge("mapred_tasks_waiting",
+		"Map tasks blocked waiting for a compatible slot.").With()
+	busy := reg.Gauge("mapred_slots_busy",
+		"Map slots currently running tasks.").With()
+	reg.Gauge("mapred_slots_total",
+		"Configured map slots across the cluster.").With().
+		Set(float64(jt.slotsPerNode * jt.top.Nodes()))
+	locality := reg.Counter("mapred_tasks_total",
+		"Scheduled map tasks by achieved locality (node, rack, remote, any).", "locality")
+	jt.mu.Lock()
+	jt.mWaiting, jt.mBusy, jt.mLocality = waiting, busy, locality
+	jt.mu.Unlock()
+}
+
+// noteScheduled records a task placement's locality class.
+func (jt *JobTracker) noteScheduled(t *Task, pl Placement) {
+	jt.mu.Lock()
+	locality := jt.mLocality
+	jt.mu.Unlock()
+	if locality == nil {
+		return
+	}
+	level := "remote"
+	switch {
+	case t.Preferred == AnyNode:
+		level = "any"
+	case pl.Local:
+		level = "node"
+	case pl.Rack:
+		level = "rack"
+	}
+	locality.With(level).Inc()
 }
 
 // Close rejects future submissions and wakes any waiting tasks so they can
@@ -114,27 +161,28 @@ func (jt *JobTracker) acquire(t *Task) (topology.NodeID, error) {
 
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	if jt.mWaiting != nil {
+		jt.mWaiting.Inc()
+		defer jt.mWaiting.Dec()
+	}
 	for {
 		if jt.closed {
 			return 0, ErrClosed
 		}
 		if t.Preferred != AnyNode && jt.free[t.Preferred] > 0 {
-			jt.free[t.Preferred]--
-			return t.Preferred, nil
+			return jt.grant(t.Preferred), nil
 		}
 		if t.Preferred != AnyNode {
 			for _, n := range rackNodes {
 				if jt.free[n] > 0 {
-					jt.free[n]--
-					return n, nil
+					return jt.grant(n), nil
 				}
 			}
 		}
 		if !t.StrictRack {
 			for n := range jt.free {
 				if jt.free[n] > 0 {
-					jt.free[n]--
-					return topology.NodeID(n), nil
+					return jt.grant(topology.NodeID(n)), nil
 				}
 			}
 		}
@@ -142,10 +190,22 @@ func (jt *JobTracker) acquire(t *Task) (topology.NodeID, error) {
 	}
 }
 
+// grant claims one slot on n. The caller holds jt.mu.
+func (jt *JobTracker) grant(n topology.NodeID) topology.NodeID {
+	jt.free[n]--
+	if jt.mBusy != nil {
+		jt.mBusy.Inc()
+	}
+	return n
+}
+
 // release frees the slot on node n.
 func (jt *JobTracker) release(n topology.NodeID) {
 	jt.mu.Lock()
 	jt.free[n]++
+	if jt.mBusy != nil {
+		jt.mBusy.Dec()
+	}
 	jt.mu.Unlock()
 	jt.cond.Broadcast()
 }
@@ -187,6 +247,7 @@ func (jt *JobTracker) Submit(job Job) ([]Placement, error) {
 				}
 			}
 			placements[i] = pl
+			jt.noteScheduled(t, pl)
 			errs[i] = t.Run(node)
 		}()
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -378,5 +379,65 @@ func TestGenerateSwimValidation(t *testing.T) {
 	}
 	if _, err := GenerateSwim(SwimConfig{}, nil); err == nil {
 		t.Error("nil rng: expected error")
+	}
+}
+
+func TestJobTrackerTelemetry(t *testing.T) {
+	top := mustTop(t, 2, 2)
+	jt, err := NewJobTracker(top, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jt.Close()
+	reg := telemetry.NewRegistry()
+	jt.SetTelemetry(reg)
+
+	if got := reg.Gauge("mapred_slots_total", "").With().Value(); got != 4 {
+		t.Errorf("mapred_slots_total = %g, want 4", got)
+	}
+
+	busy := reg.Gauge("mapred_slots_busy", "").With()
+	release := make(chan struct{})
+	var job Job
+	for i := 0; i < 4; i++ {
+		job.Tasks = append(job.Tasks, &Task{
+			Name:      "t",
+			Preferred: 0, // all prefer node 0: three run rack/remote
+			Run: func(topology.NodeID) error {
+				<-release
+				return nil
+			},
+		})
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := jt.Submit(job)
+		done <- err
+	}()
+	// Wait until every slot is claimed.
+	deadline := time.Now().Add(5 * time.Second)
+	for busy.Value() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots busy = %g, want 4", busy.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := busy.Value(); got != 0 {
+		t.Errorf("busy after completion = %g, want 0", got)
+	}
+	if got := reg.Gauge("mapred_tasks_waiting", "").With().Value(); got != 0 {
+		t.Errorf("waiting after completion = %g, want 0", got)
+	}
+	loc := reg.Counter("mapred_tasks_total", "", "locality")
+	total := loc.With("node").Value() + loc.With("rack").Value() + loc.With("remote").Value()
+	if total != 4 {
+		t.Errorf("locality totals = %g, want 4", total)
+	}
+	if loc.With("node").Value() != 1 {
+		t.Errorf("node-local = %g, want 1", loc.With("node").Value())
 	}
 }

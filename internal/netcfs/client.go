@@ -154,6 +154,18 @@ func (c *Client) RepairBlock(b topology.BlockID) (topology.NodeID, error) {
 	return resp.Node, nil
 }
 
+// Stats returns the server's operation and encoding statistics.
+func (c *Client) Stats() (*StatsReport, error) {
+	resp, err := c.call(Request{Op: OpServerStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("%w: stats returned no report", ErrProtocol)
+	}
+	return resp.Stats, nil
+}
+
 // ClusterInfo describes the served cluster.
 func (c *Client) ClusterInfo() (*ClusterInfo, error) {
 	resp, err := c.call(Request{Op: OpClusterInfo})

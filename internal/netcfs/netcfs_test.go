@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ear/internal/hdfs"
+	"ear/internal/telemetry"
 )
 
 func startServer(t *testing.T, policy string) (*Server, *Client) {
@@ -217,5 +218,92 @@ func TestDialFailure(t *testing.T) {
 func TestOpString(t *testing.T) {
 	if OpPing.String() != "ping" || OpEncode.String() != "encode" || Op(99).String() != "op(99)" {
 		t.Error("Op.String wrong")
+	}
+}
+
+func TestStatsRPC(t *testing.T) {
+	srv, c := startServer(t, "ear")
+	// First report: nothing handled yet except this connection's traffic.
+	rep, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if rep.Encode.Stripes != 0 {
+		t.Errorf("initial encode stripes = %d", rep.Encode.Stripes)
+	}
+
+	// Generate traffic: write a file and encode it.
+	if err := c.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	blk := make([]byte, 8<<10)
+	rand.New(rand.NewSource(7)).Read(blk)
+	for i := 0; i < 4; i++ {
+		if err := c.Append("/a", blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CloseFile("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	byOp := map[string]OpMetric{}
+	for _, m := range rep.Ops {
+		byOp[m.Op] = m
+	}
+	if got := byOp["append"].Count; got != 4 {
+		t.Errorf("append count = %d, want 4", got)
+	}
+	if got := byOp["encode"].Count; got != 1 {
+		t.Errorf("encode count = %d, want 1", got)
+	}
+	if m := byOp["encode"]; m.TotalSeconds <= 0 || m.P99Seconds < m.P50Seconds {
+		t.Errorf("encode latency summary inconsistent: %+v", m)
+	}
+	if rep.Encode.Stripes == 0 || rep.Encode.EncodedBytes != 4*8<<10 {
+		t.Errorf("encode totals = %+v", rep.Encode)
+	}
+	total := 0
+	for _, n := range rep.TaskLocality {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no task locality recorded")
+	}
+	if rep.IntraRackBytes+rep.CrossRackBytes <= 0 {
+		t.Error("no fabric traffic recorded")
+	}
+
+	// Polling again must not double-count encode totals (cursor advanced).
+	rep2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Encode.Stripes != rep.Encode.Stripes {
+		t.Errorf("stripes grew on idle poll: %d -> %d", rep.Encode.Stripes, rep2.Encode.Stripes)
+	}
+
+	// Re-homing metrics into a shared registry keeps the RPC working.
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("Stats after SetTelemetry: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`netcfs_requests_total{op="ping"} 1`)) {
+		t.Errorf("shared registry missing ping count:\n%s", buf.String())
 	}
 }

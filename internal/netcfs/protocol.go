@@ -34,6 +34,7 @@ const (
 	OpReviveNode
 	OpRepairBlock
 	OpClusterInfo
+	OpServerStats
 )
 
 // String names the operation.
@@ -65,6 +66,8 @@ func (o Op) String() string {
 		return "repair"
 	case OpClusterInfo:
 		return "info"
+	case OpServerStats:
+		return "stats"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -92,6 +95,27 @@ type EncodeSummary struct {
 	Violations         int
 }
 
+// OpMetric summarizes the server's handling of one operation type.
+type OpMetric struct {
+	Op           string
+	Count        uint64
+	TotalSeconds float64
+	MeanSeconds  float64
+	P50Seconds   float64
+	P99Seconds   float64
+}
+
+// StatsReport is the OpServerStats payload: per-operation request counts and
+// latency quantiles, cumulative encoding statistics, encoding-task locality
+// counts (node / rack / remote), and fabric traffic totals.
+type StatsReport struct {
+	Ops            []OpMetric
+	Encode         EncodeSummary
+	TaskLocality   map[string]int
+	CrossRackBytes int64
+	IntraRackBytes int64
+}
+
 // ClusterInfo describes the served cluster.
 type ClusterInfo struct {
 	Racks          int
@@ -114,6 +138,7 @@ type Response struct {
 	Encode  *EncodeSummary
 	Node    topology.NodeID
 	Cluster *ClusterInfo
+	Stats   *StatsReport
 }
 
 // FileInfo is the wire form of hdfs.FileInfo.

@@ -5,13 +5,29 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"ear/internal/hdfs"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
+
+// allOps lists every protocol operation, for pre-registering per-op metrics.
+var allOps = []Op{
+	OpPing, OpCreate, OpAppend, OpCloseFile, OpRead, OpStat, OpList,
+	OpDelete, OpEncode, OpFailNode, OpReviveNode, OpRepairBlock,
+	OpClusterInfo, OpServerStats,
+}
+
+// opHandles are one operation's metric handles.
+type opHandles struct {
+	requests *telemetry.Metric // netcfs_requests_total{op}
+	latency  *telemetry.Metric // netcfs_request_seconds{op}
+}
 
 // Server serves one hdfs.Cluster over TCP. Each connection gets its own
 // goroutine; requests on a connection are processed in order.
@@ -24,6 +40,15 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
+
+	// Per-op telemetry and the cumulative encoding totals served by the
+	// stats RPC (guarded by mu). The server always keeps its own registry
+	// so the RPC works standalone; SetTelemetry re-homes the metrics into
+	// a shared registry (the admin endpoint's).
+	ops       map[Op]*opHandles
+	cursor    hdfs.StatsCursor
+	encTotals EncodeSummary
+	locality  map[string]int
 }
 
 // Serve starts accepting connections on addr (use "127.0.0.1:0" to let the
@@ -34,14 +59,49 @@ func Serve(cluster *hdfs.Cluster, addr string) (*Server, error) {
 		return nil, fmt.Errorf("netcfs listen: %w", err)
 	}
 	s := &Server{
-		cluster: cluster,
-		ln:      ln,
-		rng:     rand.New(rand.NewSource(cluster.Config().Seed + 1000)),
-		conns:   make(map[net.Conn]bool),
+		cluster:  cluster,
+		ln:       ln,
+		rng:      rand.New(rand.NewSource(cluster.Config().Seed + 1000)),
+		conns:    make(map[net.Conn]bool),
+		locality: make(map[string]int),
 	}
+	s.SetTelemetry(telemetry.NewRegistry())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetTelemetry re-registers the server's per-operation metrics
+// (netcfs_requests_total{op}, netcfs_request_seconds{op}) in the given
+// registry, typically the one the admin endpoint exports. Counts recorded
+// under the previous registry stay there.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	req := reg.Counter("netcfs_requests_total",
+		"Requests handled, by operation.", "op")
+	lat := reg.Histogram("netcfs_request_seconds",
+		"Request handling latency, by operation.", nil, "op")
+	ops := make(map[Op]*opHandles, len(allOps))
+	for _, op := range allOps {
+		ops[op] = &opHandles{
+			requests: req.With(op.String()),
+			latency:  lat.With(op.String()),
+		}
+	}
+	s.mu.Lock()
+	s.ops = ops
+	s.mu.Unlock()
+}
+
+// observe records one handled request.
+func (s *Server) observe(op Op, d time.Duration) {
+	s.mu.Lock()
+	h := s.ops[op]
+	s.mu.Unlock()
+	if h == nil {
+		return // unknown op: rejected by handle, not worth a series
+	}
+	h.requests.Inc()
+	h.latency.Observe(d.Seconds())
 }
 
 // Addr returns the bound listen address.
@@ -113,7 +173,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = enc.Encode(Response{Err: fmt.Sprintf("decode: %v", err)})
 			return
 		}
+		start := time.Now()
 		resp := s.handle(&req)
+		s.observe(req.Op, time.Since(start))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -129,6 +191,68 @@ func (s *Server) pickClient(req *Request) topology.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return topology.NodeID(s.rng.Intn(s.cluster.Topology().Nodes()))
+}
+
+// statsReport assembles the OpServerStats payload. Encoding statistics are
+// folded in incrementally via RaidNode.StatsSince, so repeated polling stays
+// cheap regardless of how many encoding jobs have run.
+func (s *Server) statsReport() *StatsReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, next := s.cluster.RaidNode().StatsSince(s.cursor)
+	s.cursor = next
+	s.encTotals.Stripes += d.Stripes
+	s.encTotals.EncodedBytes += d.EncodedBytes
+	s.encTotals.DurationSeconds += d.Duration.Seconds()
+	s.encTotals.CrossRackDownloads += d.CrossRackDownloads
+	s.encTotals.Violations += d.Violations
+	if s.encTotals.DurationSeconds > 0 {
+		s.encTotals.ThroughputMBps = float64(s.encTotals.EncodedBytes) /
+			(1 << 20) / s.encTotals.DurationSeconds
+	}
+	for _, pl := range d.TaskPlacements {
+		switch {
+		case pl.Local:
+			s.locality["node"]++
+		case pl.Rack:
+			s.locality["rack"]++
+		default:
+			s.locality["remote"]++
+		}
+	}
+
+	fab := s.cluster.Fabric().Snapshot()
+	report := &StatsReport{
+		Encode:         s.encTotals,
+		TaskLocality:   make(map[string]int, len(s.locality)),
+		CrossRackBytes: fab.CrossRackBytes,
+		IntraRackBytes: fab.IntraRackBytes,
+	}
+	for k, v := range s.locality {
+		report.TaskLocality[k] = v
+	}
+	for _, op := range allOps {
+		h := s.ops[op]
+		n := h.requests.Value()
+		if n == 0 {
+			continue
+		}
+		m := OpMetric{
+			Op:           op.String(),
+			Count:        uint64(n),
+			TotalSeconds: h.latency.Sum(),
+			MeanSeconds:  h.latency.Mean(),
+			P50Seconds:   h.latency.Quantile(0.5),
+			P99Seconds:   h.latency.Quantile(0.99),
+		}
+		// Quantiles over zero samples are NaN; report zeros instead so
+		// clients can print the report without special-casing.
+		if math.IsNaN(m.MeanSeconds) {
+			m.MeanSeconds, m.P50Seconds, m.P99Seconds = 0, 0, 0
+		}
+		report.Ops = append(report.Ops, m)
+	}
+	return report
 }
 
 // handle dispatches one request.
@@ -205,6 +329,8 @@ func (s *Server) handle(req *Request) Response {
 			return fail(err)
 		}
 		return Response{Node: node}
+	case OpServerStats:
+		return Response{Stats: s.statsReport()}
 	case OpClusterInfo:
 		cfg := s.cluster.Config()
 		return Response{Cluster: &ClusterInfo{

@@ -222,3 +222,46 @@ func TestSeriesSmooth(t *testing.T) {
 		t.Error("Smooth(0): expected error")
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// Single element: every percentile is that element.
+	for _, p := range []float64{0, 25, 50, 100} {
+		if got, err := Percentile([]float64{42}, p); err != nil || got != 42 {
+			t.Errorf("single-element p=%g = (%g, %v), want 42", p, got, err)
+		}
+	}
+	// Two elements: endpoints at p=0/100, linear interpolation between.
+	two := []float64{10, 20}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 20}, {50, 15}, {25, 12.5}, {75, 17.5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(two, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%g): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("two-element p=%g = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// p=0 and p=100 pick min and max regardless of input order.
+	xs := []float64{5, -3, 9, 0, 7}
+	if got, _ := Percentile(xs, 0); got != -3 {
+		t.Errorf("p=0 = %g, want -3", got)
+	}
+	if got, _ := Percentile(xs, 100); got != 9 {
+		t.Errorf("p=100 = %g, want 9", got)
+	}
+	// All-equal samples: every percentile is the common value.
+	if got, _ := Percentile([]float64{4, 4, 4, 4}, 73); got != 4 {
+		t.Errorf("all-equal p=73 = %g, want 4", got)
+	}
+	// Empty input at the boundaries still errors.
+	for _, p := range []float64{0, 100} {
+		if _, err := Percentile(nil, p); !errors.Is(err, ErrNoData) {
+			t.Errorf("empty p=%g: error = %v", p, err)
+		}
+	}
+}

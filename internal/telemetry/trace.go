@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records spans. A nil *Tracer is a valid no-op sink: every Start,
+// Child, Arg, and End call on nil receivers does nothing, so instrumented
+// code never needs nil checks. All methods are safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	spans  []*Span
+	nextID int64
+}
+
+// NewTracer creates a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one timed operation. Spans form a tree through parent links;
+// concurrent siblings can be placed on their own display track with
+// ChildTrack. A nil *Span is a valid no-op.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64 // 0 for roots
+	track  int64 // Chrome trace tid: spans sharing a track nest visually
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	dur   time.Duration
+	ended bool
+	args  map[string]string
+}
+
+// newSpan allocates and registers a span.
+func (t *Tracer) newSpan(name string, parent, track int64) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, parent: parent, track: track, name: name, start: time.Now()}
+	if track <= 0 {
+		s.track = s.id
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Start opens a root span on its own track. Returns nil when the tracer is
+// nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, 0)
+}
+
+// Child opens a sub-span on the same display track as its parent (rendered
+// nested in a trace viewer). Returns nil when the span is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, s.track)
+}
+
+// ChildTrack opens a sub-span on a fresh display track, for children that
+// run concurrently with their siblings (e.g. parallel map tasks). Returns
+// nil when the span is nil.
+func (s *Span) ChildTrack(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, -1) // -1: force a new track
+}
+
+// Arg attaches a key/value annotation, returning the span for chaining.
+func (s *Span) Arg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]string)
+	}
+	s.args[key] = value
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SpanSnapshot is the exported state of one span.
+type SpanSnapshot struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Start  time.Duration // offset from the tracer epoch
+	Dur    time.Duration
+	Ended  bool
+	Args   map[string]string
+}
+
+// Spans returns every recorded span in start order.
+func (t *Tracer) Spans() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	epoch := t.epoch
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		s.mu.Lock()
+		out[i] = SpanSnapshot{
+			ID:     s.id,
+			Parent: s.parent,
+			Name:   s.name,
+			Start:  s.start.Sub(epoch),
+			Dur:    s.dur,
+			Ended:  s.ended,
+		}
+		if len(s.args) > 0 {
+			out[i].Args = make(map[string]string, len(s.args))
+			for k, v := range s.args {
+				out[i].Args[k] = v
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace event format ("X" complete
+// events; see the chrome://tracing Trace Event Format spec).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since epoch
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int64             `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders every ended span as a Chrome trace event array,
+// loadable by chrome://tracing and Perfetto. Unended spans are emitted with
+// the duration observed so far. Span identity and parent links travel in
+// the args ("span", "parent").
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("[]\n"))
+		return err
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	epoch := t.epoch
+	t.mu.Unlock()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		dur := s.dur
+		if !s.ended {
+			dur = time.Since(s.start)
+		}
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  "ear",
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  s.track,
+			Args: map[string]string{},
+		}
+		for k, v := range s.args {
+			ev.Args[k] = v
+		}
+		s.mu.Unlock()
+		ev.Args["span"] = strconv.FormatInt(s.id, 10)
+		if s.parent != 0 {
+			ev.Args["parent"] = strconv.FormatInt(s.parent, 10)
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("root")
+	if s != nil {
+		t.Fatal("nil tracer Start returned a span")
+	}
+	// Every operation on a nil span must be safe.
+	s.Arg("k", "v").Child("c").End()
+	s.ChildTrack("ct").End()
+	s.End()
+	if tr.Spans() != nil {
+		t.Error("nil tracer has spans")
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("nil tracer trace = %q, want []", b.String())
+	}
+}
+
+func TestSpanTreeAndChromeExport(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("encode-job").Arg("stripes", "3")
+	sel := root.Child("stripe-selection")
+	sel.End()
+	task := root.ChildTrack("map-task")
+	dl := task.Child("download")
+	dl.End()
+	task.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[1].Parent != spans[0].ID || spans[3].Parent != spans[2].ID {
+		t.Errorf("parent links wrong: %+v", spans)
+	}
+	if spans[0].Args["stripes"] != "3" {
+		t.Errorf("args = %v", spans[0].Args)
+	}
+	for _, s := range spans {
+		if !s.Ended {
+			t.Errorf("span %q not ended", s.Name)
+		}
+	}
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Errorf("event phase = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event ts missing: %v", ev)
+		}
+	}
+	// The concurrent map task sits on its own display track.
+	if events[2]["tid"] == events[0]["tid"] {
+		t.Error("ChildTrack did not allocate a fresh track")
+	}
+	// Its child nests on the same track.
+	if events[3]["tid"] != events[2]["tid"] {
+		t.Error("Child did not inherit the parent track")
+	}
+}
+
+func TestDoubleEndKeepsFirstDuration(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x")
+	s.End()
+	first := tr.Spans()[0].Dur
+	s.End()
+	if tr.Spans()[0].Dur != first {
+		t.Error("second End changed the duration")
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.ChildTrack("task")
+				c.Child("inner").Arg("j", "1").End()
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 1+8*100*2 {
+		t.Errorf("spans = %d, want %d", got, 1+8*100*2)
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+}
