@@ -1,0 +1,195 @@
+// Command earbench measures the client data path on the shaped fabric and
+// emits a machine-readable snapshot (BENCH_datapath.json by default): block
+// write latency through the chunked replication pipeline vs the legacy
+// store-and-forward chain, block read latency, and the encoding operation
+// with parallel vs sequential stripe gathers. CI runs it as a smoke check;
+// the snapshot documents the speedups the streaming data path buys.
+//
+// Usage:
+//
+//	earbench -out BENCH_datapath.json -writes 20 -stripes 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"ear/internal/hdfs"
+	"ear/internal/topology"
+)
+
+// benchResult is one measured scenario.
+type benchResult struct {
+	Name         string  `json:"name"`
+	Ops          int     `json:"ops"`
+	SecondsPerOp float64 `json:"seconds_per_op"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+}
+
+// snapshot is the emitted document.
+type snapshot struct {
+	GeneratedAt    string        `json:"generated_at"`
+	BlockSizeBytes int           `json:"block_size_bytes"`
+	LinkMBps       float64       `json:"link_mb_per_sec"`
+	DiskMBps       float64       `json:"disk_mb_per_sec"`
+	Results        []benchResult `json:"results"`
+	WriteSpeedup   float64       `json:"write_speedup"`
+	EncodeSpeedup  float64       `json:"encode_speedup"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "earbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_datapath.json", "snapshot output path ('-' for stdout)")
+	writes := flag.Int("writes", 20, "block writes per write/read scenario")
+	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
+	flag.Parse()
+
+	cfg := hdfs.Config{
+		Racks:                    6,
+		NodesPerRack:             3,
+		Policy:                   "ear",
+		Replicas:                 3,
+		K:                        4,
+		N:                        6,
+		C:                        1,
+		BlockSizeBytes:           512 << 10,
+		BandwidthBytesPerSec:     64 << 20,
+		DiskBandwidthBytesPerSec: 64 << 20,
+		MapTasks:                 4,
+		Seed:                     1,
+	}
+	snap := snapshot{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		BlockSizeBytes: cfg.BlockSizeBytes,
+		LinkMBps:       cfg.BandwidthBytesPerSec / (1 << 20),
+		DiskMBps:       cfg.DiskBandwidthBytesPerSec / (1 << 20),
+	}
+	blockMB := float64(cfg.BlockSizeBytes) / (1 << 20)
+
+	var writeSeq, writePipe, encSeq, encPipe float64
+	for _, mode := range []struct {
+		suffix     string
+		sequential bool
+	}{{"pipelined", false}, {"sequential", true}} {
+		mcfg := cfg
+		mcfg.SequentialDataPath = mode.sequential
+
+		// Write path.
+		c, err := hdfs.NewCluster(mcfg)
+		if err != nil {
+			return err
+		}
+		data := make([]byte, mcfg.BlockSizeBytes)
+		rand.New(rand.NewSource(1)).Read(data)
+		t0 := time.Now()
+		for i := 0; i < *writes; i++ {
+			if _, err := c.WriteBlock(0, data); err != nil {
+				c.Close()
+				return err
+			}
+		}
+		perOp := time.Since(t0).Seconds() / float64(*writes)
+		snap.Results = append(snap.Results, benchResult{
+			Name: "write_block_" + mode.suffix, Ops: *writes,
+			SecondsPerOp: perOp, MBPerSec: blockMB / perOp,
+		})
+		if mode.sequential {
+			writeSeq = perOp
+		} else {
+			writePipe = perOp
+		}
+		c.Close()
+
+		// Encode path (downloads k blocks per stripe, uploads n-k parities).
+		c, err = hdfs.NewCluster(mcfg)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < *stripes*mcfg.K; i++ {
+			rng.Read(data)
+			client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+			if _, err := c.WriteBlock(client, data); err != nil {
+				c.Close()
+				return err
+			}
+		}
+		c.NameNode().FlushOpenStripes()
+		t0 = time.Now()
+		stats, err := c.RaidNode().EncodeAll()
+		if err != nil {
+			c.Close()
+			return err
+		}
+		perOp = time.Since(t0).Seconds() / float64(stats.Stripes)
+		snap.Results = append(snap.Results, benchResult{
+			Name: "encode_stripe_" + mode.suffix, Ops: stats.Stripes,
+			SecondsPerOp: perOp, MBPerSec: blockMB * float64(mcfg.K) / perOp,
+		})
+		if mode.sequential {
+			encSeq = perOp
+		} else {
+			encPipe = perOp
+		}
+		c.Close()
+	}
+
+	// Read path (pipelining does not apply: single replica fetch).
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, cfg.BlockSizeBytes)
+	rand.New(rand.NewSource(3)).Read(data)
+	id, err := c.WriteBlock(0, data)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	t0 := time.Now()
+	for i := 0; i < *writes; i++ {
+		if _, err := c.ReadBlock(topology.NodeID(i%c.Topology().Nodes()), id); err != nil {
+			c.Close()
+			return err
+		}
+	}
+	perOp := time.Since(t0).Seconds() / float64(*writes)
+	snap.Results = append(snap.Results, benchResult{
+		Name: "read_block", Ops: *writes,
+		SecondsPerOp: perOp, MBPerSec: blockMB / perOp,
+	})
+	c.Close()
+
+	if writePipe > 0 {
+		snap.WriteSpeedup = writeSeq / writePipe
+	}
+	if encPipe > 0 {
+		snap.EncodeSpeedup = encSeq / encPipe
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("earbench: wrote %s (write speedup %.2fx, encode speedup %.2fx)\n",
+		*out, snap.WriteSpeedup, snap.EncodeSpeedup)
+	return nil
+}

@@ -58,6 +58,7 @@ func printStats(rep *netcfs.StatsReport) {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7070", "earfsd address")
+	timeout := flag.Duration("timeout", 0, "per-RPC deadline (0 = none); on expiry the server cancels the in-flight operation")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -68,6 +69,7 @@ func run() error {
 		return err
 	}
 	defer client.Close()
+	client.Timeout = *timeout
 
 	switch cmd := args[0]; cmd {
 	case "put":

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -487,23 +488,23 @@ func runSwimJob(c *hdfs.Cluster, j mapred.SwimJob, input []topology.BlockID, see
 		job.Tasks = append(job.Tasks, &mapred.Task{
 			Name:      fmt.Sprintf("%s-m%d", j.Name, m),
 			Preferred: preferred,
-			Run: func(on topology.NodeID) error {
+			Run: func(ctx context.Context, on topology.NodeID) error {
 				taskRng := rand.New(rand.NewSource(taskSeed))
 				for _, b := range myBlocks {
-					if _, err := c.ReadBlock(on, b); err != nil {
+					if _, err := c.ReadBlockCtx(ctx, on, b); err != nil {
 						return err
 					}
 				}
 				if shufflePerMap > 0 {
 					dst := topology.NodeID(taskRng.Intn(c.Topology().Nodes()))
-					if _, err := c.Fabric().Transfer(on, dst, make([]byte, shufflePerMap)); err != nil {
+					if _, err := c.Fabric().TransferCtx(ctx, on, dst, make([]byte, shufflePerMap)); err != nil {
 						return err
 					}
 				}
 				payload := make([]byte, blockSize)
 				taskRng.Read(payload)
 				for b := 0; b < outBlocks; b++ {
-					if _, err := c.WriteBlock(on, payload); err != nil {
+					if _, err := c.WriteBlockCtx(ctx, on, payload); err != nil {
 						return err
 					}
 				}

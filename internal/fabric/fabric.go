@@ -9,6 +9,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,12 +19,23 @@ import (
 	"ear/internal/topology"
 )
 
-// ErrInvalidRate indicates a non-positive bandwidth.
-var ErrInvalidRate = errors.New("fabric: invalid rate")
+// Errors returned by the package.
+var (
+	// ErrInvalidRate indicates a non-positive bandwidth.
+	ErrInvalidRate = errors.New("fabric: invalid rate")
+	// ErrStreamClosed indicates a Send on a closed stream.
+	ErrStreamClosed = errors.New("fabric: stream closed")
+)
 
-// chunkBytes is the shaping granularity. Flows sharing a link interleave at
-// this grain, approximating fair sharing.
-const chunkBytes = 64 << 10
+// ChunkBytes is the shaping granularity. Flows sharing a link interleave at
+// this grain, approximating fair sharing, and a canceled stream overshoots
+// by at most one chunk's reservation. The replication pipeline uses the
+// same grain, so a downstream hop can forward a chunk as soon as the
+// upstream hop delivers it.
+const ChunkBytes = 64 << 10
+
+// chunkBytes is the internal alias predating the exported constant.
+const chunkBytes = ChunkBytes
 
 // LinkClass groups links by their position in the topology, the grouping
 // Snapshot and the telemetry labels report.
@@ -162,9 +174,15 @@ type Fabric struct {
 	intraRack int64
 	mu        sync.Mutex
 
+	// injectors tracks running traffic injectors so Close can stop them
+	// (guarded by mu).
+	injectors map[*Injector]struct{}
+
 	// Aggregate telemetry handles, set by SetTelemetry (guarded by mu).
-	mCross *telemetry.Metric
-	mIntra *telemetry.Metric
+	mCross       *telemetry.Metric
+	mIntra       *telemetry.Metric
+	mStreamsOpen *telemetry.Metric // fabric_streams_active gauge
+	mStreamsTot  *telemetry.Metric // fabric_streams_total counter
 }
 
 // New builds a fabric where every node NIC and every rack core link runs at
@@ -172,11 +190,12 @@ type Fabric struct {
 // testbed and the Experiment B.2(c) single link-bandwidth knob.
 func New(top *topology.Topology, bytesPerSec float64) (*Fabric, error) {
 	f := &Fabric{
-		top:      top,
-		nodeUp:   make([]*Link, top.Nodes()),
-		nodeDown: make([]*Link, top.Nodes()),
-		rackUp:   make([]*Link, top.Racks()),
-		rackDown: make([]*Link, top.Racks()),
+		top:       top,
+		nodeUp:    make([]*Link, top.Nodes()),
+		nodeDown:  make([]*Link, top.Nodes()),
+		rackUp:    make([]*Link, top.Racks()),
+		rackDown:  make([]*Link, top.Racks()),
+		injectors: make(map[*Injector]struct{}),
 	}
 	for i := 0; i < top.Nodes(); i++ {
 		var err error
@@ -347,9 +366,15 @@ func (f *Fabric) SetTelemetry(reg *telemetry.Registry) {
 		"Bytes shaped through each fabric link.", "link", "class")
 	linkWait := reg.Counter("fabric_link_wait_seconds_total",
 		"Cumulative token-bucket shaping delay imposed by each link.", "link", "class")
+	streamsOpen := reg.Gauge("fabric_streams_active",
+		"Fabric streams currently open (pipeline hops, gathers, reads in flight).").With()
+	streamsTot := reg.Counter("fabric_streams_total",
+		"Fabric streams opened since startup.").With()
 	f.mu.Lock()
 	f.mCross = bytes.With("cross-rack")
 	f.mIntra = bytes.With("intra-rack")
+	f.mStreamsOpen = streamsOpen
+	f.mStreamsTot = streamsTot
 	f.mu.Unlock()
 	for _, group := range [][]*Link{f.nodeUp, f.nodeDown, f.rackUp, f.rackDown, f.disk} {
 		for _, l := range group {
@@ -379,68 +404,197 @@ func (f *Fabric) path(src, dst topology.NodeID) ([]*Link, bool, error) {
 	return links, cross, nil
 }
 
+// sleepCtx blocks for d or until the context is done, returning the
+// context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Stream is one open src->dst flow over the shaped path. Send books payload
+// bytes chunk by chunk, so concurrent streams sharing a link interleave at
+// ChunkBytes granularity (the token bucket serves reservations FIFO) and a
+// cancellation takes effect within one chunk's reservation. A stream to the
+// same node is shaped by the node's disk when EnableDisk was called and is
+// otherwise instantaneous. Streams carry no payload themselves: the caller
+// owns the bytes and copies them at most once per delivered replica.
+type Stream struct {
+	f     *Fabric
+	src   topology.NodeID
+	dst   topology.NodeID
+	links []*Link
+	cross bool
+	local bool
+
+	mu     sync.Mutex
+	sent   int64
+	closed bool
+}
+
+// OpenStream validates the path and registers an open stream from src to
+// dst. The caller must Close it.
+func (f *Fabric) OpenStream(ctx context.Context, src, dst topology.NodeID) (*Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := &Stream{f: f, src: src, dst: dst}
+	if src == dst {
+		if _, err := f.top.RackOf(src); err != nil {
+			return nil, err
+		}
+		s.local = true
+		if f.disk != nil {
+			s.links = []*Link{f.disk[src]}
+		}
+	} else {
+		links, cross, err := f.path(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		s.links, s.cross = links, cross
+	}
+	f.mu.Lock()
+	open, tot := f.mStreamsOpen, f.mStreamsTot
+	f.mu.Unlock()
+	if open != nil {
+		open.Inc()
+	}
+	if tot != nil {
+		tot.Inc()
+	}
+	return s, nil
+}
+
+// Send shapes n payload bytes through the stream, blocking for the shaped
+// duration. It returns the context's error if canceled mid-flight; bytes of
+// chunks already reserved stay booked on the links (at most one chunk
+// overshoot).
+func (s *Stream) Send(ctx context.Context, n int) error {
+	if n < 0 {
+		return fmt.Errorf("fabric: negative send of %d bytes", n)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: %d->%d", ErrStreamClosed, s.src, s.dst)
+	}
+	for off := 0; off < n; off += chunkBytes {
+		c := chunkBytes
+		if off+c > n {
+			c = n - off
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var wait time.Duration
+		for _, l := range s.links {
+			if d := l.reserve(c); d > wait {
+				wait = d
+			}
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return err
+		}
+		s.account(c)
+	}
+	// Zero-byte sends still honor cancellation.
+	return ctx.Err()
+}
+
+// account books c delivered payload bytes in the locality counters. Local
+// (same-node) traffic is disk activity, not network payload.
+func (s *Stream) account(c int) {
+	s.mu.Lock()
+	s.sent += int64(c)
+	s.mu.Unlock()
+	if s.local {
+		return
+	}
+	s.f.mu.Lock()
+	var m *telemetry.Metric
+	if s.cross {
+		s.f.crossRack += int64(c)
+		m = s.f.mCross
+	} else {
+		s.f.intraRack += int64(c)
+		m = s.f.mIntra
+	}
+	s.f.mu.Unlock()
+	if m != nil {
+		m.Add(float64(c))
+	}
+}
+
+// Sent returns the payload bytes delivered so far.
+func (s *Stream) Sent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Close releases the stream. It is idempotent.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.f.mu.Lock()
+	open := s.f.mStreamsOpen
+	s.f.mu.Unlock()
+	if open != nil {
+		open.Dec()
+	}
+}
+
 // Transfer ships data from src to dst, returning a copy of the payload
 // after blocking the caller for the shaped duration. A transfer to the same
 // node is an unshaped copy (local disk access is not modeled by the
 // network). The returned slice never aliases the input.
 func (f *Fabric) Transfer(src, dst topology.NodeID, data []byte) ([]byte, error) {
-	out := append([]byte(nil), data...)
-	if src == dst {
-		if _, err := f.top.RackOf(src); err != nil {
-			return nil, err
-		}
-		if f.disk != nil {
-			if wait := f.disk[src].reserve(len(data)); wait > 0 {
-				time.Sleep(wait)
-			}
-		}
-		return out, nil
-	}
-	links, cross, err := f.path(src, dst)
+	return f.TransferCtx(context.Background(), src, dst, data)
+}
+
+// TransferCtx is Transfer with cancellation: the shaped wait aborts within
+// one chunk reservation of ctx being canceled, and the payload copy (the
+// single copy per delivered replica) is made only on success.
+func (f *Fabric) TransferCtx(ctx context.Context, src, dst topology.NodeID, data []byte) ([]byte, error) {
+	s, err := f.OpenStream(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
-	for off := 0; off < len(data); off += chunkBytes {
-		n := chunkBytes
-		if off+n > len(data) {
-			n = len(data) - off
-		}
-		var wait time.Duration
-		for _, l := range links {
-			if d := l.reserve(n); d > wait {
-				wait = d
-			}
-		}
-		if wait > 0 {
-			time.Sleep(wait)
-		}
+	defer s.Close()
+	if err := s.Send(ctx, len(data)); err != nil {
+		return nil, err
 	}
-	f.mu.Lock()
-	var m *telemetry.Metric
-	if cross {
-		f.crossRack += int64(len(data))
-		m = f.mCross
-	} else {
-		f.intraRack += int64(len(data))
-		m = f.mIntra
-	}
-	f.mu.Unlock()
-	if m != nil {
-		m.Add(float64(len(data)))
-	}
-	return out, nil
+	return append([]byte(nil), data...), nil
 }
 
 // Injector drains link capacity continuously, modeling the paper's Iperf
 // UDP cross-traffic between node pairs (Experiment A.1's network-condition
 // sweep). Stop it with Close.
 type Injector struct {
+	f    *Fabric
 	stop chan struct{}
 	done chan struct{}
+	once sync.Once
 }
 
 // InjectTraffic starts a background stream of rateBytesPerSec from src to
-// dst. The stream only consumes capacity; no payload is delivered.
+// dst. The stream only consumes capacity; no payload is delivered. The
+// injector runs until its Close — or the fabric's.
 func (f *Fabric) InjectTraffic(src, dst topology.NodeID, rateBytesPerSec float64) (*Injector, error) {
 	if rateBytesPerSec <= 0 {
 		return nil, fmt.Errorf("%w: injector at %g B/s", ErrInvalidRate, rateBytesPerSec)
@@ -449,7 +603,10 @@ func (f *Fabric) InjectTraffic(src, dst topology.NodeID, rateBytesPerSec float64
 	if err != nil {
 		return nil, err
 	}
-	inj := &Injector{stop: make(chan struct{}), done: make(chan struct{})}
+	inj := &Injector{f: f, stop: make(chan struct{}), done: make(chan struct{})}
+	f.mu.Lock()
+	f.injectors[inj] = struct{}{}
+	f.mu.Unlock()
 	interval := time.Duration(float64(chunkBytes) / rateBytesPerSec * float64(time.Second))
 	go func() {
 		defer close(inj.done)
@@ -469,8 +626,29 @@ func (f *Fabric) InjectTraffic(src, dst topology.NodeID, rateBytesPerSec float64
 	return inj, nil
 }
 
-// Close stops the injector and waits for its goroutine to exit.
+// Close stops the injector and waits for its goroutine to exit. Closing an
+// already-closed injector is a no-op.
 func (i *Injector) Close() {
-	close(i.stop)
+	i.once.Do(func() {
+		close(i.stop)
+		i.f.mu.Lock()
+		delete(i.f.injectors, i)
+		i.f.mu.Unlock()
+	})
 	<-i.done
+}
+
+// Close tears the fabric down, stopping any still-running injectors. Open
+// streams are unaffected (they belong to their callers), and the fabric's
+// counters remain readable.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	injs := make([]*Injector, 0, len(f.injectors))
+	for inj := range f.injectors {
+		injs = append(injs, inj)
+	}
+	f.mu.Unlock()
+	for _, inj := range injs {
+		inj.Close()
+	}
 }

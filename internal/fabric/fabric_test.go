@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -351,4 +352,178 @@ func TestFabricTelemetry(t *testing.T) {
 	if got := linkBytes.With("node0.up", string(ClassNodeUp)).Value(); got != float64(len(payload)) {
 		t.Errorf("link bytes = %g, want %d", got, len(payload))
 	}
+}
+
+func TestTransferCtxCancelAborts(t *testing.T) {
+	// 64 KB/s: a 1 MB transfer would take ~16s; cancellation must abort it
+	// within roughly one chunk reservation.
+	f, err := New(mustTop(t, 2, 1), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = f.TransferCtx(ctx, 0, 1, make([]byte, 1<<20))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransferCtx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("cancellation took %v; want prompt abort", elapsed)
+	}
+}
+
+func TestStreamSendDeadline(t *testing.T) {
+	f, err := New(mustTop(t, 2, 1), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s, err := f.OpenStream(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Send(ctx, 1<<20); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Send = %v, want deadline exceeded", err)
+	}
+	if s.Sent() >= 1<<20 {
+		t.Errorf("Sent = %d after deadline, want partial delivery", s.Sent())
+	}
+}
+
+func TestStreamClosedRejectsSend(t *testing.T) {
+	f, err := New(mustTop(t, 2, 1), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.OpenStream(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Send(context.Background(), 10); !errors.Is(err, ErrStreamClosed) {
+		t.Errorf("Send on closed stream = %v, want ErrStreamClosed", err)
+	}
+}
+
+func TestStreamAccountsLocality(t *testing.T) {
+	f, err := New(mustTop(t, 2, 2), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.OpenStream(context.Background(), 0, 3) // cross-rack
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(context.Background(), 100<<10); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if got := f.CrossRackBytes(); got != 100<<10 {
+		t.Errorf("CrossRackBytes = %d, want %d", got, 100<<10)
+	}
+	if got := f.IntraRackBytes(); got != 0 {
+		t.Errorf("IntraRackBytes = %d, want 0", got)
+	}
+}
+
+func TestConcurrentStreamsShareLinkFairly(t *testing.T) {
+	// Two streams share node0's uplink: both should finish in about the
+	// same (doubled) time rather than strictly one after the other.
+	top := mustTop(t, 3, 1)
+	f, err := New(top, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = 1 << 20 // alone ~125ms on 8MB/s, shared ~250ms
+	var elapsed [2]time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := f.OpenStream(context.Background(), 0, topology.NodeID(1+i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			if err := s.Send(context.Background(), payload); err != nil {
+				t.Error(err)
+			}
+			elapsed[i] = time.Since(start)
+		}()
+	}
+	wg.Wait()
+	// Interleaving means neither stream finishes in much less than the
+	// shared-rate time, and they finish close together.
+	gap := elapsed[0] - elapsed[1]
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 150*time.Millisecond {
+		t.Errorf("streams finished %v apart (%v vs %v); expected chunk-interleaved fair sharing",
+			gap, elapsed[0], elapsed[1])
+	}
+}
+
+func TestStreamTelemetryGauge(t *testing.T) {
+	f, err := New(mustTop(t, 2, 1), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	f.SetTelemetry(reg)
+	active := reg.Gauge("fabric_streams_active", "").With()
+	total := reg.Counter("fabric_streams_total", "").With()
+	s, err := f.OpenStream(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := active.Value(); got != 1 {
+		t.Errorf("fabric_streams_active = %g, want 1", got)
+	}
+	s.Close()
+	s.Close()
+	if got := active.Value(); got != 0 {
+		t.Errorf("fabric_streams_active after close = %g, want 0", got)
+	}
+	if got := total.Value(); got != 1 {
+		t.Errorf("fabric_streams_total = %g, want 1", got)
+	}
+}
+
+func TestInjectorDoubleCloseAndFabricClose(t *testing.T) {
+	f, err := New(mustTop(t, 2, 1), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := f.InjectTraffic(0, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Close()
+	inj.Close() // must be a safe no-op
+
+	// Fabric teardown stops still-running injectors.
+	inj2, err := f.InjectTraffic(0, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	select {
+	case <-inj2.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Fabric.Close did not stop the running injector")
+	}
+	inj2.Close() // still safe after fabric teardown
+	f.Close()    // and fabric close is idempotent too
 }

@@ -1,0 +1,102 @@
+package hdfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"ear/internal/topology"
+)
+
+// benchConfig shapes the fabric hard enough that data-path structure (not
+// Go overhead) dominates: one block transfer costs ~8ms, and local reads
+// are disk-shaped so a gather can overlap disk and network fetches.
+func benchConfig(sequential bool) Config {
+	return Config{
+		Racks:                    6,
+		NodesPerRack:             3,
+		Policy:                   "ear",
+		Replicas:                 3,
+		K:                        4,
+		N:                        6,
+		C:                        1,
+		BlockSizeBytes:           512 << 10,
+		BandwidthBytesPerSec:     64 << 20,
+		DiskBandwidthBytesPerSec: 64 << 20,
+		MapTasks:                 4,
+		Seed:                     1,
+		SequentialDataPath:       sequential,
+	}
+}
+
+func benchModes(b *testing.B, run func(b *testing.B, sequential bool)) {
+	b.Run("pipelined", func(b *testing.B) { run(b, false) })
+	b.Run("sequential", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkWriteBlock(b *testing.B) {
+	benchModes(b, func(b *testing.B, sequential bool) {
+		c, err := NewCluster(benchConfig(sequential))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		data := make([]byte, c.Config().BlockSizeBytes)
+		rand.New(rand.NewSource(1)).Read(data)
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.WriteBlock(0, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReadBlock(b *testing.B) {
+	c, err := NewCluster(benchConfig(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]byte, c.Config().BlockSizeBytes)
+	rand.New(rand.NewSource(2)).Read(data)
+	id, err := c.WriteBlock(0, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadBlock(topology.NodeID(i%c.Topology().Nodes()), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeAll(b *testing.B) {
+	benchModes(b, func(b *testing.B, sequential bool) {
+		c, err := NewCluster(benchConfig(sequential))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(3))
+		data := make([]byte, c.Config().BlockSizeBytes)
+		b.SetBytes(int64(c.Config().K * c.Config().BlockSizeBytes))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for j := 0; j < c.Config().K; j++ {
+				rng.Read(data)
+				client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+				if _, err := c.WriteBlock(client, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.NameNode().FlushOpenStripes()
+			b.StartTimer()
+			if _, err := c.RaidNode().EncodeAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

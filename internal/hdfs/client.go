@@ -1,12 +1,19 @@
 package hdfs
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"ear/internal/blockstore"
+	"ear/internal/fabric"
 	"ear/internal/topology"
+	"ear/internal/workgroup"
 )
+
+// gatherFanIn bounds the concurrent source fetches of one stripe gather.
+const gatherFanIn = 16
 
 // DataKey builds the store key for a data block replica.
 func DataKey(id topology.BlockID) blockstore.Key {
@@ -19,11 +26,25 @@ func ParityKey(stripe topology.StripeID, idx int) blockstore.Key {
 	return blockstore.Key{ID: int64(stripe)*1024 + int64(idx), Kind: blockstore.Parity}
 }
 
-// WriteBlock writes one block from the given client node: the NameNode
-// allocates the block and decides placement, then the data flows down the
-// HDFS replication pipeline (client -> replica 1 -> replica 2 -> ...), with
-// every hop shaped by the fabric.
+// WriteBlock writes one block from the given client node with a background
+// context. See WriteBlockCtx.
 func (c *Cluster) WriteBlock(client topology.NodeID, data []byte) (topology.BlockID, error) {
+	return c.WriteBlockCtx(context.Background(), client, data)
+}
+
+// WriteBlockCtx writes one block from the given client node: the NameNode
+// allocates the block and decides placement, then the data flows down the
+// HDFS replication pipeline (client -> replica 1 -> replica 2 -> ...) in
+// fabric chunks, every hop shaped by the fabric. Hops run concurrently —
+// while replica 1 forwards chunk i to replica 2 the client is already
+// sending chunk i+1 — so an r-way write costs roughly one block transfer
+// plus the pipeline fill, not r transfers (Config.SequentialDataPath
+// restores the whole-block store-and-forward chain for comparison).
+//
+// Cancelling ctx aborts the write within one chunk reservation per hop; the
+// allocation is then abandoned via NameNode.AbortBlock and no replica is
+// committed to any store.
+func (c *Cluster) WriteBlockCtx(ctx context.Context, client topology.NodeID, data []byte) (topology.BlockID, error) {
 	if len(data) != c.cfg.BlockSizeBytes {
 		return 0, fmt.Errorf("%w: block of %d bytes, configured size %d",
 			ErrInvalidConfig, len(data), c.cfg.BlockSizeBytes)
@@ -35,26 +56,151 @@ func (c *Cluster) WriteBlock(client topology.NodeID, data []byte) (topology.Bloc
 	if err != nil {
 		return 0, err
 	}
-	payload := data
-	prev := client
-	for _, n := range meta.Nodes {
-		payload, err = c.fab.Transfer(prev, n, payload)
-		if err != nil {
-			return 0, err
-		}
-		dn, err := c.DataNodeOf(n)
-		if err != nil {
-			return 0, err
-		}
-		if err := dn.Store.Put(DataKey(meta.ID), payload); err != nil {
-			return 0, fmt.Errorf("replica on node %d: %w", n, err)
-		}
-		prev = n
+	if c.cfg.SequentialDataPath {
+		err = c.writeStoreAndForward(ctx, client, meta, data)
+	} else {
+		err = c.writePipelined(ctx, client, meta, data)
+	}
+	if err != nil {
+		c.abortWrite(meta)
+		return 0, err
 	}
 	if err := c.nn.CommitBlock(meta.ID); err != nil {
 		return 0, err
 	}
 	return meta.ID, nil
+}
+
+// abortWrite abandons a failed write: the allocation is voided on the
+// NameNode and any replica a hop already stored is deleted (best effort —
+// the block is already unreachable once aborted).
+func (c *Cluster) abortWrite(meta *BlockMeta) {
+	_ = c.nn.AbortBlock(meta.ID)
+	for _, n := range meta.Nodes {
+		if dn, err := c.DataNodeOf(n); err == nil {
+			dn.Store.Delete(DataKey(meta.ID))
+		}
+	}
+}
+
+// writeStoreAndForward is the legacy data path: each hop receives the whole
+// block, stores it, then forwards it to the next replica. An r-way write
+// costs r sequential block transfers.
+func (c *Cluster) writeStoreAndForward(ctx context.Context, client topology.NodeID, meta *BlockMeta, data []byte) error {
+	payload := data
+	prev := client
+	for _, n := range meta.Nodes {
+		var err error
+		payload, err = c.fab.TransferCtx(ctx, prev, n, payload)
+		if err != nil {
+			return err
+		}
+		dn, err := c.DataNodeOf(n)
+		if err != nil {
+			return err
+		}
+		if err := dn.Store.Put(DataKey(meta.ID), payload); err != nil {
+			return fmt.Errorf("replica on node %d: %w", n, err)
+		}
+		prev = n
+	}
+	return nil
+}
+
+// writePipelined streams the block down the replication chain chunk by
+// chunk. Hop i owns one fabric stream (previous replica -> replica i) and a
+// staging buffer; it forwards each chunk as soon as the upstream hop has
+// delivered it, so all hops transfer concurrently. Replicas are committed
+// to their stores only after every hop finishes, so a failed or canceled
+// write leaves nothing behind.
+func (c *Cluster) writePipelined(ctx context.Context, client topology.NodeID, meta *BlockMeta, data []byte) error {
+	nHops := len(meta.Nodes)
+	if nHops == 0 {
+		return fmt.Errorf("%w: block %d placed on no nodes", ErrNoReplica, meta.ID)
+	}
+	nChunks := (len(data) + fabric.ChunkBytes - 1) / fabric.ChunkBytes
+	start := time.Now()
+
+	// ready[i] carries chunk indices whose bytes have landed in hop i's
+	// source buffer (the original data for hop 0, hop i-1's staging buffer
+	// otherwise). Buffered to nChunks so a fast upstream never blocks; the
+	// group context covers abandonment.
+	ready := make([]chan int, nHops)
+	for i := range ready {
+		ready[i] = make(chan int, nChunks)
+	}
+	for idx := 0; idx < nChunks; idx++ {
+		ready[0] <- idx
+	}
+	close(ready[0])
+
+	bufs := make([][]byte, nHops)
+	for i := range bufs {
+		bufs[i] = make([]byte, len(data))
+	}
+
+	g, gctx := workgroup.WithContext(ctx)
+	for i := 0; i < nHops; i++ {
+		i := i
+		src := client
+		srcBuf := data
+		if i > 0 {
+			src = meta.Nodes[i-1]
+			srcBuf = bufs[i-1]
+		}
+		dst := meta.Nodes[i]
+		g.Go(func() error {
+			st, err := c.fab.OpenStream(gctx, src, dst)
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			first := true
+			for {
+				var idx int
+				var ok bool
+				select {
+				case idx, ok = <-ready[i]:
+					if !ok {
+						if i+1 < nHops {
+							close(ready[i+1])
+						}
+						return nil
+					}
+				case <-gctx.Done():
+					return gctx.Err()
+				}
+				lo := idx * fabric.ChunkBytes
+				hi := min(lo+fabric.ChunkBytes, len(data))
+				if err := st.Send(gctx, hi-lo); err != nil {
+					return err
+				}
+				copy(bufs[i][lo:hi], srcBuf[lo:hi])
+				if first && i == nHops-1 {
+					first = false
+					if m := c.metrics(); m != nil {
+						m.pipeFill.Observe(time.Since(start).Seconds())
+					}
+				}
+				if i+1 < nHops {
+					ready[i+1] <- idx
+				}
+			}
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	for i, n := range meta.Nodes {
+		dn, err := c.DataNodeOf(n)
+		if err != nil {
+			return err
+		}
+		if err := dn.Store.Put(DataKey(meta.ID), bufs[i]); err != nil {
+			return fmt.Errorf("replica on node %d: %w", n, err)
+		}
+	}
+	return nil
 }
 
 // chooseReplica picks the replica a reader should use: the reader itself if
@@ -86,10 +232,16 @@ func (c *Cluster) chooseReplica(nodes []topology.NodeID, reader topology.NodeID)
 	return nodes[c.randIntn(len(nodes))], nil
 }
 
-// ReadBlock reads a block to the client node from its nearest live replica.
-// If every replica is lost but the block's stripe is encoded, the read
-// degrades to erasure-coded reconstruction.
+// ReadBlock reads a block with a background context. See ReadBlockCtx.
 func (c *Cluster) ReadBlock(client topology.NodeID, id topology.BlockID) ([]byte, error) {
+	return c.ReadBlockCtx(context.Background(), client, id)
+}
+
+// ReadBlockCtx reads a block to the client node from its nearest live
+// replica. If every replica is lost but the block's stripe is encoded, the
+// read degrades to erasure-coded reconstruction. Cancelling ctx aborts the
+// transfer within one chunk reservation.
+func (c *Cluster) ReadBlockCtx(ctx context.Context, client topology.NodeID, id topology.BlockID) ([]byte, error) {
 	if m := c.metrics(); m != nil {
 		defer func(t0 time.Time) { m.readLat.Observe(time.Since(t0).Seconds()) }(time.Now())
 	}
@@ -98,7 +250,7 @@ func (c *Cluster) ReadBlock(client topology.NodeID, id topology.BlockID) ([]byte
 		return nil, err
 	}
 	if len(live) == 0 {
-		return c.DegradedRead(client, id)
+		return c.DegradedReadCtx(ctx, client, id)
 	}
 	src, err := c.chooseReplica(live, client)
 	if err != nil {
@@ -112,39 +264,22 @@ func (c *Cluster) ReadBlock(client topology.NodeID, id topology.BlockID) ([]byte
 	if err != nil {
 		return nil, err
 	}
-	return c.fab.Transfer(src, client, data)
+	return c.fab.TransferCtx(ctx, src, client, data)
 }
 
 // stripeSurvivors gathers up to k live blocks of a stripe (data and
-// parity), transferring each to the gatherer node. It returns them indexed
-// by stripe position.
-func (c *Cluster) stripeSurvivors(gatherer topology.NodeID, sm *StripeMeta) (map[int][]byte, error) {
+// parity), transferring each to the gatherer node. Fetches run concurrently
+// in batches of the outstanding need (bounded by gatherFanIn) unless
+// Config.SequentialDataPath forces one-at-a-time gathering; in both modes
+// survivors in the gatherer's rack are preferred. It returns the blocks
+// indexed by stripe position.
+func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID, sm *StripeMeta) (map[int][]byte, error) {
 	if sm.Plan == nil {
 		return nil, fmt.Errorf("%w: stripe %d not encoded", ErrUnknownStripe, sm.Info.ID)
 	}
 	// Parity occupies stripe positions k..n-1 of the code geometry even for
 	// short stripes (positions len(Blocks)..k-1 are zero padding).
 	k := c.cfg.K
-	present := make(map[int][]byte, c.cfg.K)
-	fetch := func(node topology.NodeID, key blockstore.Key, pos int) error {
-		if c.nn.IsDead(node) {
-			return nil
-		}
-		dn, err := c.DataNodeOf(node)
-		if err != nil {
-			return err
-		}
-		data, err := dn.Store.Get(key)
-		if err != nil {
-			return nil // missing or corrupt: treat as erased
-		}
-		data, err = c.fab.Transfer(node, gatherer, data)
-		if err != nil {
-			return err
-		}
-		present[pos] = data
-		return nil
-	}
 	// Order candidate blocks so survivors in the gatherer's rack come
 	// first: each local fetch replaces one cross-rack download (the
 	// Section III-D recovery-traffic saving of c > 1).
@@ -187,11 +322,55 @@ func (c *Cluster) stripeSurvivors(gatherer topology.NodeID, sm *StripeMeta) (map
 			return nil, err
 		}
 	}
-	for _, cand := range append(local, remote...) {
-		if len(present) == c.cfg.K {
-			break
+	candidates := append(local, remote...)
+
+	present := make(map[int][]byte, k)
+	var mu sync.Mutex
+	fetch := func(ctx context.Context, cand candidate) error {
+		if c.nn.IsDead(cand.node) {
+			return nil
 		}
-		if err := fetch(cand.node, cand.key, cand.pos); err != nil {
+		dn, err := c.DataNodeOf(cand.node)
+		if err != nil {
+			return err
+		}
+		data, err := dn.Store.Get(cand.key)
+		if err != nil {
+			return nil // missing or corrupt: treat as erased
+		}
+		data, err = c.fab.TransferCtx(ctx, cand.node, gatherer, data)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		present[cand.pos] = data
+		mu.Unlock()
+		return nil
+	}
+	// Fetch exactly as many candidates as positions are still missing; a
+	// candidate that turns out erased (store miss) shrinks the batch's
+	// yield and the loop tops up from the remaining candidates.
+	for next := 0; len(present) < k && next < len(candidates); {
+		batch := candidates[next:min(next+k-len(present), len(candidates))]
+		next += len(batch)
+		if c.cfg.SequentialDataPath {
+			for _, cand := range batch {
+				if err := fetch(ctx, cand); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if m := c.metrics(); m != nil {
+			m.gatherPar.Observe(float64(len(batch)))
+		}
+		g, gctx := workgroup.WithContext(ctx)
+		g.SetLimit(gatherFanIn)
+		for _, cand := range batch {
+			cand := cand
+			g.Go(func() error { return fetch(gctx, cand) })
+		}
+		if err := g.Wait(); err != nil {
 			return nil, err
 		}
 	}
@@ -206,9 +385,16 @@ func (c *Cluster) padStripe(present map[int][]byte, sm *StripeMeta) {
 	}
 }
 
-// DegradedRead reconstructs a lost block from its stripe: the client
-// gathers any k surviving blocks and decodes (Section VI's degraded read).
+// DegradedRead reconstructs a lost block with a background context. See
+// DegradedReadCtx.
 func (c *Cluster) DegradedRead(client topology.NodeID, id topology.BlockID) ([]byte, error) {
+	return c.DegradedReadCtx(context.Background(), client, id)
+}
+
+// DegradedReadCtx reconstructs a lost block from its stripe: the client
+// gathers any k surviving blocks concurrently and decodes (Section VI's
+// degraded read).
+func (c *Cluster) DegradedReadCtx(ctx context.Context, client topology.NodeID, id topology.BlockID) ([]byte, error) {
 	meta, err := c.nn.Block(id)
 	if err != nil {
 		return nil, err
@@ -230,7 +416,7 @@ func (c *Cluster) DegradedRead(client topology.NodeID, id topology.BlockID) ([]b
 	if pos < 0 {
 		return nil, fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, meta.Stripe)
 	}
-	present, err := c.stripeSurvivors(client, sm)
+	present, err := c.stripeSurvivors(ctx, client, sm)
 	if err != nil {
 		return nil, err
 	}
@@ -238,9 +424,15 @@ func (c *Cluster) DegradedRead(client topology.NodeID, id topology.BlockID) ([]b
 	return c.coder.ReconstructBlock(present, pos)
 }
 
-// RepairBlock rebuilds a lost block onto a fresh live node and updates the
-// NameNode, the RaidNode recovery path. It returns the chosen node.
+// RepairBlock rebuilds a lost block with a background context. See
+// RepairBlockCtx.
 func (c *Cluster) RepairBlock(id topology.BlockID) (topology.NodeID, error) {
+	return c.RepairBlockCtx(context.Background(), id)
+}
+
+// RepairBlockCtx rebuilds a lost block onto a fresh live node and updates
+// the NameNode, the RaidNode recovery path. It returns the chosen node.
+func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topology.NodeID, error) {
 	meta, err := c.nn.Block(id)
 	if err != nil {
 		return 0, err
@@ -256,7 +448,7 @@ func (c *Cluster) RepairBlock(id topology.BlockID) (topology.NodeID, error) {
 	if err != nil {
 		return 0, err
 	}
-	data, err := c.DegradedRead(target, id)
+	data, err := c.DegradedReadCtx(ctx, target, id)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,280 @@
+package hdfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ear/internal/topology"
+)
+
+// TestPipelinedWriteMatchesSequential writes the same workload through the
+// chunked pipeline and through the legacy store-and-forward path and checks
+// they are indistinguishable at rest: identical replica placement, byte-
+// identical stored replicas, and identical fabric locality accounting.
+func TestPipelinedWriteMatchesSequential(t *testing.T) {
+	for _, policy := range []string{"rr", "ear"} {
+		t.Run(policy, func(t *testing.T) {
+			seqCfg := testConfig(policy)
+			seqCfg.SequentialDataPath = true
+			seq, err := NewCluster(seqCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(seq.Close)
+			pipe := newTestCluster(t, policy)
+
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 12; i++ {
+				data := make([]byte, seqCfg.BlockSizeBytes)
+				rng.Read(data)
+				client := topology.NodeID(rng.Intn(seq.Topology().Nodes()))
+				idSeq, err := seq.WriteBlock(client, data)
+				if err != nil {
+					t.Fatalf("sequential WriteBlock %d: %v", i, err)
+				}
+				idPipe, err := pipe.WriteBlock(client, data)
+				if err != nil {
+					t.Fatalf("pipelined WriteBlock %d: %v", i, err)
+				}
+				if idSeq != idPipe {
+					t.Fatalf("block IDs diverged: %d vs %d", idSeq, idPipe)
+				}
+				ms, _ := seq.NameNode().Block(idSeq)
+				mp, _ := pipe.NameNode().Block(idPipe)
+				if len(ms.Nodes) != len(mp.Nodes) {
+					t.Fatalf("replica counts diverged: %v vs %v", ms.Nodes, mp.Nodes)
+				}
+				for j := range ms.Nodes {
+					if ms.Nodes[j] != mp.Nodes[j] {
+						t.Fatalf("placement diverged: %v vs %v", ms.Nodes, mp.Nodes)
+					}
+					dnS, _ := seq.DataNodeOf(ms.Nodes[j])
+					dnP, _ := pipe.DataNodeOf(mp.Nodes[j])
+					gotS, err := dnS.Store.Get(DataKey(idSeq))
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotP, err := dnP.Store.Get(DataKey(idPipe))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotS, data) || !bytes.Equal(gotP, data) {
+						t.Fatalf("replica %d of block %d not byte-identical to payload", j, idSeq)
+					}
+				}
+			}
+			fs, fp := seq.Fabric().Snapshot(), pipe.Fabric().Snapshot()
+			if fs.CrossRackBytes != fp.CrossRackBytes || fs.IntraRackBytes != fp.IntraRackBytes {
+				t.Errorf("locality accounting diverged: seq cross=%d intra=%d, pipe cross=%d intra=%d",
+					fs.CrossRackBytes, fs.IntraRackBytes, fp.CrossRackBytes, fp.IntraRackBytes)
+			}
+		})
+	}
+}
+
+// TestPipelinedWriteLatency checks the headline property of the chunk
+// pipeline: a 3-replica write completes in about one block-transfer time
+// plus the pipeline fill, not three sequential block transfers.
+func TestPipelinedWriteLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cfg := testConfig("rr")
+	cfg.BlockSizeBytes = 1 << 20
+	cfg.BandwidthBytesPerSec = 8 << 20 // one block transfer = 125ms
+	single := time.Duration(float64(cfg.BlockSizeBytes) / cfg.BandwidthBytesPerSec * float64(time.Second))
+
+	pipe, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pipe.Close)
+	cfg.SequentialDataPath = true
+	seq, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(seq.Close)
+
+	data := make([]byte, cfg.BlockSizeBytes)
+	rand.New(rand.NewSource(3)).Read(data)
+	t0 := time.Now()
+	if _, err := pipe.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	pipeD := time.Since(t0)
+	t0 = time.Now()
+	if _, err := seq.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	seqD := time.Since(t0)
+
+	if pipeD >= seqD*6/10 {
+		t.Errorf("pipelined write %v not clearly faster than store-and-forward %v", pipeD, seqD)
+	}
+	if limit := single * 3 / 2; pipeD >= limit {
+		t.Errorf("pipelined 3-replica write took %v, want < 1.5x single transfer (%v)", pipeD, limit)
+	}
+}
+
+// TestWriteCancelMidFlight cancels a write while its chunks are in flight
+// on a slow fabric and checks the abort contract: the call returns the
+// cancellation promptly, no replica is committed anywhere, the allocation
+// is voided, and no pipeline goroutine leaks.
+func TestWriteCancelMidFlight(t *testing.T) {
+	cfg := testConfig("rr")
+	cfg.BlockSizeBytes = 256 << 10
+	cfg.BandwidthBytesPerSec = 64 << 10 // one hop would take 4s
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	data := make([]byte, cfg.BlockSizeBytes)
+	t0 := time.Now()
+	_, err = c.WriteBlockCtx(ctx, 0, data)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled write returned %v", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Errorf("cancellation took %v, want within one chunk reservation", d)
+	}
+	for n := 0; n < c.Topology().Nodes(); n++ {
+		dn, _ := c.DataNodeOf(topology.NodeID(n))
+		if dn.Store.Len() != 0 {
+			t.Errorf("node %d committed %d replicas after canceled write", n, dn.Store.Len())
+		}
+	}
+	// The allocation must be aborted: committing it now is rejected.
+	meta, err := c.NameNode().Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Aborted || meta.Committed || len(meta.Nodes) != 0 {
+		t.Errorf("aborted block meta = %+v", meta)
+	}
+	if err := c.NameNode().CommitBlock(0); err == nil {
+		t.Error("CommitBlock of aborted block should fail")
+	}
+	// All pipeline goroutines must drain.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked after canceled write: %d -> %d", before, g)
+	}
+}
+
+// TestParallelGatherMatchesSequential reconstructs the same lost block with
+// concurrent and with one-at-a-time survivor fetches and checks both decode
+// to the original payload.
+func TestParallelGatherMatchesSequential(t *testing.T) {
+	run := func(t *testing.T, sequential bool) {
+		cfg := testConfig("ear")
+		cfg.SequentialDataPath = sequential
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		rng := rand.New(rand.NewSource(11))
+		ids, contents := writeBlocks(t, c, cfg.K, rng)
+		// EAR keeps one open stripe per rack; seal them all so every block
+		// (short stripes included) encodes.
+		c.NameNode().FlushOpenStripes()
+		if _, err := c.RaidNode().EncodeAll(); err != nil {
+			t.Fatal(err)
+		}
+		meta, err := c.NameNode().Block(ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(meta.Nodes) != 1 {
+			t.Fatalf("post-encode replicas = %v", meta.Nodes)
+		}
+		c.NameNode().MarkDead(meta.Nodes[0])
+		got, err := c.ReadBlock(0, ids[0])
+		if err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+		if !bytes.Equal(got, contents[ids[0]]) {
+			t.Fatal("degraded read content mismatch")
+		}
+	}
+	t.Run("parallel", func(t *testing.T) { run(t, false) })
+	t.Run("sequential", func(t *testing.T) { run(t, true) })
+}
+
+// TestAbortedBlockInStripeEncodes covers the interaction between write
+// cancellation and stripe formation: a block aborted after the placement
+// policy folded it into a stripe encodes as zeros (like short-stripe
+// padding), the stripe still commits, and its live members survive
+// degraded reads.
+func TestAbortedBlockInStripeEncodes(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	cfg := c.Config()
+	rng := rand.New(rand.NewSource(13))
+	ids, contents := writeBlocks(t, c, 2, rng)
+
+	// Abort the third allocation mid-stripe with an already-dead context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.WriteBlockCtx(ctx, 0, make([]byte, cfg.BlockSizeBytes)); err == nil {
+		t.Fatal("write under canceled context should fail")
+	}
+
+	abortedID := topology.BlockID(2) // third allocation
+	if meta, err := c.NameNode().Block(abortedID); err != nil || !meta.Aborted {
+		t.Fatalf("block %d meta = %+v, err %v; want aborted", abortedID, meta, err)
+	}
+
+	moreIDs, moreContents := writeBlocks(t, c, 2, rng)
+	ids = append(ids, moreIDs...)
+	for id, d := range moreContents {
+		contents[id] = d
+	}
+	// EAR keeps one open stripe per rack; seal them all so the stripe
+	// holding the aborted member encodes too.
+	c.NameNode().FlushOpenStripes()
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatalf("EncodeAll with aborted member: %v", err)
+	}
+	if stats.Stripes == 0 {
+		t.Fatal("no stripes encoded")
+	}
+	meta, err := c.NameNode().Block(abortedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Stripe < 0 {
+		t.Fatal("aborted block not folded into any stripe")
+	}
+	if sm, err := c.NameNode().Stripe(meta.Stripe); err != nil || !sm.Encoded {
+		t.Fatalf("stripe %d of aborted block not encoded (err %v)", meta.Stripe, err)
+	}
+	// Live members reconstruct after losing their surviving replica.
+	victim := ids[0]
+	vm, err := c.NameNode().Block(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.NameNode().MarkDead(vm.Nodes[0])
+	got, err := c.ReadBlock(0, victim)
+	if err != nil {
+		t.Fatalf("degraded read in stripe with aborted member: %v", err)
+	}
+	if !bytes.Equal(got, contents[victim]) {
+		t.Fatal("content mismatch after reconstruction")
+	}
+}

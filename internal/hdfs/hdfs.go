@@ -62,6 +62,11 @@ type Config struct {
 	// the paper's setting).
 	MapTasks int
 	Seed     int64
+	// SequentialDataPath reverts the client data path to whole-block
+	// store-and-forward writes and one-at-a-time stripe gathers. It exists
+	// for benchmarking and equivalence testing against the pipelined path;
+	// production configurations leave it false.
+	SequentialDataPath bool
 }
 
 // withDefaults fills zero fields.
@@ -130,6 +135,8 @@ type clusterMetrics struct {
 	crossDl    *telemetry.Metric // raidnode_cross_rack_downloads_total
 	violations *telemetry.Metric // raidnode_placement_violations_total
 	encJobs    *telemetry.Metric // raidnode_encode_jobs_total
+	pipeFill   *telemetry.Metric // hdfs_pipeline_fill_seconds
+	gatherPar  *telemetry.Metric // hdfs_gather_parallelism
 }
 
 // SetTelemetry publishes the cluster's metrics into the registry and wires
@@ -155,6 +162,11 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 			"Stripes whose post-encoding layout broke rack-level fault tolerance.").With(),
 		encJobs: reg.Counter("raidnode_encode_jobs_total",
 			"Encoding jobs run.").With(),
+		pipeFill: reg.Histogram("hdfs_pipeline_fill_seconds",
+			"Time for the first chunk of a pipelined block write to reach the last replica.", nil).With(),
+		gatherPar: reg.Histogram("hdfs_gather_parallelism",
+			"Concurrent source fetches per stripe gather (reconstruction and encoding).",
+			[]float64{1, 2, 4, 8, 16}).With(),
 	}
 	c.tel.Store(m)
 	c.fab.SetTelemetry(reg)

@@ -31,6 +31,13 @@ type BlockMeta struct {
 	Stripe topology.StripeID
 	// Encoded marks blocks whose stripe completed encoding.
 	Encoded bool
+	// Committed marks blocks whose replicas are durably written.
+	Committed bool
+	// Aborted marks blocks whose write was abandoned before commit. The
+	// allocation (and any stripe slot the placement policy already assigned)
+	// is retained so stripe geometry stays consistent; the block has no
+	// replicas and encodes as zeros.
+	Aborted bool
 }
 
 // StripeMeta is the NameNode's record of one stripe.
@@ -101,15 +108,41 @@ func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 func (nn *NameNode) CommitBlock(id topology.BlockID) error {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	if _, ok := nn.blocks[id]; !ok {
+	meta, ok := nn.blocks[id]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
+	if meta.Aborted {
+		return fmt.Errorf("hdfs: block %d aborted", id)
+	}
+	meta.Committed = true
 	for _, s := range nn.policy.TakeSealed() {
 		nn.registerStripeLocked(s)
 	}
 	if nn.policy.Name() == "rr" {
 		nn.rrPending = append(nn.rrPending, id)
 	}
+	return nil
+}
+
+// AbortBlock abandons an uncommitted allocation: the block's replica list is
+// cleared so nothing ever reads it, and it is flagged aborted. The metadata
+// record itself is kept — the placement policy may already have folded the
+// block into a stripe, and deleting it would corrupt that stripe's geometry;
+// an aborted member simply contributes zeros at encode time, exactly like
+// the zero-padding of short stripes. Aborting a committed block is an error.
+func (nn *NameNode) AbortBlock(id topology.BlockID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	meta, ok := nn.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	if meta.Committed {
+		return fmt.Errorf("hdfs: block %d already committed", id)
+	}
+	meta.Aborted = true
+	meta.Nodes = nil
 	return nil
 }
 
@@ -210,6 +243,10 @@ func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEnc
 		meta, ok := nn.blocks[b]
 		if !ok {
 			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, id)
+		}
+		if meta.Aborted {
+			// Aborted members encoded as zeros; they keep no replica.
+			continue
 		}
 		meta.Nodes = []topology.NodeID{plan.Keep[i]}
 		meta.Encoded = true

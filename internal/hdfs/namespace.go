@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,10 +69,18 @@ func (ns *Namespace) Create(path string) error {
 	return nil
 }
 
-// Append writes data to the end of an open file from the given client node,
-// splitting it into blocks (the final partial block is zero-padded). Block
-// writes go through the normal replication pipeline.
+// Append writes data to the end of an open file with a background context.
+// See AppendCtx.
 func (ns *Namespace) Append(client topology.NodeID, path string, data []byte) error {
+	return ns.AppendCtx(context.Background(), client, path, data)
+}
+
+// AppendCtx writes data to the end of an open file from the given client
+// node, splitting it into blocks (the final partial block is zero-padded).
+// Block writes go through the normal replication pipeline; a cancelled
+// context aborts the in-flight block write and leaves the file at the last
+// fully appended block.
+func (ns *Namespace) AppendCtx(ctx context.Context, client topology.NodeID, path string, data []byte) error {
 	ns.mu.Lock()
 	fi, ok := ns.files[path]
 	if !ok {
@@ -87,21 +96,27 @@ func (ns *Namespace) Append(client topology.NodeID, path string, data []byte) er
 	bs := ns.c.cfg.BlockSizeBytes
 	var blocks []topology.BlockID
 	var sizes []int
+	record := func() {
+		ns.mu.Lock()
+		fi.Blocks = append(fi.Blocks, blocks...)
+		fi.BlockSizes = append(fi.BlockSizes, sizes...)
+		for _, s := range sizes {
+			fi.Size += s
+		}
+		ns.mu.Unlock()
+	}
 	for off := 0; off < len(data); off += bs {
 		chunk := make([]byte, bs)
 		valid := copy(chunk, data[off:])
-		id, err := ns.c.WriteBlock(client, chunk)
+		id, err := ns.c.WriteBlockCtx(ctx, client, chunk)
 		if err != nil {
+			record()
 			return fmt.Errorf("append %s: %w", path, err)
 		}
 		blocks = append(blocks, id)
 		sizes = append(sizes, valid)
 	}
-	ns.mu.Lock()
-	fi.Blocks = append(fi.Blocks, blocks...)
-	fi.BlockSizes = append(fi.BlockSizes, sizes...)
-	fi.Size += len(data)
-	ns.mu.Unlock()
+	record()
 	return nil
 }
 
@@ -117,9 +132,15 @@ func (ns *Namespace) Close(path string) error {
 	return nil
 }
 
-// Read returns the file's full contents to the client node, reading each
-// block from its nearest live replica (or via degraded reconstruction).
+// Read returns the file's full contents with a background context. See
+// ReadCtx.
 func (ns *Namespace) Read(client topology.NodeID, path string) ([]byte, error) {
+	return ns.ReadCtx(context.Background(), client, path)
+}
+
+// ReadCtx returns the file's full contents to the client node, reading each
+// block from its nearest live replica (or via degraded reconstruction).
+func (ns *Namespace) ReadCtx(ctx context.Context, client topology.NodeID, path string) ([]byte, error) {
 	ns.mu.Lock()
 	fi, ok := ns.files[path]
 	if !ok {
@@ -133,7 +154,7 @@ func (ns *Namespace) Read(client topology.NodeID, path string) ([]byte, error) {
 
 	out := make([]byte, 0, size)
 	for i, b := range blocks {
-		data, err := ns.c.ReadBlock(client, b)
+		data, err := ns.c.ReadBlockCtx(ctx, client, b)
 		if err != nil {
 			return nil, fmt.Errorf("read %s block %d: %w", path, b, err)
 		}

@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -10,7 +11,12 @@ import (
 	"ear/internal/placement"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
+	"ear/internal/workgroup"
 )
+
+// moverFanIn bounds how many violating stripes the BlockMover fixes
+// concurrently.
+const moverFanIn = 4
 
 // RaidNode coordinates the asynchronous encoding operation, the role
 // HDFS-RAID's RaidNode plays: it drains the pre-encoding store, submits a
@@ -158,12 +164,20 @@ func (r *RaidNode) buildTasks(stripes []*placement.StripeInfo) ([]*encodeTask, e
 	return tasks, nil
 }
 
-// EncodeAll drains the pre-encoding store and encodes every pending stripe
-// through one MapReduce job, returning the job's statistics. When a tracer
-// is installed (Cluster.SetTracer) the job emits one span per phase:
-// stripe-selection, then per map task download / encode / parity-write /
-// replica-delete.
+// EncodeAll encodes every pending stripe with a background context. See
+// EncodeAllCtx.
 func (r *RaidNode) EncodeAll() (EncodeStats, error) {
+	return r.EncodeAllCtx(context.Background())
+}
+
+// EncodeAllCtx drains the pre-encoding store and encodes every pending
+// stripe through one MapReduce job, returning the job's statistics. When a
+// tracer is installed (Cluster.SetTracer) the job emits one span per phase:
+// stripe-selection, then per map task download / encode / parity-write /
+// replica-delete. Cancelling ctx cancels the job: tasks waiting for slots
+// give up and running tasks abort their in-flight transfers within one
+// chunk reservation.
+func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
 	jobSpan := r.c.trace().Start("encode-job")
 	defer jobSpan.End()
 	tel := r.c.metrics()
@@ -195,13 +209,13 @@ func (r *RaidNode) EncodeAll() (EncodeStats, error) {
 			Name:       name,
 			Preferred:  t.preferred,
 			StrictRack: t.strict,
-			Run: func(on topology.NodeID) error {
+			Run: func(taskCtx context.Context, on topology.NodeID) error {
 				taskSpan := jobSpan.ChildTrack("map-task").
 					Arg("task", name).
 					Arg("node", strconv.Itoa(int(on)))
 				defer taskSpan.End()
 				for _, s := range t.stripes {
-					cross, violated, err := r.c.encodeStripe(s, on, taskSpan)
+					cross, violated, err := r.c.encodeStripe(taskCtx, s, on, taskSpan)
 					if err != nil {
 						return err
 					}
@@ -226,7 +240,7 @@ func (r *RaidNode) EncodeAll() (EncodeStats, error) {
 		})
 	}
 	start := time.Now()
-	placements, err := r.c.jt.Submit(job)
+	placements, err := r.c.jt.SubmitCtx(ctx, job)
 	stats.Duration = time.Since(start)
 	stats.TaskPlacements = placements
 	if err != nil {
@@ -248,28 +262,46 @@ func (r *RaidNode) EncodeAll() (EncodeStats, error) {
 
 // encodeStripe performs the paper's three-step encoding operation on the
 // given node: download one replica of each data block, compute and upload
-// the parity blocks, delete the redundant replicas. It returns the number
-// of cross-rack downloads and whether the stripe's layout violates
-// rack-level fault tolerance. The parent span (nil for untraced runs)
-// receives one child span per phase.
-func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.NodeID, parent *telemetry.Span) (int, bool, error) {
+// the parity blocks, delete the redundant replicas. Downloads and uploads
+// run concurrently with bounded fan-in (sequential when
+// Config.SequentialDataPath is set); the fabric's shaping serializes them
+// where links are shared, as the TaskTracker's parallel reads of Section
+// II-A would be. It returns the number of cross-rack downloads and whether
+// the stripe's layout violates rack-level fault tolerance. The parent span
+// (nil for untraced runs) receives one child span per phase.
+func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, encoder topology.NodeID, parent *telemetry.Span) (int, bool, error) {
 	encRack, err := c.top.RackOf(encoder)
 	if err != nil {
 		return 0, false, err
 	}
+	fanIn := gatherFanIn
+	if c.cfg.SequentialDataPath {
+		fanIn = 1
+	}
 	dl := parent.Child("download").Arg("stripe", strconv.FormatInt(int64(info.ID), 10))
 	data := make([][]byte, c.cfg.K)
 	cross := 0
-	// The TaskTracker issues the k block reads in parallel (Section II-A);
-	// the fabric's shaping serializes them where links are shared.
-	var wg sync.WaitGroup
-	var fetchMu sync.Mutex
-	var fetchErr error
+	// Resolve sources up front (cheap metadata work); aborted members have
+	// no bytes anywhere and encode as zeros, like short-stripe padding.
+	type fetchJob struct {
+		i   int
+		b   topology.BlockID
+		src topology.NodeID
+	}
+	aborted := make([]bool, len(info.Blocks))
+	var jobs []fetchJob
 	for i, b := range info.Blocks {
 		live, err := c.nn.LiveReplicas(b)
 		if err != nil {
 			dl.End()
 			return 0, false, err
+		}
+		if len(live) == 0 {
+			if meta, merr := c.nn.Block(b); merr == nil && meta.Aborted {
+				aborted[i] = true
+				data[i] = make([]byte, c.cfg.BlockSizeBytes)
+				continue
+			}
 		}
 		src, err := c.chooseReplica(live, encoder)
 		if err != nil {
@@ -284,32 +316,36 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 		if srcRack != encRack {
 			cross++
 		}
-		i, b, src := i, b, src
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dn, err := c.DataNodeOf(src)
-			if err == nil {
-				var payload []byte
-				payload, err = dn.Store.Get(DataKey(b))
-				if err == nil {
-					payload, err = c.fab.Transfer(src, encoder, payload)
-					data[i] = payload
-				}
-			}
-			if err != nil {
-				fetchMu.Lock()
-				if fetchErr == nil {
-					fetchErr = fmt.Errorf("fetch block %d from node %d: %w", b, src, err)
-				}
-				fetchMu.Unlock()
-			}
-		}()
+		jobs = append(jobs, fetchJob{i: i, b: b, src: src})
 	}
-	wg.Wait()
+	if m := c.metrics(); m != nil && len(jobs) > 0 {
+		m.gatherPar.Observe(float64(min(len(jobs), fanIn)))
+	}
+	g, gctx := workgroup.WithContext(ctx)
+	g.SetLimit(fanIn)
+	for _, j := range jobs {
+		j := j
+		g.Go(func() error {
+			dn, err := c.DataNodeOf(j.src)
+			if err != nil {
+				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
+			}
+			payload, err := dn.Store.Get(DataKey(j.b))
+			if err != nil {
+				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
+			}
+			payload, err = c.fab.TransferCtx(gctx, j.src, encoder, payload)
+			if err != nil {
+				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
+			}
+			data[j.i] = payload
+			return nil
+		})
+	}
+	err = g.Wait()
 	dl.Arg("cross_rack_downloads", strconv.Itoa(cross)).End()
-	if fetchErr != nil {
-		return 0, false, fetchErr
+	if err != nil {
+		return 0, false, err
 	}
 	// Zero-pad short stripes to k blocks.
 	for i := len(info.Blocks); i < c.cfg.K; i++ {
@@ -325,16 +361,14 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 	if err != nil {
 		return 0, false, err
 	}
-	// Parity uploads go out in parallel as well.
+	// Parity uploads go out with the same bounded fan-in.
 	pw := parent.Child("parity-write")
-	var upErr error
-	var upMu sync.Mutex
+	ug, uctx := workgroup.WithContext(ctx)
+	ug.SetLimit(fanIn)
 	for j, node := range plan.Parity {
 		j, node := j, node
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			payload, err := c.fab.Transfer(encoder, node, parity[j])
+		ug.Go(func() error {
+			payload, err := c.fab.TransferCtx(uctx, encoder, node, parity[j])
 			if err == nil {
 				var dn *DataNode
 				dn, err = c.DataNodeOf(node)
@@ -343,23 +377,24 @@ func (c *Cluster) encodeStripe(info *placement.StripeInfo, encoder topology.Node
 				}
 			}
 			if err != nil {
-				upMu.Lock()
-				if upErr == nil {
-					upErr = fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
-				}
-				upMu.Unlock()
+				return fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
 			}
-		}()
+			return nil
+		})
 	}
-	wg.Wait()
+	err = ug.Wait()
 	pw.End()
-	if upErr != nil {
-		return 0, false, upErr
+	if err != nil {
+		return 0, false, err
 	}
-	// Delete redundant replicas, keeping the plan's chosen one.
+	// Delete redundant replicas, keeping the plan's chosen one. Aborted
+	// members never stored anything.
 	del := parent.Child("replica-delete")
 	defer del.End()
 	for i, b := range info.Blocks {
+		if aborted[i] {
+			continue
+		}
 		for _, n := range info.Placements[i].Nodes {
 			if n == plan.Keep[i] {
 				continue
@@ -415,31 +450,52 @@ func (r *RaidNode) currentLayout(sm *StripeMeta) (topology.StripeLayout, error) 
 	return layout, nil
 }
 
-// BlockMover relocates blocks of violating stripes until each rack holds at
-// most c blocks of the stripe, returning the number of blocks moved and the
-// bytes of relocation traffic generated (the overhead EAR avoids).
+// BlockMover relocates blocks of violating stripes with a background
+// context. See BlockMoverCtx.
 func (r *RaidNode) BlockMover() (moved int, movedBytes int64, err error) {
+	return r.BlockMoverCtx(context.Background())
+}
+
+// BlockMoverCtx relocates blocks of violating stripes until each rack holds
+// at most c blocks of the stripe, returning the number of blocks moved and
+// the bytes of relocation traffic generated (the overhead EAR avoids).
+// Stripes are independent, so up to moverFanIn of them are fixed
+// concurrently (one at a time under Config.SequentialDataPath).
+func (r *RaidNode) BlockMoverCtx(ctx context.Context) (moved int, movedBytes int64, err error) {
 	bad, err := r.PlacementMonitor()
 	if err != nil {
 		return 0, 0, err
 	}
+	g, gctx := workgroup.WithContext(ctx)
+	if r.c.cfg.SequentialDataPath {
+		g.SetLimit(1)
+	} else {
+		g.SetLimit(moverFanIn)
+	}
+	var mu sync.Mutex
 	for _, id := range bad {
-		sm, err := r.c.nn.Stripe(id)
-		if err != nil {
-			return moved, movedBytes, err
-		}
-		n, b, err := r.fixStripe(sm)
-		if err != nil {
-			return moved, movedBytes, err
-		}
-		moved += n
-		movedBytes += b
+		id := id
+		g.Go(func() error {
+			sm, err := r.c.nn.Stripe(id)
+			if err != nil {
+				return err
+			}
+			n, b, err := r.fixStripe(gctx, sm)
+			mu.Lock()
+			moved += n
+			movedBytes += b
+			mu.Unlock()
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return moved, movedBytes, err
 	}
 	return moved, movedBytes, nil
 }
 
 // fixStripe moves excess blocks of one stripe out of over-full racks.
-func (r *RaidNode) fixStripe(sm *StripeMeta) (int, int64, error) {
+func (r *RaidNode) fixStripe(ctx context.Context, sm *StripeMeta) (int, int64, error) {
 	moved := 0
 	var movedBytes int64
 	maxPerRack := r.c.cfg.C
@@ -489,7 +545,7 @@ func (r *RaidNode) fixStripe(sm *StripeMeta) (int, int64, error) {
 		if victim < 0 {
 			// Only parity blocks in the over-full rack; move one of those
 			// and re-check the layout.
-			b, err := r.fixParity(sm, overRack)
+			b, err := r.fixParity(ctx, sm, overRack)
 			if err != nil {
 				return moved, movedBytes, err
 			}
@@ -509,7 +565,7 @@ func (r *RaidNode) fixStripe(sm *StripeMeta) (int, int64, error) {
 		if err != nil {
 			return moved, movedBytes, err
 		}
-		payload, err = r.c.fab.Transfer(victimNode, target, payload)
+		payload, err = r.c.fab.TransferCtx(ctx, victimNode, target, payload)
 		if err != nil {
 			return moved, movedBytes, err
 		}
@@ -533,7 +589,7 @@ func (r *RaidNode) fixStripe(sm *StripeMeta) (int, int64, error) {
 
 // fixParity relocates one parity block out of the over-full rack and
 // returns the bytes moved.
-func (r *RaidNode) fixParity(sm *StripeMeta, overRack topology.RackID) (int64, error) {
+func (r *RaidNode) fixParity(ctx context.Context, sm *StripeMeta, overRack topology.RackID) (int64, error) {
 	if sm.Plan == nil {
 		return 0, fmt.Errorf("hdfs: stripe %d violating without plan", sm.Info.ID)
 	}
@@ -558,7 +614,7 @@ func (r *RaidNode) fixParity(sm *StripeMeta, overRack topology.RackID) (int64, e
 		if err != nil {
 			return 0, err
 		}
-		payload, err = r.c.fab.Transfer(node, target, payload)
+		payload, err = r.c.fab.TransferCtx(ctx, node, target, payload)
 		if err != nil {
 			return 0, err
 		}

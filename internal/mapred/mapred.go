@@ -8,12 +8,14 @@
 package mapred
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"ear/internal/telemetry"
 	"ear/internal/topology"
+	"ear/internal/workgroup"
 )
 
 // Errors returned by the package.
@@ -27,7 +29,10 @@ var (
 // AnyNode marks a task with no placement preference.
 const AnyNode topology.NodeID = -1
 
-// Task is one map task. Run receives the node the scheduler placed it on.
+// Task is one map task. Run receives the job's context and the node the
+// scheduler placed it on; the context is canceled when the submission's
+// context is canceled or another task of the job fails, and task bodies
+// should pass it into any shaped transfers so in-flight work aborts.
 type Task struct {
 	Name string
 	// Preferred is the node the task would like to run on (AnyNode for no
@@ -37,7 +42,7 @@ type Task struct {
 	// StrictRack confines the task to the preferred node's rack, the
 	// encoding-job flag of Section IV-B.
 	StrictRack bool
-	Run        func(ranOn topology.NodeID) error
+	Run        func(ctx context.Context, ranOn topology.NodeID) error
 }
 
 // Job is a named set of map tasks (map-only: no reduce phase, like the
@@ -143,8 +148,9 @@ func (jt *JobTracker) Close() {
 
 // acquire blocks until a slot compatible with the task is free, claims it,
 // and returns the node. It prefers the exact node, then the rack, then (for
-// non-strict tasks) any node.
-func (jt *JobTracker) acquire(t *Task) (topology.NodeID, error) {
+// non-strict tasks) any node. A canceled context aborts the wait (SubmitCtx
+// broadcasts the condition variable on cancellation).
+func (jt *JobTracker) acquire(ctx context.Context, t *Task) (topology.NodeID, error) {
 	var rackNodes []topology.NodeID
 	if t.Preferred != AnyNode {
 		rack, err := jt.top.RackOf(t.Preferred)
@@ -168,6 +174,9 @@ func (jt *JobTracker) acquire(t *Task) (topology.NodeID, error) {
 	for {
 		if jt.closed {
 			return 0, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
 		if t.Preferred != AnyNode && jt.free[t.Preferred] > 0 {
 			return jt.grant(t.Preferred), nil
@@ -211,31 +220,51 @@ func (jt *JobTracker) release(n topology.NodeID) {
 }
 
 // Submit runs every task of the job and blocks until all finish, returning
-// the first task error (all tasks still run to completion) along with where
-// each task executed.
+// the first task error along with where each task executed.
 func (jt *JobTracker) Submit(job Job) ([]Placement, error) {
+	return jt.SubmitCtx(context.Background(), job)
+}
+
+// SubmitCtx is Submit under a context: the first task failure — or a
+// cancellation of ctx — cancels the job context handed to every task, so
+// running tasks can abort their in-flight transfers and tasks still waiting
+// for a slot give up instead of running. Placements are recorded for the
+// tasks that were actually scheduled.
+func (jt *JobTracker) SubmitCtx(ctx context.Context, job Job) ([]Placement, error) {
 	jt.mu.Lock()
 	if jt.closed {
 		jt.mu.Unlock()
 		return nil, ErrClosed
 	}
 	jt.mu.Unlock()
-
-	placements := make([]Placement, len(job.Tasks))
-	errs := make([]error, len(job.Tasks))
-	var wg sync.WaitGroup
 	for i, t := range job.Tasks {
 		if t == nil || t.Run == nil {
 			return nil, fmt.Errorf("%w: job %q task %d has no body", ErrBadTask, job.Name, i)
 		}
+	}
+
+	g, jobCtx := workgroup.WithContext(ctx)
+	// Slot waiters block on the condition variable; wake them when the job
+	// context dies so they observe the cancellation.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-jobCtx.Done():
+			// Take the lock so a waiter that checked the context but has
+			// not yet parked on the condition variable cannot miss the wake.
+			jt.mu.Lock()
+			jt.cond.Broadcast()
+			jt.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	placements := make([]Placement, len(job.Tasks))
+	for i, t := range job.Tasks {
 		i, t := i, t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			node, err := jt.acquire(t)
+		g.Go(func() error {
+			node, err := jt.acquire(jobCtx, t)
 			if err != nil {
-				errs[i] = err
-				return
+				return err
 			}
 			defer jt.release(node)
 			pl := Placement{Task: t.Name, Node: node}
@@ -248,14 +277,13 @@ func (jt *JobTracker) Submit(job Job) ([]Placement, error) {
 			}
 			placements[i] = pl
 			jt.noteScheduled(t, pl)
-			errs[i] = t.Run(node)
-		}()
+			return t.Run(jobCtx, node)
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return placements, fmt.Errorf("job %q: %w", job.Name, err)
-		}
+	err := g.Wait()
+	close(watchDone)
+	if err != nil {
+		return placements, fmt.Errorf("job %q: %w", job.Name, err)
 	}
 	return placements, nil
 }

@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -40,7 +41,7 @@ func TestSubmitRunsAllTasks(t *testing.T) {
 		job.Tasks = append(job.Tasks, &Task{
 			Name:      name,
 			Preferred: AnyNode,
-			Run: func(on topology.NodeID) error {
+			Run: func(_ context.Context, on topology.NodeID) error {
 				mu.Lock()
 				ran[name] = true
 				mu.Unlock()
@@ -69,7 +70,7 @@ func TestPreferredNodeHonoredWhenFree(t *testing.T) {
 	job := Job{Name: "local", Tasks: []*Task{{
 		Name:      "t",
 		Preferred: 4,
-		Run:       func(on topology.NodeID) error { return nil },
+		Run:       func(_ context.Context, on topology.NodeID) error { return nil },
 	}}}
 	placements, err := jt.Submit(job)
 	if err != nil {
@@ -98,7 +99,7 @@ func TestRackFallback(t *testing.T) {
 		_, err := jt.Submit(Job{Name: "hog", Tasks: []*Task{{
 			Name:      "hog",
 			Preferred: 1,
-			Run: func(on topology.NodeID) error {
+			Run: func(_ context.Context, on topology.NodeID) error {
 				close(started)
 				<-blocker
 				return nil
@@ -112,7 +113,7 @@ func TestRackFallback(t *testing.T) {
 	placements, err := jt.Submit(Job{Name: "task", Tasks: []*Task{{
 		Name:      "t",
 		Preferred: 1,
-		Run:       func(on topology.NodeID) error { return nil },
+		Run:       func(_ context.Context, on topology.NodeID) error { return nil },
 	}}})
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +145,7 @@ func TestStrictRackWaitsInsteadOfSpilling(t *testing.T) {
 		defer wg.Done()
 		_, _ = jt.Submit(Job{Name: "hog", Tasks: []*Task{{
 			Name: "hog", Preferred: 0,
-			Run: func(on topology.NodeID) error {
+			Run: func(_ context.Context, on topology.NodeID) error {
 				close(hogStarted)
 				<-release
 				return nil
@@ -156,7 +157,7 @@ func TestStrictRackWaitsInsteadOfSpilling(t *testing.T) {
 	// Non-strict spills to node 1 (rack 1).
 	placements, err := jt.Submit(Job{Name: "spill", Tasks: []*Task{{
 		Name: "s", Preferred: 0,
-		Run: func(on topology.NodeID) error { return nil },
+		Run: func(_ context.Context, on topology.NodeID) error { return nil },
 	}}})
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +173,7 @@ func TestStrictRackWaitsInsteadOfSpilling(t *testing.T) {
 		defer wg.Done()
 		pl, err := jt.Submit(Job{Name: "strict", Tasks: []*Task{{
 			Name: "st", Preferred: 0, StrictRack: true,
-			Run: func(on topology.NodeID) error { return nil },
+			Run: func(_ context.Context, on topology.NodeID) error { return nil },
 		}}})
 		if err != nil {
 			t.Error(err)
@@ -204,8 +205,8 @@ func TestSubmitErrors(t *testing.T) {
 	}
 	boom := errors.New("boom")
 	_, err = jt.Submit(Job{Name: "bad", Tasks: []*Task{
-		{Name: "ok", Preferred: AnyNode, Run: func(topology.NodeID) error { return nil }},
-		{Name: "fail", Preferred: AnyNode, Run: func(topology.NodeID) error { return boom }},
+		{Name: "ok", Preferred: AnyNode, Run: func(context.Context, topology.NodeID) error { return nil }},
+		{Name: "fail", Preferred: AnyNode, Run: func(context.Context, topology.NodeID) error { return boom }},
 	}})
 	if !errors.Is(err, boom) {
 		t.Errorf("Submit error = %v, want boom", err)
@@ -218,14 +219,14 @@ func TestSubmitErrors(t *testing.T) {
 	}
 	_, err = jt.Submit(Job{Name: "strictany", Tasks: []*Task{{
 		Name: "x", Preferred: AnyNode, StrictRack: true,
-		Run: func(topology.NodeID) error { return nil },
+		Run: func(context.Context, topology.NodeID) error { return nil },
 	}}})
 	if !errors.Is(err, ErrBadTask) {
 		t.Errorf("strict without preferred: %v", err)
 	}
 	_, err = jt.Submit(Job{Name: "badpref", Tasks: []*Task{{
 		Name: "x", Preferred: 99,
-		Run: func(topology.NodeID) error { return nil },
+		Run: func(context.Context, topology.NodeID) error { return nil },
 	}}})
 	if !errors.Is(err, ErrBadTask) {
 		t.Errorf("bad preferred node: %v", err)
@@ -250,7 +251,7 @@ func TestCloseWakesWaiters(t *testing.T) {
 		defer wg.Done()
 		_, _ = jt.Submit(Job{Name: "hog", Tasks: []*Task{{
 			Name: "h", Preferred: 0,
-			Run: func(topology.NodeID) error {
+			Run: func(context.Context, topology.NodeID) error {
 				close(started)
 				<-release
 				return nil
@@ -263,7 +264,7 @@ func TestCloseWakesWaiters(t *testing.T) {
 		defer wg.Done()
 		_, err := jt.Submit(Job{Name: "waiter", Tasks: []*Task{{
 			Name: "w", Preferred: 0, StrictRack: true,
-			Run: func(topology.NodeID) error { return nil },
+			Run: func(context.Context, topology.NodeID) error { return nil },
 		}}})
 		errCh <- err
 	}()
@@ -291,7 +292,7 @@ func TestConcurrentJobsShareSlots(t *testing.T) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	inFlight, maxInFlight := 0, 0
-	task := func(topology.NodeID) error {
+	task := func(context.Context, topology.NodeID) error {
 		mu.Lock()
 		inFlight++
 		if inFlight > maxInFlight {
@@ -403,7 +404,7 @@ func TestJobTrackerTelemetry(t *testing.T) {
 		job.Tasks = append(job.Tasks, &Task{
 			Name:      "t",
 			Preferred: 0, // all prefer node 0: three run rack/remote
-			Run: func(topology.NodeID) error {
+			Run: func(context.Context, topology.NodeID) error {
 				<-release
 				return nil
 			},
@@ -439,5 +440,81 @@ func TestJobTrackerTelemetry(t *testing.T) {
 	}
 	if loc.With("node").Value() != 1 {
 		t.Errorf("node-local = %g, want 1", loc.With("node").Value())
+	}
+}
+
+func TestSubmitCtxCancelWakesSlotWaiters(t *testing.T) {
+	top := mustTop(t, 1, 1)
+	jt, err := NewJobTracker(top, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jt.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = jt.Submit(Job{Name: "hog", Tasks: []*Task{{
+			Name: "h", Preferred: 0,
+			Run: func(_ context.Context, _ topology.NodeID) error {
+				close(started)
+				<-release
+				return nil
+			},
+		}}})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := jt.SubmitCtx(ctx, Job{Name: "waiter", Tasks: []*Task{{
+			Name: "w", Preferred: 0, StrictRack: true,
+			Run: func(context.Context, topology.NodeID) error { return nil },
+		}}})
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot waiter not woken by context cancellation")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestTaskFailureCancelsJobContext(t *testing.T) {
+	jt, err := NewJobTracker(mustTop(t, 2, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jt.Close()
+	boom := errors.New("boom")
+	sawCancel := make(chan struct{}, 1)
+	_, err = jt.Submit(Job{Name: "j", Tasks: []*Task{
+		{Name: "fail", Preferred: AnyNode, Run: func(context.Context, topology.NodeID) error { return boom }},
+		{Name: "watch", Preferred: AnyNode, Run: func(ctx context.Context, _ topology.NodeID) error {
+			select {
+			case <-ctx.Done():
+				sawCancel <- struct{}{}
+				return nil
+			case <-time.After(5 * time.Second):
+				return errors.New("job context not canceled after sibling failure")
+			}
+		}},
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Submit = %v, want boom", err)
+	}
+	select {
+	case <-sawCancel:
+	default:
+		t.Error("sibling task never observed the cancellation")
 	}
 }

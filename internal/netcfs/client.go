@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ear/internal/topology"
 )
@@ -23,6 +24,12 @@ type Client struct {
 	// ClientNode attributes operations to a cluster node for locality;
 	// negative (the default) lets the server pick randomly per request.
 	ClientNode topology.NodeID
+	// Timeout, when positive, bounds each RPC round trip via a connection
+	// deadline. A timed-out call returns an error and leaves the gob stream
+	// out of sync, so the client must be Closed afterwards; the server
+	// notices the disconnect and cancels the abandoned operation's
+	// in-flight transfers. Zero (the default) never times out.
+	Timeout time.Duration
 }
 
 // Dial connects to a server.
@@ -47,6 +54,12 @@ func (c *Client) call(req Request) (Response, error) {
 	req.Client = c.ClientNode
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return Response{}, fmt.Errorf("netcfs deadline %v: %w", req.Op, err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("netcfs send %v: %w", req.Op, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"ear/internal/hdfs"
 	"ear/internal/telemetry"
@@ -218,6 +219,58 @@ func TestDialFailure(t *testing.T) {
 func TestOpString(t *testing.T) {
 	if OpPing.String() != "ping" || OpEncode.String() != "encode" || Op(99).String() != "op(99)" {
 		t.Error("Op.String wrong")
+	}
+}
+
+// TestTimeoutAndDisconnectCancelServerWork drives an append over a link so
+// slow it could never finish, times it out client-side, and checks that the
+// disconnect cancels the server's in-flight work: Server.Close must return
+// promptly instead of waiting out a minutes-long shaped transfer.
+func TestTimeoutAndDisconnectCancelServerWork(t *testing.T) {
+	cluster, err := hdfs.NewCluster(hdfs.Config{
+		Racks:                3,
+		NodesPerRack:         2,
+		Policy:               "rr",
+		K:                    2,
+		N:                    3,
+		C:                    1,
+		BlockSizeBytes:       64 << 10,
+		BandwidthBytesPerSec: 1 << 10, // 1 KiB/s: one block hop takes ~64s
+		Seed:                 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(cluster, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Timeout = 200 * time.Millisecond
+	if err := client.Create("/slow"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := client.Append("/slow", make([]byte, 64<<10)); err == nil {
+		t.Fatal("append over a 1 KiB/s link should time out")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timed-out append returned after %v", d)
+	}
+	client.Close()
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		cluster.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server Close blocked on a canceled append")
 	}
 }
 

@@ -1,6 +1,7 @@
 package netcfs
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -158,27 +159,48 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn processes requests until the peer disconnects.
+// serveConn processes requests until the peer disconnects. Decoding runs in
+// a dedicated reader goroutine so a disconnect — or Server.Close, which
+// closes the connection — is noticed while a handler is still executing:
+// the per-connection context is canceled and the in-flight operation's
+// shaped transfers abort within one chunk reservation instead of running to
+// completion against a dead peer. Requests are still handled strictly in
+// arrival order.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if errors.Is(err, io.EOF) {
+	reqs := make(chan *Request)
+	var readErr error // written by the reader before closing reqs
+	go func() {
+		defer close(reqs)
+		for {
+			req := new(Request)
+			if err := dec.Decode(req); err != nil {
+				readErr = err
+				cancel() // abort any in-flight handler
 				return
 			}
-			// Malformed stream: report once and drop the connection.
-			_ = enc.Encode(Response{Err: fmt.Sprintf("decode: %v", err)})
-			return
+			select {
+			case reqs <- req:
+			case <-ctx.Done():
+				return
+			}
 		}
+	}()
+	for req := range reqs {
 		start := time.Now()
-		resp := s.handle(&req)
+		resp := s.handle(ctx, req)
 		s.observe(req.Op, time.Since(start))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	if readErr != nil && !errors.Is(readErr, io.EOF) {
+		// Malformed stream: report once and drop the connection.
+		_ = enc.Encode(Response{Err: fmt.Sprintf("decode: %v", readErr)})
 	}
 }
 
@@ -255,8 +277,8 @@ func (s *Server) statsReport() *StatsReport {
 	return report
 }
 
-// handle dispatches one request.
-func (s *Server) handle(req *Request) Response {
+// handle dispatches one request under the connection's context.
+func (s *Server) handle(ctx context.Context, req *Request) Response {
 	fail := func(err error) Response { return Response{Err: err.Error()} }
 	ns := s.cluster.Namespace()
 	switch req.Op {
@@ -268,7 +290,7 @@ func (s *Server) handle(req *Request) Response {
 		}
 		return Response{}
 	case OpAppend:
-		if err := ns.Append(s.pickClient(req), req.Path, req.Data); err != nil {
+		if err := ns.AppendCtx(ctx, s.pickClient(req), req.Path, req.Data); err != nil {
 			return fail(err)
 		}
 		return Response{}
@@ -278,7 +300,7 @@ func (s *Server) handle(req *Request) Response {
 		}
 		return Response{}
 	case OpRead:
-		data, err := ns.Read(s.pickClient(req), req.Path)
+		data, err := ns.ReadCtx(ctx, s.pickClient(req), req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -302,7 +324,7 @@ func (s *Server) handle(req *Request) Response {
 		return Response{}
 	case OpEncode:
 		s.cluster.NameNode().FlushOpenStripes()
-		stats, err := s.cluster.RaidNode().EncodeAll()
+		stats, err := s.cluster.RaidNode().EncodeAllCtx(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -324,7 +346,7 @@ func (s *Server) handle(req *Request) Response {
 		s.cluster.NameNode().MarkAlive(req.Node)
 		return Response{}
 	case OpRepairBlock:
-		node, err := s.cluster.RepairBlock(req.Block)
+		node, err := s.cluster.RepairBlockCtx(ctx, req.Block)
 		if err != nil {
 			return fail(err)
 		}

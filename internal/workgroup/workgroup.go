@@ -1,0 +1,82 @@
+// Package workgroup is a dependency-free errgroup: a Group runs a set of
+// goroutines, propagates the first error, and cancels a shared context so
+// the rest can abort early. A concurrency limit bounds fan-in, which is how
+// the data path caps parallel block gathers (k fetches over disjoint links
+// without unbounded goroutine growth). It mirrors the golang.org/x/sync
+// errgroup API so a later swap is mechanical.
+package workgroup
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group collects goroutines working on subtasks of a common task. The zero
+// value is usable: no limit, no cancellation on error.
+type Group struct {
+	cancel context.CancelCauseFunc
+
+	wg  sync.WaitGroup
+	sem chan struct{}
+
+	errOnce sync.Once
+	err     error
+}
+
+// WithContext returns a Group and a context derived from ctx that is
+// canceled the first time a function passed to Go returns an error or Wait
+// returns.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	return &Group{cancel: cancel}, ctx
+}
+
+// SetLimit caps the number of concurrently running goroutines to n (n < 1
+// removes the cap). It must not be called while goroutines are active.
+func (g *Group) SetLimit(n int) {
+	if len(g.sem) != 0 {
+		panic(fmt.Sprintf("workgroup: modify limit while %d goroutines active", len(g.sem)))
+	}
+	if n < 1 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go runs f in a new goroutine, blocking first if the concurrency limit is
+// reached. The first non-nil error cancels the group context and is
+// returned by Wait.
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := f(); err != nil {
+			g.errOnce.Do(func() {
+				g.err = err
+				if g.cancel != nil {
+					g.cancel(err)
+				}
+			})
+		}
+	}()
+}
+
+// Wait blocks until every goroutine launched with Go has returned, then
+// returns the first error (if any) and cancels the group context.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	if g.cancel != nil {
+		g.cancel(g.err)
+	}
+	return g.err
+}

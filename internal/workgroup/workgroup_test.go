@@ -1,0 +1,89 @@
+package workgroup
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZeroValueRunsAll(t *testing.T) {
+	var g Group
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 10 {
+		t.Errorf("ran %d goroutines, want 10", n.Load())
+	}
+}
+
+func TestFirstErrorWinsAndCancels(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("context not canceled on first error")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if ctx.Err() == nil {
+		t.Error("group context still live after Wait")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, boom) {
+		t.Errorf("cancel cause = %v, want boom", cause)
+	}
+}
+
+func TestLimitBoundsConcurrency(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.SetLimit(3)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds limit 3", p)
+	}
+}
+
+func TestWaitCancelsContextOnSuccess(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("context not canceled after successful Wait")
+	}
+}
