@@ -1,13 +1,22 @@
-// Command earbench measures the client data path on the shaped fabric and
-// emits a machine-readable snapshot (BENCH_datapath.json by default): block
-// write latency through the chunked replication pipeline vs the legacy
-// store-and-forward chain, block read latency, and the encoding operation
-// with parallel vs sequential stripe gathers. CI runs it as a smoke check;
-// the snapshot documents the speedups the streaming data path buys.
+// Command earbench measures the mini-HDFS testbed and emits machine-readable
+// snapshots. Two suites exist:
+//
+//   - datapath (default, BENCH_datapath.json): block write latency through
+//     the chunked replication pipeline vs the legacy store-and-forward chain,
+//     block read latency, and the encoding operation with parallel vs
+//     sequential stripe gathers.
+//   - erasure (BENCH_erasure.json): GF(256) kernel throughput (vectorized vs
+//     scalar reference), zero-allocation stripe encode and single-block
+//     reconstruction throughput, and the concurrent multi-stripe encode
+//     speedup over one-stripe-at-a-time.
+//
+// CI runs both as smoke checks; the snapshots document the speedups the
+// streaming data path and the coding kernels buy.
 //
 // Usage:
 //
-//	earbench -out BENCH_datapath.json -writes 20 -stripes 4
+//	earbench -suite datapath -out BENCH_datapath.json -writes 20 -stripes 4
+//	earbench -suite erasure -out BENCH_erasure.json
 package main
 
 import (
@@ -16,8 +25,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"testing"
 	"time"
 
+	"ear/internal/erasure"
+	"ear/internal/gf256"
 	"ear/internal/hdfs"
 	"ear/internal/topology"
 )
@@ -30,7 +42,7 @@ type benchResult struct {
 	MBPerSec     float64 `json:"mb_per_sec"`
 }
 
-// snapshot is the emitted document.
+// snapshot is the datapath suite's emitted document.
 type snapshot struct {
 	GeneratedAt    string        `json:"generated_at"`
 	BlockSizeBytes int           `json:"block_size_bytes"`
@@ -41,6 +53,24 @@ type snapshot struct {
 	EncodeSpeedup  float64       `json:"encode_speedup"`
 }
 
+// kernelResult compares one slice kernel against its scalar reference.
+type kernelResult struct {
+	Name        string  `json:"name"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	RefMBPerSec float64 `json:"ref_mb_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// erasureSnapshot is the erasure suite's emitted document.
+type erasureSnapshot struct {
+	GeneratedAt           string         `json:"generated_at"`
+	BufferBytes           int            `json:"buffer_bytes"`
+	Kernels               []kernelResult `json:"kernels"`
+	Coding                []benchResult  `json:"coding"`
+	EncodeIntoAllocsPerOp float64        `json:"encode_into_allocs_per_op"`
+	EncodeParallelSpeedup float64        `json:"encode_parallel_speedup"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "earbench:", err)
@@ -49,11 +79,217 @@ func main() {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_datapath.json", "snapshot output path ('-' for stdout)")
-	writes := flag.Int("writes", 20, "block writes per write/read scenario")
+	suite := flag.String("suite", "datapath", "benchmark suite: datapath or erasure")
+	out := flag.String("out", "", "snapshot output path ('-' for stdout; default BENCH_<suite>.json)")
+	writes := flag.Int("writes", 20, "block writes per write/read scenario (datapath)")
 	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
 	flag.Parse()
 
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	}
+	switch *suite {
+	case "datapath":
+		return runDatapath(*out, *writes, *stripes)
+	case "erasure":
+		return runErasure(*out, *stripes)
+	default:
+		return fmt.Errorf("unknown suite %q", *suite)
+	}
+}
+
+// writeSnapshot marshals doc to the output path ('-' for stdout).
+func writeSnapshot(out string, doc any) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+// measure runs fn repeatedly for a fixed wall-clock budget (after one
+// warm-up call) and returns the mean seconds per op and MB/s for the given
+// bytes processed per op.
+func measure(bytesPerOp int, fn func()) (secondsPerOp, mbPerSec float64) {
+	fn()
+	const budget = 200 * time.Millisecond
+	ops := 0
+	t0 := time.Now()
+	for time.Since(t0) < budget {
+		fn()
+		ops++
+	}
+	secondsPerOp = time.Since(t0).Seconds() / float64(ops)
+	return secondsPerOp, float64(bytesPerOp) / (1 << 20) / secondsPerOp
+}
+
+// runErasure benchmarks the coding layer: slice kernels against their scalar
+// references, the zero-allocation encode/reconstruct paths, and the
+// concurrent multi-stripe encode.
+func runErasure(out string, stripes int) error {
+	const bufLen = 1 << 20
+	snap := erasureSnapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		BufferBytes: bufLen,
+	}
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, bufLen)
+	dst := make([]byte, bufLen)
+	rng.Read(src)
+	const coeff = 83
+
+	kernel := func(name string, fast, ref func()) {
+		_, fastMBps := measure(bufLen, fast)
+		_, refMBps := measure(bufLen, ref)
+		snap.Kernels = append(snap.Kernels, kernelResult{
+			Name: name, MBPerSec: fastMBps, RefMBPerSec: refMBps,
+			Speedup: fastMBps / refMBps,
+		})
+	}
+	kernel("mul_slice",
+		func() { gf256.MulSlice(coeff, src, dst) },
+		func() { gf256.MulSliceRef(coeff, src, dst) })
+	kernel("mul_add_slice",
+		func() { gf256.MulAddSlice(coeff, src, dst) },
+		func() { gf256.MulAddSliceRef(coeff, src, dst) })
+	kernel("add_slice",
+		func() { gf256.AddSlice(src, dst) },
+		func() { gf256.AddSliceRef(src, dst) })
+
+	// Zero-allocation stripe encode and single-block reconstruction on the
+	// paper's RS(9,6) geometry with 1 MiB blocks.
+	coder, err := erasure.New(9, 6, erasure.ReedSolomon)
+	if err != nil {
+		return err
+	}
+	data := make([][]byte, coder.K())
+	for i := range data {
+		data[i] = make([]byte, bufLen)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, coder.M())
+	for i := range parity {
+		parity[i] = make([]byte, bufLen)
+	}
+	encSecs, encMBps := measure(coder.K()*bufLen, func() {
+		if err := coder.EncodeInto(data, parity); err != nil {
+			panic(err)
+		}
+	})
+	snap.Coding = append(snap.Coding, benchResult{
+		Name: "encode_into_rs_9_6", Ops: 1, SecondsPerOp: encSecs, MBPerSec: encMBps,
+	})
+	snap.EncodeIntoAllocsPerOp = testing.AllocsPerRun(10, func() {
+		if err := coder.EncodeInto(data, parity); err != nil {
+			panic(err)
+		}
+	})
+
+	stripe, err := coder.EncodeStripe(data)
+	if err != nil {
+		return err
+	}
+	present := make(map[int][]byte)
+	for i, b := range stripe {
+		if i != 0 && i != 7 {
+			present[i] = b
+		}
+	}
+	recOut := make([]byte, bufLen)
+	recSecs, recMBps := measure(coder.K()*bufLen, func() {
+		if err := coder.ReconstructBlockInto(present, 0, recOut); err != nil {
+			panic(err)
+		}
+	})
+	snap.Coding = append(snap.Coding, benchResult{
+		Name: "reconstruct_block_into_rs_9_6", Ops: 1, SecondsPerOp: recSecs, MBPerSec: recMBps,
+	})
+
+	// Concurrent multi-stripe encode on the shaped testbed: all stripes in
+	// one map task, EncodeParallelism vs one stripe at a time.
+	var parSecs, seqSecs float64
+	for _, par := range []int{4, 1} {
+		secs, stats, err := encodeAllOnce(par, 2*stripes)
+		if err != nil {
+			return err
+		}
+		if par == 1 {
+			seqSecs = secs
+		} else {
+			parSecs = secs
+		}
+		stripeMB := float64(stats.EncodedBytes) / float64(stats.Stripes) / (1 << 20)
+		snap.Coding = append(snap.Coding, benchResult{
+			Name: fmt.Sprintf("encode_all_parallelism_%d", par), Ops: stats.Stripes,
+			SecondsPerOp: secs, MBPerSec: stripeMB / secs,
+		})
+	}
+	if parSecs > 0 {
+		snap.EncodeParallelSpeedup = seqSecs / parSecs
+	}
+
+	if err := writeSnapshot(out, snap); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("earbench: wrote %s (mul_slice speedup %.2fx, encode_into %.0f MB/s, %.0f allocs/op, parallel encode speedup %.2fx)\n",
+			out, snap.Kernels[0].Speedup, encMBps, snap.EncodeIntoAllocsPerOp, snap.EncodeParallelSpeedup)
+	}
+	return nil
+}
+
+// encodeAllOnce writes nStripes full stripes into a fresh cluster whose
+// encode job runs as a single map task with the given stripe parallelism,
+// and returns the mean encode seconds per stripe.
+func encodeAllOnce(parallelism, nStripes int) (secondsPerStripe float64, stats hdfs.EncodeStats, err error) {
+	cfg := hdfs.Config{
+		Racks:                    6,
+		NodesPerRack:             3,
+		Policy:                   "ear",
+		Replicas:                 3,
+		K:                        4,
+		N:                        6,
+		C:                        1,
+		BlockSizeBytes:           512 << 10,
+		BandwidthBytesPerSec:     64 << 20,
+		DiskBandwidthBytesPerSec: 64 << 20,
+		MapTasks:                 1,
+		EncodeParallelism:        parallelism,
+		Seed:                     1,
+	}
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return 0, hdfs.EncodeStats{}, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, cfg.BlockSizeBytes)
+	for i := 0; i < nStripes*cfg.K; i++ {
+		rng.Read(data)
+		client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+		if _, err := c.WriteBlock(client, data); err != nil {
+			return 0, hdfs.EncodeStats{}, err
+		}
+	}
+	c.NameNode().FlushOpenStripes()
+	t0 := time.Now()
+	stats, err = c.RaidNode().EncodeAll()
+	if err != nil {
+		return 0, stats, err
+	}
+	if stats.Stripes == 0 {
+		return 0, stats, fmt.Errorf("no stripes encoded")
+	}
+	return time.Since(t0).Seconds() / float64(stats.Stripes), stats, nil
+}
+
+// runDatapath benchmarks the client data path on the shaped fabric.
+func runDatapath(out string, writes, stripes int) error {
 	cfg := hdfs.Config{
 		Racks:                    6,
 		NodesPerRack:             3,
@@ -92,15 +328,15 @@ func run() error {
 		data := make([]byte, mcfg.BlockSizeBytes)
 		rand.New(rand.NewSource(1)).Read(data)
 		t0 := time.Now()
-		for i := 0; i < *writes; i++ {
+		for i := 0; i < writes; i++ {
 			if _, err := c.WriteBlock(0, data); err != nil {
 				c.Close()
 				return err
 			}
 		}
-		perOp := time.Since(t0).Seconds() / float64(*writes)
+		perOp := time.Since(t0).Seconds() / float64(writes)
 		snap.Results = append(snap.Results, benchResult{
-			Name: "write_block_" + mode.suffix, Ops: *writes,
+			Name: "write_block_" + mode.suffix, Ops: writes,
 			SecondsPerOp: perOp, MBPerSec: blockMB / perOp,
 		})
 		if mode.sequential {
@@ -116,7 +352,7 @@ func run() error {
 			return err
 		}
 		rng := rand.New(rand.NewSource(2))
-		for i := 0; i < *stripes*mcfg.K; i++ {
+		for i := 0; i < stripes*mcfg.K; i++ {
 			rng.Read(data)
 			client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
 			if _, err := c.WriteBlock(client, data); err != nil {
@@ -157,15 +393,15 @@ func run() error {
 		return err
 	}
 	t0 := time.Now()
-	for i := 0; i < *writes; i++ {
+	for i := 0; i < writes; i++ {
 		if _, err := c.ReadBlock(topology.NodeID(i%c.Topology().Nodes()), id); err != nil {
 			c.Close()
 			return err
 		}
 	}
-	perOp := time.Since(t0).Seconds() / float64(*writes)
+	perOp := time.Since(t0).Seconds() / float64(writes)
 	snap.Results = append(snap.Results, benchResult{
-		Name: "read_block", Ops: *writes,
+		Name: "read_block", Ops: writes,
 		SecondsPerOp: perOp, MBPerSec: blockMB / perOp,
 	})
 	c.Close()
@@ -177,19 +413,12 @@ func run() error {
 		snap.EncodeSpeedup = encSeq / encPipe
 	}
 
-	buf, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
+	if err := writeSnapshot(out, snap); err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		_, err = os.Stdout.Write(buf)
-		return err
+	if out != "-" {
+		fmt.Printf("earbench: wrote %s (write speedup %.2fx, encode speedup %.2fx)\n",
+			out, snap.WriteSpeedup, snap.EncodeSpeedup)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("earbench: wrote %s (write speedup %.2fx, encode speedup %.2fx)\n",
-		*out, snap.WriteSpeedup, snap.EncodeSpeedup)
 	return nil
 }

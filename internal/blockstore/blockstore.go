@@ -102,6 +102,27 @@ func (s *Store) Get(key Key) ([]byte, error) {
 	return append([]byte(nil), e.data...), nil
 }
 
+// GetInto copies the block into dst, verifying the checksum first. dst must
+// be exactly the stored block's length; a mismatch is an error so pooled
+// callers notice stale buffer sizes instead of silently truncating. It is
+// the allocation-free counterpart of Get.
+func (s *Store) GetInto(key Key, dst []byte) error {
+	s.mu.RLock()
+	e, ok := s.entries[key]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if crc32.Checksum(e.data, castagnoli) != e.sum {
+		return fmt.Errorf("%w: %s", ErrCorrupt, key)
+	}
+	if len(dst) != len(e.data) {
+		return fmt.Errorf("blockstore: %s is %d bytes, destination buffer %d", key, len(e.data), len(dst))
+	}
+	copy(dst, e.data)
+	return nil
+}
+
 // Has reports whether the block is stored.
 func (s *Store) Has(key Key) bool {
 	s.mu.RLock()

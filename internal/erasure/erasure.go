@@ -9,6 +9,7 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ear/internal/gf256"
 )
@@ -47,8 +48,14 @@ var (
 	ErrShapeMismatch = errors.New("erasure: block length mismatch")
 )
 
+// maxInvCacheEntries bounds the decode-matrix cache. C(n, k) survivor
+// patterns exist in principle; real clusters repair the same few patterns
+// over and over, so a small bound holds the working set while capping memory.
+const maxInvCacheEntries = 512
+
 // Coder encodes and decodes one stripe geometry. It is safe for concurrent
-// use: all state is immutable after construction.
+// use: the generator state is immutable after construction and the
+// inversion-matrix cache is internally synchronized.
 type Coder struct {
 	n, k   int
 	scheme Scheme
@@ -57,6 +64,15 @@ type Coder struct {
 	gen *gf256.Matrix
 	// parity is the bottom (n-k) x k portion of gen.
 	parity *gf256.Matrix
+	// parityRows holds the parity coefficient rows contiguously so the
+	// encode hot path never copies matrix rows.
+	parityRows [][]byte
+
+	// invMu guards invCache, the decode matrices keyed by survivor index
+	// set: repeated degraded reads and repairs of the same erasure pattern
+	// skip the O(k^3) Gauss-Jordan invert.
+	invMu    sync.RWMutex
+	invCache map[string]*gf256.Matrix
 }
 
 // New returns a Coder for an (n, k) code with the given scheme. It requires
@@ -93,7 +109,15 @@ func New(n, k int, scheme Scheme) (*Coder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coder{n: n, k: k, scheme: scheme, gen: gen, parity: parity}, nil
+	parityRows := make([][]byte, n-k)
+	for r := range parityRows {
+		parityRows[r] = parity.Row(r)
+	}
+	return &Coder{
+		n: n, k: k, scheme: scheme, gen: gen, parity: parity,
+		parityRows: parityRows,
+		invCache:   make(map[string]*gf256.Matrix),
+	}, nil
 }
 
 // systematicVandermondeParity derives the parity portion of a systematic
@@ -169,19 +193,39 @@ func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
 	backing := make([]byte, c.M()*size)
 	for i := range parity {
 		parity[i], backing = backing[:size:size], backing[size:]
-		gf256.DotProduct(c.parityRow(i), data, parity[i])
+	}
+	if err := c.EncodeInto(data, parity); err != nil {
+		return nil, err
 	}
 	return parity, nil
 }
 
-// parityRow returns (without copying) row i of the parity matrix.
-func (c *Coder) parityRow(i int) []byte {
-	row := make([]byte, c.k)
-	for j := 0; j < c.k; j++ {
-		row[j] = c.parity.At(i, j)
+// EncodeInto computes the m parity blocks for the given k data blocks into
+// the caller-provided parity buffers, allocating nothing: the zero-copy
+// encode primitive for buffer-pooled hot paths. parity must hold exactly m
+// blocks of the data blocks' common length; parity buffers must not alias
+// data blocks. The data blocks are not modified.
+func (c *Coder) EncodeInto(data, parity [][]byte) error {
+	size, err := checkShape(data, c.k)
+	if err != nil {
+		return err
 	}
-	return row
+	if len(parity) != c.M() {
+		return fmt.Errorf("%w: got %d parity buffers, want %d", ErrShapeMismatch, len(parity), c.M())
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("%w: parity buffer %d has %d bytes, data has %d", ErrShapeMismatch, i, len(p), size)
+		}
+	}
+	for i := range parity {
+		gf256.DotProduct(c.parityRows[i], data, parity[i])
+	}
+	return nil
 }
+
+// parityRow returns (without copying) row i of the parity matrix.
+func (c *Coder) parityRow(i int) []byte { return c.parityRows[i] }
 
 // EncodeStripe returns the complete stripe: the k data blocks (shared, not
 // copied) followed by the m freshly computed parity blocks.
@@ -196,31 +240,122 @@ func (c *Coder) EncodeStripe(data [][]byte) ([][]byte, error) {
 	return stripe, nil
 }
 
-// Reconstruct recovers the original k data blocks from any k surviving
-// blocks of the stripe. present maps stripe index (0..n-1, data first) to
-// the surviving block content. It returns the k data blocks in order.
-func (c *Coder) Reconstruct(present map[int][]byte) ([][]byte, error) {
+// pickSurvivors chooses k surviving stripe indices deterministically
+// (ascending, preferring data blocks since they need no matrix solve when
+// all k survive) and gathers their blocks into the caller's slice.
+func (c *Coder) pickSurvivors(present map[int][]byte, indices []int, blocks [][]byte) ([]int, [][]byte, error) {
 	if len(present) < c.k {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewBlocks, len(present), c.k)
+		return nil, nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewBlocks, len(present), c.k)
 	}
-	// Choose k surviving indices deterministically (ascending), preferring
-	// data blocks since they need no matrix solve when all k survive.
-	indices := make([]int, 0, c.k)
+	indices = indices[:0]
 	for i := 0; i < c.n && len(indices) < c.k; i++ {
 		if _, ok := present[i]; ok {
 			indices = append(indices, i)
 		}
 	}
 	if len(indices) < c.k {
-		return nil, fmt.Errorf("%w: have %d valid indices, need %d", ErrTooFewBlocks, len(indices), c.k)
+		return nil, nil, fmt.Errorf("%w: have %d valid indices, need %d", ErrTooFewBlocks, len(indices), c.k)
 	}
-	blocks := make([][]byte, c.k)
+	blocks = blocks[:0]
+	for _, idx := range indices {
+		blocks = append(blocks, present[idx])
+	}
+	return indices, blocks, nil
+}
+
+// decodeMatrix returns the inverse of the generator rows selected by the
+// survivor indices, consulting the cache first. Concurrent repairs of the
+// same erasure pattern share one invert; distinct patterns cache
+// independently up to maxInvCacheEntries.
+func (c *Coder) decodeMatrix(indices []int) (*gf256.Matrix, error) {
+	keyBytes := make([]byte, len(indices))
 	for i, idx := range indices {
-		blocks[i] = present[idx]
+		keyBytes[i] = byte(idx)
+	}
+	key := string(keyBytes)
+
+	c.invMu.RLock()
+	inv, ok := c.invCache[key]
+	c.invMu.RUnlock()
+	if ok {
+		return inv, nil
+	}
+
+	sub, err := c.gen.SelectRows(indices)
+	if err != nil {
+		return nil, err
+	}
+	inv, err = sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("invert decode matrix: %w", err)
+	}
+
+	c.invMu.Lock()
+	if cached, ok := c.invCache[key]; ok {
+		// A concurrent repair of the same pattern won the race; share its
+		// matrix so every caller sees one canonical instance.
+		inv = cached
+	} else {
+		if len(c.invCache) >= maxInvCacheEntries {
+			for k := range c.invCache {
+				delete(c.invCache, k)
+				break
+			}
+		}
+		c.invCache[key] = inv
+	}
+	c.invMu.Unlock()
+	return inv, nil
+}
+
+// invCacheLen reports the number of cached decode matrices (for tests and
+// pool telemetry).
+func (c *Coder) invCacheLen() int {
+	c.invMu.RLock()
+	defer c.invMu.RUnlock()
+	return len(c.invCache)
+}
+
+// Reconstruct recovers the original k data blocks from any k surviving
+// blocks of the stripe. present maps stripe index (0..n-1, data first) to
+// the surviving block content. It returns the k data blocks in order.
+func (c *Coder) Reconstruct(present map[int][]byte) ([][]byte, error) {
+	size := c.survivorBlockSize(present)
+	out := make([][]byte, c.k)
+	backing := make([]byte, c.k*size)
+	for r := range out {
+		out[r], backing = backing[:size:size], backing[size:]
+	}
+	if err := c.ReconstructInto(present, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructInto recovers the original k data blocks from any k surviving
+// blocks into the caller-provided buffers: the zero-copy decode primitive
+// for buffer-pooled hot paths. out must hold k buffers of the survivors'
+// common block length; out buffers must not alias survivor blocks. The
+// decode matrix for the survivor pattern is cached, so repeated degraded
+// reads of one erasure pattern skip the O(k^3) invert.
+func (c *Coder) ReconstructInto(present map[int][]byte, out [][]byte) error {
+	indexBuf := make([]int, 0, c.k)
+	blockBuf := make([][]byte, 0, c.k)
+	indices, blocks, err := c.pickSurvivors(present, indexBuf, blockBuf)
+	if err != nil {
+		return err
 	}
 	size, err := checkShape(blocks, c.k)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if len(out) != c.k {
+		return fmt.Errorf("%w: got %d output buffers, want %d", ErrShapeMismatch, len(out), c.k)
+	}
+	for i, o := range out {
+		if len(o) != size {
+			return fmt.Errorf("%w: output buffer %d has %d bytes, blocks have %d", ErrShapeMismatch, i, len(o), size)
+		}
 	}
 
 	allData := true
@@ -231,50 +366,116 @@ func (c *Coder) Reconstruct(present map[int][]byte) ([][]byte, error) {
 		}
 	}
 	if allData {
-		out := make([][]byte, c.k)
 		for i, b := range blocks {
-			out[i] = append([]byte(nil), b...)
+			copy(out[i], b)
 		}
-		return out, nil
+		return nil
 	}
 
-	sub, err := c.gen.SelectRows(indices)
+	inv, err := c.decodeMatrix(indices)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	inv, err := sub.Invert()
-	if err != nil {
-		return nil, fmt.Errorf("invert decode matrix: %w", err)
-	}
-	out := make([][]byte, c.k)
-	backing := make([]byte, c.k*size)
 	for r := 0; r < c.k; r++ {
-		out[r], backing = backing[:size:size], backing[size:]
-		gf256.DotProduct(inv.Row(r), blocks, out[r])
+		gf256.DotProduct(inv.RowView(r), blocks, out[r])
 	}
-	return out, nil
+	return nil
 }
 
 // ReconstructBlock recovers a single stripe block (data or parity) by index
 // from any k surviving blocks. This is the degraded-read / repair primitive:
 // a node recovering block idx downloads k blocks and solves for it.
 func (c *Coder) ReconstructBlock(present map[int][]byte, idx int) ([]byte, error) {
-	if idx < 0 || idx >= c.n {
-		return nil, fmt.Errorf("%w: block index %d of %d", ErrInvalidParams, idx, c.n)
+	if idx >= 0 && idx < c.n {
+		if b, ok := present[idx]; ok {
+			return append([]byte(nil), b...), nil
+		}
 	}
-	if b, ok := present[idx]; ok {
-		return append([]byte(nil), b...), nil
-	}
-	data, err := c.Reconstruct(present)
-	if err != nil {
+	out := make([]byte, c.survivorBlockSize(present))
+	if err := c.ReconstructBlockInto(present, idx, out); err != nil {
 		return nil, err
 	}
-	if idx < c.k {
-		return data[idx], nil
-	}
-	out := make([]byte, len(data[0]))
-	gf256.DotProduct(c.parityRow(idx-c.k), data, out)
 	return out, nil
+}
+
+// survivorBlockSize returns the length of the survivor block at the
+// smallest stripe index — the first block pickSurvivors will select — so
+// the allocating wrappers size their buffers consistently with the decode.
+func (c *Coder) survivorBlockSize(present map[int][]byte) int {
+	for i := 0; i < c.n; i++ {
+		if b, ok := present[i]; ok {
+			return len(b)
+		}
+	}
+	return 0
+}
+
+// ReconstructBlockInto recovers a single stripe block (data or parity) by
+// index into the caller-provided buffer. The recovery is a single fused dot
+// product over the k survivor blocks: for a data block the coefficients are
+// the matching row of the cached decode matrix, and for a parity block the
+// parity row is folded through the decode matrix first (P·Inv), so no
+// intermediate data-block buffers are materialized.
+func (c *Coder) ReconstructBlockInto(present map[int][]byte, idx int, out []byte) error {
+	if idx < 0 || idx >= c.n {
+		return fmt.Errorf("%w: block index %d of %d", ErrInvalidParams, idx, c.n)
+	}
+	if b, ok := present[idx]; ok {
+		if len(b) != len(out) {
+			return fmt.Errorf("%w: output buffer has %d bytes, block has %d", ErrShapeMismatch, len(out), len(b))
+		}
+		copy(out, b)
+		return nil
+	}
+	indexBuf := make([]int, 0, c.k)
+	blockBuf := make([][]byte, 0, c.k)
+	indices, blocks, err := c.pickSurvivors(present, indexBuf, blockBuf)
+	if err != nil {
+		return err
+	}
+	size, err := checkShape(blocks, c.k)
+	if err != nil {
+		return err
+	}
+	if len(out) != size {
+		return fmt.Errorf("%w: output buffer has %d bytes, blocks have %d", ErrShapeMismatch, len(out), size)
+	}
+
+	allData := true
+	for i, sidx := range indices {
+		if sidx != i {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		// idx is absent from present, so with survivors 0..k-1 it must be a
+		// parity block: one dot product over the data blocks.
+		gf256.DotProduct(c.parityRows[idx-c.k], blocks, out)
+		return nil
+	}
+
+	inv, err := c.decodeMatrix(indices)
+	if err != nil {
+		return err
+	}
+	var coeffBuf [256]byte
+	coeffs := coeffBuf[:c.k]
+	if idx < c.k {
+		copy(coeffs, inv.RowView(idx))
+	} else {
+		// Fold the parity row through the decode matrix: coeffs = P_row · Inv.
+		prow := c.parityRows[idx-c.k]
+		for j := 0; j < c.k; j++ {
+			var acc byte
+			for m := 0; m < c.k; m++ {
+				acc ^= gf256.Mul(prow[m], inv.At(m, j))
+			}
+			coeffs[j] = acc
+		}
+	}
+	gf256.DotProduct(coeffs, blocks, out)
+	return nil
 }
 
 // Verify reports whether the given full stripe (k data followed by m parity

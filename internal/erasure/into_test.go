@@ -1,0 +1,358 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEncodeIntoMatchesEncode checks the zero-allocation encode against the
+// allocating one across schemes and geometries.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, scheme := range []Scheme{ReedSolomon, CauchyReedSolomon} {
+		for _, p := range [][2]int{{6, 4}, {9, 6}, {14, 10}} {
+			c, err := New(p[0], p[1], scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := randBlocks(rng, c.K(), 1027)
+			want, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]byte, c.M())
+			for i := range got {
+				got[i] = make([]byte, 1027)
+			}
+			if err := c.EncodeInto(data, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("%v (%d,%d): EncodeInto parity %d differs from Encode", scheme, p[0], p[1], i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoShapeErrors checks buffer-shape validation.
+func TestEncodeIntoShapeErrors(t *testing.T) {
+	c, err := New(6, 4, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rand.New(rand.NewSource(2)), 4, 64)
+	parity := [][]byte{make([]byte, 64), make([]byte, 64)}
+	if err := c.EncodeInto(data, parity[:1]); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("short parity set: got %v, want ErrShapeMismatch", err)
+	}
+	parity[1] = make([]byte, 63)
+	if err := c.EncodeInto(data, parity); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("short parity buffer: got %v, want ErrShapeMismatch", err)
+	}
+}
+
+// TestEncodeIntoZeroAllocs pins the acceptance criterion: encoding a stripe
+// into caller-provided buffers allocates nothing.
+func TestEncodeIntoZeroAllocs(t *testing.T) {
+	c, err := New(9, 6, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rand.New(rand.NewSource(3)), 6, 64<<10)
+	parity := make([][]byte, c.M())
+	for i := range parity {
+		parity[i] = make([]byte, 64<<10)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := c.EncodeInto(data, parity); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocates %.1f objects per stripe, want 0", allocs)
+	}
+}
+
+// TestReconstructIntoMatchesReconstruct checks the Into decode against the
+// allocating one for every single- and double-erasure pattern.
+func TestReconstructIntoMatchesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := New(6, 4, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 4, 513)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e1 := 0; e1 < c.N(); e1++ {
+		for e2 := e1 + 1; e2 < c.N(); e2++ {
+			present := make(map[int][]byte)
+			for i, b := range stripe {
+				if i != e1 && i != e2 {
+					present[i] = b
+				}
+			}
+			want, err := c.Reconstruct(present)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([][]byte, c.K())
+			for i := range out {
+				out[i] = make([]byte, 513)
+			}
+			if err := c.ReconstructInto(present, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !bytes.Equal(out[i], want[i]) {
+					t.Fatalf("erasures (%d,%d): ReconstructInto row %d differs", e1, e2, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructBlockIntoEveryIndex recovers every stripe position through
+// the single-dot-product path, for both data and parity targets, under the
+// erasure pattern that kills that position plus one more.
+func TestReconstructBlockIntoEveryIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := New(9, 6, CauchyReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 6, 257)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < c.N(); target++ {
+		for other := 0; other < c.N(); other++ {
+			if other == target {
+				continue
+			}
+			present := make(map[int][]byte)
+			for i, b := range stripe {
+				if i != target && i != other {
+					present[i] = b
+				}
+			}
+			out := make([]byte, 257)
+			if err := c.ReconstructBlockInto(present, target, out); err != nil {
+				t.Fatalf("target %d, also erased %d: %v", target, other, err)
+			}
+			if !bytes.Equal(out, stripe[target]) {
+				t.Fatalf("target %d, also erased %d: reconstruction differs", target, other)
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixCache checks that repeated decodes of one erasure pattern
+// reuse the cached inverse and that distinct patterns cache separately.
+func TestDecodeMatrixCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, err := New(6, 4, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 4, 64)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.invCacheLen(); n != 0 {
+		t.Fatalf("fresh coder has %d cached matrices", n)
+	}
+	lose := func(erased ...int) map[int][]byte {
+		present := make(map[int][]byte)
+	outer:
+		for i, b := range stripe {
+			for _, e := range erased {
+				if i == e {
+					continue outer
+				}
+			}
+			present[i] = b
+		}
+		return present
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Reconstruct(lose(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.invCacheLen(); n != 1 {
+		t.Fatalf("one pattern decoded 5 times cached %d matrices, want 1", n)
+	}
+	if _, err := c.Reconstruct(lose(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.invCacheLen(); n != 2 {
+		t.Fatalf("two distinct patterns cached %d matrices, want 2", n)
+	}
+	// All-data survivor sets bypass the solve and must not populate the cache.
+	if _, err := c.Reconstruct(lose(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.invCacheLen(); n != 2 {
+		t.Fatalf("all-data decode changed the cache to %d entries", n)
+	}
+}
+
+// TestDecodeMatrixCacheConcurrent hammers one coder with concurrent repairs
+// of overlapping erasure patterns; run under -race this is the
+// inversion-cache synchronization check.
+func TestDecodeMatrixCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := New(9, 6, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 6, 256)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				e1 := (g + iter) % c.N()
+				e2 := (e1 + 1 + iter%3) % c.N()
+				if e1 == e2 {
+					continue
+				}
+				present := make(map[int][]byte)
+				for i, b := range stripe {
+					if i != e1 && i != e2 {
+						present[i] = b
+					}
+				}
+				out := make([]byte, 256)
+				if err := c.ReconstructBlockInto(present, e1, out); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(out, stripe[e1]) {
+					errs <- fmt.Errorf("concurrent repair of (%d,%d) returned wrong bytes", e1, e2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := c.invCacheLen(); n == 0 || n > maxInvCacheEntries {
+		t.Fatalf("cache holds %d matrices after concurrent repairs", n)
+	}
+}
+
+// TestDecodeMatrixCacheBounded checks the cache never exceeds its cap. A
+// (20, 4) code offers far more survivor patterns than maxInvCacheEntries.
+func TestDecodeMatrixCacheBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c, err := New(20, 4, CauchyReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 4, 32)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for a := 0; a < c.N() && count < 2*maxInvCacheEntries; a++ {
+		for b := a + 1; b < c.N() && count < 2*maxInvCacheEntries; b++ {
+			for d := b + 1; d < c.N() && count < 2*maxInvCacheEntries; d++ {
+				present := make(map[int][]byte)
+				for i, blk := range stripe {
+					if i != a && i != b && i != d {
+						present[i] = blk
+					}
+				}
+				// Drop all but the first k survivors beyond index 3 to vary
+				// patterns; keep exactly k to force a solve.
+				kept := make(map[int][]byte, c.K())
+				for i := 0; i < c.N() && len(kept) < c.K(); i++ {
+					if blk, ok := present[i]; ok {
+						kept[i] = blk
+					}
+				}
+				if _, err := c.Reconstruct(kept); err != nil {
+					t.Fatal(err)
+				}
+				count++
+			}
+		}
+	}
+	if n := c.invCacheLen(); n > maxInvCacheEntries {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, maxInvCacheEntries)
+	}
+}
+
+func BenchmarkEncodeInto(b *testing.B) {
+	for _, p := range [][2]int{{9, 6}, {14, 10}} {
+		b.Run(fmt.Sprintf("rs_%d_%d", p[0], p[1]), func(b *testing.B) {
+			c, err := New(p[0], p[1], ReedSolomon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			data := randBlocks(rng, p[1], 1<<20)
+			parity := make([][]byte, c.M())
+			for i := range parity {
+				parity[i] = make([]byte, 1<<20)
+			}
+			b.SetBytes(int64(p[1] << 20))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.EncodeInto(data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstructBlockInto(b *testing.B) {
+	c, err := New(9, 6, ReedSolomon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := randBlocks(rng, 6, 1<<20)
+	stripe, err := c.EncodeStripe(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	present := make(map[int][]byte)
+	for i, blk := range stripe {
+		if i != 0 && i != 7 {
+			present[i] = blk
+		}
+	}
+	out := make([]byte, 1<<20)
+	b.SetBytes(6 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ReconstructBlockInto(present, 0, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,6 @@ package gf256
 
 import (
 	"errors"
-	"fmt"
 )
 
 // polynomial is the primitive polynomial used to generate the field,
@@ -138,70 +137,4 @@ func Pow(a byte, e int) byte {
 		le += fieldSize - 1
 	}
 	return _exp[le]
-}
-
-// MulSlice sets dst[i] = c * src[i] for every i. dst and src must have the
-// same length; dst may alias src.
-func MulSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(src), len(dst)))
-	}
-	if c == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	}
-	if c == 1 {
-		copy(dst, src)
-		return
-	}
-	row := &_mul[c]
-	for i, s := range src {
-		dst[i] = row[s]
-	}
-}
-
-// MulAddSlice sets dst[i] ^= c * src[i] for every i: the multiply-accumulate
-// kernel at the core of Reed-Solomon encoding. dst and src must have the same
-// length and must not alias unless c == 0.
-func MulAddSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
-	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	row := &_mul[c]
-	for i, s := range src {
-		dst[i] ^= row[s]
-	}
-}
-
-// AddSlice sets dst[i] ^= src[i] for every i.
-func AddSlice(src, dst []byte) {
-	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: AddSlice length mismatch %d != %d", len(src), len(dst)))
-	}
-	for i, s := range src {
-		dst[i] ^= s
-	}
-}
-
-// DotProduct returns the inner product of coefficient vector coeffs with the
-// rows of data: out[j] = XOR_i coeffs[i] * data[i][j]. All rows of data must
-// have length len(out).
-func DotProduct(coeffs []byte, data [][]byte, out []byte) {
-	for i := range out {
-		out[i] = 0
-	}
-	for i, c := range coeffs {
-		MulAddSlice(c, data[i], out)
-	}
 }

@@ -1,0 +1,92 @@
+//go:build amd64
+
+package gf256
+
+// vecBytes is the AVX2 vector width; the assembly kernels process whole
+// 32-byte groups and leave the remainder to the SWAR tier.
+const vecBytes = 32
+
+// hasAVX2 gates the assembly kernels. It is a variable (not a constant) so
+// the differential tests can force the portable tiers on AVX2 hardware.
+var hasAVX2 = detectAVX2()
+
+// detectAVX2 reports whether both the CPU and the OS support AVX2: the
+// AVX2 feature bit (CPUID.7.0:EBX[5]) plus OS-managed YMM state (OSXSAVE,
+// AVX, and XCR0 enabling XMM|YMM).
+func detectAVX2() bool {
+	maxID, _, _, _ := x86cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := x86cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := x86xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := x86cpuid(7, 0)
+	return b7&(1<<5) != 0
+}
+
+func mulSliceArch(c byte, src, dst []byte) {
+	if hasAVX2 && len(src) >= vecBytes {
+		n := len(src) &^ (vecBytes - 1)
+		t := nibbleTables(c)
+		mulVecAVX2(&t, src[:n], dst[:n])
+		if n < len(src) {
+			MulSliceRef(c, src[n:], dst[n:])
+		}
+		return
+	}
+	mulSliceSWAR(c, src, dst)
+}
+
+func mulAddSliceArch(c byte, src, dst []byte) {
+	if hasAVX2 && len(src) >= vecBytes {
+		n := len(src) &^ (vecBytes - 1)
+		t := nibbleTables(c)
+		mulAddVecAVX2(&t, src[:n], dst[:n])
+		if n < len(src) {
+			MulAddSliceRef(c, src[n:], dst[n:])
+		}
+		return
+	}
+	mulAddSliceSWAR(c, src, dst)
+}
+
+func addSliceArch(src, dst []byte) {
+	if hasAVX2 && len(src) >= vecBytes {
+		n := len(src) &^ (vecBytes - 1)
+		xorVecAVX2(src[:n], dst[:n])
+		if n < len(src) {
+			addSliceSWAR(src[n:], dst[n:])
+		}
+		return
+	}
+	addSliceSWAR(src, dst)
+}
+
+// mulVecAVX2 sets dst = c*src over the packed nibble tables of c.
+// len(src) == len(dst) and len%32 == 0 are the caller's responsibility.
+//
+//go:noescape
+func mulVecAVX2(tab *[32]byte, src, dst []byte)
+
+// mulAddVecAVX2 sets dst ^= c*src over the packed nibble tables of c.
+//
+//go:noescape
+func mulAddVecAVX2(tab *[32]byte, src, dst []byte)
+
+// xorVecAVX2 sets dst ^= src.
+//
+//go:noescape
+func xorVecAVX2(src, dst []byte)
+
+// x86cpuid executes CPUID with the given leaf and subleaf.
+func x86cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// x86xgetbv reads extended control register 0 (XCR0).
+func x86xgetbv() (eax, edx uint32)

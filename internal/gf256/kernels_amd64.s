@@ -1,0 +1,117 @@
+//go:build amd64
+
+// AVX2 GF(256) slice kernels using the split low/high-nibble PSHUFB method:
+// each source byte is split into its two nibbles, each nibble indexes a
+// 16-entry product table broadcast across the vector, and the two partial
+// products XOR into the result. 32 bytes are multiplied per loop iteration.
+//
+// All three kernels require len(src) == len(dst) with the length a multiple
+// of 32; the Go wrappers in kernels_amd64.go enforce this and route the
+// remainder through the SWAR/scalar tiers.
+
+#include "textflag.h"
+
+// func mulVecAVX2(tab *[32]byte, src, dst []byte)
+TEXT ·mulVecAVX2(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	SHRQ $5, CX
+	JZ   mulDone
+	VBROADCASTI128 (AX), Y0     // low-nibble table in every 128-bit lane
+	VBROADCASTI128 16(AX), Y1   // high-nibble table
+	MOVQ $15, AX
+	MOVQ AX, X2
+	VPBROADCASTB X2, Y2         // 0x0f in every byte lane
+
+mulLoop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3          // low nibbles
+	VPAND   Y2, Y4, Y4          // high nibbles
+	VPSHUFB Y3, Y0, Y3          // c * low
+	VPSHUFB Y4, Y1, Y4          // c * high<<4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     mulLoop
+	VZEROUPPER
+
+mulDone:
+	RET
+
+// func mulAddVecAVX2(tab *[32]byte, src, dst []byte)
+TEXT ·mulAddVecAVX2(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	SHRQ $5, CX
+	JZ   mulAddDone
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	MOVQ $15, AX
+	MOVQ AX, X2
+	VPBROADCASTB X2, Y2
+
+mulAddLoop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3        // accumulate into dst
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     mulAddLoop
+	VZEROUPPER
+
+mulAddDone:
+	RET
+
+// func xorVecAVX2(src, dst []byte)
+TEXT ·xorVecAVX2(SB), NOSPLIT, $0-48
+	MOVQ src_base+0(FP), SI
+	MOVQ src_len+8(FP), CX
+	MOVQ dst_base+24(FP), DI
+	SHRQ $5, CX
+	JZ   xorDone
+
+xorLoop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     xorLoop
+	VZEROUPPER
+
+xorDone:
+	RET
+
+// func x86cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·x86cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func x86xgetbv() (eax, edx uint32)
+TEXT ·x86xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKernelsWithAVX2Disabled re-runs the kernel dispatch with the assembly
+// tier forced off, so the SWAR fallback is exercised even on AVX2 hardware.
+func TestKernelsWithAVX2Disabled(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2; the portable tiers are already the default path")
+	}
+	hasAVX2 = false
+	defer func() { hasAVX2 = true }()
+
+	src := randKernelBuf(20, 4097)
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{0, 1, 7, 8, 31, 32, 33, 4096, 4097} {
+			got := make([]byte, n)
+			want := make([]byte, n)
+			MulSlice(byte(c), src[:n], got)
+			MulSliceRef(byte(c), src[:n], want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%d, len=%d) with AVX2 disabled diverges", c, n)
+			}
+			MulAddSlice(byte(c), src[:n], got)
+			MulAddSliceRef(byte(c), src[:n], want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice(c=%d, len=%d) with AVX2 disabled diverges", c, n)
+			}
+		}
+	}
+}
+
+// TestAVX2VectorBoundary pins the wrapper's split between the vector body
+// and the scalar tail around the 32-byte group size.
+func TestAVX2VectorBoundary(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2")
+	}
+	src := randKernelBuf(21, 97)
+	for n := 0; n <= len(src); n++ {
+		got := make([]byte, n)
+		want := make([]byte, n)
+		MulSlice(0x53, src[:n], got)
+		MulSliceRef(0x53, src[:n], want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulSlice(len=%d) diverges at vector boundary", n)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package gf256
+
+// On architectures without an assembly fast path the SWAR word kernels are
+// the top tier.
+
+func mulSliceArch(c byte, src, dst []byte)    { mulSliceSWAR(c, src, dst) }
+func mulAddSliceArch(c byte, src, dst []byte) { mulAddSliceSWAR(c, src, dst) }
+func addSliceArch(src, dst []byte)            { addSliceSWAR(src, dst) }

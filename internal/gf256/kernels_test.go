@@ -1,0 +1,272 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// kernelLengths covers the word-width dispatch boundaries: empty, sub-word,
+// exactly one word, word multiples, and odd lengths that force a scalar tail.
+var kernelLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255, 256, 1000, 1024, 4097}
+
+// kernelOffsets shifts the slices inside a larger buffer so the SWAR path
+// sees word-unaligned heads.
+var kernelOffsets = []int{0, 1, 3, 5, 7}
+
+// randKernelBuf returns a deterministic pseudo-random buffer with headroom
+// for every offset/length combination.
+func randKernelBuf(seed int64, n int) []byte {
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
+}
+
+// TestMulSliceMatchesRef differentially tests the SWAR MulSlice against the
+// scalar reference for every coefficient 0-255 across odd lengths and
+// unaligned head offsets.
+func TestMulSliceMatchesRef(t *testing.T) {
+	maxLen := kernelLengths[len(kernelLengths)-1]
+	src := randKernelBuf(1, maxLen+8)
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelLengths {
+			for _, off := range kernelOffsets {
+				s := src[off : off+n]
+				got := make([]byte, n)
+				want := make([]byte, n)
+				MulSlice(byte(c), s, got)
+				MulSliceRef(byte(c), s, want)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSlice(c=%d, len=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+// TestMulAddSliceMatchesRef differentially tests MulAddSlice, including that
+// the pre-existing dst contents are XOR-accumulated, not overwritten.
+func TestMulAddSliceMatchesRef(t *testing.T) {
+	maxLen := kernelLengths[len(kernelLengths)-1]
+	src := randKernelBuf(2, maxLen+8)
+	dstInit := randKernelBuf(3, maxLen+8)
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelLengths {
+			for _, off := range kernelOffsets {
+				s := src[off : off+n]
+				got := append([]byte(nil), dstInit[off:off+n]...)
+				want := append([]byte(nil), dstInit[off:off+n]...)
+				MulAddSlice(byte(c), s, got)
+				MulAddSliceRef(byte(c), s, want)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulAddSlice(c=%d, len=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+// TestAddSliceMatchesRef differentially tests the word-wide AddSlice.
+func TestAddSliceMatchesRef(t *testing.T) {
+	maxLen := kernelLengths[len(kernelLengths)-1]
+	src := randKernelBuf(4, maxLen+8)
+	dstInit := randKernelBuf(5, maxLen+8)
+	for _, n := range kernelLengths {
+		for _, off := range kernelOffsets {
+			s := src[off : off+n]
+			got := append([]byte(nil), dstInit[off:off+n]...)
+			want := append([]byte(nil), dstInit[off:off+n]...)
+			AddSlice(s, got)
+			AddSliceRef(s, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("AddSlice(len=%d, off=%d) diverges from reference", n, off)
+			}
+		}
+	}
+}
+
+// TestMulSliceAliasing checks the documented aliasing contract: dst may be
+// exactly src.
+func TestMulSliceAliasing(t *testing.T) {
+	for _, n := range kernelLengths {
+		orig := randKernelBuf(6, n)
+		want := make([]byte, n)
+		MulSliceRef(37, orig, want)
+		got := append([]byte(nil), orig...)
+		MulSlice(37, got, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("aliased MulSlice(len=%d) diverges from reference", n)
+		}
+	}
+}
+
+// TestMulSliceNeverWritesSrc pins the read-only guarantee the shared
+// zero-block optimization in the hdfs encode path relies on: no kernel may
+// write through its src argument.
+func TestMulSliceNeverWritesSrc(t *testing.T) {
+	src := make([]byte, 1027) // all zeros, like the shared pad block
+	dst := make([]byte, len(src))
+	for c := 0; c < 256; c++ {
+		MulSlice(byte(c), src, dst)
+		MulAddSlice(byte(c), src, dst)
+	}
+	AddSlice(src, dst)
+	DotProduct([]byte{0, 1, 2, 255}, [][]byte{src, src, src, src}, dst)
+	for i, b := range src {
+		if b != 0 {
+			t.Fatalf("kernel wrote %#x through src at index %d", b, i)
+		}
+	}
+}
+
+// TestSWARKernelsMatchRef differentially tests the portable SWAR tier
+// directly (bypassing any architecture dispatch) against the scalar
+// reference for every coefficient, odd lengths, and unaligned heads.
+func TestSWARKernelsMatchRef(t *testing.T) {
+	src := randKernelBuf(12, 4105)
+	dstInit := randKernelBuf(13, 4105)
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 17, 64, 255, 4096, 4097} {
+			for _, off := range []int{0, 3} {
+				s := src[off : off+n]
+				got := make([]byte, n)
+				want := make([]byte, n)
+				mulSliceSWAR(byte(c), s, got)
+				MulSliceRef(byte(c), s, want)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("mulSliceSWAR(c=%d, len=%d, off=%d) diverges from reference", c, n, off)
+				}
+				got = append(got[:0], dstInit[off:off+n]...)
+				want = append(want[:0], dstInit[off:off+n]...)
+				mulAddSliceSWAR(byte(c), s, got)
+				MulAddSliceRef(byte(c), s, want)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("mulAddSliceSWAR(c=%d, len=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+	for _, n := range []int{0, 1, 7, 8, 9, 4097} {
+		got := append([]byte(nil), dstInit[:n]...)
+		want := append([]byte(nil), dstInit[:n]...)
+		addSliceSWAR(src[:n], got)
+		AddSliceRef(src[:n], want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("addSliceSWAR(len=%d) diverges from reference", n)
+		}
+	}
+}
+
+// TestDotProductMatchesNaive checks the fused DotProduct against a scalar
+// per-element evaluation, including all-zero and leading-zero coefficient
+// vectors (which exercise the first-write vs accumulate dispatch).
+func TestDotProductMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coeffSets := [][]byte{
+		{},
+		{0},
+		{0, 0, 0},
+		{5},
+		{0, 9, 0, 3},
+		{1, 2, 3, 4, 5},
+		{255, 254, 0, 1},
+	}
+	for _, coeffs := range coeffSets {
+		for _, n := range []int{1, 7, 8, 33, 257} {
+			data := make([][]byte, len(coeffs))
+			for i := range data {
+				data[i] = make([]byte, n)
+				rng.Read(data[i])
+			}
+			out := make([]byte, n)
+			rng.Read(out) // stale contents must be overwritten
+			DotProduct(coeffs, data, out)
+			for j := 0; j < n; j++ {
+				var want byte
+				for i, c := range coeffs {
+					want ^= Mul(c, data[i][j])
+				}
+				if out[j] != want {
+					t.Fatalf("DotProduct(coeffs=%v, n=%d)[%d] = %#x, want %#x", coeffs, n, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelProperty fuzzes random coefficient/length/offset/alignment
+// combinations beyond the exhaustive grids above.
+func TestKernelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	buf := randKernelBuf(9, 1<<14)
+	acc := randKernelBuf(10, 1<<14)
+	for iter := 0; iter < 2000; iter++ {
+		c := byte(rng.Intn(256))
+		n := rng.Intn(1 << 12)
+		off := rng.Intn(len(buf) - n)
+		s := buf[off : off+n]
+		got := append([]byte(nil), acc[off:off+n]...)
+		want := append([]byte(nil), acc[off:off+n]...)
+		if iter%2 == 0 {
+			MulSlice(c, s, got)
+			MulSliceRef(c, s, want)
+		} else {
+			MulAddSlice(c, s, got)
+			MulAddSliceRef(c, s, want)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: kernel(c=%d, len=%d, off=%d) diverges from reference", iter, c, n, off)
+		}
+	}
+}
+
+// FuzzMulAddSlice lets the fuzzer search for divergence between the SWAR and
+// scalar multiply-accumulate kernels.
+func FuzzMulAddSlice(f *testing.F) {
+	f.Add(byte(2), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(byte(255), []byte{0xff, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		got := make([]byte, len(src))
+		want := make([]byte, len(src))
+		for i := range src {
+			got[i] = byte(i)
+			want[i] = byte(i)
+		}
+		MulAddSlice(c, src, got)
+		MulAddSliceRef(c, src, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice(c=%d, len=%d) diverges from reference", c, len(src))
+		}
+	})
+}
+
+// benchSizes are the payload sizes the kernel benchmarks sweep.
+var benchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+func benchmarkKernel(b *testing.B, fn func(c byte, src, dst []byte)) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			src := randKernelBuf(11, size)
+			dst := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn(83, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B)       { benchmarkKernel(b, MulSlice) }
+func BenchmarkMulSliceRef(b *testing.B)    { benchmarkKernel(b, MulSliceRef) }
+func BenchmarkMulAddSlice(b *testing.B)    { benchmarkKernel(b, MulAddSlice) }
+func BenchmarkMulAddSliceRef(b *testing.B) { benchmarkKernel(b, MulAddSliceRef) }
+
+func BenchmarkAddSlice(b *testing.B) {
+	benchmarkKernel(b, func(_ byte, src, dst []byte) { AddSlice(src, dst) })
+}
+
+func BenchmarkAddSliceRef(b *testing.B) {
+	benchmarkKernel(b, func(_ byte, src, dst []byte) { AddSliceRef(src, dst) })
+}

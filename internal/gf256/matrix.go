@@ -118,6 +118,11 @@ func (m *Matrix) Row(r int) []byte {
 	return row
 }
 
+// RowView returns row r without copying. The caller must not modify it; it
+// exists so allocation-free hot paths (encode, cached decode) can feed rows
+// straight into the slice kernels.
+func (m *Matrix) RowView(r int) []byte { return m.data[r] }
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c, _ := NewMatrix(m.rows, m.cols)

@@ -26,6 +26,49 @@ func ParityKey(stripe topology.StripeID, idx int) blockstore.Key {
 	return blockstore.Key{ID: int64(stripe)*1024 + int64(idx), Kind: blockstore.Parity}
 }
 
+// transferShaped charges a src->dst transfer of n bytes on the fabric
+// without materializing a payload copy; the caller owns the destination
+// buffer. Shaping and byte accounting match fabric.TransferCtx exactly
+// (that helper is OpenStream + Send + copy), so pooled data paths stay
+// indistinguishable from allocating ones on the wire.
+func (c *Cluster) transferShaped(ctx context.Context, src, dst topology.NodeID, n int) error {
+	st, err := c.fab.OpenStream(ctx, src, dst)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return st.Send(ctx, n)
+}
+
+// relocateBlock moves one stored block from src to dst through a pooled
+// buffer: checksum-verified read, shaped transfer, store at dst, delete at
+// src. It returns the bytes moved.
+func (c *Cluster) relocateBlock(ctx context.Context, key blockstore.Key, src, dst topology.NodeID) (int64, error) {
+	srcDN, err := c.DataNodeOf(src)
+	if err != nil {
+		return 0, err
+	}
+	dstDN, err := c.DataNodeOf(dst)
+	if err != nil {
+		return 0, err
+	}
+	buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
+	defer c.bufPool.Put(buf)
+	if err := srcDN.Store.GetInto(key, buf); err != nil {
+		return 0, err
+	}
+	if err := c.transferShaped(ctx, src, dst, len(buf)); err != nil {
+		return 0, err
+	}
+	if err := dstDN.Store.Put(key, buf); err != nil {
+		return 0, err
+	}
+	if err := srcDN.Store.Delete(key); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
 // WriteBlock writes one block from the given client node with a background
 // context. See WriteBlockCtx.
 func (c *Cluster) WriteBlock(client topology.NodeID, data []byte) (topology.BlockID, error) {
@@ -334,16 +377,17 @@ func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID,
 		if err != nil {
 			return err
 		}
-		data, err := dn.Store.Get(cand.key)
-		if err != nil {
+		buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
+		if err := dn.Store.GetInto(cand.key, buf); err != nil {
+			c.bufPool.Put(buf)
 			return nil // missing or corrupt: treat as erased
 		}
-		data, err = c.fab.TransferCtx(ctx, cand.node, gatherer, data)
-		if err != nil {
+		if err := c.transferShaped(ctx, cand.node, gatherer, len(buf)); err != nil {
+			c.bufPool.Put(buf)
 			return err
 		}
 		mu.Lock()
-		present[cand.pos] = data
+		present[cand.pos] = buf
 		mu.Unlock()
 		return nil
 	}
@@ -356,6 +400,7 @@ func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID,
 		if c.cfg.SequentialDataPath {
 			for _, cand := range batch {
 				if err := fetch(ctx, cand); err != nil {
+					c.releaseSurvivors(present, sm)
 					return nil, err
 				}
 			}
@@ -371,17 +416,32 @@ func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID,
 			g.Go(func() error { return fetch(gctx, cand) })
 		}
 		if err := g.Wait(); err != nil {
+			c.releaseSurvivors(present, sm)
 			return nil, err
 		}
 	}
 	return present, nil
 }
 
-// padStripe extends the survivor map with zero blocks for the positions of
-// a short stripe (fewer than k data blocks, zero-padded at encode time).
+// padStripe extends the survivor map for the positions of a short stripe
+// (fewer than k data blocks, zero-padded at encode time). All padding
+// positions share the cluster's immutable zero block; the decode kernels
+// only read their inputs.
 func (c *Cluster) padStripe(present map[int][]byte, sm *StripeMeta) {
 	for i := len(sm.Info.Blocks); i < c.cfg.K; i++ {
-		present[i] = make([]byte, c.cfg.BlockSizeBytes)
+		present[i] = c.zeroBlock
+	}
+}
+
+// releaseSurvivors returns the gathered survivor buffers to the pool.
+// Padding positions added by padStripe hold the shared zero block and are
+// skipped.
+func (c *Cluster) releaseSurvivors(present map[int][]byte, sm *StripeMeta) {
+	for pos, buf := range present {
+		if pos >= len(sm.Info.Blocks) && pos < c.cfg.K {
+			continue
+		}
+		c.bufPool.Put(buf)
 	}
 }
 
@@ -395,16 +455,28 @@ func (c *Cluster) DegradedRead(client topology.NodeID, id topology.BlockID) ([]b
 // gathers any k surviving blocks concurrently and decodes (Section VI's
 // degraded read).
 func (c *Cluster) DegradedReadCtx(ctx context.Context, client topology.NodeID, id topology.BlockID) ([]byte, error) {
-	meta, err := c.nn.Block(id)
-	if err != nil {
+	out := make([]byte, c.cfg.BlockSizeBytes)
+	if err := c.degradedReadInto(ctx, client, id, out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// degradedReadInto reconstructs a lost block into the caller's buffer. The
+// gathered survivors live in pooled buffers and the decode runs through the
+// coder's cached inversion matrices as one fused dot product, so
+// steady-state repairs allocate only metadata.
+func (c *Cluster) degradedReadInto(ctx context.Context, client topology.NodeID, id topology.BlockID, out []byte) error {
+	meta, err := c.nn.Block(id)
+	if err != nil {
+		return err
+	}
 	if meta.Stripe < 0 {
-		return nil, fmt.Errorf("%w: block %d lost before encoding", ErrNoReplica, id)
+		return fmt.Errorf("%w: block %d lost before encoding", ErrNoReplica, id)
 	}
 	sm, err := c.nn.Stripe(meta.Stripe)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pos := -1
 	for i, b := range sm.Info.Blocks {
@@ -414,14 +486,15 @@ func (c *Cluster) DegradedReadCtx(ctx context.Context, client topology.NodeID, i
 		}
 	}
 	if pos < 0 {
-		return nil, fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, meta.Stripe)
+		return fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, meta.Stripe)
 	}
 	present, err := c.stripeSurvivors(ctx, client, sm)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	defer c.releaseSurvivors(present, sm)
 	c.padStripe(present, sm)
-	return c.coder.ReconstructBlock(present, pos)
+	return c.coder.ReconstructBlockInto(present, pos, out)
 }
 
 // RepairBlock rebuilds a lost block with a background context. See
@@ -448,15 +521,18 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 	if err != nil {
 		return 0, err
 	}
-	data, err := c.DegradedReadCtx(ctx, target, id)
-	if err != nil {
+	// The rebuilt block lives in a pooled buffer; the store keeps its own
+	// copy on Put, so the buffer is recycled on return.
+	buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
+	defer c.bufPool.Put(buf)
+	if err := c.degradedReadInto(ctx, target, id, buf); err != nil {
 		return 0, err
 	}
 	dn, err := c.DataNodeOf(target)
 	if err != nil {
 		return 0, err
 	}
-	if err := dn.Store.Put(DataKey(id), data); err != nil {
+	if err := dn.Store.Put(DataKey(id), buf); err != nil {
 		return 0, err
 	}
 	if err := c.nn.UpdateBlockLocation(id, []topology.NodeID{target}); err != nil {

@@ -1,0 +1,253 @@
+package hdfs
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+)
+
+// TestEncodeParallelismMatchesSequential encodes the same workload with
+// concurrent stripes in flight and with one stripe at a time, and checks the
+// outcomes agree: same stripe and byte totals, and every block of every
+// concurrently encoded stripe reconstructs from parity alone.
+func TestEncodeParallelismMatchesSequential(t *testing.T) {
+	encode := func(t *testing.T, parallelism int) (*Cluster, EncodeStats, map[topology.BlockID][]byte) {
+		cfg := testConfig("ear")
+		cfg.EncodeParallelism = parallelism
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		rng := rand.New(rand.NewSource(21))
+		_, contents := writeBlocks(t, c, 16, rng)
+		c.NameNode().FlushOpenStripes()
+		stats, err := c.RaidNode().EncodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, stats, contents
+	}
+	_, sSeq, _ := encode(t, 1)
+	cPar, sPar, contents := encode(t, 3)
+	if sSeq.Stripes != sPar.Stripes || sSeq.EncodedBytes != sPar.EncodedBytes {
+		t.Fatalf("stats diverged: sequential %d stripes / %d bytes, parallel %d stripes / %d bytes",
+			sSeq.Stripes, sSeq.EncodedBytes, sPar.Stripes, sPar.EncodedBytes)
+	}
+	if sPar.Stripes == 0 {
+		t.Fatal("nothing encoded")
+	}
+	// Every block encoded by the concurrent path must survive losing its
+	// kept replica: delete the replica bytes and reconstruct from the
+	// stripe.
+	for id, want := range contents {
+		meta, err := cPar.NameNode().Block(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(meta.Nodes) != 1 {
+			t.Fatalf("block %d has %d replicas after encoding", id, len(meta.Nodes))
+		}
+		dn, err := cPar.DataNodeOf(meta.Nodes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dn.Store.Delete(DataKey(id)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cPar.DegradedRead(0, id)
+		if err != nil {
+			t.Fatalf("degraded read of block %d after parallel encode: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d reconstructed wrong bytes after parallel encode", id)
+		}
+		// Restore the replica so later blocks of the stripe keep k survivors.
+		if err := dn.Store.Put(DataKey(id), want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The encode and repair paths above all drew from the buffer pool.
+	if gets, _ := cPar.BufferPool().Stats(); gets == 0 {
+		t.Error("buffer pool never used")
+	}
+	if r := cPar.BufferPool().HitRate(); r < 0 || r > 1 {
+		t.Errorf("pool hit rate %f out of range", r)
+	}
+}
+
+// TestEncodeParallelismValidation rejects negative knob values and defaults
+// the zero value.
+func TestEncodeParallelismValidation(t *testing.T) {
+	cfg := testConfig("rr")
+	cfg.EncodeParallelism = -1
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("negative EncodeParallelism accepted")
+	}
+	cfg.EncodeParallelism = 0
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if got := c.Config().EncodeParallelism; got <= 1 {
+		t.Errorf("default EncodeParallelism = %d, want > 1", got)
+	}
+}
+
+// TestSharedZeroBlockNeverWritten exercises the paths that feed the shared
+// zero block into the coding kernels — short-stripe padding at encode and
+// decode time, and aborted stripe members — and asserts the block is still
+// all zeros afterwards. The kernels guarantee they never write through
+// their inputs; this pins the guarantee at the cluster level.
+func TestSharedZeroBlockNeverWritten(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	cfg := c.Config()
+	rng := rand.New(rand.NewSource(23))
+	ids, contents := writeBlocks(t, c, 2, rng) // short stripe: 2 of k=4 blocks
+
+	// Abort a third allocation so the stripe also carries an aborted member.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.WriteBlockCtx(ctx, 0, make([]byte, cfg.BlockSizeBytes)); err == nil {
+		t.Fatal("write under canceled context should fail")
+	}
+
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded-read a live member so padStripe feeds the zero block through
+	// the decode kernels too.
+	victim := ids[0]
+	vm, err := c.NameNode().Block(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.NameNode().MarkDead(vm.Nodes[0])
+	got, err := c.ReadBlock(0, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, contents[victim]) {
+		t.Fatal("degraded read content mismatch")
+	}
+	for i, b := range c.zeroBlock {
+		if b != 0 {
+			t.Fatalf("shared zero block written: byte %d = %#x", i, b)
+		}
+	}
+}
+
+// TestCrossRackNotCountedOnFailedGather pins the counting fix: cross-rack
+// downloads are recorded when a fetch completes, so a gather whose fetches
+// all fail reports zero even though every resolved source was remote.
+func TestCrossRackNotCountedOnFailedGather(t *testing.T) {
+	c := newTestCluster(t, "rr")
+	tr := telemetry.NewTracer()
+	c.SetTracer(tr)
+	rng := rand.New(rand.NewSource(29))
+	ids, _ := writeBlocks(t, c, c.Config().K, rng) // one full stripe
+	c.NameNode().FlushOpenStripes()
+	stripes, err := c.NameNode().TakePendingStripes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripes) != 1 {
+		t.Fatalf("pending stripes = %d, want 1", len(stripes))
+	}
+	// Pick an encoder in a rack holding no replica of any stripe member, so
+	// every planned download would be cross-rack.
+	replicaRacks := make(map[topology.RackID]bool)
+	for _, id := range ids {
+		meta, err := c.NameNode().Block(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range meta.Nodes {
+			rk, err := c.Topology().RackOf(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replicaRacks[rk] = true
+		}
+	}
+	encoder := topology.NodeID(-1)
+	for n := 0; n < c.Topology().Nodes(); n++ {
+		rk, err := c.Topology().RackOf(topology.NodeID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !replicaRacks[rk] {
+			encoder = topology.NodeID(n)
+			break
+		}
+	}
+	if encoder < 0 {
+		t.Skip("every rack holds a replica; cannot isolate the encoder")
+	}
+	// Destroy the bytes of every replica so each fetch fails after source
+	// resolution succeeded.
+	for _, id := range ids {
+		meta, err := c.NameNode().Block(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range meta.Nodes {
+			dn, err := c.DataNodeOf(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dn.Store.Delete(DataKey(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	parent := tr.Start("test-encode")
+	cross, _, err := c.encodeStripe(context.Background(), stripes[0], encoder, parent)
+	parent.End()
+	if err == nil {
+		t.Fatal("encodeStripe succeeded with no replica bytes anywhere")
+	}
+	if cross != 0 {
+		t.Errorf("failed gather counted %d cross-rack downloads, want 0", cross)
+	}
+	for _, s := range tr.Spans() {
+		if s.Name != "download" {
+			continue
+		}
+		if got := s.Args["cross_rack_downloads"]; got != "0" {
+			t.Errorf("download span recorded cross_rack_downloads=%q for a failed gather, want \"0\"", got)
+		}
+	}
+}
+
+// TestEncodeThroughputTelemetry checks the new encode-path metrics: the
+// per-stripe compute throughput histogram fills and the pool hit-rate gauge
+// lands in [0, 1].
+func TestEncodeThroughputTelemetry(t *testing.T) {
+	c := newTestCluster(t, "ear")
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+	rng := rand.New(rand.NewSource(31))
+	writeBlocks(t, c, 2*c.Config().K, rng)
+	c.NameNode().FlushOpenStripes()
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("raidnode_encode_mbps", "", nil).With()
+	if got, want := h.Count(), uint64(stats.Stripes); got != want {
+		t.Errorf("raidnode_encode_mbps observations = %d, want %d (one per stripe)", got, want)
+	}
+	if h.Count() > 0 && h.Mean() <= 0 {
+		t.Errorf("encode throughput mean = %f MB/s", h.Mean())
+	}
+	if r := reg.Gauge("erasure_pool_hit_ratio", "").With().Value(); r < 0 || r > 1 {
+		t.Errorf("pool hit ratio gauge = %f", r)
+	}
+}

@@ -67,6 +67,10 @@ type Config struct {
 	// for benchmarking and equivalence testing against the pipelined path;
 	// production configurations leave it false.
 	SequentialDataPath bool
+	// EncodeParallelism bounds how many stripes one encode map task works
+	// on concurrently, so the gather, compute, and upload phases of
+	// different stripes overlap (default 4). SequentialDataPath forces 1.
+	EncodeParallelism int
 }
 
 // withDefaults fills zero fields.
@@ -92,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.MapTasks == 0 {
 		c.MapTasks = 12
 	}
+	if c.EncodeParallelism == 0 {
+		c.EncodeParallelism = 4
+	}
 	return c
 }
 
@@ -111,6 +118,14 @@ type Cluster struct {
 	coder *erasure.Coder
 	jt    *mapred.JobTracker
 	raid  *RaidNode
+
+	// bufPool recycles block-sized buffers across stripe gathers, parity
+	// encodes, and reconstructions. zeroBlock is the shared immutable
+	// all-zero block used for short-stripe padding and aborted stripe
+	// members; the coding kernels only read their inputs, so one instance
+	// serves every stripe and must never be written.
+	bufPool   *erasure.BufferPool
+	zeroBlock []byte
 
 	// rng guarded by rngMu serves concurrent client-path random choices;
 	// the NameNode's policy rng is separate and serialized by its lock.
@@ -137,6 +152,8 @@ type clusterMetrics struct {
 	encJobs    *telemetry.Metric // raidnode_encode_jobs_total
 	pipeFill   *telemetry.Metric // hdfs_pipeline_fill_seconds
 	gatherPar  *telemetry.Metric // hdfs_gather_parallelism
+	encMBps    *telemetry.Metric // raidnode_encode_mbps
+	poolHit    *telemetry.Metric // erasure_pool_hit_ratio
 }
 
 // SetTelemetry publishes the cluster's metrics into the registry and wires
@@ -167,6 +184,11 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 		gatherPar: reg.Histogram("hdfs_gather_parallelism",
 			"Concurrent source fetches per stripe gather (reconstruction and encoding).",
 			[]float64{1, 2, 4, 8, 16}).With(),
+		encMBps: reg.Histogram("raidnode_encode_mbps",
+			"Erasure-coding compute throughput per stripe (MB/s, excluding gather and upload).",
+			telemetry.ExponentialBuckets(64, 2, 12)).With(),
+		poolHit: reg.Gauge("erasure_pool_hit_ratio",
+			"Fraction of buffer-pool Gets served from recycled buffers.").With(),
 	}
 	c.tel.Store(m)
 	c.fab.SetTelemetry(reg)
@@ -186,6 +208,9 @@ func (c *Cluster) trace() *telemetry.Tracer { return c.tracer.Load() }
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.EncodeParallelism < 0 {
+		return nil, fmt.Errorf("%w: EncodeParallelism %d", ErrInvalidConfig, cfg.EncodeParallelism)
+	}
 	top, err := topology.New(cfg.Racks, cfg.NodesPerRack)
 	if err != nil {
 		return nil, err
@@ -238,14 +263,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		dns[i] = &DataNode{ID: topology.NodeID(i), Store: blockstore.New()}
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		top:   top,
-		fab:   fab,
-		nn:    nn,
-		dns:   dns,
-		coder: coder,
-		jt:    jt,
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		cfg:       cfg,
+		top:       top,
+		fab:       fab,
+		nn:        nn,
+		dns:       dns,
+		coder:     coder,
+		jt:        jt,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		bufPool:   erasure.NewBufferPool(),
+		zeroBlock: make([]byte, cfg.BlockSizeBytes),
 	}
 	c.raid = newRaidNode(c)
 	return c, nil
@@ -276,6 +303,10 @@ func (c *Cluster) JobTracker() *mapred.JobTracker { return c.jt }
 
 // Coder returns the erasure coder.
 func (c *Cluster) Coder() *erasure.Coder { return c.coder }
+
+// BufferPool returns the cluster-wide block buffer pool (for stats and
+// benchmarks).
+func (c *Cluster) BufferPool() *erasure.BufferPool { return c.bufPool }
 
 // DataNodeOf returns the DataNode with the given ID.
 func (c *Cluster) DataNodeOf(n topology.NodeID) (*DataNode, error) {

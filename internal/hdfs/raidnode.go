@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ear/internal/mapred"
@@ -214,28 +215,41 @@ func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
 					Arg("task", name).
 					Arg("node", strconv.Itoa(int(on)))
 				defer taskSpan.End()
-				for _, s := range t.stripes {
-					cross, violated, err := r.c.encodeStripe(taskCtx, s, on, taskSpan)
-					if err != nil {
-						return err
-					}
-					encodedBytes := int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
-					mu.Lock()
-					stats.CrossRackDownloads += cross
-					if violated {
-						stats.Violations++
-					}
-					stats.EncodedBytes += encodedBytes
-					mu.Unlock()
-					if tel != nil {
-						tel.crossDl.Add(float64(cross))
-						if violated {
-							tel.violations.Inc()
-						}
-						tel.encBytes.Add(float64(encodedBytes))
-					}
+				// Stripes are independent, so the task keeps up to
+				// EncodeParallelism of them in flight: one stripe's parity
+				// uploads overlap the next stripe's gather and compute.
+				par := r.c.cfg.EncodeParallelism
+				if r.c.cfg.SequentialDataPath || par < 1 {
+					par = 1
 				}
-				return nil
+				sg, sctx := workgroup.WithContext(taskCtx)
+				sg.SetLimit(par)
+				for _, s := range t.stripes {
+					s := s
+					sg.Go(func() error {
+						cross, violated, err := r.c.encodeStripe(sctx, s, on, taskSpan)
+						if err != nil {
+							return err
+						}
+						encodedBytes := int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
+						mu.Lock()
+						stats.CrossRackDownloads += cross
+						if violated {
+							stats.Violations++
+						}
+						stats.EncodedBytes += encodedBytes
+						mu.Unlock()
+						if tel != nil {
+							tel.crossDl.Add(float64(cross))
+							if violated {
+								tel.violations.Inc()
+							}
+							tel.encBytes.Add(float64(encodedBytes))
+						}
+						return nil
+					})
+				}
+				return sg.Wait()
 			},
 		})
 	}
@@ -279,14 +293,30 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		fanIn = 1
 	}
 	dl := parent.Child("download").Arg("stripe", strconv.FormatInt(int64(info.ID), 10))
+	// Gather and parity buffers come from the cluster pool; zero-valued
+	// members (aborted blocks, short-stripe padding) share the one immutable
+	// zero block, which the coding kernels only ever read. All pooled
+	// buffers go back when the stripe is done, success or not.
 	data := make([][]byte, c.cfg.K)
-	cross := 0
+	pooled := make([]bool, c.cfg.K)
+	var parity [][]byte
+	defer func() {
+		for i, ok := range pooled {
+			if ok {
+				c.bufPool.Put(data[i])
+			}
+		}
+		for _, p := range parity {
+			c.bufPool.Put(p)
+		}
+	}()
 	// Resolve sources up front (cheap metadata work); aborted members have
 	// no bytes anywhere and encode as zeros, like short-stripe padding.
 	type fetchJob struct {
-		i   int
-		b   topology.BlockID
-		src topology.NodeID
+		i     int
+		b     topology.BlockID
+		src   topology.NodeID
+		cross bool
 	}
 	aborted := make([]bool, len(info.Blocks))
 	var jobs []fetchJob
@@ -299,7 +329,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		if len(live) == 0 {
 			if meta, merr := c.nn.Block(b); merr == nil && meta.Aborted {
 				aborted[i] = true
-				data[i] = make([]byte, c.cfg.BlockSizeBytes)
+				data[i] = c.zeroBlock
 				continue
 			}
 		}
@@ -313,14 +343,15 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			dl.End()
 			return 0, false, err
 		}
-		if srcRack != encRack {
-			cross++
-		}
-		jobs = append(jobs, fetchJob{i: i, b: b, src: src})
+		jobs = append(jobs, fetchJob{i: i, b: b, src: src, cross: srcRack != encRack})
 	}
 	if m := c.metrics(); m != nil && len(jobs) > 0 {
 		m.gatherPar.Observe(float64(min(len(jobs), fanIn)))
 	}
+	// Cross-rack downloads are counted when a fetch completes, not when its
+	// source is resolved, so a failed gather never reports traffic that was
+	// only planned.
+	var cross atomic.Int64
 	g, gctx := workgroup.WithContext(ctx)
 	g.SetLimit(fanIn)
 	for _, j := range jobs {
@@ -330,50 +361,68 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			if err != nil {
 				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
 			}
-			payload, err := dn.Store.Get(DataKey(j.b))
-			if err != nil {
+			buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
+			if err := dn.Store.GetInto(DataKey(j.b), buf); err != nil {
+				c.bufPool.Put(buf)
 				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
 			}
-			payload, err = c.fab.TransferCtx(gctx, j.src, encoder, payload)
-			if err != nil {
+			if err := c.transferShaped(gctx, j.src, encoder, len(buf)); err != nil {
+				c.bufPool.Put(buf)
 				return fmt.Errorf("fetch block %d from node %d: %w", j.b, j.src, err)
 			}
-			data[j.i] = payload
+			data[j.i] = buf
+			pooled[j.i] = true
+			if j.cross {
+				cross.Add(1)
+			}
 			return nil
 		})
 	}
 	err = g.Wait()
-	dl.Arg("cross_rack_downloads", strconv.Itoa(cross)).End()
+	dl.Arg("cross_rack_downloads", strconv.FormatInt(cross.Load(), 10)).End()
 	if err != nil {
-		return 0, false, err
+		return int(cross.Load()), false, err
 	}
 	// Zero-pad short stripes to k blocks.
 	for i := len(info.Blocks); i < c.cfg.K; i++ {
-		data[i] = make([]byte, c.cfg.BlockSizeBytes)
+		data[i] = c.zeroBlock
 	}
 	encSpan := parent.Child("encode")
-	parity, err := c.coder.Encode(data)
+	parity = make([][]byte, c.coder.M())
+	for j := range parity {
+		parity[j] = c.bufPool.Get(c.cfg.BlockSizeBytes)
+	}
+	encStart := time.Now()
+	err = c.coder.EncodeInto(data, parity)
+	encDur := time.Since(encStart)
 	encSpan.End()
 	if err != nil {
-		return 0, false, err
+		return int(cross.Load()), false, err
+	}
+	if m := c.metrics(); m != nil {
+		if secs := encDur.Seconds(); secs > 0 {
+			m.encMBps.Observe(float64(len(data)*c.cfg.BlockSizeBytes) / (1 << 20) / secs)
+		}
+		m.poolHit.Set(c.bufPool.HitRate())
 	}
 	plan, err := c.nn.PlanStripe(info)
 	if err != nil {
-		return 0, false, err
+		return int(cross.Load()), false, err
 	}
-	// Parity uploads go out with the same bounded fan-in.
+	// Parity uploads go out with the same bounded fan-in. The store keeps
+	// its own copy, so the pooled parity buffers are recycled afterwards.
 	pw := parent.Child("parity-write")
 	ug, uctx := workgroup.WithContext(ctx)
 	ug.SetLimit(fanIn)
 	for j, node := range plan.Parity {
 		j, node := j, node
 		ug.Go(func() error {
-			payload, err := c.fab.TransferCtx(uctx, encoder, node, parity[j])
+			err := c.transferShaped(uctx, encoder, node, len(parity[j]))
 			if err == nil {
 				var dn *DataNode
 				dn, err = c.DataNodeOf(node)
 				if err == nil {
-					err = dn.Store.Put(ParityKey(info.ID, j), payload)
+					err = dn.Store.Put(ParityKey(info.ID, j), parity[j])
 				}
 			}
 			if err != nil {
@@ -385,7 +434,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	err = ug.Wait()
 	pw.End()
 	if err != nil {
-		return 0, false, err
+		return int(cross.Load()), false, err
 	}
 	// Delete redundant replicas, keeping the plan's chosen one. Aborted
 	// members never stored anything.
@@ -401,17 +450,17 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			}
 			dn, err := c.DataNodeOf(n)
 			if err != nil {
-				return 0, false, err
+				return int(cross.Load()), false, err
 			}
 			if err := dn.Store.Delete(DataKey(b)); err != nil {
-				return 0, false, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
+				return int(cross.Load()), false, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
 			}
 		}
 	}
 	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
-		return 0, false, err
+		return int(cross.Load()), false, err
 	}
-	return cross, plan.Violation, nil
+	return int(cross.Load()), plan.Violation, nil
 }
 
 // PlacementMonitor scans encoded stripes and returns the IDs of those whose
@@ -557,33 +606,15 @@ func (r *RaidNode) fixStripe(ctx context.Context, sm *StripeMeta) (int, int64, e
 		if err != nil {
 			return moved, movedBytes, err
 		}
-		srcDN, err := r.c.DataNodeOf(victimNode)
+		n, err := r.c.relocateBlock(ctx, DataKey(victim), victimNode, target)
 		if err != nil {
-			return moved, movedBytes, err
-		}
-		payload, err := srcDN.Store.Get(DataKey(victim))
-		if err != nil {
-			return moved, movedBytes, err
-		}
-		payload, err = r.c.fab.TransferCtx(ctx, victimNode, target, payload)
-		if err != nil {
-			return moved, movedBytes, err
-		}
-		dstDN, err := r.c.DataNodeOf(target)
-		if err != nil {
-			return moved, movedBytes, err
-		}
-		if err := dstDN.Store.Put(DataKey(victim), payload); err != nil {
-			return moved, movedBytes, err
-		}
-		if err := srcDN.Store.Delete(DataKey(victim)); err != nil {
 			return moved, movedBytes, err
 		}
 		if err := r.c.nn.UpdateBlockLocation(victim, []topology.NodeID{target}); err != nil {
 			return moved, movedBytes, err
 		}
 		moved++
-		movedBytes += int64(len(payload))
+		movedBytes += n
 	}
 }
 
@@ -605,33 +636,14 @@ func (r *RaidNode) fixParity(ctx context.Context, sm *StripeMeta, overRack topol
 		if err != nil {
 			return 0, err
 		}
-		srcDN, err := r.c.DataNodeOf(node)
+		n, err := r.c.relocateBlock(ctx, ParityKey(sm.Info.ID, j), node, target)
 		if err != nil {
-			return 0, err
-		}
-		key := ParityKey(sm.Info.ID, j)
-		payload, err := srcDN.Store.Get(key)
-		if err != nil {
-			return 0, err
-		}
-		payload, err = r.c.fab.TransferCtx(ctx, node, target, payload)
-		if err != nil {
-			return 0, err
-		}
-		dstDN, err := r.c.DataNodeOf(target)
-		if err != nil {
-			return 0, err
-		}
-		if err := dstDN.Store.Put(key, payload); err != nil {
-			return 0, err
-		}
-		if err := srcDN.Store.Delete(key); err != nil {
 			return 0, err
 		}
 		if err := r.c.nn.UpdateParityLocation(sm.Info.ID, j, target); err != nil {
 			return 0, err
 		}
-		return int64(len(payload)), nil
+		return n, nil
 	}
 	return 0, fmt.Errorf("hdfs: stripe %d: nothing movable in rack %d", sm.Info.ID, overRack)
 }
