@@ -4,11 +4,17 @@
 // iterations), and the Section V-C load-balancing experiments C.1 (storage,
 // Figure 14) and C.2 (read hotness, Figure 15).
 //
+// With -traffic, it also runs one write -> encode -> delete lifecycle per
+// placement policy on the scaled testbed and prints the cross-rack vs
+// intra-rack byte breakdown of each phase, cross-checked against the
+// fabric's own payload counters.
+//
 // Usage:
 //
 //	earanalysis -fig3 -mc 500
 //	earanalysis -theorem1 -stripes 1000
 //	earanalysis -c1 -c2 -runs 50
+//	earanalysis -traffic
 package main
 
 import (
@@ -32,6 +38,7 @@ func run() error {
 		theorem1 = flag.Bool("theorem1", false, "reproduce the Theorem 1 iteration table")
 		c1       = flag.Bool("c1", false, "reproduce Experiment C.1 (storage balance, Figure 14)")
 		c2       = flag.Bool("c2", false, "reproduce Experiment C.2 (read hotness, Figure 15)")
+		traffic  = flag.Bool("traffic", false, "per-phase cross-rack vs intra-rack traffic breakdown (RR and EAR)")
 		all      = flag.Bool("all", false, "run every analysis")
 		mc       = flag.Int("mc", 0, "Monte-Carlo stripes per Figure 3 cell (0 = analytic only)")
 		stripes  = flag.Int("stripes", 500, "stripes measured for Theorem 1")
@@ -40,11 +47,11 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if !*fig3 && !*theorem1 && !*c1 && !*c2 {
+	if !*fig3 && !*theorem1 && !*c1 && !*c2 && !*traffic {
 		*all = true
 	}
 	if *all {
-		*fig3, *theorem1, *c1, *c2 = true, true, true, true
+		*fig3, *theorem1, *c1, *c2, *traffic = true, true, true, true, true
 	}
 	if *fig3 {
 		t, err := experiments.RunFig3(experiments.Fig3Options{MonteCarloStripes: *mc, Seed: *seed})
@@ -73,6 +80,15 @@ func run() error {
 			return err
 		}
 		fmt.Println(t)
+	}
+	if *traffic {
+		for _, policy := range []string{"rr", "ear"} {
+			res, err := experiments.RunTraffic(experiments.TestbedOptions{Seed: *seed}, policy, 9, 6)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Summary)
+		}
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -42,9 +43,36 @@ type benchResult struct {
 	MBPerSec     float64 `json:"mb_per_sec"`
 }
 
+// hostInfo stamps a snapshot with the environment the numbers came from, so
+// BENCH_*.json files from different machines (or kernel tiers) are
+// comparable at a glance.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GF256Kernel is the fastest GF(256) kernel tier the machine dispatches
+	// to: "avx2", "swar", or "scalar".
+	GF256Kernel string `json:"gf256_kernel"`
+}
+
+// host captures the running environment.
+func host() hostInfo {
+	return hostInfo{
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GF256Kernel: gf256.KernelTier(),
+	}
+}
+
 // snapshot is the datapath suite's emitted document.
 type snapshot struct {
 	GeneratedAt    string        `json:"generated_at"`
+	Host           hostInfo      `json:"host"`
 	BlockSizeBytes int           `json:"block_size_bytes"`
 	LinkMBps       float64       `json:"link_mb_per_sec"`
 	DiskMBps       float64       `json:"disk_mb_per_sec"`
@@ -64,6 +92,7 @@ type kernelResult struct {
 // erasureSnapshot is the erasure suite's emitted document.
 type erasureSnapshot struct {
 	GeneratedAt           string         `json:"generated_at"`
+	Host                  hostInfo       `json:"host"`
 	BufferBytes           int            `json:"buffer_bytes"`
 	Kernels               []kernelResult `json:"kernels"`
 	Coding                []benchResult  `json:"coding"`
@@ -135,6 +164,7 @@ func runErasure(out string, stripes int) error {
 	const bufLen = 1 << 20
 	snap := erasureSnapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        host(),
 		BufferBytes: bufLen,
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -306,6 +336,7 @@ func runDatapath(out string, writes, stripes int) error {
 	}
 	snap := snapshot{
 		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		Host:           host(),
 		BlockSizeBytes: cfg.BlockSizeBytes,
 		LinkMBps:       cfg.BandwidthBytesPerSec / (1 << 20),
 		DiskMBps:       cfg.DiskBandwidthBytesPerSec / (1 << 20),

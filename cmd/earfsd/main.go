@@ -9,7 +9,10 @@
 //
 // With -admin, earfsd also serves an HTTP observability endpoint:
 // /metrics (Prometheus text format), /debug/vars (expvar, including the
-// RaidNode's cumulative encoding statistics) and /debug/pprof/*:
+// RaidNode's cumulative encoding statistics), /debug/pprof/*, /events (the
+// structured event journal, cursor + filter), /audit (the invariant
+// auditor's report) and /timeline (per-link fabric utilization; append
+// ?view=html for a self-contained chart):
 //
 //	earfsd -admin 127.0.0.1:7071
 package main
@@ -27,6 +30,9 @@ import (
 	"sync"
 	"syscall"
 
+	"ear/internal/events"
+	"ear/internal/events/audit"
+	"ear/internal/fabric"
 	"ear/internal/hdfs"
 	"ear/internal/netcfs"
 	"ear/internal/telemetry"
@@ -48,8 +54,9 @@ func parseLevel(s string) (slog.Level, error) {
 	return lvl, nil
 }
 
-// adminMux builds the admin endpoint: Prometheus metrics, expvar, pprof.
-func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster) *http.ServeMux {
+// adminMux builds the admin endpoint: Prometheus metrics, expvar, pprof,
+// and the journal-backed views (/events, /audit, /timeline).
+func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -86,6 +93,10 @@ func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster) *http.ServeMux {
 	vars := expvar.NewMap("earfsd")
 	vars.Set("encode", encodeVar)
 	mux.Handle("/debug/vars", expvar.Handler())
+
+	mux.HandleFunc("/events", obs.handleEvents)
+	mux.HandleFunc("/audit", obs.handleAudit)
+	mux.HandleFunc("/timeline", obs.handleTimeline)
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -140,6 +151,21 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	cluster.SetTelemetry(reg)
 
+	// The event journal records the structured history of every subsystem
+	// (allocations, commits, encodes, deletes, transfers...); the auditor
+	// folds it into a live layout model and checks the placement invariants
+	// continuously. Both run whether or not -admin is set — the journal is a
+	// fixed-size ring and the auditor is O(stripe) per event — so a late
+	// operator can still read the recent history.
+	jrn := events.NewJournal(0)
+	cluster.SetJournal(jrn)
+	aud := audit.New(cluster.Topology(), audit.Config{
+		Replicas:      cluster.Config().Replicas,
+		C:             *c,
+		CheckCoreRack: *policy == "ear",
+	})
+	aud.Attach(jrn)
+
 	srv, err := netcfs.Serve(cluster, *listen)
 	if err != nil {
 		return err
@@ -153,8 +179,12 @@ func run() error {
 			return fmt.Errorf("admin listen: %w", err)
 		}
 		defer ln.Close()
+		sampler := fabric.NewSampler(cluster.Fabric(), 0)
+		sampler.Start()
+		defer sampler.Stop()
+		obs := &observability{journal: jrn, auditor: aud, sampler: sampler}
 		go func() {
-			if err := http.Serve(ln, adminMux(reg, cluster)); err != nil {
+			if err := http.Serve(ln, adminMux(reg, cluster, obs)); err != nil {
 				slog.Debug("admin server stopped", "err", err)
 			}
 		}()

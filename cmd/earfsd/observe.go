@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+
+	"ear/internal/events"
+	"ear/internal/events/audit"
+	"ear/internal/fabric"
+	"ear/internal/topology"
+)
+
+// observability bundles the journal-backed instruments the admin endpoint
+// serves: the event journal (/events), the invariant auditor (/audit), and
+// the fabric utilization sampler (/timeline).
+type observability struct {
+	journal *events.Journal
+	auditor *audit.Auditor
+	sampler *fabric.Sampler
+}
+
+// handleEvents serves cursor reads over the journal. Query parameters:
+// cursor (sequence number to read after, default 0), max (event cap,
+// default 1000), and the filters type, subsystem, block, stripe, node. The
+// response carries the events, the cursor for the next poll, and how many
+// matching-eligible events were lost to ring wrap.
+func (o *observability) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cursor, err := parseUint(q.Get("cursor"), 0)
+	if err != nil {
+		http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	max, err := parseUint(q.Get("max"), 1000)
+	if err != nil {
+		http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f := events.Filter{
+		Type:      events.Type(q.Get("type")),
+		Subsystem: q.Get("subsystem"),
+	}
+	if v := q.Get("block"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad block: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		b := topology.BlockID(id)
+		f.Block = &b
+	}
+	if v := q.Get("stripe"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad stripe: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s := topology.StripeID(id)
+		f.Stripe = &s
+	}
+	if v := q.Get("node"); v != "" {
+		id, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad node: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := topology.NodeID(id)
+		f.Node = &n
+	}
+	evs, next, dropped := o.journal.Since(cursor, int(max), f)
+	writeJSON(w, map[string]any{
+		"events":  evs,
+		"next":    next,
+		"dropped": dropped,
+	})
+}
+
+// handleAudit serves the auditor's invariant report.
+func (o *observability) handleAudit(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, o.auditor.Report())
+}
+
+// handleTimeline serves the fabric utilization timeline: JSON by default, a
+// self-contained HTML view with ?view=html.
+func (o *observability) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl := o.sampler.Timeline()
+	if r.URL.Query().Get("view") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeTimelineHTML(w, tl); err != nil {
+			slog.Warn("timeline html write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, tl)
+}
+
+// parseUint parses a uint64 query value, empty meaning def.
+func parseUint(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// writeJSON renders v as the response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		slog.Warn("json write failed", "err", err)
+	}
+}
+
+// timelinePage is the self-contained /timeline?view=html document: the
+// timeline JSON is embedded and rendered client-side onto one canvas strip
+// per link, cross-rack vs intra-rack payload first — no external assets, so
+// the page works from a file:// save or an air-gapped lab box.
+const timelinePage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ear fabric timeline</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin: 1.2em 0 .3em; }
+.strip { margin-bottom: 2px; display: flex; align-items: center; }
+.strip .name { width: 14em; text-align: right; padding-right: .8em; color: #555;
+  white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+canvas { background: #fff; border: 1px solid #ddd; }
+.legend { color: #777; margin: .5em 0 1em; }
+</style></head><body>
+<h1>Fabric utilization timeline</h1>
+<div class="legend" id="meta"></div>
+<div id="payload"></div>
+<div id="links"></div>
+<script>
+const TL = %s;
+const W = 720, H = 28;
+function strip(parent, name, pts, maxV, color) {
+  const row = document.createElement('div'); row.className = 'strip';
+  const label = document.createElement('span'); label.className = 'name'; label.textContent = name;
+  const cv = document.createElement('canvas'); cv.width = W; cv.height = H;
+  row.appendChild(label); row.appendChild(cv); parent.appendChild(row);
+  const g = cv.getContext('2d');
+  if (!pts || !pts.length || !(TL.duration_seconds > 0)) return;
+  g.fillStyle = color; g.strokeStyle = color;
+  g.beginPath(); g.moveTo(0, H);
+  for (const p of pts) {
+    const x = p.t / TL.duration_seconds * W;
+    const v = maxV > 0 ? Math.min(p.mbps / maxV, 1) : 0;
+    g.lineTo(x, H - v * (H - 2));
+  }
+  g.lineTo(W, H); g.closePath(); g.globalAlpha = 0.35; g.fill();
+  g.globalAlpha = 1; g.stroke();
+}
+function maxMBps(series) {
+  let m = 0;
+  for (const pts of series) for (const p of (pts || [])) m = Math.max(m, p.mbps);
+  return m;
+}
+const meta = document.getElementById('meta');
+meta.textContent = 'duration ' + (TL.duration_seconds || 0).toFixed(2) + ' s, sample interval ' +
+  (TL.interval_seconds || 0).toFixed(3) + ' s, ' + ((TL.links || []).length) + ' links';
+const payload = document.getElementById('payload');
+const h2p = document.createElement('h2'); h2p.textContent = 'Payload throughput (MB/s)';
+payload.appendChild(h2p);
+const pMax = maxMBps([TL.cross_rack, TL.intra_rack]);
+strip(payload, 'cross-rack (' + pMax.toFixed(1) + ' MB/s max)', TL.cross_rack, pMax, '#c0392b');
+strip(payload, 'intra-rack', TL.intra_rack, pMax, '#2980b9');
+const links = document.getElementById('links');
+const h2l = document.createElement('h2'); h2l.textContent = 'Per-link throughput (MB/s, shared scale)';
+links.appendChild(h2l);
+const lMax = maxMBps((TL.links || []).map(l => l.points));
+const colors = { 'node-up': '#27ae60', 'node-down': '#16a085', 'rack-up': '#8e44ad',
+  'rack-down': '#9b59b6', 'disk': '#7f8c8d' };
+for (const l of (TL.links || [])) {
+  strip(links, l.name + ' [' + l.class + ']', l.points, lMax, colors[l.class] || '#34495e');
+}
+</script></body></html>
+`
+
+// writeTimelineHTML renders the self-contained timeline page.
+func writeTimelineHTML(w http.ResponseWriter, tl fabric.Timeline) error {
+	blob, err := json.Marshal(tl)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, timelinePage, blob)
+	return err
+}

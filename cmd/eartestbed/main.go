@@ -16,9 +16,15 @@
 //	eartestbed -exp a3 -jobs 50
 //
 // With -trace, the encode jobs' span timeline is written as Chrome trace
-// JSON, loadable in chrome://tracing or https://ui.perfetto.dev:
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev (the buffer
+// is also flushed on SIGINT/SIGTERM, so an interrupted run still yields a
+// trace). With -audit, every cluster the experiment builds gets an event
+// journal plus an invariant auditor, and the run exits nonzero if any
+// placement invariant was violated. With -timeline, per-link fabric
+// utilization is sampled and written as JSON:
 //
 //	eartestbed -exp a1 -trace out.json
+//	eartestbed -exp a1 -audit -timeline timeline.json
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"ear/internal/experiments"
@@ -50,9 +59,15 @@ func run() error {
 		series   = flag.Bool("series", false, "print the A.2 write-response series")
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceOut = flag.String("trace", "", "write the encode-path span timeline to this file as Chrome trace JSON")
+		auditRun = flag.Bool("audit", false, "run the invariant auditor over every cluster; exit nonzero on any violation")
+		auditOut = flag.String("audit-out", "", "also write the audit reports to this file as JSON (implies -audit)")
+		timeline = flag.String("timeline", "", "write the per-link fabric utilization timeline to this file as JSON")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	if *auditOut != "" {
+		*auditRun = true
+	}
 
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -65,6 +80,49 @@ func run() error {
 		tracer = telemetry.NewTracer()
 	}
 	base := experiments.TestbedOptions{Stripes: *stripes, Seed: *seed, Tracer: tracer}
+
+	obs := &clusterObserver{start: time.Now(), audit: *auditRun, timeline: *timeline != ""}
+	if obs.active() {
+		base.ClusterHook = obs.hook
+	}
+
+	// flushTrace writes the span buffer exactly once; it runs on the normal
+	// exit path and from the signal handler, so an interrupted run (SIGINT /
+	// SIGTERM mid-experiment) still yields a loadable trace file.
+	var traceOnce sync.Once
+	flushTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		traceOnce.Do(func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				slog.Error("trace create failed", "err", err)
+				return
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				slog.Error("trace write failed", "err", err)
+				f.Close()
+				return
+			}
+			if err := f.Close(); err != nil {
+				slog.Error("trace close failed", "err", err)
+				return
+			}
+			slog.Info("trace written", "path", *traceOut, "spans", len(tracer.Spans()))
+		})
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		slog.Warn("interrupted, flushing trace buffer", "signal", s)
+		flushTrace()
+		os.Exit(1)
+	}()
 
 	slog.Info("running experiment", "exp", *exp, "stripes", *stripes, "seed", *seed)
 	start := time.Now()
@@ -120,20 +178,27 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	slog.Debug("experiment finished", "elapsed", time.Since(start))
+	signal.Stop(sig)
+	close(sig)
+	flushTrace()
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	if *timeline != "" {
+		tl := obs.mergedTimeline()
+		if err := writeJSONFile(*timeline, tl); err != nil {
+			return fmt.Errorf("timeline write: %w", err)
+		}
+		slog.Info("timeline written", "path", *timeline, "links", len(tl.Links))
+	}
+	if *auditRun {
+		if *auditOut != "" {
+			if err := obs.writeAuditJSON(*auditOut); err != nil {
+				return fmt.Errorf("audit write: %w", err)
+			}
+			slog.Info("audit report written", "path", *auditOut)
+		}
+		if err := obs.auditReport(); err != nil {
 			return err
 		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		slog.Info("trace written", "path", *traceOut, "spans", len(tracer.Spans()))
 	}
 	return nil
 }

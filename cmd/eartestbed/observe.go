@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ear/internal/events"
+	"ear/internal/events/audit"
+	"ear/internal/fabric"
+	"ear/internal/hdfs"
+)
+
+// clusterObserver instruments every cluster an experiment builds (testbed
+// experiments build one per policy or per code): with -audit each cluster
+// gets an event journal plus an invariant auditor, with -timeline each
+// cluster's fabric is sampled and the per-cluster timelines are merged on
+// the run's wall clock so the output reads as one experiment-wide series.
+type clusterObserver struct {
+	start    time.Time
+	audit    bool
+	timeline bool
+
+	mu       sync.Mutex
+	auditors []*audit.Auditor
+	labels   []string
+	policies []string
+	samplers []*fabric.Sampler
+	offsets  []float64
+}
+
+// active reports whether the observer has anything to do.
+func (o *clusterObserver) active() bool { return o.audit || o.timeline }
+
+// hook is the TestbedOptions.ClusterHook: called once per cluster built.
+func (o *clusterObserver) hook(c *hdfs.Cluster) {
+	cfg := c.Config()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.audit {
+		j := events.NewJournal(0)
+		c.SetJournal(j)
+		a := audit.New(c.Topology(), audit.Config{
+			Replicas:      cfg.Replicas,
+			C:             cfg.C,
+			CheckCoreRack: cfg.Policy == "ear",
+		})
+		a.Attach(j)
+		o.auditors = append(o.auditors, a)
+		o.labels = append(o.labels, fmt.Sprintf("%s (%d,%d)", cfg.Policy, cfg.N, cfg.K))
+		o.policies = append(o.policies, cfg.Policy)
+	}
+	if o.timeline {
+		s := fabric.NewSampler(c.Fabric(), 0)
+		s.Start()
+		o.samplers = append(o.samplers, s)
+		o.offsets = append(o.offsets, time.Since(o.start).Seconds())
+	}
+}
+
+// auditReport prints one summary line per cluster and every violation, then
+// applies the paper's reliability claim as the pass/fail bar: an EAR
+// cluster must be clean outright — no violation, not even a transient one,
+// because EAR's whole point is that the transition to erasure coding never
+// opens a fault-tolerance window — while an RR baseline cluster must only
+// *converge* (no violation still ongoing at the end of the run; the
+// transient misplacement-then-relocation windows are RR's designed
+// behavior and are reported, not failed). Any failure makes the process
+// exit nonzero, which is what CI keys on.
+func (o *clusterObserver) auditReport() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	failures := 0
+	for i, a := range o.auditors {
+		r := a.Report()
+		fmt.Printf("audit %-16s events=%d blocks=%d stripes=%d encoded=%d ongoing=%d transient=%d clean=%v\n",
+			o.labels[i], r.Events, r.Blocks, r.Stripes, r.Encoded,
+			len(r.Ongoing), len(r.Transient), r.Clean)
+		for _, v := range append(append([]audit.Violation(nil), r.Ongoing...), r.Transient...) {
+			state := "ONGOING"
+			if v.Transient() {
+				state = "transient"
+			}
+			fmt.Printf("  %-9s %-22s stripe=%d block=%d seq=[%d..%d] resolved=%d %s\n",
+				state, v.Invariant, v.Stripe, v.Block, v.OpenedSeq, v.LastSeq, v.ResolvedSeq, v.Detail)
+		}
+		switch {
+		case o.policies[i] == "ear" && r.Total() > 0:
+			failures += r.Total()
+		case len(r.Ongoing) > 0:
+			failures += len(r.Ongoing)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("audit: %d invariant violation(s)", failures)
+	}
+	return nil
+}
+
+// writeAuditJSON writes the per-cluster audit reports to path.
+func (o *clusterObserver) writeAuditJSON(path string) error {
+	o.mu.Lock()
+	type entry struct {
+		Cluster string       `json:"cluster"`
+		Report  audit.Report `json:"report"`
+	}
+	out := make([]entry, len(o.auditors))
+	for i, a := range o.auditors {
+		out[i] = entry{Cluster: o.labels[i], Report: a.Report()}
+	}
+	o.mu.Unlock()
+	return writeJSONFile(path, out)
+}
+
+// mergedTimeline stops every sampler and merges the per-cluster timelines
+// onto the shared run clock.
+func (o *clusterObserver) mergedTimeline() fabric.Timeline {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var tl fabric.Timeline
+	for i, s := range o.samplers {
+		s.Stop()
+		tl.Merge(s.Timeline(), o.offsets[i])
+	}
+	return tl
+}
+
+// writeJSONFile writes v to path as indented JSON.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,211 @@
+package events
+
+import (
+	"sync"
+	"testing"
+
+	"ear/internal/topology"
+)
+
+func TestNewFillsSentinels(t *testing.T) {
+	e := New(BlockCommitted, "namenode")
+	if e.Type != BlockCommitted || e.Subsystem != "namenode" {
+		t.Fatalf("New stamped %q/%q", e.Type, e.Subsystem)
+	}
+	if e.Block != NoneBlock || e.Stripe != NoneStripe || e.Node != NoneNode ||
+		e.Peer != NoneNode || e.Rack != NoneRack {
+		t.Errorf("New left correlation keys unset: %+v", e)
+	}
+}
+
+func TestPublishStampsAndOrders(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Publish(New(BlockAllocated, "namenode"))
+	}
+	if got := j.Seq(); got != 5 {
+		t.Fatalf("Seq = %d, want 5", got)
+	}
+	if got := j.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	evs := j.Snapshot()
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has Seq %d, want dense from 1", i, e.Seq)
+		}
+		if e.Wall.IsZero() {
+			t.Errorf("event %d missing wall timestamp", i)
+		}
+		if i > 0 && evs[i].Logical < evs[i-1].Logical {
+			t.Errorf("logical timestamps not monotone at %d", i)
+		}
+	}
+}
+
+func TestRingWrapAndDropped(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	if got := j.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	evs, next, dropped := j.Since(0, 0, Filter{})
+	if len(evs) != 4 {
+		t.Fatalf("Since returned %d events, want 4 retained", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Errorf("retained window [%d..%d], want [7..10]", evs[0].Seq, evs[3].Seq)
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6 (events 1-6 rotated out)", dropped)
+	}
+	if next != 10 {
+		t.Errorf("next = %d, want 10", next)
+	}
+	// A cursor inside the retained window loses nothing.
+	if _, _, dropped := j.Since(8, 0, Filter{}); dropped != 0 {
+		t.Errorf("in-window cursor reported %d dropped", dropped)
+	}
+}
+
+func TestSinceCursorAdvancesPastFiltered(t *testing.T) {
+	j := NewJournal(0)
+	for i := 0; i < 6; i++ {
+		typ := TransferStarted
+		if i%2 == 1 {
+			typ = TransferFinished
+		}
+		j.Publish(New(typ, "fabric"))
+	}
+	evs, next, _ := j.Since(0, 0, Filter{Type: TransferFinished})
+	if len(evs) != 3 {
+		t.Fatalf("filtered read returned %d events, want 3", len(evs))
+	}
+	// The cursor covers the non-matching events too: a second poll is empty
+	// instead of re-reading.
+	if next != 6 {
+		t.Errorf("next = %d, want 6 (past filtered-out events)", next)
+	}
+	evs, next, _ = j.Since(next, 0, Filter{Type: TransferFinished})
+	if len(evs) != 0 || next != 6 {
+		t.Errorf("second poll returned %d events, next %d", len(evs), next)
+	}
+}
+
+func TestSinceMaxLimitsAndResumes(t *testing.T) {
+	j := NewJournal(0)
+	for i := 0; i < 7; i++ {
+		j.Publish(New(ReplicaDeleted, "raidnode"))
+	}
+	var got []Event
+	cursor := uint64(0)
+	for {
+		evs, next, _ := j.Since(cursor, 3, Filter{})
+		got = append(got, evs...)
+		if next == cursor {
+			break
+		}
+		cursor = next
+	}
+	if len(got) != 7 {
+		t.Fatalf("paged reads returned %d events, want 7", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("paged read out of order at %d: seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestFilterFields(t *testing.T) {
+	j := NewJournal(0)
+	blk := topology.BlockID(42)
+	str := topology.StripeID(7)
+	node := topology.NodeID(3)
+	peer := topology.NodeID(9)
+
+	e := New(ReplicaRelocated, "blockmover")
+	e.Block, e.Stripe, e.Node, e.Peer = blk, str, node, peer
+	j.Publish(e)
+	j.Publish(New(BlockCommitted, "namenode"))
+
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", Filter{}, 2},
+		{"type", Filter{Type: ReplicaRelocated}, 1},
+		{"subsystem", Filter{Subsystem: "namenode"}, 1},
+		{"block", Filter{Block: &blk}, 1},
+		{"stripe", Filter{Stripe: &str}, 1},
+		{"node", Filter{Node: &node}, 1},
+		{"peer-as-node", Filter{Node: &peer}, 1},
+		{"no-match", Filter{Type: RepairStarted}, 0},
+	}
+	for _, tc := range cases {
+		if evs, _, _ := j.Since(0, 0, tc.f); len(evs) != tc.want {
+			t.Errorf("filter %s matched %d events, want %d", tc.name, len(evs), tc.want)
+		}
+	}
+	// A sentinel-keyed event does not match a concrete-key filter.
+	other := topology.BlockID(1)
+	if evs, _, _ := j.Since(0, 0, Filter{Block: &other}); len(evs) != 0 {
+		t.Errorf("filter on absent block matched %d events", len(evs))
+	}
+}
+
+func TestSubscribeDeliversAndCancels(t *testing.T) {
+	j := NewJournal(0)
+	var seen []uint64
+	cancel := j.Subscribe(func(e Event) { seen = append(seen, e.Seq) })
+	j.Publish(New(NodeDead, "namenode"))
+	j.Publish(New(NodeAlive, "namenode"))
+	cancel()
+	j.Publish(New(NodeDead, "namenode"))
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("subscriber saw %v, want [1 2]", seen)
+	}
+}
+
+func TestNilJournalNoOps(t *testing.T) {
+	var j *Journal
+	j.Publish(New(BlockAllocated, "namenode")) // must not panic
+	if j.Seq() != 0 || j.Len() != 0 {
+		t.Error("nil journal reports non-empty state")
+	}
+	evs, next, dropped := j.Since(5, 10, Filter{})
+	if evs != nil || next != 5 || dropped != 0 {
+		t.Errorf("nil Since = (%v, %d, %d)", evs, next, dropped)
+	}
+	cancel := j.Subscribe(func(Event) { t.Error("nil journal invoked subscriber") })
+	cancel()
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	j := NewJournal(64)
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Publish(New(TransferFinished, "fabric"))
+				j.Since(0, 8, Filter{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Seq(); got != workers*per {
+		t.Fatalf("Seq = %d, want %d", got, workers*per)
+	}
+	evs := j.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap in ring: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

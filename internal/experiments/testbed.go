@@ -38,6 +38,20 @@ type TestbedOptions struct {
 	// Tracer, when non-nil, is installed on every cluster the experiment
 	// builds, so encoding jobs emit per-phase spans (eartestbed -trace).
 	Tracer *telemetry.Tracer
+	// ClusterHook, when non-nil, runs on every cluster the experiment
+	// builds, right after construction and before any traffic. It is the
+	// attachment point for observability that needs the cluster itself —
+	// event journals, auditors, fabric samplers (eartestbed -audit,
+	// -timeline).
+	ClusterHook func(*hdfs.Cluster)
+}
+
+// apply installs the options' observers on a freshly built cluster.
+func (o TestbedOptions) apply(c *hdfs.Cluster) {
+	c.SetTracer(o.Tracer)
+	if o.ClusterHook != nil {
+		o.ClusterHook(c)
+	}
 }
 
 // withDefaults fills zero fields with the scaled testbed setting.
@@ -140,7 +154,7 @@ func encodeOnce(opts TestbedOptions, policy string, n, k int) (hdfs.EncodeStats,
 		return hdfs.EncodeStats{}, 0, err
 	}
 	defer c.Close()
-	c.SetTracer(opts.Tracer)
+	opts.apply(c)
 	rng := rand.New(rand.NewSource(opts.Seed + 77))
 	if _, err := populate(c, opts.Stripes, rng); err != nil {
 		return hdfs.EncodeStats{}, 0, err
@@ -151,7 +165,22 @@ func encodeOnce(opts TestbedOptions, policy string, n, k int) (hdfs.EncodeStats,
 		return st, 0, err
 	}
 	d := c.Fabric().Snapshot().Sub(before)
+	if err := settlePlacement(c); err != nil {
+		return st, 0, err
+	}
 	return st, float64(d.CrossRackBytes) / (1 << 20), nil
+}
+
+// settlePlacement completes the placement pipeline after an encoding run:
+// the PlacementMonitor + BlockMover pass relocates any block the retained
+// placement left violating rack-level fault tolerance. RR routinely needs
+// this (the relocation traffic EAR avoids); for EAR it is a no-op.
+// Experiments call it after taking their measurements, so reported numbers
+// are unaffected, and the cluster ends every run in an invariant-clean
+// state for the audit layer to verify.
+func settlePlacement(c *hdfs.Cluster) error {
+	_, _, err := c.RaidNode().BlockMover()
+	return err
 }
 
 // RunA1 reproduces Experiment A.1 / Figure 8(a): raw encoding throughput of
@@ -203,7 +232,7 @@ func RunA1UDP(opts TestbedOptions) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.SetTracer(opts.Tracer)
+			opts.apply(c)
 			rng := rand.New(rand.NewSource(opts.Seed + 77))
 			if _, err := populate(c, opts.Stripes, rng); err != nil {
 				c.Close()
@@ -227,6 +256,9 @@ func RunA1UDP(opts TestbedOptions) (*Table, error) {
 			st, err := c.RaidNode().EncodeAll()
 			for _, inj := range injectors {
 				inj.Close()
+			}
+			if err == nil {
+				err = settlePlacement(c)
 			}
 			c.Close()
 			if err != nil {
@@ -276,7 +308,7 @@ func runA2Policy(opts A2Options, policy string) (*stats.Series, hdfs.EncodeStats
 		return nil, hdfs.EncodeStats{}, 0, 0, err
 	}
 	defer c.Close()
-	c.SetTracer(opts.Tracer)
+	opts.apply(c)
 	rng := rand.New(rand.NewSource(opts.Seed + 99))
 	if _, err := populate(c, opts.Stripes, rng); err != nil {
 		return nil, hdfs.EncodeStats{}, 0, 0, err
@@ -321,6 +353,9 @@ func runA2Policy(opts A2Options, policy string) (*stats.Series, hdfs.EncodeStats
 	<-done
 	wg.Wait()
 	if err != nil {
+		return nil, hdfs.EncodeStats{}, 0, 0, err
+	}
+	if err := settlePlacement(c); err != nil {
 		return nil, hdfs.EncodeStats{}, 0, 0, err
 	}
 	encStart := opts.LeadTime.Seconds()
@@ -404,7 +439,7 @@ func runSwim(opts A3Options, policy string, jobs []mapred.SwimJob) ([]time.Durat
 		return nil, err
 	}
 	defer c.Close()
-	c.SetTracer(opts.Tracer)
+	opts.apply(c)
 	rng := rand.New(rand.NewSource(opts.Seed + 55))
 	payload := make([]byte, cfg.BlockSizeBytes)
 	rng.Read(payload)

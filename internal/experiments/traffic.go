@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ear/internal/events"
+	"ear/internal/fabric"
+	"ear/internal/hdfs"
+)
+
+// PhaseTraffic is the rack-locality byte breakdown of one phase of a block
+// lifecycle (write, encode, delete), measured two independent ways: summed
+// from the journal's transfer-finished events and subtracted from the
+// fabric's payload counters. The two must agree — every network stream is
+// journaled — so a discrepancy flags lost events or unbracketed transfers.
+type PhaseTraffic struct {
+	Phase     string `json:"phase"`
+	Transfers int    `json:"transfers"`
+	// CrossRackBytes / IntraRackBytes are journal-derived (transfer-finished
+	// events of network streams; local same-node disk streams are excluded,
+	// matching the fabric's payload accounting).
+	CrossRackBytes int64 `json:"cross_rack_bytes"`
+	IntraRackBytes int64 `json:"intra_rack_bytes"`
+	// FabricCrossBytes / FabricIntraBytes are the fabric snapshot deltas over
+	// the same phase, the independent ground truth.
+	FabricCrossBytes int64 `json:"fabric_cross_bytes"`
+	FabricIntraBytes int64 `json:"fabric_intra_bytes"`
+}
+
+// discrepancy returns the larger relative disagreement between the journal
+// and fabric byte totals (0 when both agree, including the all-zero case).
+func (p PhaseTraffic) discrepancy() float64 {
+	rel := func(a, b int64) float64 {
+		if a == b {
+			return 0
+		}
+		den := float64(b)
+		if b == 0 {
+			den = float64(a)
+		}
+		d := float64(a-b) / den
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	c := rel(p.CrossRackBytes, p.FabricCrossBytes)
+	if i := rel(p.IntraRackBytes, p.FabricIntraBytes); i > c {
+		c = i
+	}
+	return c
+}
+
+// TrafficResult is RunTraffic's output: the per-phase breakdown, the
+// per-link utilization timeline sampled across the whole run, and a rendered
+// summary table.
+type TrafficResult struct {
+	Policy string         `json:"policy"`
+	Phases []PhaseTraffic `json:"phases"`
+	// MaxDiscrepancy is the worst relative disagreement between the
+	// journal-derived and fabric-derived byte totals across all phases.
+	MaxDiscrepancy float64         `json:"max_discrepancy"`
+	Timeline       fabric.Timeline `json:"timeline"`
+	Summary        *Table          `json:"-"`
+}
+
+// RunTraffic runs one write -> encode -> delete lifecycle on a fresh cluster
+// and reports the cross-rack vs intra-rack traffic of each phase. The write
+// phase populates enough blocks to seal the configured stripes; the encode
+// phase runs the RaidNode's encoding job (whose third step deletes redundant
+// replicas in place — deletes are metadata plus local disk, so the phase's
+// network bytes live in encode's gather and parity uploads); the delete
+// phase runs the PlacementMonitor + BlockMover pass that relocates blocks of
+// any stripe left violating rack-level fault tolerance (zero traffic on a
+// clean EAR run, the paper's headline saving).
+func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, error) {
+	opts = opts.withDefaults()
+	cfg := opts.clusterConfig(policy, n, k)
+	c, err := hdfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	opts.apply(c)
+
+	// The journal must hold every transfer event of the run: bound it by the
+	// worst-case stream count (writes replicate every block, encoding touches
+	// every block and parity, each stream publishes two events) with slack.
+	blocks := opts.Stripes * k * 2
+	capacity := (blocks*(cfg.Replicas+2) + opts.Stripes*(k+n)) * 4
+	j := events.NewJournal(capacity)
+	c.SetJournal(j)
+
+	sampler := fabric.NewSampler(c.Fabric(), 0)
+	sampler.Start()
+	defer sampler.Stop()
+
+	res := &TrafficResult{Policy: policy}
+	cursor := j.Seq()
+	prev := c.Fabric().Snapshot()
+	measure := func(phase string, run func() error) error {
+		if err := run(); err != nil {
+			return fmt.Errorf("%s phase: %w", phase, err)
+		}
+		cur := c.Fabric().Snapshot()
+		d := cur.Sub(prev)
+		pt := PhaseTraffic{
+			Phase:            phase,
+			FabricCrossBytes: d.CrossRackBytes,
+			FabricIntraBytes: d.IntraRackBytes,
+		}
+		evs, next, dropped := j.Since(cursor, 0, events.Filter{Type: events.TransferFinished})
+		if dropped > 0 {
+			return fmt.Errorf("%s phase: journal dropped %d events (capacity %d too small)",
+				phase, dropped, capacity)
+		}
+		for _, e := range evs {
+			if e.Node == e.Peer {
+				continue // local disk stream, not network payload
+			}
+			pt.Transfers++
+			if e.Cross {
+				pt.CrossRackBytes += e.Bytes
+			} else {
+				pt.IntraRackBytes += e.Bytes
+			}
+		}
+		cursor, prev = next, cur
+		res.Phases = append(res.Phases, pt)
+		if d := pt.discrepancy(); d > res.MaxDiscrepancy {
+			res.MaxDiscrepancy = d
+		}
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 77))
+	if err := measure("write", func() error {
+		_, err := populate(c, opts.Stripes, rng)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("encode", func() error {
+		_, err := c.RaidNode().EncodeAll()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("delete", func() error {
+		_, _, err := c.RaidNode().BlockMover()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	sampler.Stop()
+	res.Timeline = sampler.Timeline()
+
+	t := &Table{
+		ID:      "traffic",
+		Caption: fmt.Sprintf("Per-phase cross-rack vs intra-rack traffic, policy %s (%d,%d)", policy, n, k),
+		Headers: []string{"phase", "transfers", "xrack MB", "intra MB", "fabric xrack MB", "fabric intra MB"},
+		Notes: []string{
+			fmt.Sprintf("journal vs fabric max discrepancy: %.3f%%", res.MaxDiscrepancy*100),
+		},
+	}
+	for _, p := range res.Phases {
+		t.AddRow(p.Phase, fmt.Sprintf("%d", p.Transfers),
+			f2(float64(p.CrossRackBytes)/(1<<20)), f2(float64(p.IntraRackBytes)/(1<<20)),
+			f2(float64(p.FabricCrossBytes)/(1<<20)), f2(float64(p.FabricIntraBytes)/(1<<20)))
+	}
+	res.Summary = t
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestRunTrafficConsistency runs the write/encode/delete breakdown for both
+// policies and pins the cross-checks: the journal-derived byte totals agree
+// with the fabric counters within 1%, every phase appears, the encode phase
+// moves bytes, and an EAR run's delete phase is the paper's headline — zero
+// transfers, because no post-encoding relocation is ever needed.
+func TestRunTrafficConsistency(t *testing.T) {
+	opts := fastTestbed()
+	for _, policy := range []string{"rr", "ear"} {
+		res, err := RunTraffic(opts, policy, 6, 4)
+		if err != nil {
+			t.Fatalf("RunTraffic %s: %v", policy, err)
+		}
+		if res.MaxDiscrepancy > 0.01 {
+			t.Errorf("%s: journal vs fabric discrepancy %.4f exceeds 1%%", policy, res.MaxDiscrepancy)
+		}
+		if len(res.Phases) != 3 {
+			t.Fatalf("%s: phases = %d, want write/encode/delete", policy, len(res.Phases))
+		}
+		byName := map[string]PhaseTraffic{}
+		for _, p := range res.Phases {
+			byName[p.Phase] = p
+		}
+		for _, name := range []string{"write", "encode", "delete"} {
+			if _, ok := byName[name]; !ok {
+				t.Fatalf("%s: missing %s phase: %+v", policy, name, res.Phases)
+			}
+		}
+		if w := byName["write"]; w.Transfers == 0 || w.CrossRackBytes+w.IntraRackBytes == 0 {
+			t.Errorf("%s: write phase moved nothing: %+v", policy, w)
+		}
+		if e := byName["encode"]; e.CrossRackBytes+e.IntraRackBytes == 0 {
+			t.Errorf("%s: encode phase moved nothing: %+v", policy, e)
+		}
+		if d := byName["delete"]; policy == "ear" && (d.Transfers != 0 || d.CrossRackBytes != 0 || d.IntraRackBytes != 0) {
+			t.Errorf("ear: delete phase relocated blocks, want none: %+v", d)
+		}
+		if res.Timeline.DurationSeconds <= 0 || len(res.Timeline.Links) == 0 {
+			t.Errorf("%s: timeline empty: duration=%g links=%d",
+				policy, res.Timeline.DurationSeconds, len(res.Timeline.Links))
+		}
+		if res.Summary == nil {
+			t.Errorf("%s: no summary table", policy)
+		}
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"ear/internal/events"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
@@ -183,6 +185,10 @@ type Fabric struct {
 	mIntra       *telemetry.Metric
 	mStreamsOpen *telemetry.Metric // fabric_streams_active gauge
 	mStreamsTot  *telemetry.Metric // fabric_streams_total counter
+
+	// journal, when non-nil, receives transfer-started/-finished events with
+	// the link path of every stream (guarded by mu; nil journals no-op).
+	journal *events.Journal
 }
 
 // New builds a fabric where every node NIC and every rack core link runs at
@@ -386,6 +392,28 @@ func (f *Fabric) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// SetJournal installs the cluster event journal: every stream thereafter
+// publishes transfer-started on open and transfer-finished (with the bytes
+// delivered and the link path taken) on close. A nil journal detaches.
+func (f *Fabric) SetJournal(j *events.Journal) {
+	f.mu.Lock()
+	f.journal = j
+	f.mu.Unlock()
+}
+
+// linkPath renders the traversed links as "node0.up>rack0.up>rack1.down>...",
+// the event journal's link-path annotation.
+func linkPath(links []*Link) string {
+	if len(links) == 0 {
+		return ""
+	}
+	names := make([]string, len(links))
+	for i, l := range links {
+		names[i] = l.name
+	}
+	return strings.Join(names, ">")
+}
+
 // path returns the links a src->dst transfer traverses.
 func (f *Fabric) path(src, dst topology.NodeID) ([]*Link, bool, error) {
 	srcRack, err := f.top.RackOf(src)
@@ -463,13 +491,19 @@ func (f *Fabric) OpenStream(ctx context.Context, src, dst topology.NodeID) (*Str
 		s.links, s.cross = links, cross
 	}
 	f.mu.Lock()
-	open, tot := f.mStreamsOpen, f.mStreamsTot
+	open, tot, j := f.mStreamsOpen, f.mStreamsTot, f.journal
 	f.mu.Unlock()
 	if open != nil {
 		open.Inc()
 	}
 	if tot != nil {
 		tot.Inc()
+	}
+	if j != nil {
+		e := events.New(events.TransferStarted, "fabric")
+		e.Node, e.Peer, e.Cross = src, dst, s.cross
+		e.Detail = linkPath(s.links)
+		j.Publish(e)
 	}
 	return s, nil
 }
@@ -550,12 +584,19 @@ func (s *Stream) Close() {
 		return
 	}
 	s.closed = true
+	sent := s.sent
 	s.mu.Unlock()
 	s.f.mu.Lock()
-	open := s.f.mStreamsOpen
+	open, j := s.f.mStreamsOpen, s.f.journal
 	s.f.mu.Unlock()
 	if open != nil {
 		open.Dec()
+	}
+	if j != nil {
+		e := events.New(events.TransferFinished, "fabric")
+		e.Node, e.Peer, e.Cross, e.Bytes = s.src, s.dst, s.cross, sent
+		e.Detail = linkPath(s.links)
+		j.Publish(e)
 	}
 }
 

@@ -10,6 +10,17 @@ const vecBytes = 32
 // the differential tests can force the portable tiers on AVX2 hardware.
 var hasAVX2 = detectAVX2()
 
+// KernelTier names the fastest kernel tier the running machine dispatches
+// to: "avx2" when the assembly kernels are usable, "swar" otherwise.
+// Benchmark results are stamped with it so numbers from different machines
+// are comparable.
+func KernelTier() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return "swar"
+}
+
 // detectAVX2 reports whether both the CPU and the OS support AVX2: the
 // AVX2 feature bit (CPUID.7.0:EBX[5]) plus OS-managed YMM state (OSXSAVE,
 // AVX, and XCR0 enabling XMM|YMM).

@@ -8,3 +8,10 @@ package gf256
 func mulSliceArch(c byte, src, dst []byte)    { mulSliceSWAR(c, src, dst) }
 func mulAddSliceArch(c byte, src, dst []byte) { mulAddSliceSWAR(c, src, dst) }
 func addSliceArch(src, dst []byte)            { addSliceSWAR(src, dst) }
+
+// KernelTier names the fastest kernel tier the running machine dispatches
+// to: "avx2" (amd64 with AVX2), "swar" (the portable word-at-a-time path),
+// or "scalar" (slices too short for SWAR always take the byte loop, but no
+// supported platform is scalar-only). Benchmark results are stamped with it
+// so numbers from different machines are comparable.
+func KernelTier() string { return "swar" }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ear/internal/blockstore"
+	"ear/internal/events"
 	"ear/internal/fabric"
 	"ear/internal/topology"
 	"ear/internal/workgroup"
@@ -145,9 +146,23 @@ func (c *Cluster) writeStoreAndForward(ctx context.Context, client topology.Node
 		if err := dn.Store.Put(DataKey(meta.ID), payload); err != nil {
 			return fmt.Errorf("replica on node %d: %w", n, err)
 		}
+		c.publishReplicaWritten(meta.ID, n, len(payload))
 		prev = n
 	}
 	return nil
+}
+
+// publishReplicaWritten journals the durable landing of one replica.
+func (c *Cluster) publishReplicaWritten(id topology.BlockID, n topology.NodeID, size int) {
+	j := c.Journal()
+	if j == nil {
+		return
+	}
+	ev := events.New(events.ReplicaWritten, "datanode")
+	ev.Block = id
+	ev.Node = n
+	ev.Bytes = int64(size)
+	j.Publish(ev)
 }
 
 // writePipelined streams the block down the replication chain chunk by
@@ -242,6 +257,7 @@ func (c *Cluster) writePipelined(ctx context.Context, client topology.NodeID, me
 		if err := dn.Store.Put(DataKey(meta.ID), bufs[i]); err != nil {
 			return fmt.Errorf("replica on node %d: %w", n, err)
 		}
+		c.publishReplicaWritten(meta.ID, n, len(bufs[i]))
 	}
 	return nil
 }
@@ -521,6 +537,13 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 	if err != nil {
 		return 0, err
 	}
+	if j := c.Journal(); j != nil {
+		ev := events.New(events.RepairStarted, "raidnode")
+		ev.Block = id
+		ev.Stripe = meta.Stripe
+		ev.Node = target
+		j.Publish(ev)
+	}
 	// The rebuilt block lives in a pooled buffer; the store keeps its own
 	// copy on Put, so the buffer is recycled on return.
 	buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
@@ -537,6 +560,14 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 	}
 	if err := c.nn.UpdateBlockLocation(id, []topology.NodeID{target}); err != nil {
 		return 0, err
+	}
+	if j := c.Journal(); j != nil {
+		ev := events.New(events.RepairFinished, "raidnode")
+		ev.Block = id
+		ev.Stripe = meta.Stripe
+		ev.Node = target
+		ev.Bytes = int64(len(buf))
+		j.Publish(ev)
 	}
 	return target, nil
 }

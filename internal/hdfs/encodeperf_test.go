@@ -228,26 +228,34 @@ func TestCrossRackNotCountedOnFailedGather(t *testing.T) {
 
 // TestEncodeThroughputTelemetry checks the new encode-path metrics: the
 // per-stripe compute throughput histogram fills and the pool hit-rate gauge
-// lands in [0, 1].
+// lands in [0, 1]. It runs two encode rounds against one shared registry
+// with Reset between them — exactly one observation per stripe of *this*
+// round is the assertion that used to flake when rounds shared counter
+// state, so the second round pins the isolation.
 func TestEncodeThroughputTelemetry(t *testing.T) {
-	c := newTestCluster(t, "ear")
 	reg := telemetry.NewRegistry()
-	c.SetTelemetry(reg)
-	rng := rand.New(rand.NewSource(31))
-	writeBlocks(t, c, 2*c.Config().K, rng)
-	c.NameNode().FlushOpenStripes()
-	stats, err := c.RaidNode().EncodeAll()
-	if err != nil {
-		t.Fatal(err)
+	round := func(seed int64) {
+		c := newTestCluster(t, "ear")
+		c.SetTelemetry(reg)
+		rng := rand.New(rand.NewSource(seed))
+		writeBlocks(t, c, 2*c.Config().K, rng)
+		c.NameNode().FlushOpenStripes()
+		stats, err := c.RaidNode().EncodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := reg.Histogram("raidnode_encode_mbps", "", nil).With()
+		if got, want := h.Count(), uint64(stats.Stripes); got != want {
+			t.Errorf("raidnode_encode_mbps observations = %d, want %d (one per stripe)", got, want)
+		}
+		if h.Count() > 0 && h.Mean() <= 0 {
+			t.Errorf("encode throughput mean = %f MB/s", h.Mean())
+		}
+		if r := reg.Gauge("erasure_pool_hit_ratio", "").With().Value(); r < 0 || r > 1 {
+			t.Errorf("pool hit ratio gauge = %f", r)
+		}
 	}
-	h := reg.Histogram("raidnode_encode_mbps", "", nil).With()
-	if got, want := h.Count(), uint64(stats.Stripes); got != want {
-		t.Errorf("raidnode_encode_mbps observations = %d, want %d (one per stripe)", got, want)
-	}
-	if h.Count() > 0 && h.Mean() <= 0 {
-		t.Errorf("encode throughput mean = %f MB/s", h.Mean())
-	}
-	if r := reg.Gauge("erasure_pool_hit_ratio", "").With().Value(); r < 0 || r > 1 {
-		t.Errorf("pool hit ratio gauge = %f", r)
-	}
+	round(31)
+	reg.Reset()
+	round(37)
 }

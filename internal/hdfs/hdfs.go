@@ -16,6 +16,7 @@ import (
 
 	"ear/internal/blockstore"
 	"ear/internal/erasure"
+	"ear/internal/events"
 	"ear/internal/fabric"
 	"ear/internal/mapred"
 	"ear/internal/placement"
@@ -134,11 +135,12 @@ type Cluster struct {
 	rng   *rand.Rand
 	ns    *Namespace
 
-	// tel and tracer are the observability sinks, installed by
-	// SetTelemetry / SetTracer (atomic so installation never races with
-	// in-flight operations; nil means unobserved).
+	// tel, tracer, and jrn are the observability sinks, installed by
+	// SetTelemetry / SetTracer / SetJournal (atomic so installation never
+	// races with in-flight operations; nil means unobserved).
 	tel    atomic.Pointer[clusterMetrics]
 	tracer atomic.Pointer[telemetry.Tracer]
+	jrn    atomic.Pointer[events.Journal]
 }
 
 // clusterMetrics bundles the cluster's metric handles.
@@ -197,6 +199,22 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 
 // SetTracer installs a span tracer for the encode path (nil disables).
 func (c *Cluster) SetTracer(tr *telemetry.Tracer) { c.tracer.Store(tr) }
+
+// SetJournal installs the cluster event journal on every subsystem: the
+// NameNode (metadata transitions), the client/RaidNode data path (replica
+// writes, deletes, relocations, repairs), the JobTracker (task placements),
+// and the fabric (transfer start/finish). nil detaches everywhere. Like the
+// other observability sinks, earlier activity is not backfilled.
+func (c *Cluster) SetJournal(j *events.Journal) {
+	c.jrn.Store(j)
+	c.nn.SetJournal(j)
+	c.fab.SetJournal(j)
+	c.jt.SetJournal(j)
+}
+
+// Journal returns the installed event journal; nil (a valid no-op sink) when
+// unjournaled.
+func (c *Cluster) Journal() *events.Journal { return c.jrn.Load() }
 
 // metrics returns the installed metric handles, nil when unobserved.
 func (c *Cluster) metrics() *clusterMetrics { return c.tel.Load() }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
+	"ear/internal/events"
 	"ear/internal/placement"
 	"ear/internal/topology"
 )
@@ -67,6 +69,16 @@ type NameNode struct {
 	// rrPending holds committed RR blocks not yet grouped into stripes.
 	rrPending []topology.BlockID
 	dead      map[topology.NodeID]bool
+
+	// jrn is the cluster event journal (atomic so installation never races
+	// with in-flight operations; nil means unjournaled). Events are
+	// published after nn.mu is released, never under it.
+	jrn atomic.Pointer[events.Journal]
+
+	// planOverride, when non-nil, rewrites every post-encoding plan before
+	// it is returned — a test-only hook for staging deliberately mis-placed
+	// stripes the auditor must catch. Guarded by mu.
+	planOverride func(*placement.StripeInfo, *placement.PostEncodingPlan)
 }
 
 // NewNameNode builds a NameNode with the given placement policy.
@@ -87,19 +99,34 @@ func NewNameNode(cfg placement.Config, policy placement.Policy, rng *rand.Rand) 
 	}, nil
 }
 
+// SetJournal installs the cluster event journal. Metadata transitions
+// (allocation, commit, abort, stripe grouping, encode commit, liveness)
+// publish into it; nil detaches.
+func (nn *NameNode) SetJournal(j *events.Journal) { nn.jrn.Store(j) }
+
+// journal returns the installed journal; nil (a valid no-op) otherwise.
+func (nn *NameNode) journal() *events.Journal { return nn.jrn.Load() }
+
 // AllocateBlock reserves a block ID and decides its replica placement.
 func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	id := nn.nextBlock
 	nn.nextBlock++
 	pl, err := nn.policy.Place(id)
 	if err != nil {
+		nn.mu.Unlock()
 		return nil, err
 	}
 	meta := &BlockMeta{ID: id, Size: size, Nodes: append([]topology.NodeID(nil), pl.Nodes...), Stripe: -1}
 	nn.blocks[id] = meta
-	return cloneBlockMeta(meta), nil
+	out := cloneBlockMeta(meta)
+	nn.mu.Unlock()
+	ev := events.New(events.BlockAllocated, "namenode")
+	ev.Block = id
+	ev.Bytes = int64(size)
+	ev.Nodes = append([]topology.NodeID(nil), out.Nodes...)
+	nn.journal().Publish(ev)
+	return out, nil
 }
 
 // CommitBlock records that the block's replicas are durably written; the
@@ -107,22 +134,42 @@ func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 // placement time; RR blocks queue for RaidNode grouping).
 func (nn *NameNode) CommitBlock(id topology.BlockID) error {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	meta, ok := nn.blocks[id]
 	if !ok {
+		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	if meta.Aborted {
+		nn.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d aborted", id)
 	}
 	meta.Committed = true
+	pending := []events.Event{func() events.Event {
+		ev := events.New(events.BlockCommitted, "namenode")
+		ev.Block = id
+		ev.Nodes = append([]topology.NodeID(nil), meta.Nodes...)
+		return ev
+	}()}
 	for _, s := range nn.policy.TakeSealed() {
-		nn.registerStripeLocked(s)
+		pending = append(pending, nn.registerStripeLocked(s))
 	}
 	if nn.policy.Name() == "rr" {
 		nn.rrPending = append(nn.rrPending, id)
 	}
+	nn.mu.Unlock()
+	nn.publishAll(pending)
 	return nil
+}
+
+// publishAll publishes events gathered under the lock, in order.
+func (nn *NameNode) publishAll(evs []events.Event) {
+	j := nn.journal()
+	if j == nil {
+		return
+	}
+	for _, ev := range evs {
+		j.Publish(ev)
+	}
 }
 
 // AbortBlock abandons an uncommitted allocation: the block's replica list is
@@ -133,21 +180,28 @@ func (nn *NameNode) CommitBlock(id topology.BlockID) error {
 // the zero-padding of short stripes. Aborting a committed block is an error.
 func (nn *NameNode) AbortBlock(id topology.BlockID) error {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	meta, ok := nn.blocks[id]
 	if !ok {
+		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	if meta.Committed {
+		nn.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d already committed", id)
 	}
 	meta.Aborted = true
 	meta.Nodes = nil
+	nn.mu.Unlock()
+	ev := events.New(events.BlockAborted, "namenode")
+	ev.Block = id
+	nn.journal().Publish(ev)
 	return nil
 }
 
-// registerStripeLocked assigns the next stripe ID and stores the stripe.
-func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) {
+// registerStripeLocked assigns the next stripe ID, stores the stripe, and
+// returns the StripeGrouped event for the caller to publish once nn.mu is
+// released.
+func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Event {
 	info.ID = nn.nextStripe
 	nn.nextStripe++
 	nn.stripes[info.ID] = &StripeMeta{Info: info}
@@ -157,6 +211,11 @@ func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) {
 			meta.Stripe = info.ID
 		}
 	}
+	ev := events.New(events.StripeGrouped, "namenode")
+	ev.Stripe = info.ID
+	ev.Rack = info.CoreRack
+	ev.Blocks = append([]topology.BlockID(nil), info.Blocks...)
+	return ev
 }
 
 // TakePendingStripes drains the pre-encoding store. Under RR it first
@@ -164,7 +223,7 @@ func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) {
 // HDFS-RAID's RaidNode does. Incomplete groups stay queued.
 func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	var pending []events.Event
 	if nn.policy.Name() == "rr" && len(nn.rrPending) >= nn.cfg.K {
 		placements := make(map[topology.BlockID]topology.Placement, len(nn.rrPending))
 		for _, b := range nn.rrPending {
@@ -173,16 +232,19 @@ func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
 		}
 		groups, err := placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
 		if err != nil {
+			nn.mu.Unlock()
 			return nil, err
 		}
 		grouped := len(groups) * nn.cfg.K
 		nn.rrPending = nn.rrPending[grouped:]
 		for _, g := range groups {
-			nn.registerStripeLocked(g)
+			pending = append(pending, nn.registerStripeLocked(g))
 		}
 	}
 	out := nn.preEncoding
 	nn.preEncoding = nil
+	nn.mu.Unlock()
+	nn.publishAll(pending)
 	return out, nil
 }
 
@@ -209,15 +271,18 @@ type flusher interface {
 // leftover blocks smaller than one stripe stay replicated.
 func (nn *NameNode) FlushOpenStripes() int {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	f, ok := nn.policy.(flusher)
 	if !ok {
+		nn.mu.Unlock()
 		return 0
 	}
 	flushed := f.FlushOpen()
+	pending := make([]events.Event, 0, len(flushed))
 	for _, s := range flushed {
-		nn.registerStripeLocked(s)
+		pending = append(pending, nn.registerStripeLocked(s))
 	}
+	nn.mu.Unlock()
+	nn.publishAll(pending)
 	return len(flushed)
 }
 
@@ -225,16 +290,31 @@ func (nn *NameNode) FlushOpenStripes() int {
 func (nn *NameNode) PlanStripe(info *placement.StripeInfo) (*placement.PostEncodingPlan, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	return placement.PlanPostEncoding(nn.cfg, info, nn.rng)
+	plan, err := placement.PlanPostEncoding(nn.cfg, info, nn.rng)
+	if err == nil && nn.planOverride != nil {
+		nn.planOverride(info, plan)
+	}
+	return plan, err
+}
+
+// SetPlanOverrideForTest installs a hook that rewrites every post-encoding
+// plan before PlanStripe returns it. Test-only: it exists so the auditor's
+// integration tests can stage deliberately mis-placed stripes (for example,
+// more than c blocks of one stripe in a single rack) and prove the violation
+// is caught. nil removes the hook.
+func (nn *NameNode) SetPlanOverrideForTest(fn func(*placement.StripeInfo, *placement.PostEncodingPlan)) {
+	nn.mu.Lock()
+	nn.planOverride = fn
+	nn.mu.Unlock()
 }
 
 // CommitEncoding records the outcome of an encoding operation: every data
 // block keeps a single replica and the stripe stores its plan.
 func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEncodingPlan) error {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	sm, ok := nn.stripes[id]
 	if !ok {
+		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
 	sm.Plan = plan
@@ -242,6 +322,7 @@ func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEnc
 	for i, b := range sm.Info.Blocks {
 		meta, ok := nn.blocks[b]
 		if !ok {
+			nn.mu.Unlock()
 			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, id)
 		}
 		if meta.Aborted {
@@ -251,6 +332,11 @@ func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEnc
 		meta.Nodes = []topology.NodeID{plan.Keep[i]}
 		meta.Encoded = true
 	}
+	nn.mu.Unlock()
+	ev := events.New(events.StripeEncoded, "namenode")
+	ev.Stripe = id
+	ev.Nodes = append([]topology.NodeID(nil), plan.Parity...)
+	nn.journal().Publish(ev)
 	return nil
 }
 
@@ -310,16 +396,22 @@ func (nn *NameNode) LiveReplicas(id topology.BlockID) ([]topology.NodeID, error)
 // MarkDead declares a node failed; its replicas become unreadable.
 func (nn *NameNode) MarkDead(n topology.NodeID) {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	nn.dead[n] = true
+	nn.mu.Unlock()
+	ev := events.New(events.NodeDead, "namenode")
+	ev.Node = n
+	nn.journal().Publish(ev)
 }
 
 // MarkAlive reverses MarkDead: the node rejoins the cluster (its stale
 // replicas are assumed invalidated by the rejoin protocol).
 func (nn *NameNode) MarkAlive(n topology.NodeID) {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	delete(nn.dead, n)
+	nn.mu.Unlock()
+	ev := events.New(events.NodeAlive, "namenode")
+	ev.Node = n
+	nn.journal().Publish(ev)
 }
 
 // IsDead reports whether the node failed.

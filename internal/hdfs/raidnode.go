@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ear/internal/events"
 	"ear/internal/mapred"
 	"ear/internal/placement"
 	"ear/internal/telemetry"
@@ -30,6 +31,10 @@ type RaidNode struct {
 
 	mu    sync.Mutex
 	stats EncodeStats
+	// gen counts ResetStats calls; cursors remember the generation they were
+	// minted in so a cursor from before a reset is detected and treated as
+	// "since startup" instead of producing negative deltas.
+	gen int
 }
 
 // EncodeStats aggregates the outcome of encoding jobs.
@@ -71,16 +76,32 @@ type StatsCursor struct {
 	crossRack    int
 	violations   int
 	placements   int
+	gen          int
+}
+
+// ResetStats zeroes the accumulated statistics (test isolation and admin
+// resets). Cursors minted before the reset are invalidated: the next
+// StatsSince with such a cursor reports everything accumulated since the
+// reset, never negative deltas.
+func (r *RaidNode) ResetStats() {
+	r.mu.Lock()
+	r.stats = EncodeStats{}
+	r.gen++
+	r.mu.Unlock()
 }
 
 // StatsSince returns the statistics accumulated after the cursor and the
 // cursor to pass on the next call. Only task placements recorded since the
 // cursor are copied, so a periodic poller (the admin endpoint, the OpStats
 // RPC) pays O(new placements) per call instead of re-copying the whole
-// history like Stats.
+// history like Stats. A cursor minted before a ResetStats is stale and is
+// treated as the zero cursor ("since the reset").
 func (r *RaidNode) StatsSince(cur StatsCursor) (EncodeStats, StatsCursor) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if cur.gen != r.gen {
+		cur = StatsCursor{gen: r.gen}
+	}
 	d := EncodeStats{
 		Stripes:            r.stats.Stripes - cur.stripes,
 		EncodedBytes:       r.stats.EncodedBytes - cur.encodedBytes,
@@ -101,6 +122,7 @@ func (r *RaidNode) StatsSince(cur StatsCursor) (EncodeStats, StatsCursor) {
 		crossRack:    r.stats.CrossRackDownloads,
 		violations:   r.stats.Violations,
 		placements:   len(r.stats.TaskPlacements),
+		gen:          r.gen,
 	}
 	return d, next
 }
@@ -288,6 +310,13 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	if err != nil {
 		return 0, false, err
 	}
+	if j := c.Journal(); j != nil {
+		ev := events.New(events.StripeEncodeStarted, "raidnode")
+		ev.Stripe = info.ID
+		ev.Node = encoder
+		ev.Rack = encRack
+		j.Publish(ev)
+	}
 	fanIn := gatherFanIn
 	if c.cfg.SequentialDataPath {
 		fanIn = 1
@@ -440,6 +469,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	// members never stored anything.
 	del := parent.Child("replica-delete")
 	defer del.End()
+	jnl := c.Journal()
 	for i, b := range info.Blocks {
 		if aborted[i] {
 			continue
@@ -455,6 +485,13 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			if err := dn.Store.Delete(DataKey(b)); err != nil {
 				return int(cross.Load()), false, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
 			}
+			if jnl != nil {
+				ev := events.New(events.ReplicaDeleted, "raidnode")
+				ev.Block = b
+				ev.Stripe = info.ID
+				ev.Node = n
+				jnl.Publish(ev)
+			}
 		}
 	}
 	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
@@ -467,6 +504,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 // current layout violates the rack-level fault-tolerance requirement.
 func (r *RaidNode) PlacementMonitor() ([]topology.StripeID, error) {
 	var bad []topology.StripeID
+	jnl := r.c.Journal()
 	for _, id := range r.c.nn.EncodedStripes() {
 		sm, err := r.c.nn.Stripe(id)
 		if err != nil {
@@ -476,8 +514,16 @@ func (r *RaidNode) PlacementMonitor() ([]topology.StripeID, error) {
 		if err != nil {
 			return nil, err
 		}
+		detail := "ok"
 		if err := layout.Validate(r.c.top, r.c.cfg.C); err != nil {
 			bad = append(bad, id)
+			detail = "violating"
+		}
+		if jnl != nil {
+			ev := events.New(events.StripeVerified, "raidnode")
+			ev.Stripe = id
+			ev.Detail = detail
+			jnl.Publish(ev)
 		}
 	}
 	return bad, nil
@@ -613,6 +659,15 @@ func (r *RaidNode) fixStripe(ctx context.Context, sm *StripeMeta) (int, int64, e
 		if err := r.c.nn.UpdateBlockLocation(victim, []topology.NodeID{target}); err != nil {
 			return moved, movedBytes, err
 		}
+		if jnl := r.c.Journal(); jnl != nil {
+			ev := events.New(events.ReplicaRelocated, "blockmover")
+			ev.Block = victim
+			ev.Stripe = sm.Info.ID
+			ev.Node = victimNode
+			ev.Peer = target
+			ev.Bytes = n
+			jnl.Publish(ev)
+		}
 		moved++
 		movedBytes += n
 	}
@@ -642,6 +697,15 @@ func (r *RaidNode) fixParity(ctx context.Context, sm *StripeMeta, overRack topol
 		}
 		if err := r.c.nn.UpdateParityLocation(sm.Info.ID, j, target); err != nil {
 			return 0, err
+		}
+		if jnl := r.c.Journal(); jnl != nil {
+			ev := events.New(events.ReplicaRelocated, "blockmover")
+			ev.Stripe = sm.Info.ID
+			ev.Node = node
+			ev.Peer = target
+			ev.Bytes = n
+			ev.Detail = "parity"
+			jnl.Publish(ev)
 		}
 		return n, nil
 	}

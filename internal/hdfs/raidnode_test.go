@@ -345,3 +345,89 @@ func TestEncodeCrossRackCountersUnderRR(t *testing.T) {
 		t.Error("fabric cross-rack byte counter not bumped")
 	}
 }
+
+// TestStatsSinceCursorSemantics pins the cursor contract: an empty window
+// reads as a zero delta, a cursor is a position (re-reading from it yields
+// the same delta, and overlapping cursors decompose the stream
+// consistently), and a cursor minted before ResetStats degrades to "since
+// the reset" instead of going negative.
+func TestStatsSinceCursorSemantics(t *testing.T) {
+	c := newTestCluster(t, "rr")
+
+	// Empty window on a fresh RaidNode: zero delta, usable cursor.
+	d0, cur0 := c.RaidNode().StatsSince(StatsCursor{})
+	if d0.Stripes != 0 || d0.EncodedBytes != 0 || d0.Duration != 0 || len(d0.TaskPlacements) != 0 {
+		t.Fatalf("fresh delta nonzero: %+v", d0)
+	}
+
+	rng := rand.New(rand.NewSource(43))
+	writeBlocks(t, c, 4, rng) // 1 stripe
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	dA, curA := c.RaidNode().StatsSince(cur0)
+	if dA.Stripes != 1 {
+		t.Fatalf("round one delta stripes = %d, want 1", dA.Stripes)
+	}
+
+	writeBlocks(t, c, 4, rng) // 1 more stripe
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlapping cursors: reading from curA sees round two; reading again
+	// from the SAME cursor sees it again (non-consuming); reading from cur0
+	// spans both rounds, and the split deltas sum to the spanning one.
+	dB1, _ := c.RaidNode().StatsSince(curA)
+	dB2, _ := c.RaidNode().StatsSince(curA)
+	if dB1.Stripes != dB2.Stripes || dB1.EncodedBytes != dB2.EncodedBytes ||
+		len(dB1.TaskPlacements) != len(dB2.TaskPlacements) {
+		t.Errorf("re-reading the same cursor diverged: %+v vs %+v", dB1, dB2)
+	}
+	dSpan, _ := c.RaidNode().StatsSince(cur0)
+	if dSpan.Stripes != dA.Stripes+dB1.Stripes {
+		t.Errorf("spanning stripes %d != %d + %d", dSpan.Stripes, dA.Stripes, dB1.Stripes)
+	}
+	if dSpan.EncodedBytes != dA.EncodedBytes+dB1.EncodedBytes {
+		t.Errorf("spanning bytes %d != %d + %d", dSpan.EncodedBytes, dA.EncodedBytes, dB1.EncodedBytes)
+	}
+	if len(dSpan.TaskPlacements) != len(dA.TaskPlacements)+len(dB1.TaskPlacements) {
+		t.Errorf("spanning placements %d != %d + %d",
+			len(dSpan.TaskPlacements), len(dA.TaskPlacements), len(dB1.TaskPlacements))
+	}
+
+	// A cursor minted before ResetStats is stale: the next read reports
+	// everything since the reset — here, one fresh stripe — with no negative
+	// components, and hands back a valid post-reset cursor.
+	stale := curA
+	c.RaidNode().ResetStats()
+	writeBlocks(t, c, 4, rng)
+	c.NameNode().FlushOpenStripes()
+	if _, err := c.RaidNode().EncodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	dR, curR := c.RaidNode().StatsSince(stale)
+	if dR.Stripes != 1 {
+		t.Errorf("stale-cursor delta stripes = %d, want 1 (everything since reset)", dR.Stripes)
+	}
+	if dR.EncodedBytes < 0 || dR.Duration < 0 || dR.CrossRackDownloads < 0 || dR.Violations < 0 {
+		t.Errorf("stale-cursor delta went negative: %+v", dR)
+	}
+	if len(dR.TaskPlacements) == 0 {
+		t.Error("stale-cursor delta lost the post-reset placements")
+	}
+	// The replacement cursor works normally afterwards.
+	if dIdle, _ := c.RaidNode().StatsSince(curR); dIdle.Stripes != 0 || len(dIdle.TaskPlacements) != 0 {
+		t.Errorf("post-reset idle delta nonzero: %+v", dIdle)
+	}
+
+	// A stale cursor read immediately after a reset (nothing accumulated
+	// yet) is a clean zero, not negative.
+	c.RaidNode().ResetStats()
+	dZ, _ := c.RaidNode().StatsSince(curR)
+	if dZ.Stripes != 0 || dZ.EncodedBytes != 0 || dZ.Duration != 0 {
+		t.Errorf("post-reset empty delta nonzero: %+v", dZ)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"ear/internal/events"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
 	"ear/internal/workgroup"
@@ -77,6 +79,10 @@ type JobTracker struct {
 	mWaiting  *telemetry.Metric
 	mBusy     *telemetry.Metric
 	mLocality *telemetry.Vec
+
+	// jrn is the cluster event journal (atomic so installation never races
+	// with in-flight submissions; nil means unjournaled).
+	jrn atomic.Pointer[events.Journal]
 }
 
 // NewJobTracker creates a tracker with the given map slots per node (the
@@ -117,14 +123,15 @@ func (jt *JobTracker) SetTelemetry(reg *telemetry.Registry) {
 	jt.mu.Unlock()
 }
 
+// SetJournal installs the cluster event journal; every task placement
+// publishes a TaskScheduled event into it. nil detaches.
+func (jt *JobTracker) SetJournal(j *events.Journal) { jt.jrn.Store(j) }
+
 // noteScheduled records a task placement's locality class.
 func (jt *JobTracker) noteScheduled(t *Task, pl Placement) {
 	jt.mu.Lock()
 	locality := jt.mLocality
 	jt.mu.Unlock()
-	if locality == nil {
-		return
-	}
 	level := "remote"
 	switch {
 	case t.Preferred == AnyNode:
@@ -133,6 +140,15 @@ func (jt *JobTracker) noteScheduled(t *Task, pl Placement) {
 		level = "node"
 	case pl.Rack:
 		level = "rack"
+	}
+	if j := jt.jrn.Load(); j != nil {
+		ev := events.New(events.TaskScheduled, "mapred")
+		ev.Node = pl.Node
+		ev.Detail = pl.Task + " locality=" + level
+		j.Publish(ev)
+	}
+	if locality == nil {
+		return
 	}
 	locality.With(level).Inc()
 }

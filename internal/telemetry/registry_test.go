@@ -205,3 +205,108 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("counter = %g, want 1600", got)
 	}
 }
+
+func TestReset(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("total", "", "op").With("read")
+	c.Add(7)
+	g := reg.Gauge("depth", "").With()
+	g.Set(3)
+	h := reg.Histogram("lat", "", []float64{1, 10}).With()
+	h.Observe(0.5)
+	h.Observe(5)
+
+	reg.Reset()
+
+	if got := c.Value(); got != 0 {
+		t.Errorf("counter after Reset = %g, want 0", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge after Reset = %g, want 0", got)
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("histogram after Reset: count=%d sum=%g, want 0/0", h.Count(), h.Sum())
+	}
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			for i, b := range s.Buckets {
+				if b != 0 {
+					t.Errorf("%s bucket %d = %d after Reset, want 0", fam.Name, i, b)
+				}
+			}
+		}
+	}
+
+	// Families and existing handles survive: the old handle publishes into
+	// the same series the registry still exposes.
+	c.Add(2)
+	if got := reg.Counter("total", "", "op").With("read").Value(); got != 2 {
+		t.Errorf("counter after Reset+Add = %g, want 2", got)
+	}
+	if len(reg.Snapshot()) != 3 {
+		t.Errorf("families after Reset = %d, want 3", len(reg.Snapshot()))
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("gone", "").With()
+	c.Inc()
+	reg.Gauge("kept", "").With().Set(1)
+
+	if !reg.Unregister("gone") {
+		t.Fatal("Unregister(existing) = false")
+	}
+	if reg.Unregister("gone") {
+		t.Error("Unregister(missing) = true")
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "kept" {
+		t.Fatalf("snapshot after Unregister = %+v, want only kept", snap)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "gone") {
+		t.Error("unregistered family still in exposition")
+	}
+
+	// The detached handle keeps working; re-registering the name starts a
+	// fresh family, with a different shape allowed.
+	c.Inc()
+	if c.Value() != 2 {
+		t.Errorf("detached handle = %g, want 2", c.Value())
+	}
+	g := reg.Gauge("gone", "", "op").With("x")
+	g.Set(9)
+	if g.Value() != 9 {
+		t.Errorf("re-registered family = %g, want 9", g.Value())
+	}
+}
+
+func TestResetConcurrentWithPublishers(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n", "").With()
+	h := reg.Histogram("lat", "", nil).With()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		reg.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}
