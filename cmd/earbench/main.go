@@ -1,5 +1,5 @@
 // Command earbench measures the mini-HDFS testbed and emits machine-readable
-// snapshots. Two suites exist:
+// snapshots. Three suites exist:
 //
 //   - datapath (default, BENCH_datapath.json): block write latency through
 //     the chunked replication pipeline vs the legacy store-and-forward chain,
@@ -9,14 +9,19 @@
 //     scalar reference), zero-allocation stripe encode and single-block
 //     reconstruction throughput, and the concurrent multi-stripe encode
 //     speedup over one-stripe-at-a-time.
+//   - placement (BENCH_placement.json): placement-policy ablation (EAR with
+//     rollback-based incremental feasibility vs the clone-and-recompute
+//     ablation vs preliminary EAR vs RR) and NameNode block-allocation
+//     throughput across goroutine counts, sharded vs single-global-mutex.
 //
-// CI runs both as smoke checks; the snapshots document the speedups the
-// streaming data path and the coding kernels buy.
+// CI runs all three as smoke checks; the snapshots document the speedups the
+// streaming data path, the coding kernels, and the metadata hot path buy.
 //
 // Usage:
 //
 //	earbench -suite datapath -out BENCH_datapath.json -writes 20 -stripes 4
 //	earbench -suite erasure -out BENCH_erasure.json
+//	earbench -suite placement -out BENCH_placement.json -blocks 4000
 package main
 
 import (
@@ -108,10 +113,11 @@ func main() {
 }
 
 func run() error {
-	suite := flag.String("suite", "datapath", "benchmark suite: datapath or erasure")
+	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, or placement")
 	out := flag.String("out", "", "snapshot output path ('-' for stdout; default BENCH_<suite>.json)")
 	writes := flag.Int("writes", 20, "block writes per write/read scenario (datapath)")
 	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
+	blocks := flag.Int("blocks", 4000, "block placements per scenario (placement)")
 	flag.Parse()
 
 	if *out == "" {
@@ -122,6 +128,8 @@ func run() error {
 		return runDatapath(*out, *writes, *stripes)
 	case "erasure":
 		return runErasure(*out, *stripes)
+	case "placement":
+		return runPlacement(*out, *blocks)
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
 	}

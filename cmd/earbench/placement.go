@@ -1,0 +1,252 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ear/internal/hdfs"
+	"ear/internal/placement"
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+)
+
+// policyResult is one placement-policy ablation row: the single-threaded cost
+// of deciding one block's replica layout, and how many candidate layouts the
+// policy generated per block on average (Theorem 1's iteration count).
+type policyResult struct {
+	Policy         string  `json:"policy"`
+	Blocks         int     `json:"blocks"`
+	NsPerBlock     float64 `json:"ns_per_block"`
+	MeanIterations float64 `json:"mean_iterations"`
+}
+
+// allocResult is one NameNode allocation-throughput row.
+type allocResult struct {
+	Mode       string  `json:"mode"` // sharded | serialized | seed
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// placementSnapshot is the placement suite's emitted document.
+type placementSnapshot struct {
+	GeneratedAt  string   `json:"generated_at"`
+	Host         hostInfo `json:"host"`
+	Racks        int      `json:"racks"`
+	NodesPerRack int      `json:"nodes_per_rack"`
+	Replicas     int      `json:"replicas"`
+	K            int      `json:"k"`
+	N            int      `json:"n"`
+	C            int      `json:"c"`
+	// Ablation compares the placement policies single-threaded: incremental
+	// EAR vs the clone-and-recompute ablation vs preliminary EAR vs RR.
+	Ablation []policyResult `json:"ablation"`
+	// Alloc measures NameNode.AllocateBlock throughput across goroutine
+	// counts for the sharded path, the same path behind one global mutex
+	// (serialized), and the full seed emulation (serialized + full
+	// recompute per candidate).
+	Alloc []allocResult `json:"alloc"`
+	// AllocSpeedupVsSeed is sharded vs seed ns/op at the highest measured
+	// goroutine count.
+	AllocSpeedupVsSeed float64 `json:"alloc_speedup_vs_seed"`
+	// IncrementalSpeedup is the single-threaded ablation ratio:
+	// ear-fullrecompute ns/block over ear ns/block.
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+	// AttemptNsMean and AllocOps read back the namenode_alloc_ops counter
+	// and placement_attempt_ns histogram the sharded run published.
+	AttemptNsMean float64 `json:"attempt_ns_mean"`
+	AllocOps      float64 `json:"alloc_ops"`
+}
+
+// placementBenchConfig is the suite's cluster geometry: 16 racks of 8 nodes,
+// the paper's RS(9,6) with 3-way replication.
+func placementBenchConfig() (placement.Config, error) {
+	top, err := topology.New(16, 8)
+	if err != nil {
+		return placement.Config{}, err
+	}
+	return placement.Config{Topology: top, Replicas: 3, K: 6, N: 9, C: 1}, nil
+}
+
+// runPlacement benchmarks the placement and metadata hot path.
+func runPlacement(out string, blocks int) error {
+	cfg, err := placementBenchConfig()
+	if err != nil {
+		return err
+	}
+	snap := placementSnapshot{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Host:         host(),
+		Racks:        cfg.Topology.Racks(),
+		NodesPerRack: cfg.Topology.Nodes() / cfg.Topology.Racks(),
+		Replicas:     cfg.Replicas,
+		K:            cfg.K,
+		N:            cfg.N,
+		C:            cfg.C,
+	}
+
+	// Policy ablation, single-threaded.
+	variants := []struct {
+		name string
+		mut  func(*placement.Config)
+	}{
+		{"ear", func(*placement.Config) {}},
+		{"ear-fullrecompute", func(c *placement.Config) { c.FullRecompute = true }},
+		{"ear-preliminary", func(c *placement.Config) { c.Preliminary = true }},
+		{"rr", nil},
+	}
+	var earNs, fullNs float64
+	for _, v := range variants {
+		var pol placement.Policy
+		if v.mut == nil {
+			pol, err = placement.NewRandom(cfg, rand.New(rand.NewSource(1)))
+		} else {
+			vcfg := cfg
+			v.mut(&vcfg)
+			pol, err = placement.NewEAR(vcfg, rand.New(rand.NewSource(1)))
+		}
+		if err != nil {
+			return err
+		}
+		iters := 0
+		t0 := time.Now()
+		for b := 0; b < blocks; b++ {
+			if _, err := pol.Place(topology.BlockID(b)); err != nil {
+				return err
+			}
+			if ac, ok := pol.(interface{ LastPlaceAttempts() int }); ok {
+				iters += ac.LastPlaceAttempts()
+			} else {
+				iters++
+			}
+			pol.TakeSealed()
+		}
+		ns := float64(time.Since(t0).Nanoseconds()) / float64(blocks)
+		snap.Ablation = append(snap.Ablation, policyResult{
+			Policy: v.name, Blocks: blocks, NsPerBlock: ns,
+			MeanIterations: float64(iters) / float64(blocks),
+		})
+		switch v.name {
+		case "ear":
+			earNs = ns
+		case "ear-fullrecompute":
+			fullNs = ns
+		}
+	}
+	if earNs > 0 {
+		snap.IncrementalSpeedup = fullNs / earNs
+	}
+
+	// NameNode allocation throughput across goroutine counts.
+	gs := goroutineCounts()
+	maxG := gs[len(gs)-1]
+	var shardedNs, seedNs float64
+	for _, mode := range []struct {
+		name      string
+		serialize bool
+		recompute bool
+	}{
+		{"sharded", false, false},
+		{"serialized", true, false},
+		{"seed", true, true},
+	} {
+		for _, g := range gs {
+			ncfg := cfg
+			ncfg.FullRecompute = mode.recompute
+			nn, err := hdfs.NewShardedNameNode(ncfg, "ear", 1, mode.serialize)
+			if err != nil {
+				return err
+			}
+			var reg *telemetry.Registry
+			if mode.name == "sharded" && g == maxG {
+				reg = telemetry.NewRegistry()
+				nn.SetTelemetry(reg)
+			}
+			secs, err := allocHammer(nn, g, blocks)
+			if err != nil {
+				return err
+			}
+			snap.Alloc = append(snap.Alloc, allocResult{
+				Mode: mode.name, Goroutines: g,
+				OpsPerSec: float64(blocks) / secs,
+				NsPerOp:   secs * 1e9 / float64(blocks),
+			})
+			if g == maxG {
+				switch mode.name {
+				case "sharded":
+					shardedNs = secs * 1e9 / float64(blocks)
+				case "seed":
+					seedNs = secs * 1e9 / float64(blocks)
+				}
+			}
+			if reg != nil {
+				snap.AllocOps = reg.Counter("namenode_alloc_ops",
+					"Block allocations served by the NameNode.").With().Value()
+				snap.AttemptNsMean = reg.Histogram("placement_attempt_ns",
+					"Cost of one candidate-layout placement attempt (nanoseconds).",
+					nil).With().Mean()
+			}
+		}
+	}
+	if shardedNs > 0 {
+		snap.AllocSpeedupVsSeed = seedNs / shardedNs
+	}
+
+	if err := writeSnapshot(out, snap); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("earbench: wrote %s (incremental flow speedup %.2fx, alloc speedup vs seed %.2fx at %d goroutines, attempt mean %.0f ns)\n",
+			out, snap.IncrementalSpeedup, snap.AllocSpeedupVsSeed, maxG, snap.AttemptNsMean)
+	}
+	return nil
+}
+
+// goroutineCounts returns the sorted, deduplicated set of goroutine counts to
+// measure: 1, 2, 4, and GOMAXPROCS.
+func goroutineCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var gs []int
+	for g := range set {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	return gs
+}
+
+// allocHammer splits `total` AllocateBlock calls across g goroutines and
+// returns the wall-clock seconds for the whole batch.
+func allocHammer(nn *hdfs.NameNode, g, total int) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	per := total / g
+	t0 := time.Now()
+	for i := 0; i < g; i++ {
+		n := per
+		if i == g-1 {
+			n = total - per*(g-1)
+		}
+		wg.Add(1)
+		go func(slot, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := nn.AllocateBlock(1); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	secs := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return secs, nil
+}

@@ -72,6 +72,11 @@ type Config struct {
 	// on concurrently, so the gather, compute, and upload phases of
 	// different stripes overlap (default 4). SequentialDataPath forces 1.
 	EncodeParallelism int
+	// SerializeMetadata funnels every NameNode operation through a single
+	// global mutex, reverting the sharded metadata path to the historical
+	// one-big-lock behavior. It exists for benchmarking and equivalence
+	// testing; production configurations leave it false.
+	SerializeMetadata bool
 }
 
 // withDefaults fills zero fields.
@@ -195,6 +200,7 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 	c.tel.Store(m)
 	c.fab.SetTelemetry(reg)
 	c.jt.SetTelemetry(reg)
+	c.nn.SetTelemetry(reg)
 }
 
 // SetTracer installs a span tracer for the encode path (nil disables).
@@ -242,20 +248,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		TargetRacks:    cfg.TargetRacks,
 		SpreadReplicas: cfg.SpreadReplicas,
 	}
-	nnRng := rand.New(rand.NewSource(cfg.Seed))
-	var pol placement.Policy
 	switch cfg.Policy {
-	case "rr":
-		pol, err = placement.NewRandom(pcfg, nnRng)
-	case "ear":
-		pol, err = placement.NewEAR(pcfg, nnRng)
+	case "rr", "ear":
 	default:
 		return nil, fmt.Errorf("%w: unknown policy %q", ErrInvalidConfig, cfg.Policy)
 	}
-	if err != nil {
-		return nil, err
-	}
-	nn, err := NewNameNode(pcfg, pol, nnRng)
+	nn, err := NewShardedNameNode(pcfg, cfg.Policy, cfg.Seed, cfg.SerializeMetadata)
 	if err != nil {
 		return nil, err
 	}

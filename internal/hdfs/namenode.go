@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ear/internal/events"
 	"ear/internal/placement"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -51,37 +54,134 @@ type StripeMeta struct {
 	Encoded bool
 }
 
+// cloneStripeMeta deep-copies a stripe record so callers can hold it without
+// racing concurrent metadata updates (UpdateParityLocation mutates Plan).
+func cloneStripeMeta(sm *StripeMeta) *StripeMeta {
+	return &StripeMeta{Info: sm.Info.Clone(), Plan: sm.Plan.Clone(), Encoded: sm.Encoded}
+}
+
+// blockTableShards stripes the block table so metadata lookups on different
+// blocks do not contend on one mutex.
+const blockTableShards = 16
+
+// blockShard is one stripe of the block table.
+type blockShard struct {
+	mu     sync.RWMutex
+	blocks map[topology.BlockID]*BlockMeta
+}
+
+// placementShard serializes one placement-policy instance. Under EAR every
+// core rack gets its own shard (open-stripe state is keyed by core rack, so
+// shards never share state); under RR shards are interchangeable and chosen
+// round-robin.
+type placementShard struct {
+	mu     sync.Mutex
+	policy placement.Policy
+}
+
+// rackPlacer is the policy capability of pinning a block's first replica to
+// a chosen rack (EAR implements it); required for per-rack sharding.
+type rackPlacer interface {
+	PlaceAt(topology.BlockID, topology.RackID) (topology.Placement, error)
+}
+
+// attemptCounter is the policy capability of reporting how many candidate
+// layouts the last placement generated (EAR implements it).
+type attemptCounter interface {
+	LastPlaceAttempts() int
+}
+
 // NameNode holds all metadata: block locations, the placement policy hook
 // (the paper's first HDFS modification), and the pre-encoding store mapping
 // stripes to their block lists (the second modification).
+//
+// Concurrency layout — four independent lock domains instead of one global
+// mutex:
+//
+//   - placementShard.mu: placement policy state, one shard per core rack
+//     (EAR) or per slot (RR).
+//   - blockShard.mu: the block table, 16-way striped by BlockID.
+//   - mu: the stripe registry only (stripes, preEncoding, nextStripe, the
+//     planner rng, planOverride).
+//   - rrMu / deadMu: the RR grouping queue and node liveness set.
+//
+// Lock ordering: placementShard.mu and mu are never held together with each
+// other; either may acquire blockShard.mu; blockShard.mu may acquire deadMu.
+// Never acquire in the reverse direction.
 type NameNode struct {
-	mu     sync.Mutex
-	cfg    placement.Config
-	policy placement.Policy
-	rng    *rand.Rand
+	cfg        placement.Config
+	policyName string
 
-	nextBlock  topology.BlockID
-	nextStripe topology.StripeID
-	blocks     map[topology.BlockID]*BlockMeta
-	stripes    map[topology.StripeID]*StripeMeta
-	// preEncoding holds sealed stripes awaiting encoding.
+	// mu guards the stripe registry.
+	mu          sync.Mutex
+	nextStripe  topology.StripeID
+	stripes     map[topology.StripeID]*StripeMeta
 	preEncoding []*placement.StripeInfo
-	// rrPending holds committed RR blocks not yet grouped into stripes.
-	rrPending []topology.BlockID
-	dead      map[topology.NodeID]bool
-
-	// jrn is the cluster event journal (atomic so installation never races
-	// with in-flight operations; nil means unjournaled). Events are
-	// published after nn.mu is released, never under it.
-	jrn atomic.Pointer[events.Journal]
-
+	rng         *rand.Rand
 	// planOverride, when non-nil, rewrites every post-encoding plan before
 	// it is returned — a test-only hook for staging deliberately mis-placed
 	// stripes the auditor must catch. Guarded by mu.
 	planOverride func(*placement.StripeInfo, *placement.PostEncodingPlan)
+
+	nextBlock atomic.Int64
+	blockTab  [blockTableShards]blockShard
+
+	shards []*placementShard
+	// routeByRack draws a core rack per allocation and routes to that rack's
+	// shard (EAR); otherwise shards are picked round-robin.
+	routeByRack bool
+	// rackSeq feeds the lock-free splitmix64 draw behind shard routing.
+	rackSeq atomic.Uint64
+
+	// rrMu guards rrPending, committed RR blocks not yet grouped.
+	rrMu      sync.Mutex
+	rrPending []topology.BlockID
+
+	// deadMu guards dead, the failed-node set.
+	deadMu sync.RWMutex
+	dead   map[topology.NodeID]bool
+
+	// serialize funnels every metadata operation through serialMu,
+	// emulating the historical single-global-mutex NameNode for A/B
+	// benchmarking. Set at construction only.
+	serialize bool
+	serialMu  sync.Mutex
+
+	// jrn is the cluster event journal (atomic so installation never races
+	// with in-flight operations; nil means unjournaled). BlockAllocated is
+	// published under the placement shard lock so a stripe's StripeGrouped
+	// event always trails every member's allocation event; everything else
+	// publishes after locks are released.
+	jrn atomic.Pointer[events.Journal]
+
+	tel atomic.Pointer[nnMetrics]
 }
 
-// NewNameNode builds a NameNode with the given placement policy.
+// nnMetrics bundles the NameNode's metric handles.
+type nnMetrics struct {
+	allocOps  *telemetry.Metric // namenode_alloc_ops
+	attemptNs *telemetry.Metric // placement_attempt_ns
+}
+
+// newNameNode builds the shared core; callers attach placement shards.
+func newNameNode(cfg placement.Config, policyName string, rng *rand.Rand, serialize bool) *NameNode {
+	nn := &NameNode{
+		cfg:        cfg,
+		policyName: policyName,
+		rng:        rng,
+		stripes:    make(map[topology.StripeID]*StripeMeta),
+		dead:       make(map[topology.NodeID]bool),
+		serialize:  serialize,
+	}
+	for i := range nn.blockTab {
+		nn.blockTab[i].blocks = make(map[topology.BlockID]*BlockMeta)
+	}
+	return nn
+}
+
+// NewNameNode builds a NameNode around a single caller-supplied policy
+// instance (one placement shard). NewCluster uses NewShardedNameNode, which
+// scales placement across per-core-rack shards.
 func NewNameNode(cfg placement.Config, policy placement.Policy, rng *rand.Rand) (*NameNode, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -89,14 +189,42 @@ func NewNameNode(cfg placement.Config, policy placement.Policy, rng *rand.Rand) 
 	if policy == nil || rng == nil {
 		return nil, fmt.Errorf("%w: nil policy or rng", placement.ErrInvalidConfig)
 	}
-	return &NameNode{
-		cfg:     cfg,
-		policy:  policy,
-		rng:     rng,
-		blocks:  make(map[topology.BlockID]*BlockMeta),
-		stripes: make(map[topology.StripeID]*StripeMeta),
-		dead:    make(map[topology.NodeID]bool),
-	}, nil
+	nn := newNameNode(cfg, policy.Name(), rng, false)
+	nn.shards = []*placementShard{{policy: policy}}
+	return nn, nil
+}
+
+// NewShardedNameNode builds a NameNode whose placement state is sharded: one
+// policy instance (with its own rng) per core rack under EAR, or one per
+// rack-count slot under RR. serialize funnels all metadata operations through
+// one mutex, preserved for A/B benchmarking against the sharded path.
+func NewShardedNameNode(cfg placement.Config, policyName string, seed int64, serialize bool) (*NameNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nn := newNameNode(cfg, policyName, rand.New(rand.NewSource(seed)), serialize)
+	shards := cfg.Topology.Racks()
+	for i := 0; i < shards; i++ {
+		var pol placement.Policy
+		var err error
+		rng := rand.New(rand.NewSource(seed + int64(i) + 1))
+		switch policyName {
+		case "ear":
+			pol, err = placement.NewEAR(cfg, rng)
+		case "rr":
+			pol, err = placement.NewRandom(cfg, rng)
+		default:
+			return nil, fmt.Errorf("%w: unknown policy %q", placement.ErrInvalidConfig, policyName)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nn.shards = append(nn.shards, &placementShard{policy: pol})
+	}
+	if policyName == "ear" {
+		nn.routeByRack = true
+	}
+	return nn, nil
 }
 
 // SetJournal installs the cluster event journal. Metadata transitions
@@ -107,25 +235,121 @@ func (nn *NameNode) SetJournal(j *events.Journal) { nn.jrn.Store(j) }
 // journal returns the installed journal; nil (a valid no-op) otherwise.
 func (nn *NameNode) journal() *events.Journal { return nn.jrn.Load() }
 
-// AllocateBlock reserves a block ID and decides its replica placement.
+// SetTelemetry publishes the NameNode's metrics into the registry: the
+// namenode_alloc_ops counter and the placement_attempt_ns histogram (cost of
+// one candidate-layout feasibility attempt).
+func (nn *NameNode) SetTelemetry(reg *telemetry.Registry) {
+	m := &nnMetrics{
+		allocOps: reg.Counter("namenode_alloc_ops",
+			"Block allocations served by the NameNode.").With(),
+		attemptNs: reg.Histogram("placement_attempt_ns",
+			"Cost of one candidate-layout placement attempt (nanoseconds).",
+			telemetry.ExponentialBuckets(128, 2, 18)).With(),
+	}
+	nn.tel.Store(m)
+}
+
+// metrics returns the installed metric handles, nil when unobserved.
+func (nn *NameNode) metrics() *nnMetrics { return nn.tel.Load() }
+
+// serialSection enters the whole-NameNode critical section when the
+// serialized A/B mode is on; the returned func leaves it. A no-op otherwise.
+func (nn *NameNode) serialSection() func() {
+	if !nn.serialize {
+		return func() {}
+	}
+	nn.serialMu.Lock()
+	return nn.serialMu.Unlock
+}
+
+// blockShardFor returns the block-table shard owning the ID.
+func (nn *NameNode) blockShardFor(id topology.BlockID) *blockShard {
+	return &nn.blockTab[uint64(id)%blockTableShards]
+}
+
+// draw is a lock-free splitmix64 step used for shard routing and core-rack
+// selection.
+func (nn *NameNode) draw() uint64 {
+	x := nn.rackSeq.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// AllocateBlock reserves a block ID and decides its replica placement. Only
+// the chosen placement shard and the block's table shard are locked; separate
+// racks allocate concurrently.
 func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
-	nn.mu.Lock()
-	id := nn.nextBlock
-	nn.nextBlock++
-	pl, err := nn.policy.Place(id)
+	defer nn.serialSection()()
+	id := topology.BlockID(nn.nextBlock.Add(1) - 1)
+
+	var sh *placementShard
+	core := topology.RackID(-1)
+	if nn.routeByRack {
+		core = topology.RackID(nn.draw() % uint64(len(nn.shards)))
+		sh = nn.shards[core]
+	} else {
+		sh = nn.shards[nn.draw()%uint64(len(nn.shards))]
+	}
+
+	sh.mu.Lock()
+	t0 := time.Now()
+	var pl topology.Placement
+	var err error
+	if core >= 0 {
+		pl, err = sh.policy.(rackPlacer).PlaceAt(id, core)
+	} else {
+		pl, err = sh.policy.Place(id)
+	}
+	elapsed := time.Since(t0)
 	if err != nil {
-		nn.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
+	attempts := 1
+	if ac, ok := sh.policy.(attemptCounter); ok {
+		if a := ac.LastPlaceAttempts(); a > 0 {
+			attempts = a
+		}
+	}
+	sealed := sh.policy.TakeSealed()
+
 	meta := &BlockMeta{ID: id, Size: size, Nodes: append([]topology.NodeID(nil), pl.Nodes...), Stripe: -1}
-	nn.blocks[id] = meta
+	bs := nn.blockShardFor(id)
+	bs.mu.Lock()
+	bs.blocks[id] = meta
+	bs.mu.Unlock()
 	out := cloneBlockMeta(meta)
-	nn.mu.Unlock()
-	ev := events.New(events.BlockAllocated, "namenode")
-	ev.Block = id
-	ev.Bytes = int64(size)
-	ev.Nodes = append([]topology.NodeID(nil), out.Nodes...)
-	nn.journal().Publish(ev)
+
+	// Publish the allocation before releasing the placement shard: a later
+	// allocation on this shard may seal a stripe containing this block, and
+	// that stripe's StripeGrouped event must trail every member's
+	// BlockAllocated event in the journal.
+	if j := nn.journal(); j != nil {
+		ev := events.New(events.BlockAllocated, "namenode")
+		ev.Block = id
+		ev.Bytes = int64(size)
+		ev.Nodes = append([]topology.NodeID(nil), out.Nodes...)
+		j.Publish(ev)
+	}
+	sh.mu.Unlock()
+
+	if len(sealed) > 0 {
+		pending := make([]events.Event, 0, len(sealed))
+		nn.mu.Lock()
+		for _, s := range sealed {
+			pending = append(pending, nn.registerStripeLocked(s))
+		}
+		nn.mu.Unlock()
+		nn.publishAll(pending)
+	}
+	if m := nn.metrics(); m != nil {
+		m.allocOps.Inc()
+		m.attemptNs.Observe(float64(elapsed.Nanoseconds()) / float64(attempts))
+	}
 	return out, nil
 }
 
@@ -133,35 +357,41 @@ func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 // block becomes eligible for stripe grouping (EAR sealed the stripe at
 // placement time; RR blocks queue for RaidNode grouping).
 func (nn *NameNode) CommitBlock(id topology.BlockID) error {
-	nn.mu.Lock()
-	meta, ok := nn.blocks[id]
+	defer nn.serialSection()()
+	bs := nn.blockShardFor(id)
+	bs.mu.Lock()
+	meta, ok := bs.blocks[id]
 	if !ok {
-		nn.mu.Unlock()
+		bs.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	if meta.Aborted {
-		nn.mu.Unlock()
+		bs.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d aborted", id)
 	}
 	meta.Committed = true
-	pending := []events.Event{func() events.Event {
+	j := nn.journal()
+	var nodes []topology.NodeID
+	if j != nil {
+		nodes = append(nodes, meta.Nodes...)
+	}
+	bs.mu.Unlock()
+
+	if nn.policyName == "rr" {
+		nn.rrMu.Lock()
+		nn.rrPending = append(nn.rrPending, id)
+		nn.rrMu.Unlock()
+	}
+	if j != nil {
 		ev := events.New(events.BlockCommitted, "namenode")
 		ev.Block = id
-		ev.Nodes = append([]topology.NodeID(nil), meta.Nodes...)
-		return ev
-	}()}
-	for _, s := range nn.policy.TakeSealed() {
-		pending = append(pending, nn.registerStripeLocked(s))
+		ev.Nodes = nodes
+		j.Publish(ev)
 	}
-	if nn.policy.Name() == "rr" {
-		nn.rrPending = append(nn.rrPending, id)
-	}
-	nn.mu.Unlock()
-	nn.publishAll(pending)
 	return nil
 }
 
-// publishAll publishes events gathered under the lock, in order.
+// publishAll publishes events gathered under a lock, in order.
 func (nn *NameNode) publishAll(evs []events.Event) {
 	j := nn.journal()
 	if j == nil {
@@ -179,19 +409,21 @@ func (nn *NameNode) publishAll(evs []events.Event) {
 // an aborted member simply contributes zeros at encode time, exactly like
 // the zero-padding of short stripes. Aborting a committed block is an error.
 func (nn *NameNode) AbortBlock(id topology.BlockID) error {
-	nn.mu.Lock()
-	meta, ok := nn.blocks[id]
+	defer nn.serialSection()()
+	bs := nn.blockShardFor(id)
+	bs.mu.Lock()
+	meta, ok := bs.blocks[id]
 	if !ok {
-		nn.mu.Unlock()
+		bs.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	if meta.Committed {
-		nn.mu.Unlock()
+		bs.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d already committed", id)
 	}
 	meta.Aborted = true
 	meta.Nodes = nil
-	nn.mu.Unlock()
+	bs.mu.Unlock()
 	ev := events.New(events.BlockAborted, "namenode")
 	ev.Block = id
 	nn.journal().Publish(ev)
@@ -200,16 +432,19 @@ func (nn *NameNode) AbortBlock(id topology.BlockID) error {
 
 // registerStripeLocked assigns the next stripe ID, stores the stripe, and
 // returns the StripeGrouped event for the caller to publish once nn.mu is
-// released.
+// released. Caller holds nn.mu.
 func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Event {
 	info.ID = nn.nextStripe
 	nn.nextStripe++
 	nn.stripes[info.ID] = &StripeMeta{Info: info}
 	nn.preEncoding = append(nn.preEncoding, info)
 	for _, b := range info.Blocks {
-		if meta, ok := nn.blocks[b]; ok {
+		bs := nn.blockShardFor(b)
+		bs.mu.Lock()
+		if meta, ok := bs.blocks[b]; ok {
 			meta.Stripe = info.ID
 		}
+		bs.mu.Unlock()
 	}
 	ev := events.New(events.StripeGrouped, "namenode")
 	ev.Stripe = info.ID
@@ -222,24 +457,38 @@ func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Even
 // groups pending blocks k at a time with no placement knowledge, exactly as
 // HDFS-RAID's RaidNode does. Incomplete groups stay queued.
 func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
-	nn.mu.Lock()
+	defer nn.serialSection()()
 	var pending []events.Event
-	if nn.policy.Name() == "rr" && len(nn.rrPending) >= nn.cfg.K {
-		placements := make(map[topology.BlockID]topology.Placement, len(nn.rrPending))
-		for _, b := range nn.rrPending {
-			meta := nn.blocks[b]
-			placements[b] = topology.Placement{Block: b, Nodes: meta.Nodes}
+	var groups []*placement.StripeInfo
+	if nn.policyName == "rr" {
+		nn.rrMu.Lock()
+		if len(nn.rrPending) >= nn.cfg.K {
+			placements := make(map[topology.BlockID]topology.Placement, len(nn.rrPending))
+			for _, b := range nn.rrPending {
+				bs := nn.blockShardFor(b)
+				bs.mu.RLock()
+				meta, ok := bs.blocks[b]
+				if !ok {
+					bs.mu.RUnlock()
+					nn.rrMu.Unlock()
+					return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, b)
+				}
+				placements[b] = topology.Placement{Block: b, Nodes: append([]topology.NodeID(nil), meta.Nodes...)}
+				bs.mu.RUnlock()
+			}
+			var err error
+			groups, err = placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
+			if err != nil {
+				nn.rrMu.Unlock()
+				return nil, err
+			}
+			nn.rrPending = nn.rrPending[len(groups)*nn.cfg.K:]
 		}
-		groups, err := placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
-		if err != nil {
-			nn.mu.Unlock()
-			return nil, err
-		}
-		grouped := len(groups) * nn.cfg.K
-		nn.rrPending = nn.rrPending[grouped:]
-		for _, g := range groups {
-			pending = append(pending, nn.registerStripeLocked(g))
-		}
+		nn.rrMu.Unlock()
+	}
+	nn.mu.Lock()
+	for _, g := range groups {
+		pending = append(pending, nn.registerStripeLocked(g))
 	}
 	out := nn.preEncoding
 	nn.preEncoding = nil
@@ -251,11 +500,14 @@ func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
 // PendingStripeCount reports how many sealed stripes await encoding
 // (including, under RR, the full groups formable from pending blocks).
 func (nn *NameNode) PendingStripeCount() int {
+	defer nn.serialSection()()
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	n := len(nn.preEncoding)
-	if nn.policy.Name() == "rr" {
+	nn.mu.Unlock()
+	if nn.policyName == "rr" {
+		nn.rrMu.Lock()
 		n += len(nn.rrPending) / nn.cfg.K
+		nn.rrMu.Unlock()
 	}
 	return n
 }
@@ -270,14 +522,20 @@ type flusher interface {
 // (short stripes are zero-padded at encode time). Under RR it is a no-op:
 // leftover blocks smaller than one stripe stay replicated.
 func (nn *NameNode) FlushOpenStripes() int {
-	nn.mu.Lock()
-	f, ok := nn.policy.(flusher)
-	if !ok {
-		nn.mu.Unlock()
+	defer nn.serialSection()()
+	var flushed []*placement.StripeInfo
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		if f, ok := sh.policy.(flusher); ok {
+			flushed = append(flushed, f.FlushOpen()...)
+		}
+		sh.mu.Unlock()
+	}
+	if len(flushed) == 0 {
 		return 0
 	}
-	flushed := f.FlushOpen()
 	pending := make([]events.Event, 0, len(flushed))
+	nn.mu.Lock()
 	for _, s := range flushed {
 		pending = append(pending, nn.registerStripeLocked(s))
 	}
@@ -288,6 +546,7 @@ func (nn *NameNode) FlushOpenStripes() int {
 
 // PlanStripe computes the post-encoding layout for a stripe.
 func (nn *NameNode) PlanStripe(info *placement.StripeInfo) (*placement.PostEncodingPlan, error) {
+	defer nn.serialSection()()
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	plan, err := placement.PlanPostEncoding(nn.cfg, info, nn.rng)
@@ -309,29 +568,36 @@ func (nn *NameNode) SetPlanOverrideForTest(fn func(*placement.StripeInfo, *place
 }
 
 // CommitEncoding records the outcome of an encoding operation: every data
-// block keeps a single replica and the stripe stores its plan.
+// block keeps a single replica and the stripe stores its plan (a private
+// copy, so the caller's plan never aliases NameNode state).
 func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEncodingPlan) error {
+	defer nn.serialSection()()
 	nn.mu.Lock()
 	sm, ok := nn.stripes[id]
 	if !ok {
 		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
-	sm.Plan = plan
-	sm.Encoded = true
 	for i, b := range sm.Info.Blocks {
-		meta, ok := nn.blocks[b]
+		bs := nn.blockShardFor(b)
+		bs.mu.Lock()
+		meta, ok := bs.blocks[b]
 		if !ok {
+			bs.mu.Unlock()
 			nn.mu.Unlock()
 			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, id)
 		}
 		if meta.Aborted {
 			// Aborted members encoded as zeros; they keep no replica.
+			bs.mu.Unlock()
 			continue
 		}
 		meta.Nodes = []topology.NodeID{plan.Keep[i]}
 		meta.Encoded = true
+		bs.mu.Unlock()
 	}
+	sm.Plan = plan.Clone()
+	sm.Encoded = true
 	nn.mu.Unlock()
 	ev := events.New(events.StripeEncoded, "namenode")
 	ev.Stripe = id
@@ -342,62 +608,74 @@ func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEnc
 
 // Block returns a copy of the block's metadata.
 func (nn *NameNode) Block(id topology.BlockID) (*BlockMeta, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	meta, ok := nn.blocks[id]
+	defer nn.serialSection()()
+	bs := nn.blockShardFor(id)
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	meta, ok := bs.blocks[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	return cloneBlockMeta(meta), nil
 }
 
-// Stripe returns the stripe metadata (shared pointers; callers must not
-// mutate).
+// Stripe returns a deep copy of the stripe metadata, safe to retain and read
+// while concurrent operations (UpdateParityLocation, CommitEncoding) mutate
+// the authoritative record.
 func (nn *NameNode) Stripe(id topology.StripeID) (*StripeMeta, error) {
+	defer nn.serialSection()()
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	sm, ok := nn.stripes[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
-	return sm, nil
+	return cloneStripeMeta(sm), nil
 }
 
-// EncodedStripes lists the IDs of stripes that completed encoding.
+// EncodedStripes lists the IDs of stripes that completed encoding, in
+// ascending order.
 func (nn *NameNode) EncodedStripes() []topology.StripeID {
+	defer nn.serialSection()()
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	out := make([]topology.StripeID, 0, len(nn.stripes))
 	for id, sm := range nn.stripes {
 		if sm.Encoded {
 			out = append(out, id)
 		}
 	}
+	nn.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // LiveReplicas returns the block's replica nodes that are not dead.
 func (nn *NameNode) LiveReplicas(id topology.BlockID) ([]topology.NodeID, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	meta, ok := nn.blocks[id]
+	defer nn.serialSection()()
+	bs := nn.blockShardFor(id)
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	meta, ok := bs.blocks[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	live := make([]topology.NodeID, 0, len(meta.Nodes))
+	nn.deadMu.RLock()
 	for _, n := range meta.Nodes {
 		if !nn.dead[n] {
 			live = append(live, n)
 		}
 	}
+	nn.deadMu.RUnlock()
 	return live, nil
 }
 
 // MarkDead declares a node failed; its replicas become unreadable.
 func (nn *NameNode) MarkDead(n topology.NodeID) {
-	nn.mu.Lock()
+	defer nn.serialSection()()
+	nn.deadMu.Lock()
 	nn.dead[n] = true
-	nn.mu.Unlock()
+	nn.deadMu.Unlock()
 	ev := events.New(events.NodeDead, "namenode")
 	ev.Node = n
 	nn.journal().Publish(ev)
@@ -406,9 +684,10 @@ func (nn *NameNode) MarkDead(n topology.NodeID) {
 // MarkAlive reverses MarkDead: the node rejoins the cluster (its stale
 // replicas are assumed invalidated by the rejoin protocol).
 func (nn *NameNode) MarkAlive(n topology.NodeID) {
-	nn.mu.Lock()
+	defer nn.serialSection()()
+	nn.deadMu.Lock()
 	delete(nn.dead, n)
-	nn.mu.Unlock()
+	nn.deadMu.Unlock()
 	ev := events.New(events.NodeAlive, "namenode")
 	ev.Node = n
 	nn.journal().Publish(ev)
@@ -416,17 +695,20 @@ func (nn *NameNode) MarkAlive(n topology.NodeID) {
 
 // IsDead reports whether the node failed.
 func (nn *NameNode) IsDead(n topology.NodeID) bool {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	defer nn.serialSection()()
+	nn.deadMu.RLock()
+	defer nn.deadMu.RUnlock()
 	return nn.dead[n]
 }
 
 // UpdateBlockLocation rewrites a block's replica set (used by the
 // BlockMover and by repair).
 func (nn *NameNode) UpdateBlockLocation(id topology.BlockID, nodes []topology.NodeID) error {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	meta, ok := nn.blocks[id]
+	defer nn.serialSection()()
+	bs := nn.blockShardFor(id)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	meta, ok := bs.blocks[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
@@ -437,6 +719,7 @@ func (nn *NameNode) UpdateBlockLocation(id topology.BlockID, nodes []topology.No
 // UpdateParityLocation rewrites the location of one parity block of a
 // stripe (used by the BlockMover).
 func (nn *NameNode) UpdateParityLocation(id topology.StripeID, idx int, node topology.NodeID) error {
+	defer nn.serialSection()()
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	sm, ok := nn.stripes[id]
@@ -452,9 +735,15 @@ func (nn *NameNode) UpdateParityLocation(id topology.StripeID, idx int, node top
 
 // BlockCount returns the number of allocated blocks.
 func (nn *NameNode) BlockCount() int {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	return len(nn.blocks)
+	defer nn.serialSection()()
+	n := 0
+	for i := range nn.blockTab {
+		bs := &nn.blockTab[i]
+		bs.mu.RLock()
+		n += len(bs.blocks)
+		bs.mu.RUnlock()
+	}
+	return n
 }
 
 func cloneBlockMeta(m *BlockMeta) *BlockMeta {

@@ -1,0 +1,103 @@
+package hdfs
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ear/internal/placement"
+	"ear/internal/topology"
+)
+
+// benchPlacementConfig is a mid-size cluster (16 racks x 8 nodes) so the
+// sharded NameNode has enough placement shards to spread goroutines across.
+func benchPlacementConfig(b *testing.B) placement.Config {
+	b.Helper()
+	top, err := topology.New(16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return placement.Config{Topology: top, Replicas: 3, K: 6, N: 9, C: 1}
+}
+
+// BenchmarkAllocateBlock compares the new metadata path against the seed's.
+// "seed" is a faithful emulation of the pre-PR NameNode: every operation
+// behind one global mutex (SerializeMetadata) and every candidate layout
+// checked by cloning the stripe's flow graph and recomputing max flow from
+// scratch (FullRecompute). "sharded" is this PR: per-core-rack placement
+// shards, striped block table, and rollback-based incremental feasibility.
+// "serialized" isolates just the locking axis (incremental flow, one mutex).
+// The headline number is seed/parallel vs sharded/parallel; on a single-core
+// host the ratio reflects per-op cost only, on multi-core it compounds with
+// the removed lock contention.
+func BenchmarkAllocateBlock(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		serialize bool
+		recompute bool
+	}{
+		{"sharded", false, false},
+		{"serialized", true, false},
+		{"seed", true, true},
+	} {
+		newNN := func(b *testing.B) *NameNode {
+			cfg := benchPlacementConfig(b)
+			cfg.FullRecompute = mode.recompute
+			nn, err := NewShardedNameNode(cfg, "ear", 1, mode.serialize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return nn
+		}
+		b.Run(mode.name+"/serial", func(b *testing.B) {
+			nn := newNN(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.AllocateBlock(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(mode.name+"/parallel", func(b *testing.B) {
+			nn := newNN(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := nn.AllocateBlock(1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCommitBlock measures the block-table striped-lock path alone.
+func BenchmarkCommitBlock(b *testing.B) {
+	nn, err := NewShardedNameNode(benchPlacementConfig(b), "ear", 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]topology.BlockID, b.N)
+	for i := 0; i < b.N; i++ {
+		meta, err := nn.AllocateBlock(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = meta.ID
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1) - 1
+			if err := nn.CommitBlock(ids[i]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -571,11 +571,7 @@ func (r *RaidNode) BlockMoverCtx(ctx context.Context) (moved int, movedBytes int
 	for _, id := range bad {
 		id := id
 		g.Go(func() error {
-			sm, err := r.c.nn.Stripe(id)
-			if err != nil {
-				return err
-			}
-			n, b, err := r.fixStripe(gctx, sm)
+			n, b, err := r.fixStripe(gctx, id)
 			mu.Lock()
 			moved += n
 			movedBytes += b
@@ -589,8 +585,11 @@ func (r *RaidNode) BlockMoverCtx(ctx context.Context) (moved int, movedBytes int
 	return moved, movedBytes, nil
 }
 
-// fixStripe moves excess blocks of one stripe out of over-full racks.
-func (r *RaidNode) fixStripe(ctx context.Context, sm *StripeMeta) (int, int64, error) {
+// fixStripe moves excess blocks of one stripe out of over-full racks. It
+// re-fetches the stripe metadata every round: Stripe returns a snapshot, and
+// each relocation (UpdateParityLocation in particular) changes the
+// authoritative layout the next round must see.
+func (r *RaidNode) fixStripe(ctx context.Context, id topology.StripeID) (int, int64, error) {
 	moved := 0
 	var movedBytes int64
 	maxPerRack := r.c.cfg.C
@@ -598,6 +597,10 @@ func (r *RaidNode) fixStripe(ctx context.Context, sm *StripeMeta) (int, int64, e
 		maxPerRack = 1
 	}
 	for {
+		sm, err := r.c.nn.Stripe(id)
+		if err != nil {
+			return moved, movedBytes, err
+		}
 		layout, err := r.currentLayout(sm)
 		if err != nil {
 			return moved, movedBytes, err

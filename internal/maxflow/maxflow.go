@@ -21,9 +21,17 @@ type Graph struct {
 	heads [][]int // heads[v] lists indices into edges
 	edges []edge
 
-	// scratch reused across MaxFlow calls
-	level []int
-	iter  []int
+	// scratch reused across MaxFlow/AugmentOne calls
+	level  []int
+	iter   []int
+	queue  []int
+	parent []int // incoming edge id per vertex during AugmentOne's BFS
+
+	// undo journals capacity mutations while a checkpoint is outstanding so
+	// Rollback can restore flow pushed since Checkpoint. recording counts
+	// outstanding checkpoints.
+	undo      []undoEntry
+	recording int
 }
 
 type edge struct {
@@ -32,16 +40,23 @@ type edge struct {
 	rev int // index of the reverse edge in heads[to]
 }
 
+// undoEntry records one edge's capacity before a mutation.
+type undoEntry struct {
+	id  int
+	cap int64
+}
+
 // NewGraph returns an empty flow network with n vertices.
 func NewGraph(n int) (*Graph, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("maxflow: graph must have positive vertex count, got %d", n)
 	}
 	return &Graph{
-		n:     n,
-		heads: make([][]int, n),
-		level: make([]int, n),
-		iter:  make([]int, n),
+		n:      n,
+		heads:  make([][]int, n),
+		level:  make([]int, n),
+		iter:   make([]int, n),
+		parent: make([]int, n),
 	}, nil
 }
 
@@ -50,18 +65,167 @@ func (g *Graph) N() int { return g.n }
 
 // Clone returns a deep copy of the graph including any residual flow state,
 // so a caller can tentatively add edges and push flow without committing.
+// Outstanding checkpoints are not carried over; prefer Checkpoint/Rollback,
+// which avoid the O(V+E) copy entirely.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		n:     g.n,
-		heads: make([][]int, g.n),
-		edges: append([]edge(nil), g.edges...),
-		level: make([]int, g.n),
-		iter:  make([]int, g.n),
+		n:      g.n,
+		heads:  make([][]int, g.n),
+		edges:  append([]edge(nil), g.edges...),
+		level:  make([]int, g.n),
+		iter:   make([]int, g.n),
+		parent: make([]int, g.n),
 	}
 	for v, hs := range g.heads {
 		c.heads[v] = append([]int(nil), hs...)
 	}
 	return c
+}
+
+// Reset empties the graph in place — no edges, no flow, no outstanding
+// checkpoints — while keeping the vertex count and all allocated adjacency
+// storage, so rebuilding a same-shaped network costs no allocations.
+func (g *Graph) Reset() {
+	for v := range g.heads {
+		g.heads[v] = g.heads[v][:0]
+	}
+	g.edges = g.edges[:0]
+	g.undo = g.undo[:0]
+	g.recording = 0
+}
+
+// Checkpoint marks the current graph state — edge set and residual
+// capacities — for a later Rollback. While at least one checkpoint is
+// outstanding every capacity mutation is journaled (O(1) per push), so
+// tentatively adding edges and pushing flow costs nothing to undo: this is
+// what makes EAR's per-candidate feasibility check zero-clone. Checkpoints
+// nest LIFO: release each one with either Rollback or Commit.
+func (g *Graph) Checkpoint() Checkpoint {
+	g.recording++
+	return Checkpoint{edges: len(g.edges), undoLen: len(g.undo)}
+}
+
+// Checkpoint is a restore point created by Graph.Checkpoint.
+type Checkpoint struct {
+	edges   int
+	undoLen int
+}
+
+// Rollback restores the graph to the given checkpoint: flow pushed since the
+// checkpoint is undone and edges added since are removed. Checkpoints must
+// be released newest-first.
+func (g *Graph) Rollback(ck Checkpoint) error {
+	if g.recording <= 0 {
+		return errors.New("maxflow: no outstanding checkpoint")
+	}
+	if ck.edges > len(g.edges) || ck.undoLen > len(g.undo) {
+		return errors.New("maxflow: checkpoint released out of order")
+	}
+	// Undo capacity mutations newest-first. Entries touching edges beyond
+	// ck.edges are redundant (the edges are truncated below) but harmless.
+	for i := len(g.undo) - 1; i >= ck.undoLen; i-- {
+		u := g.undo[i]
+		if u.id < len(g.edges) {
+			g.edges[u.id].cap = u.cap
+		}
+	}
+	g.undo = g.undo[:ck.undoLen]
+	// Drop appended edges. Edge ids were appended in order, so popping the
+	// owner's adjacency list tail in reverse id order removes exactly them.
+	for id := len(g.edges) - 1; id >= ck.edges; id-- {
+		owner := g.edges[g.edges[id].rev].to
+		g.heads[owner] = g.heads[owner][:len(g.heads[owner])-1]
+	}
+	g.edges = g.edges[:ck.edges]
+	g.recording--
+	return nil
+}
+
+// Commit releases the checkpoint keeping all changes made since. The undo
+// journal is retained while outer checkpoints remain outstanding and cleared
+// when the last one is released.
+func (g *Graph) Commit(ck Checkpoint) error {
+	return g.release(ck)
+}
+
+// release validates and retires one checkpoint level.
+func (g *Graph) release(ck Checkpoint) error {
+	if g.recording <= 0 {
+		return errors.New("maxflow: no outstanding checkpoint")
+	}
+	if ck.edges > len(g.edges) || ck.undoLen > len(g.undo) {
+		return errors.New("maxflow: checkpoint released out of order")
+	}
+	g.recording--
+	if g.recording == 0 {
+		g.undo = g.undo[:0]
+	}
+	return nil
+}
+
+// push moves d units of flow through edge id, journaling the prior
+// capacities while a checkpoint is outstanding.
+func (g *Graph) push(id int, d int64) {
+	e := &g.edges[id]
+	rev := &g.edges[e.rev]
+	if g.recording > 0 {
+		g.undo = append(g.undo, undoEntry{id: id, cap: e.cap}, undoEntry{id: e.rev, cap: rev.cap})
+	}
+	e.cap -= d
+	rev.cap += d
+}
+
+// AugmentOne searches for a single s-t augmenting path in the residual graph
+// (plain BFS, shortest path) and pushes its bottleneck flow, returning the
+// amount pushed — 0 when s and t are disconnected in the residual graph.
+// When at most one unit of additional flow is possible — EAR's case, where a
+// new block vertex hangs off the source by a unit-capacity edge — one call
+// decides feasibility without re-running the full blocking-flow search.
+func (g *Graph) AugmentOne(s, t int) (int64, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return 0, fmt.Errorf("%w: flow %d -> %d in graph of %d", ErrInvalidVertex, s, t, g.n)
+	}
+	if s == t {
+		return 0, errors.New("maxflow: source equals sink")
+	}
+	for i := range g.parent {
+		g.parent[i] = -1
+	}
+	g.queue = g.queue[:0]
+	g.queue = append(g.queue, s)
+	g.parent[s] = -2 // any non-(-1) sentinel: s is never relaxed again
+	found := false
+bfs:
+	for qi := 0; qi < len(g.queue); qi++ {
+		v := g.queue[qi]
+		for _, id := range g.heads[v] {
+			e := g.edges[id]
+			if e.cap <= 0 || g.parent[e.to] != -1 {
+				continue
+			}
+			g.parent[e.to] = id
+			if e.to == t {
+				found = true
+				break bfs
+			}
+			g.queue = append(g.queue, e.to)
+		}
+	}
+	if !found {
+		return 0, nil
+	}
+	bottleneck := int64(math.MaxInt64)
+	for v := t; v != s; {
+		id := g.parent[v]
+		bottleneck = min64(bottleneck, g.edges[id].cap)
+		v = g.edges[g.edges[id].rev].to
+	}
+	for v := t; v != s; {
+		id := g.parent[v]
+		g.push(id, bottleneck)
+		v = g.edges[g.edges[id].rev].to
+	}
+	return bottleneck, nil
 }
 
 // AddEdge adds a directed edge from -> to with the given capacity and
@@ -104,7 +268,11 @@ func (g *Graph) MaxFlow(s, t int) (int64, error) {
 	}
 	var flow int64
 	for g.bfs(s, t) {
-		copy(g.iter, zeroes(g.n))
+		// Clear the reusable iterator scratch in place; allocating a fresh
+		// zero slice per blocking-flow phase defeated the scratch reuse.
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
 		for {
 			f := g.dfs(s, t, math.MaxInt64)
 			if f == 0 {
@@ -116,24 +284,21 @@ func (g *Graph) MaxFlow(s, t int) (int64, error) {
 	return flow, nil
 }
 
-func zeroes(n int) []int { return make([]int, n) }
-
 // bfs builds the level graph; returns false when t is unreachable.
 func (g *Graph) bfs(s, t int) bool {
 	for i := range g.level {
 		g.level[i] = -1
 	}
-	queue := make([]int, 0, g.n)
+	g.queue = g.queue[:0]
 	g.level[s] = 0
-	queue = append(queue, s)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	g.queue = append(g.queue, s)
+	for qi := 0; qi < len(g.queue); qi++ {
+		v := g.queue[qi]
 		for _, id := range g.heads[v] {
 			e := g.edges[id]
 			if e.cap > 0 && g.level[e.to] < 0 {
 				g.level[e.to] = g.level[v] + 1
-				queue = append(queue, e.to)
+				g.queue = append(g.queue, e.to)
 			}
 		}
 	}
@@ -153,8 +318,7 @@ func (g *Graph) dfs(v, t int, f int64) int64 {
 		}
 		d := g.dfs(e.to, t, min64(f, e.cap))
 		if d > 0 {
-			e.cap -= d
-			g.edges[e.rev].cap += d
+			g.push(id, d)
 			return d
 		}
 	}

@@ -304,3 +304,211 @@ func TestPropertyFlowConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// snapshotFlows captures the flow on every forward edge of the graph.
+func snapshotFlows(t *testing.T, g *Graph) []int64 {
+	t.Helper()
+	var out []int64
+	for id := 0; ; id += 2 {
+		f, err := g.EdgeFlow(id)
+		if err != nil {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+func TestCheckpointRollbackRestoresFlowAndEdges(t *testing.T) {
+	g, err := NewGraph(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> {1,2} -> {3,4} -> 5 with unit capacities: max flow 2.
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 5}} {
+		if _, err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f, err := g.MaxFlow(0, 5); err != nil || f != 2 {
+		t.Fatalf("MaxFlow = %d, %v; want 2", f, err)
+	}
+	before := snapshotFlows(t, g)
+
+	ck := g.Checkpoint()
+	// Tentatively wire in a new path 0 -> 1 ... 1 -> 5 and push flow.
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gain, err := g.AugmentOne(0, 5); err != nil || gain != 1 {
+		t.Fatalf("AugmentOne = %d, %v; want 1", gain, err)
+	}
+	if err := g.Rollback(ck); err != nil {
+		t.Fatal(err)
+	}
+
+	after := snapshotFlows(t, g)
+	if len(after) != len(before) {
+		t.Fatalf("edge count after rollback = %d, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("edge %d flow = %d after rollback, want %d", 2*i, after[i], before[i])
+		}
+	}
+	// The rolled-back graph is fully functional: no extra flow possible, and
+	// new edges can still be added and committed.
+	if f, err := g.MaxFlow(0, 5); err != nil || f != 0 {
+		t.Fatalf("MaxFlow after rollback = %d, %v; want 0", f, err)
+	}
+	ck2 := g.Checkpoint()
+	if _, err := g.AddEdge(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gain, err := g.AugmentOne(0, 5); err != nil || gain != 0 {
+		t.Fatalf("AugmentOne over saturated sink edges = %d, %v; want 0", gain, err)
+	}
+	if err := g.Commit(ck2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(ck2); err == nil {
+		t.Fatal("double release of checkpoint not rejected")
+	}
+}
+
+func TestCheckpointNestingLIFO(t *testing.T) {
+	g, err := NewGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.AddEdge(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	outer := g.Checkpoint()
+	if gain, err := g.AugmentOne(0, 2); err != nil || gain != 2 {
+		t.Fatalf("AugmentOne = %d, %v; want 2", gain, err)
+	}
+	inner := g.Checkpoint()
+	if _, err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gain, err := g.AugmentOne(0, 2); err != nil || gain != 1 {
+		t.Fatalf("AugmentOne = %d, %v; want 1", gain, err)
+	}
+	if err := g.Commit(inner); err != nil {
+		t.Fatal(err)
+	}
+	// Rolling back the outer checkpoint undoes the inner committed changes
+	// too: LIFO nesting, commit only pins changes relative to inner scopes.
+	if err := g.Rollback(outer); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := g.EdgeFlow(id); err != nil || f != 0 {
+		t.Fatalf("edge flow after outer rollback = %d, %v; want 0", f, err)
+	}
+	if f, err := g.MaxFlow(0, 2); err != nil || f != 2 {
+		t.Fatalf("MaxFlow after outer rollback = %d, %v; want 2", f, err)
+	}
+}
+
+// TestAugmentOneMatchesMaxFlowIncrement grows a random bipartite-ish graph
+// edge by edge and checks AugmentOne agrees with a full MaxFlow recompute on
+// a cloned graph at every step.
+func TestAugmentOneMatchesMaxFlowIncrement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(10)
+		g, err := NewGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for step := 0; step < 30; step++ {
+			from, to := rng.Intn(n-1), 1+rng.Intn(n-1)
+			if from == to {
+				continue
+			}
+			if _, err := g.AddEdge(from, to, int64(1+rng.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+			// Reference: full recompute from scratch on a clone.
+			ref := g.Clone()
+			// Clear accumulated flow by rebuilding: instead compute the
+			// incremental gain on the live graph both ways.
+			want, err := ref.MaxFlow(0, n-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got int64
+			for {
+				gain, err := g.AugmentOne(0, n-1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gain == 0 {
+					break
+				}
+				got += gain
+			}
+			if got != want {
+				t.Fatalf("trial %d step %d: AugmentOne total gain %d, MaxFlow gain %d", trial, step, got, want)
+			}
+			total += got
+		}
+		_ = total
+	}
+}
+
+// TestMaxFlowScratchReuse verifies repeated solves on a warm graph allocate
+// nothing: the level/iter/queue scratch is cleared in place, not reallocated.
+func TestMaxFlowScratchReuse(t *testing.T) {
+	g, err := NewGraph(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := g.AddEdge(i, i+1, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.MaxFlow(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := g.MaxFlow(0, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MaxFlow on a warm graph allocates %.1f times per run, want 0", allocs)
+	}
+	ck := g.Checkpoint()
+	defer g.Rollback(ck)
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := g.AugmentOne(0, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AugmentOne on a warm graph allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRollbackWithoutCheckpointErrors(t *testing.T) {
+	g, err := NewGraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Rollback(Checkpoint{}); err == nil {
+		t.Error("Rollback with no outstanding checkpoint not rejected")
+	}
+	if err := g.Commit(Checkpoint{}); err == nil {
+		t.Error("Commit with no outstanding checkpoint not rejected")
+	}
+}

@@ -24,6 +24,15 @@ type EAR struct {
 	open map[topology.RackID]*openStripe
 	// sealed holds completed stripes not yet drained by TakeSealed.
 	sealed []*StripeInfo
+	// racks caches the full rack list; scratch backs candidate layout
+	// generation so rejected candidates allocate nothing.
+	racks        []topology.RackID
+	scratch      layoutScratch
+	lastAttempts int
+	// flowPool recycles the flow state of sealed stripes: once a stripe
+	// seals, nothing reads its graph again, so the next open stripe reuses
+	// the adjacency storage instead of rebuilding it from zero.
+	flowPool []*stripeFlow
 }
 
 // openStripe tracks an in-progress stripe together with its incremental
@@ -47,12 +56,19 @@ func NewEAR(cfg Config, rng *rand.Rand) (*EAR, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil rng", ErrInvalidConfig)
 	}
+	cfg = cfg.withDefaults()
 	return &EAR{
-		cfg:  cfg.withDefaults(),
-		rng:  rng,
-		open: make(map[topology.RackID]*openStripe),
+		cfg:   cfg,
+		rng:   rng,
+		open:  make(map[topology.RackID]*openStripe),
+		racks: allRacks(cfg.Topology),
 	}, nil
 }
+
+// LastPlaceAttempts reports how many candidate layouts the most recent
+// Place/PlaceAt call generated before accepting one (Theorem 1's iteration
+// count); 0 before the first call.
+func (p *EAR) LastPlaceAttempts() int { return p.lastAttempts }
 
 // Name returns "ear" (or "ear-preliminary").
 func (p *EAR) Name() string {
@@ -91,9 +107,18 @@ func (p *EAR) PlaceAt(block topology.BlockID, core topology.RackID) (topology.Pl
 	os.info.Iterations = append(os.info.Iterations, iters)
 	if len(os.info.Blocks) == p.cfg.K {
 		p.sealed = append(p.sealed, os.info)
+		p.recycleFlow(os)
 		delete(p.open, core)
 	}
 	return pl, nil
+}
+
+// recycleFlow returns a sealed stripe's flow state to the pool.
+func (p *EAR) recycleFlow(os *openStripe) {
+	if os.flow != nil {
+		p.flowPool = append(p.flowPool, os.flow)
+		os.flow = nil
+	}
 }
 
 // TakeSealed drains and returns stripes completed since the previous call.
@@ -110,6 +135,7 @@ func (p *EAR) FlushOpen() []*StripeInfo {
 	out := make([]*StripeInfo, 0, len(p.open))
 	for r, os := range p.open {
 		out = append(out, os.info)
+		p.recycleFlow(os)
 		delete(p.open, r)
 	}
 	return out
@@ -135,11 +161,19 @@ func (p *EAR) openFor(core topology.RackID) (*openStripe, error) {
 	}
 	os := &openStripe{info: info}
 	if !p.cfg.Preliminary && !p.cfg.FullRecompute {
-		f, err := newStripeFlow(p.cfg, info)
-		if err != nil {
-			return nil, err
+		if n := len(p.flowPool); n > 0 {
+			f := p.flowPool[n-1]
+			p.flowPool[n-1] = nil
+			p.flowPool = p.flowPool[:n-1]
+			f.reset(info)
+			os.flow = f
+		} else {
+			f, err := newStripeFlow(p.cfg, info)
+			if err != nil {
+				return nil, err
+			}
+			os.flow = f
 		}
-		os.flow = f
 	}
 	p.open[core] = os
 	return os, nil
@@ -152,31 +186,35 @@ func (p *EAR) remoteRacks(info *StripeInfo) []topology.RackID {
 	if len(info.Targets) > 0 {
 		return info.Targets
 	}
-	return allRacks(p.cfg.Topology)
+	return p.racks
 }
 
 // placeInStripe generates candidate layouts for the block until the
 // stripe's flow graph accepts one (Section III-C step 5), returning the
 // layout and the number of candidates generated (Theorem 1's iteration
 // count).
+// Candidate layouts live in p.scratch; the accepted one is cloned once into
+// owned memory, so a rejected candidate costs no allocation at steady state.
 func (p *EAR) placeInStripe(os *openStripe, block topology.BlockID) ([]topology.NodeID, int, error) {
 	info := os.info
 	i := len(info.Blocks) + 1 // this block's 1-based index within the stripe
 	remote := p.remoteRacks(info)
+	p.lastAttempts = 0
 	for attempt := 1; attempt <= p.cfg.MaxRetries; attempt++ {
-		nodes, err := randomLayout(p.cfg, info.CoreRack, remote, p.rng)
+		p.lastAttempts = attempt
+		nodes, err := randomLayoutInto(p.cfg, info.CoreRack, remote, p.rng, &p.scratch)
 		if err != nil {
 			return nil, 0, err
 		}
 		if p.cfg.Preliminary {
-			return nodes, attempt, nil
+			return cloneNodes(nodes), attempt, nil
 		}
 		ok, err := p.accept(os, nodes, i)
 		if err != nil {
 			return nil, 0, err
 		}
 		if ok {
-			return nodes, attempt, nil
+			return cloneNodes(nodes), attempt, nil
 		}
 	}
 	return nil, 0, fmt.Errorf("%w: block %d of stripe %d after %d attempts",
@@ -199,22 +237,16 @@ func (p *EAR) accept(os *openStripe, nodes []topology.NodeID, i int) (bool, erro
 		}
 		return flow == int64(i), nil
 	}
-	gain, next, err := os.flow.tryAdd(nodes)
-	if err != nil {
-		return false, err
-	}
-	if gain != 1 {
-		return false, nil
-	}
-	os.flow = next
-	return true, nil
+	return os.flow.tryAdd(nodes)
 }
 
 // stripeFlow is the paper's Section III-B flow graph for one stripe:
 // source -> block vertices -> node vertices -> rack vertices -> sink, with
 // unit capacities except rack->sink edges which carry capacity c and exist
 // only for target racks. The struct supports incremental extension: tryAdd
-// clones the graph, wires a new block's replicas in, and pushes flow.
+// checkpoints the graph, wires a new block's replicas in, pushes a single
+// augmenting path, and rolls the mutation back in place when the candidate
+// is rejected — no cloning.
 type stripeFlow struct {
 	cfg    Config
 	info   *StripeInfo
@@ -228,6 +260,15 @@ type stripeFlow struct {
 	// blockEdges[i] records the block->node edges of block i so the
 	// post-encoding planner can read the matching back out of the flow.
 	blockEdges [][]blockEdge
+	// addedNodes/addedRacks log the vertex-map keys the in-flight addBlock
+	// inserted, so a rejected candidate's entries can be deleted again.
+	addedNodes []topology.NodeID
+	addedRacks []topology.RackID
+	// edgeScratch is the spare backing array for the next block's edge list,
+	// reclaimed from rolled-back attempts; edgePool holds further spares
+	// reclaimed when a recycled stripeFlow is reset.
+	edgeScratch []blockEdge
+	edgePool    [][]blockEdge
 }
 
 // blockEdge pairs a replica node with its block->node edge id.
@@ -260,6 +301,25 @@ func newStripeFlow(cfg Config, info *StripeInfo) (*stripeFlow, error) {
 	}, nil
 }
 
+// reset re-targets a recycled stripeFlow at a fresh stripe, keeping every
+// allocated buffer: the graph's adjacency storage, the vertex maps' buckets,
+// and the per-block edge arrays (parked in edgePool for addBlock to reuse).
+func (f *stripeFlow) reset(info *StripeInfo) {
+	f.info = info
+	f.graph.Reset()
+	f.blocks = 0
+	f.nextVertex = 2
+	clear(f.nodeVertex)
+	clear(f.rackVertex)
+	for i, e := range f.blockEdges {
+		f.edgePool = append(f.edgePool, e[:0])
+		f.blockEdges[i] = nil
+	}
+	f.blockEdges = f.blockEdges[:0]
+	f.addedNodes = f.addedNodes[:0]
+	f.addedRacks = f.addedRacks[:0]
+}
+
 // isTarget reports whether rack r may hold post-encoding blocks.
 func (f *stripeFlow) isTarget(r topology.RackID) bool {
 	if len(f.info.Targets) == 0 {
@@ -273,33 +333,8 @@ func (f *stripeFlow) isTarget(r topology.RackID) bool {
 	return false
 }
 
-// clone deep-copies the flow state.
-func (f *stripeFlow) clone() *stripeFlow {
-	c := &stripeFlow{
-		cfg:        f.cfg,
-		info:       f.info,
-		graph:      f.graph.Clone(),
-		blocks:     f.blocks,
-		source:     f.source,
-		sink:       f.sink,
-		nodeVertex: make(map[topology.NodeID]int, len(f.nodeVertex)),
-		rackVertex: make(map[topology.RackID]int, len(f.rackVertex)),
-		nextVertex: f.nextVertex,
-	}
-	for k, v := range f.nodeVertex {
-		c.nodeVertex[k] = v
-	}
-	for k, v := range f.rackVertex {
-		c.rackVertex[k] = v
-	}
-	c.blockEdges = make([][]blockEdge, len(f.blockEdges))
-	for i, edges := range f.blockEdges {
-		c.blockEdges[i] = append([]blockEdge(nil), edges...)
-	}
-	return c
-}
-
-// addBlock wires one block's replica nodes into the graph.
+// addBlock wires one block's replica nodes into the graph, logging inserted
+// vertex-map keys so tryAdd can undo a rejected attempt.
 func (f *stripeFlow) addBlock(nodes []topology.NodeID) error {
 	if f.nextVertex >= f.graph.N() {
 		return fmt.Errorf("placement: flow graph vertex budget exceeded")
@@ -309,13 +344,22 @@ func (f *stripeFlow) addBlock(nodes []topology.NodeID) error {
 	if _, err := f.graph.AddEdge(f.source, blockV, 1); err != nil {
 		return err
 	}
-	edges := make([]blockEdge, 0, len(nodes))
+	edges := f.edgeScratch
+	if edges == nil {
+		if n := len(f.edgePool); n > 0 {
+			edges = f.edgePool[n-1]
+			f.edgePool[n-1] = nil
+			f.edgePool = f.edgePool[:n-1]
+		}
+	}
+	edges = edges[:0]
 	for _, n := range nodes {
 		nv, ok := f.nodeVertex[n]
 		if !ok {
 			nv = f.nextVertex
 			f.nextVertex++
 			f.nodeVertex[n] = nv
+			f.addedNodes = append(f.addedNodes, n)
 			r, err := f.cfg.Topology.RackOf(n)
 			if err != nil {
 				return err
@@ -325,6 +369,7 @@ func (f *stripeFlow) addBlock(nodes []topology.NodeID) error {
 				rv = f.nextVertex
 				f.nextVertex++
 				f.rackVertex[r] = rv
+				f.addedRacks = append(f.addedRacks, r)
 				if f.isTarget(r) {
 					if _, err := f.graph.AddEdge(rv, f.sink, int64(f.cfg.C)); err != nil {
 						return err
@@ -342,22 +387,59 @@ func (f *stripeFlow) addBlock(nodes []topology.NodeID) error {
 		edges = append(edges, blockEdge{node: n, edgeID: id})
 	}
 	f.blockEdges = append(f.blockEdges, edges)
+	f.edgeScratch = nil // ownership moved into blockEdges
 	f.blocks++
 	return nil
 }
 
-// tryAdd tentatively adds a block layout and reports the flow gain. On
-// gain == 1 the returned stripeFlow is the committed successor state.
-func (f *stripeFlow) tryAdd(nodes []topology.NodeID) (int64, *stripeFlow, error) {
-	next := f.clone()
-	if err := next.addBlock(nodes); err != nil {
-		return 0, nil, err
+// tryAdd tentatively wires the candidate layout into the flow graph and
+// pushes a single augmenting path (the source->block edge has capacity 1, so
+// the max flow grows by at most one per block — paper Section III-C).
+// Acceptance commits the mutation in place; rejection rolls the graph, the
+// vertex maps, and the scratch buffers back so the attempt leaves no trace
+// and, at steady state, allocates nothing.
+func (f *stripeFlow) tryAdd(nodes []topology.NodeID) (bool, error) {
+	ck := f.graph.Checkpoint()
+	prevVertex, prevBlocks := f.nextVertex, f.blocks
+	f.addedNodes = f.addedNodes[:0]
+	f.addedRacks = f.addedRacks[:0]
+	if err := f.addBlock(nodes); err != nil {
+		f.rollbackAdd(ck, prevVertex, prevBlocks)
+		return false, err
 	}
-	gain, err := next.graph.MaxFlow(next.source, next.sink)
+	gain, err := f.graph.AugmentOne(f.source, f.sink)
 	if err != nil {
-		return 0, nil, err
+		f.rollbackAdd(ck, prevVertex, prevBlocks)
+		return false, err
 	}
-	return gain, next, nil
+	if gain == 1 {
+		return true, f.graph.Commit(ck)
+	}
+	return false, f.rollbackAdd(ck, prevVertex, prevBlocks)
+}
+
+// rollbackAdd undoes a tentative addBlock: graph edges and pushed flow via
+// the checkpoint, vertex-map entries via the added-key logs, and the
+// blockEdges tail, whose backing array is reclaimed as edge scratch.
+func (f *stripeFlow) rollbackAdd(ck maxflow.Checkpoint, prevVertex, prevBlocks int) error {
+	err := f.graph.Rollback(ck)
+	for _, n := range f.addedNodes {
+		delete(f.nodeVertex, n)
+	}
+	for _, r := range f.addedRacks {
+		delete(f.rackVertex, r)
+	}
+	f.addedNodes = f.addedNodes[:0]
+	f.addedRacks = f.addedRacks[:0]
+	f.nextVertex = prevVertex
+	if f.blocks > prevBlocks {
+		last := len(f.blockEdges) - 1
+		f.edgeScratch = f.blockEdges[last][:0]
+		f.blockEdges[last] = nil
+		f.blockEdges = f.blockEdges[:last]
+		f.blocks = prevBlocks
+	}
+	return err
 }
 
 // solveStripeFlow builds the flow graph for the given layouts from scratch

@@ -52,8 +52,8 @@ type Config struct {
 	// probability is Equation (1).
 	Preliminary bool
 	// FullRecompute makes EAR rebuild the flow graph from scratch for
-	// every candidate layout instead of snapshotting the incremental flow.
-	// Functionally identical; kept for the ablation benchmark.
+	// every candidate layout instead of extending the incremental flow in
+	// place. Functionally identical; kept for the ablation benchmark.
 	FullRecompute bool
 	// MaxRetries bounds layout regeneration per block (safety net around
 	// Theorem 1's small expected iteration count). Default 10000.
@@ -256,19 +256,6 @@ func sampleRacksExcluding(eligible []topology.RackID, exclude topology.RackID, c
 	}
 	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 	return pool[:count], nil
-}
-
-// sampleNodesInRack returns count distinct nodes drawn uniformly from rack r.
-func sampleNodesInRack(top *topology.Topology, r topology.RackID, count int, rng *rand.Rand) ([]topology.NodeID, error) {
-	nodes, err := top.NodesInRack(r)
-	if err != nil {
-		return nil, err
-	}
-	if count > len(nodes) {
-		return nil, fmt.Errorf("placement: need %d nodes in rack %d, have %d", count, r, len(nodes))
-	}
-	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
-	return nodes[:count], nil
 }
 
 // allRacks returns the full rack ID list of the topology.

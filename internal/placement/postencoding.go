@@ -26,6 +26,19 @@ type PostEncodingPlan struct {
 	Relocated []int
 }
 
+// Clone returns a deep copy of the plan.
+func (p *PostEncodingPlan) Clone() *PostEncodingPlan {
+	if p == nil {
+		return nil
+	}
+	return &PostEncodingPlan{
+		Keep:      append([]topology.NodeID(nil), p.Keep...),
+		Parity:    append([]topology.NodeID(nil), p.Parity...),
+		Violation: p.Violation,
+		Relocated: append([]int(nil), p.Relocated...),
+	}
+}
+
 // Layout converts the plan into a StripeLayout for validation.
 func (p *PostEncodingPlan) Layout(id topology.StripeID) topology.StripeLayout {
 	return topology.StripeLayout{

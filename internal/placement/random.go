@@ -14,8 +14,10 @@ import (
 // failure. With Config.SpreadReplicas every replica instead lands in its own
 // rack.
 type Random struct {
-	cfg Config
-	rng *rand.Rand
+	cfg     Config
+	rng     *rand.Rand
+	racks   []topology.RackID
+	scratch layoutScratch
 }
 
 var _ Policy = (*Random)(nil)
@@ -29,7 +31,8 @@ func NewRandom(cfg Config, rng *rand.Rand) (*Random, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil rng", ErrInvalidConfig)
 	}
-	return &Random{cfg: cfg.withDefaults(), rng: rng}, nil
+	cfg = cfg.withDefaults()
+	return &Random{cfg: cfg, rng: rng, racks: allRacks(cfg.Topology)}, nil
 }
 
 // Name returns "rr".
@@ -37,61 +40,122 @@ func (p *Random) Name() string { return "rr" }
 
 // Place chooses replica locations for the block.
 func (p *Random) Place(block topology.BlockID) (topology.Placement, error) {
-	nodes, err := randomLayout(p.cfg, topology.RackID(-1), allRacks(p.cfg.Topology), p.rng)
+	nodes, err := randomLayoutInto(p.cfg, topology.RackID(-1), p.racks, p.rng, &p.scratch)
 	if err != nil {
 		return topology.Placement{}, err
 	}
-	return topology.Placement{Block: block, Nodes: nodes}, nil
+	return topology.Placement{Block: block, Nodes: cloneNodes(nodes)}, nil
 }
 
 // TakeSealed always returns nil: RR groups blocks into stripes only at
 // encoding time.
 func (p *Random) TakeSealed() []*StripeInfo { return nil }
 
-// randomLayout generates one replica layout. If coreRack >= 0 the first
-// replica is pinned to a random node of that rack (the EAR case) and the
-// remaining replicas avoid it; otherwise the first replica's rack is chosen
-// uniformly. remoteRacks is the eligible set for the non-first replicas.
+// layoutScratch holds the reusable buffers of candidate layout generation so
+// that, at steady state, producing a layout allocates nothing. The slice
+// returned by randomLayoutInto aliases scratch memory and is only valid until
+// the next call with the same scratch.
+type layoutScratch struct {
+	nodes []topology.NodeID // layout under construction
+	racks []topology.RackID // rack sampling pool
+	pool  []topology.NodeID // node sampling pool
+}
+
+// cloneNodes copies a scratch-backed layout into freshly owned memory.
+func cloneNodes(nodes []topology.NodeID) []topology.NodeID {
+	return append([]topology.NodeID(nil), nodes...)
+}
+
+// randomLayout generates one replica layout into fresh memory. Hot paths use
+// randomLayoutInto with a persistent scratch instead.
 func randomLayout(cfg Config, coreRack topology.RackID, remoteRacks []topology.RackID, rng *rand.Rand) ([]topology.NodeID, error) {
+	var s layoutScratch
+	nodes, err := randomLayoutInto(cfg, coreRack, remoteRacks, rng, &s)
+	if err != nil {
+		return nil, err
+	}
+	return cloneNodes(nodes), nil
+}
+
+// randomLayoutInto generates one replica layout using the scratch buffers. If
+// coreRack >= 0 the first replica is pinned to a random node of that rack
+// (the EAR case) and the remaining replicas avoid it; otherwise the first
+// replica's rack is chosen uniformly. remoteRacks is the eligible set for the
+// non-first replicas. The returned slice aliases s.nodes.
+func randomLayoutInto(cfg Config, coreRack topology.RackID, remoteRacks []topology.RackID, rng *rand.Rand, s *layoutScratch) ([]topology.NodeID, error) {
 	top := cfg.Topology
-	nodes := make([]topology.NodeID, 0, cfg.Replicas)
+	s.nodes = s.nodes[:0]
 
 	firstRack := coreRack
 	if firstRack < 0 {
 		firstRack = topology.RackID(rng.Intn(top.Racks()))
 	}
-	first, err := sampleNodesInRack(top, firstRack, 1, rng)
-	if err != nil {
+	if err := sampleNodesInRackInto(top, firstRack, 1, rng, s); err != nil {
 		return nil, err
 	}
-	nodes = append(nodes, first[0])
 	if cfg.Replicas == 1 {
-		return nodes, nil
+		return s.nodes, nil
 	}
 
 	if cfg.SpreadReplicas {
-		racks, err := sampleRacksExcluding(remoteRacks, firstRack, cfg.Replicas-1, rng)
+		racks, err := sampleRacksInto(remoteRacks, firstRack, cfg.Replicas-1, rng, s)
 		if err != nil {
 			return nil, err
 		}
 		for _, r := range racks {
-			n, err := sampleNodesInRack(top, r, 1, rng)
-			if err != nil {
+			if err := sampleNodesInRackInto(top, r, 1, rng, s); err != nil {
 				return nil, err
 			}
-			nodes = append(nodes, n[0])
 		}
-		return nodes, nil
+		return s.nodes, nil
 	}
 
-	racks, err := sampleRacksExcluding(remoteRacks, firstRack, 1, rng)
+	racks, err := sampleRacksInto(remoteRacks, firstRack, 1, rng, s)
 	if err != nil {
 		return nil, err
 	}
-	remote, err := sampleNodesInRack(top, racks[0], cfg.Replicas-1, rng)
-	if err != nil {
+	if err := sampleNodesInRackInto(top, racks[0], cfg.Replicas-1, rng, s); err != nil {
 		return nil, err
 	}
-	nodes = append(nodes, remote...)
-	return nodes, nil
+	return s.nodes, nil
+}
+
+// sampleRacksInto fills s.racks with the eligible set minus the excluded rack
+// and partially Fisher-Yates-shuffles it, returning the first count entries
+// (distinct racks drawn uniformly). The result aliases s.racks.
+func sampleRacksInto(eligible []topology.RackID, exclude topology.RackID, count int, rng *rand.Rand, s *layoutScratch) ([]topology.RackID, error) {
+	pool := s.racks[:0]
+	for _, r := range eligible {
+		if r != exclude {
+			pool = append(pool, r)
+		}
+	}
+	s.racks = pool
+	if count > len(pool) {
+		return nil, fmt.Errorf("placement: need %d racks, only %d eligible", count, len(pool))
+	}
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:count], nil
+}
+
+// sampleNodesInRackInto appends count distinct nodes drawn uniformly from
+// rack r to s.nodes, using s.pool as the sampling pool.
+func sampleNodesInRackInto(top *topology.Topology, r topology.RackID, count int, rng *rand.Rand, s *layoutScratch) error {
+	pool, err := top.AppendNodesInRack(r, s.pool[:0])
+	if err != nil {
+		return err
+	}
+	s.pool = pool
+	if count > len(pool) {
+		return fmt.Errorf("placement: need %d nodes in rack %d, have %d", count, r, len(pool))
+	}
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		s.nodes = append(s.nodes, pool[i])
+	}
+	return nil
 }

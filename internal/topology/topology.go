@@ -69,15 +69,21 @@ func (t *Topology) RackOf(n NodeID) (RackID, error) {
 
 // NodesInRack returns the IDs of all nodes in rack r, in ascending order.
 func (t *Topology) NodesInRack(r RackID) ([]NodeID, error) {
+	return t.AppendNodesInRack(r, nil)
+}
+
+// AppendNodesInRack appends the IDs of all nodes in rack r to buf, in
+// ascending order, and returns the extended slice. Passing a buffer with
+// spare capacity avoids the allocation NodesInRack pays per call.
+func (t *Topology) AppendNodesInRack(r RackID, buf []NodeID) ([]NodeID, error) {
 	if r < 0 || int(r) >= t.racks {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownRack, r)
 	}
-	nodes := make([]NodeID, t.nodesPerRack)
 	base := int(r) * t.nodesPerRack
-	for i := range nodes {
-		nodes[i] = NodeID(base + i)
+	for i := 0; i < t.nodesPerRack; i++ {
+		buf = append(buf, NodeID(base+i))
 	}
-	return nodes, nil
+	return buf, nil
 }
 
 // SameRack reports whether two nodes share a rack.
