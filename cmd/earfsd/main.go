@@ -8,11 +8,15 @@
 //	earfsd -listen :7070 -policy ear -racks 8 -nodes 4 -k 6 -n 9
 //
 // With -admin, earfsd also serves an HTTP observability endpoint:
-// /metrics (Prometheus text format), /debug/vars (expvar, including the
-// RaidNode's cumulative encoding statistics), /debug/pprof/*, /events (the
-// structured event journal, cursor + filter), /audit (the invariant
-// auditor's report) and /timeline (per-link fabric utilization; append
-// ?view=html for a self-contained chart):
+// /metrics (Prometheus text format, or JSON via Accept: application/json /
+// ?format=json), /debug/vars (expvar, including the RaidNode's cumulative
+// encoding statistics), /debug/pprof/*, /events (the structured event
+// journal, cursor + filter, including ?trace= to follow one request),
+// /audit (the invariant auditor's report), /timeline (per-link fabric
+// utilization), /trace (Chrome-trace export of every request span;
+// ?reset=1 drains the buffer), /slo (per-operation error budgets and burn
+// rates) and /health (per-node health scores from the slow-node detector).
+// /timeline, /slo and /health accept ?view=html for a self-contained chart:
 //
 //	earfsd -admin 127.0.0.1:7071
 package main
@@ -27,8 +31,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"ear/internal/events"
 	"ear/internal/events/audit"
@@ -36,6 +42,7 @@ import (
 	"ear/internal/hdfs"
 	"ear/internal/netcfs"
 	"ear/internal/telemetry"
+	"ear/internal/telemetry/slo"
 )
 
 func main() {
@@ -54,11 +61,20 @@ func parseLevel(s string) (slog.Level, error) {
 	return lvl, nil
 }
 
-// adminMux builds the admin endpoint: Prometheus metrics, expvar, pprof,
-// and the journal-backed views (/events, /audit, /timeline).
+// adminMux builds the admin endpoint: metrics (Prometheus or JSON by
+// content negotiation), expvar, pprof, and the journal-backed views
+// (/events, /audit, /timeline, /trace, /slo, /health).
 func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: Prometheus text is the default; JSON when
+		// the client asks via ?format=json or an Accept header that
+		// prefers application/json.
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			writeJSON(w, reg.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := reg.WritePrometheus(w); err != nil {
 			slog.Warn("metrics write failed", "err", err)
@@ -97,6 +113,9 @@ func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability
 	mux.HandleFunc("/events", obs.handleEvents)
 	mux.HandleFunc("/audit", obs.handleAudit)
 	mux.HandleFunc("/timeline", obs.handleTimeline)
+	mux.HandleFunc("/trace", obs.handleTrace)
+	mux.HandleFunc("/slo", obs.handleSLO)
+	mux.HandleFunc("/health", obs.handleHealth)
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -120,6 +139,8 @@ func run() error {
 		bwMBps   = flag.Float64("bw", 64, "link bandwidth in MB/s")
 		seed     = flag.Int64("seed", 1, "random seed")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		spanCap  = flag.Int("span-limit", 200000, "max retained trace spans (0 = unlimited)")
+		sloWin   = flag.Duration("slo-window", time.Minute, "rolling window for SLO error budgets")
 	)
 	flag.Parse()
 
@@ -151,6 +172,14 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	cluster.SetTelemetry(reg)
 
+	// One tracer spans the whole request path: the RPC server adopts the
+	// client's trace ID from the wire, the cluster's operation spans join
+	// it, and the journal events below are stamped with it. The span buffer
+	// is bounded; /trace?reset=1 drains it between sampling windows.
+	tracer := telemetry.NewTracer()
+	tracer.SetLimit(*spanCap)
+	cluster.SetTracer(tracer)
+
 	// The event journal records the structured history of every subsystem
 	// (allocations, commits, encodes, deletes, transfers...); the auditor
 	// folds it into a live layout model and checks the placement invariants
@@ -172,6 +201,7 @@ func run() error {
 	}
 	defer srv.Close()
 	srv.SetTelemetry(reg)
+	srv.SetTracer(tracer)
 
 	if *admin != "" {
 		ln, err := net.Listen("tcp", *admin)
@@ -182,7 +212,28 @@ func run() error {
 		sampler := fabric.NewSampler(cluster.Fabric(), 0)
 		sampler.Start()
 		defer sampler.Stop()
-		obs := &observability{journal: jrn, auditor: aud, sampler: sampler}
+
+		// SLO tracker: rolling error budgets over the latency histograms
+		// the registry already collects, sampled in the background.
+		tracker := slo.NewTracker(reg, 2*time.Second)
+		for _, obj := range slo.DefaultObjectives(*sloWin) {
+			if err := tracker.Add(obj); err != nil {
+				return fmt.Errorf("slo objective %s: %w", obj.Name, err)
+			}
+		}
+		tracker.Start()
+		defer tracker.Stop()
+
+		// Health plane: heartbeat probes plus transfer-cost outlier scoring,
+		// publishing NodeDegraded/NodeRecovered into the journal.
+		health := hdfs.NewHealthMonitor(cluster, hdfs.HealthConfig{})
+		health.Start()
+		defer health.Stop()
+
+		obs := &observability{
+			journal: jrn, auditor: aud, sampler: sampler,
+			tracer: tracer, slo: tracker, health: health,
+		}
 		go func() {
 			if err := http.Serve(ln, adminMux(reg, cluster, obs)); err != nil {
 				slog.Debug("admin server stopped", "err", err)

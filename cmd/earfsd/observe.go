@@ -10,22 +10,30 @@ import (
 	"ear/internal/events"
 	"ear/internal/events/audit"
 	"ear/internal/fabric"
+	"ear/internal/hdfs"
+	"ear/internal/telemetry"
+	"ear/internal/telemetry/slo"
 	"ear/internal/topology"
 )
 
 // observability bundles the journal-backed instruments the admin endpoint
-// serves: the event journal (/events), the invariant auditor (/audit), and
-// the fabric utilization sampler (/timeline).
+// serves: the event journal (/events), the invariant auditor (/audit), the
+// fabric utilization sampler (/timeline), the request tracer (/trace), the
+// SLO tracker (/slo) and the node health monitor (/health).
 type observability struct {
 	journal *events.Journal
 	auditor *audit.Auditor
 	sampler *fabric.Sampler
+	tracer  *telemetry.Tracer
+	slo     *slo.Tracker
+	health  *hdfs.HealthMonitor
 }
 
 // handleEvents serves cursor reads over the journal. Query parameters:
 // cursor (sequence number to read after, default 0), max (event cap,
-// default 1000), and the filters type, subsystem, block, stripe, node. The
-// response carries the events, the cursor for the next poll, and how many
+// default 1000), and the filters type, subsystem, block, stripe, node and
+// trace (hex trace ID, for following one request end to end). The response
+// carries the events, the cursor for the next poll, and how many
 // matching-eligible events were lost to ring wrap.
 func (o *observability) handleEvents(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
@@ -70,6 +78,14 @@ func (o *observability) handleEvents(w http.ResponseWriter, r *http.Request) {
 		n := topology.NodeID(id)
 		f.Node = &n
 	}
+	if v := q.Get("trace"); v != "" {
+		id, err := strconv.ParseUint(v, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace (want hex): "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.Trace = id
+	}
 	evs, next, dropped := o.journal.Since(cursor, int(max), f)
 	writeJSON(w, map[string]any{
 		"events":  evs,
@@ -95,6 +111,53 @@ func (o *observability) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, tl)
+}
+
+// handleTrace exports the request tracer's span buffer in Chrome trace
+// format (load in chrome://tracing or Perfetto). ?reset=1 drains the buffer
+// after export so long-running daemons can be sampled in windows.
+func (o *observability) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := o.tracer.WriteChromeTrace(w); err != nil {
+		slog.Warn("trace write failed", "err", err)
+		return
+	}
+	if r.URL.Query().Get("reset") == "1" {
+		o.tracer.Reset()
+	}
+}
+
+// handleSLO serves the SLO tracker's report: per-objective windowed
+// quantile estimates, burn rates and remaining error budget. JSON by
+// default, a self-contained HTML view with ?view=html.
+func (o *observability) handleSLO(w http.ResponseWriter, r *http.Request) {
+	rep := o.slo.Report()
+	if r.URL.Query().Get("view") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeBlobHTML(w, sloPage, rep); err != nil {
+			slog.Warn("slo html write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleHealth serves the node health monitor's per-node scores plus the
+// set of currently degraded nodes. JSON by default, a self-contained HTML
+// view with ?view=html.
+func (o *observability) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rep := map[string]any{
+		"nodes":    o.health.Report(),
+		"degraded": o.health.Degraded(),
+	}
+	if r.URL.Query().Get("view") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeBlobHTML(w, healthPage, rep); err != nil {
+			slog.Warn("health html write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // parseUint parses a uint64 query value, empty meaning def.
@@ -189,3 +252,108 @@ func writeTimelineHTML(w http.ResponseWriter, tl fabric.Timeline) error {
 	_, err = fmt.Fprintf(w, timelinePage, blob)
 	return err
 }
+
+// writeBlobHTML renders a self-contained page whose single %s verb takes
+// the JSON-encoded data (same pattern as the timeline page).
+func writeBlobHTML(w http.ResponseWriter, page string, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, page, blob)
+	return err
+}
+
+// sloPage is the self-contained /slo?view=html document: one row per
+// objective with its windowed quantile estimate, burn rate and an error
+// budget bar. No external assets.
+const sloPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ear SLOs</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; }
+table { border-collapse: collapse; }
+th, td { padding: .35em .8em; border-bottom: 1px solid #ddd; text-align: right; }
+th { color: #555; } td.name { text-align: left; font-weight: 600; }
+.bar { width: 10em; height: 10px; background: #eee; border-radius: 5px; overflow: hidden; }
+.bar div { height: 100%%; }
+.ok { color: #27ae60; } .bad { color: #c0392b; } .warm { color: #999; }
+</style></head><body>
+<h1>Service level objectives</h1>
+<table><thead><tr>
+<th style="text-align:left">objective</th><th>target</th><th>ops</th><th>slow</th>
+<th>q estimate</th><th>burn rate</th><th>budget</th><th></th><th>status</th>
+</tr></thead><tbody id="rows"></tbody></table>
+<script>
+const REP = %s;
+const rows = document.getElementById('rows');
+for (const s of (REP || [])) {
+  const tr = document.createElement('tr');
+  const budget = Math.max(0, Math.min(1, s.budget_remaining));
+  const color = s.met ? '#27ae60' : '#c0392b';
+  const status = !s.filled ? '<span class="warm">warming up</span>'
+    : (s.met ? '<span class="ok">met</span>' : '<span class="bad">burning</span>');
+  tr.innerHTML = '<td class="name">' + s.name + '</td>' +
+    '<td>p' + (s.quantile * 100).toFixed(0) + ' &le; ' + s.threshold + 's</td>' +
+    '<td>' + s.ops + '</td>' +
+    '<td>' + s.slow + ' (' + (100 * s.slow_ratio).toFixed(2) + '%%)</td>' +
+    '<td>' + s.quantile_estimate.toFixed(4) + 's</td>' +
+    '<td>' + s.burn_rate.toFixed(2) + 'x</td>' +
+    '<td>' + (100 * budget).toFixed(1) + '%%</td>' +
+    '<td><div class="bar"><div style="width:' + (100 * budget) + '%%;background:' + color + '"></div></div></td>' +
+    '<td>' + status + '</td>';
+  rows.appendChild(tr);
+}
+</script></body></html>
+`
+
+// healthPage is the self-contained /health?view=html document: one row per
+// node with its score bar and per-signal breakdown. No external assets.
+const healthPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ear cluster health</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; }
+table { border-collapse: collapse; }
+th, td { padding: .3em .8em; border-bottom: 1px solid #ddd; text-align: right; }
+th { color: #555; } td.name { text-align: left; }
+.bar { width: 10em; height: 10px; background: #eee; border-radius: 5px; overflow: hidden; }
+.bar div { height: 100%%; }
+.degraded { color: #c0392b; font-weight: 600; } .dead { color: #999; } .ok { color: #27ae60; }
+</style></head><body>
+<h1>Cluster health</h1>
+<p id="summary"></p>
+<table><thead><tr>
+<th style="text-align:left">node</th><th>rack</th><th>score</th><th></th>
+<th>heartbeat</th><th>hb ratio</th><th>op s/MB</th><th>op ratio</th>
+<th>samples</th><th>failures</th><th>state</th>
+</tr></thead><tbody id="rows"></tbody></table>
+<script>
+const REP = %s;
+const nodes = REP.nodes || [];
+const degraded = REP.degraded || [];
+document.getElementById('summary').textContent =
+  nodes.length + ' nodes, ' + degraded.length + ' degraded' +
+  (degraded.length ? ' (' + degraded.join(', ') + ')' : '');
+const rows = document.getElementById('rows');
+for (const n of nodes) {
+  const tr = document.createElement('tr');
+  const score = Math.max(0, Math.min(100, n.score));
+  const color = n.dead ? '#999' : (n.degraded ? '#c0392b' : (score < 75 ? '#f39c12' : '#27ae60'));
+  const state = n.dead ? '<span class="dead">dead</span>'
+    : (n.degraded ? '<span class="degraded">degraded</span>' : '<span class="ok">healthy</span>');
+  tr.innerHTML = '<td class="name">node ' + n.node + '</td>' +
+    '<td>' + n.rack + '</td>' +
+    '<td>' + score.toFixed(1) + '</td>' +
+    '<td><div class="bar"><div style="width:' + score + '%%;background:' + color + '"></div></div></td>' +
+    '<td>' + (n.heartbeat / 1e6).toFixed(1) + 'ms</td>' +
+    '<td>' + n.heartbeat_ratio.toFixed(2) + '</td>' +
+    '<td>' + n.op_sec_per_mb.toFixed(3) + '</td>' +
+    '<td>' + n.op_ratio.toFixed(2) + '</td>' +
+    '<td>' + n.op_samples + '</td>' +
+    '<td>' + n.failures.toFixed(2) + '</td>' +
+    '<td>' + state + '</td>';
+  rows.appendChild(tr);
+}
+</script></body></html>
+`

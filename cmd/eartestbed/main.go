@@ -18,13 +18,18 @@
 // With -trace, the encode jobs' span timeline is written as Chrome trace
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev (the buffer
 // is also flushed on SIGINT/SIGTERM, so an interrupted run still yields a
-// trace). With -audit, every cluster the experiment builds gets an event
-// journal plus an invariant auditor, and the run exits nonzero if any
-// placement invariant was violated. With -timeline, per-link fabric
-// utilization is sampled and written as JSON:
+// trace). With -require-trace N, the run exits nonzero unless the span
+// buffer holds at least N traces that cross a component boundary (client,
+// namenode, datanode, raidnode) — the CI assertion that trace propagation
+// stays wired end to end. With -audit, every cluster the experiment builds
+// gets an event journal plus an invariant auditor, and the run exits
+// nonzero if any placement invariant was violated. With -timeline,
+// per-link fabric utilization is sampled and written as JSON; with
+// -health, every cluster runs the slow-node health monitor and the final
+// per-node scores are written as JSON:
 //
-//	eartestbed -exp a1 -trace out.json
-//	eartestbed -exp a1 -audit -timeline timeline.json
+//	eartestbed -exp a1 -trace out.json -require-trace 1
+//	eartestbed -exp a1 -audit -timeline timeline.json -health health.json
 package main
 
 import (
@@ -59,9 +64,11 @@ func run() error {
 		series   = flag.Bool("series", false, "print the A.2 write-response series")
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceOut = flag.String("trace", "", "write the encode-path span timeline to this file as Chrome trace JSON")
+		traceMin = flag.Int("require-trace", 0, "exit nonzero unless at least N traces cross a component boundary")
 		auditRun = flag.Bool("audit", false, "run the invariant auditor over every cluster; exit nonzero on any violation")
 		auditOut = flag.String("audit-out", "", "also write the audit reports to this file as JSON (implies -audit)")
 		timeline = flag.String("timeline", "", "write the per-link fabric utilization timeline to this file as JSON")
+		healthMon = flag.String("health", "", "run the health monitor on every cluster and write final per-node scores to this file as JSON")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -76,12 +83,17 @@ func run() error {
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	var tracer *telemetry.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *traceMin > 0 {
 		tracer = telemetry.NewTracer()
 	}
 	base := experiments.TestbedOptions{Stripes: *stripes, Seed: *seed, Tracer: tracer}
 
-	obs := &clusterObserver{start: time.Now(), audit: *auditRun, timeline: *timeline != ""}
+	obs := &clusterObserver{
+		start:    time.Now(),
+		audit:    *auditRun,
+		timeline: *timeline != "",
+		health:   *healthMon != "",
+	}
 	if obs.active() {
 		base.ClusterHook = obs.hook
 	}
@@ -182,12 +194,25 @@ func run() error {
 	close(sig)
 	flushTrace()
 
+	if *traceMin > 0 {
+		got := telemetry.MultiComponentTraces(tracer.Spans())
+		if got < *traceMin {
+			return fmt.Errorf("trace check: %d multi-component trace(s), want >= %d — trace propagation is broken somewhere between client, namenode, datanode and raidnode", got, *traceMin)
+		}
+		slog.Info("trace check passed", "multi_component_traces", got, "required", *traceMin)
+	}
 	if *timeline != "" {
 		tl := obs.mergedTimeline()
 		if err := writeJSONFile(*timeline, tl); err != nil {
 			return fmt.Errorf("timeline write: %w", err)
 		}
 		slog.Info("timeline written", "path", *timeline, "links", len(tl.Links))
+	}
+	if *healthMon != "" {
+		if err := obs.writeHealthJSON(*healthMon); err != nil {
+			return fmt.Errorf("health write: %w", err)
+		}
+		slog.Info("health report written", "path", *healthMon)
 	}
 	if *auditRun {
 		if *auditOut != "" {

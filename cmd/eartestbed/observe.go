@@ -17,40 +17,55 @@ import (
 // experiments build one per policy or per code): with -audit each cluster
 // gets an event journal plus an invariant auditor, with -timeline each
 // cluster's fabric is sampled and the per-cluster timelines are merged on
-// the run's wall clock so the output reads as one experiment-wide series.
+// the run's wall clock so the output reads as one experiment-wide series,
+// and with -health each cluster runs a background health monitor whose
+// final per-node scores are dumped at the end.
 type clusterObserver struct {
 	start    time.Time
 	audit    bool
 	timeline bool
+	health   bool
 
-	mu       sync.Mutex
-	auditors []*audit.Auditor
-	labels   []string
-	policies []string
-	samplers []*fabric.Sampler
-	offsets  []float64
+	mu        sync.Mutex
+	auditors  []*audit.Auditor
+	labels    []string
+	policies  []string
+	samplers  []*fabric.Sampler
+	offsets   []float64
+	monitors  []*hdfs.HealthMonitor
+	monLabels []string
 }
 
 // active reports whether the observer has anything to do.
-func (o *clusterObserver) active() bool { return o.audit || o.timeline }
+func (o *clusterObserver) active() bool { return o.audit || o.timeline || o.health }
 
 // hook is the TestbedOptions.ClusterHook: called once per cluster built.
 func (o *clusterObserver) hook(c *hdfs.Cluster) {
 	cfg := c.Config()
+	label := fmt.Sprintf("%s (%d,%d)", cfg.Policy, cfg.N, cfg.K)
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.audit {
+	if o.audit || o.health {
+		// The auditor and the health monitor both feed off the journal.
 		j := events.NewJournal(0)
 		c.SetJournal(j)
-		a := audit.New(c.Topology(), audit.Config{
-			Replicas:      cfg.Replicas,
-			C:             cfg.C,
-			CheckCoreRack: cfg.Policy == "ear",
-		})
-		a.Attach(j)
-		o.auditors = append(o.auditors, a)
-		o.labels = append(o.labels, fmt.Sprintf("%s (%d,%d)", cfg.Policy, cfg.N, cfg.K))
-		o.policies = append(o.policies, cfg.Policy)
+		if o.audit {
+			a := audit.New(c.Topology(), audit.Config{
+				Replicas:      cfg.Replicas,
+				C:             cfg.C,
+				CheckCoreRack: cfg.Policy == "ear",
+			})
+			a.Attach(j)
+			o.auditors = append(o.auditors, a)
+			o.labels = append(o.labels, label)
+			o.policies = append(o.policies, cfg.Policy)
+		}
+		if o.health {
+			m := hdfs.NewHealthMonitor(c, hdfs.HealthConfig{})
+			m.Start()
+			o.monitors = append(o.monitors, m)
+			o.monLabels = append(o.monLabels, label)
+		}
 	}
 	if o.timeline {
 		s := fabric.NewSampler(c.Fabric(), 0)
@@ -109,6 +124,28 @@ func (o *clusterObserver) writeAuditJSON(path string) error {
 	out := make([]entry, len(o.auditors))
 	for i, a := range o.auditors {
 		out[i] = entry{Cluster: o.labels[i], Report: a.Report()}
+	}
+	o.mu.Unlock()
+	return writeJSONFile(path, out)
+}
+
+// writeHealthJSON stops every health monitor and writes the final
+// per-cluster node scores to path.
+func (o *clusterObserver) writeHealthJSON(path string) error {
+	o.mu.Lock()
+	type entry struct {
+		Cluster  string            `json:"cluster"`
+		Nodes    []hdfs.NodeHealth `json:"nodes"`
+		Degraded []int             `json:"degraded"`
+	}
+	out := make([]entry, len(o.monitors))
+	for i, m := range o.monitors {
+		m.Stop()
+		e := entry{Cluster: o.monLabels[i], Nodes: m.Report(), Degraded: []int{}}
+		for _, n := range m.Degraded() {
+			e.Degraded = append(e.Degraded, int(n))
+		}
+		out[i] = e
 	}
 	o.mu.Unlock()
 	return writeJSONFile(path, out)

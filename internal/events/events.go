@@ -83,6 +83,14 @@ const (
 	// NodeDead / NodeAlive track NameNode liveness transitions.
 	NodeDead  Type = "node-dead"
 	NodeAlive Type = "node-alive"
+
+	// NodeDegraded / NodeRecovered track the health plane's slow-node
+	// detector: a node whose health score fell below the degraded threshold
+	// (heartbeat latency, op-latency outliers, recent failures — Detail
+	// carries the score breakdown), and its later recovery past the
+	// hysteresis threshold.
+	NodeDegraded  Type = "node-degraded"
+	NodeRecovered Type = "node-recovered"
 )
 
 // Event is one journal entry. Zero-valued correlation keys mean "not
@@ -112,8 +120,19 @@ type Event struct {
 	Peer topology.NodeID `json:"peer"`
 	Rack topology.RackID `json:"rack"`
 
+	// Trace is the distributed-trace correlation key: the telemetry trace
+	// ID of the request that caused the event, 0 for untraced activity.
+	// Filtering the journal on one trace ID yields the event-level view of
+	// one end-to-end operation, the counterpart of the span-level view in
+	// the Chrome-trace export.
+	Trace uint64 `json:"trace,omitempty"`
+
 	// Bytes is the payload size for byte-moving events.
 	Bytes int64 `json:"bytes,omitempty"`
+	// Dur is the event's own duration where one is meaningful (a finished
+	// transfer's open-to-close time); 0 otherwise. The health plane derives
+	// per-node effective transfer rates from it.
+	Dur time.Duration `json:"dur,omitempty"`
 	// Cross marks cross-rack byte movement.
 	Cross bool `json:"cross,omitempty"`
 	// Nodes and Blocks carry set-valued payloads (replica sets, parity
@@ -252,6 +271,8 @@ type Filter struct {
 	Block     *topology.BlockID
 	Stripe    *topology.StripeID
 	Node      *topology.NodeID
+	// Trace, when nonzero, selects the events of one distributed trace.
+	Trace uint64
 }
 
 // match reports whether e passes the filter. Node matches either end of a
@@ -270,6 +291,9 @@ func (f Filter) match(e Event) bool {
 		return false
 	}
 	if f.Node != nil && e.Node != *f.Node && e.Peer != *f.Node {
+		return false
+	}
+	if f.Trace != 0 && e.Trace != f.Trace {
 		return false
 	}
 	return true

@@ -209,3 +209,151 @@ func TestConcurrentPublishers(t *testing.T) {
 		}
 	}
 }
+
+// TestWrapPastOutstandingCursor: a poller that fell behind loses exactly the
+// events between its cursor and the oldest retained entry — no more, no
+// less — and resumes from the retained window.
+func TestWrapPastOutstandingCursor(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 5; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	// Poller reads up to seq 3, then the ring keeps rolling.
+	_, cursor, dropped := j.Since(0, 3, Filter{})
+	if cursor != 4 || dropped != 1 {
+		t.Fatalf("first page: cursor=%d dropped=%d, want 4/1 (seq 1 rotated out, page covers 2-4)", cursor, dropped)
+	}
+	for i := 0; i < 6; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	// Ring now holds [8..11]; the cursor at 4 lost 5..7.
+	evs, next, dropped := j.Since(cursor, 0, Filter{})
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3 (seqs 5-7 overwritten past the cursor)", dropped)
+	}
+	if len(evs) != 4 || evs[0].Seq != 8 || next != 11 {
+		t.Errorf("resume read: %d events starting %d next %d, want 4 from 8 next 11",
+			len(evs), evs[0].Seq, next)
+	}
+}
+
+// TestWrapExactBoundaryCursor: a cursor exactly one before the oldest
+// retained event loses nothing.
+func TestWrapExactBoundaryCursor(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	// Retained window is [7..10]; cursor 6 sits exactly on the boundary.
+	evs, next, dropped := j.Since(6, 0, Filter{})
+	if dropped != 0 {
+		t.Errorf("boundary cursor dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 4 || next != 10 {
+		t.Errorf("boundary read: %d events next %d, want 4 next 10", len(evs), next)
+	}
+	// One step further back loses exactly one event.
+	if _, _, dropped := j.Since(5, 0, Filter{}); dropped != 1 {
+		t.Errorf("cursor 5 dropped = %d, want 1", dropped)
+	}
+}
+
+// TestCursorBeyondLatest: polling past the newest event is a clean no-op.
+func TestCursorBeyondLatest(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 3; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	evs, next, dropped := j.Since(99, 0, Filter{})
+	if len(evs) != 0 || next != 99 || dropped != 0 {
+		t.Errorf("beyond-latest read: %d events next %d dropped %d, want 0/99/0",
+			len(evs), next, dropped)
+	}
+}
+
+// TestZeroAndNegativeCapacityDefault: NewJournal(<=0) gets DefaultCapacity
+// rather than an unusable zero-length ring.
+func TestZeroAndNegativeCapacityDefault(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		j := NewJournal(capacity)
+		if got := len(j.buf); got != DefaultCapacity {
+			t.Errorf("NewJournal(%d) ring size = %d, want DefaultCapacity %d",
+				capacity, got, DefaultCapacity)
+		}
+		j.Publish(New(ReplicaWritten, "datanode"))
+		if evs, _, dropped := j.Since(0, 0, Filter{}); len(evs) != 1 || dropped != 0 {
+			t.Errorf("NewJournal(%d) basic publish/read failed: %d events %d dropped",
+				capacity, len(evs), dropped)
+		}
+	}
+}
+
+// TestCapacityOneRing: the degenerate single-slot ring still keeps exact
+// drop accounting — every publish overwrites the previous event.
+func TestCapacityOneRing(t *testing.T) {
+	j := NewJournal(1)
+	for i := 0; i < 5; i++ {
+		j.Publish(New(ReplicaWritten, "datanode"))
+	}
+	if got := j.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	evs, next, dropped := j.Since(0, 0, Filter{})
+	if len(evs) != 1 || evs[0].Seq != 5 {
+		t.Fatalf("retained %d events seq %d, want only seq 5", len(evs), evs[0].Seq)
+	}
+	if dropped != 4 || next != 5 {
+		t.Errorf("dropped=%d next=%d, want 4/5", dropped, next)
+	}
+	// Incremental polling on a capacity-1 ring: each poll from the previous
+	// seq loses everything between.
+	j.Publish(New(ReplicaWritten, "datanode"))
+	j.Publish(New(ReplicaWritten, "datanode"))
+	if _, _, dropped := j.Since(5, 0, Filter{}); dropped != 1 {
+		t.Errorf("after 2 more publishes from cursor 5: dropped = %d, want 1 (seq 6)", dropped)
+	}
+}
+
+// TestDropAccountingIsFilterIndependent: wrap losses are counted before the
+// filter applies — a filtered poller still learns how much of the stream it
+// can no longer inspect.
+func TestDropAccountingIsFilterIndependent(t *testing.T) {
+	j := NewJournal(2)
+	for i := 0; i < 6; i++ {
+		typ := TransferStarted
+		if i%2 == 1 {
+			typ = TransferFinished
+		}
+		j.Publish(New(typ, "fabric"))
+	}
+	_, _, dropped := j.Since(0, 0, Filter{Type: TransferFinished})
+	if dropped != 4 {
+		t.Errorf("filtered read dropped = %d, want 4 (filter-independent)", dropped)
+	}
+}
+
+// TestTraceFilter: the Trace filter isolates one request's events.
+func TestTraceFilter(t *testing.T) {
+	j := NewJournal(0)
+	for i := 0; i < 6; i++ {
+		e := New(ReplicaWritten, "datanode")
+		e.Trace = uint64(1 + i%2)
+		j.Publish(e)
+	}
+	untraced := New(NodeAlive, "namenode")
+	j.Publish(untraced)
+	evs, _, _ := j.Since(0, 0, Filter{Trace: 2})
+	if len(evs) != 3 {
+		t.Fatalf("trace filter returned %d events, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.Trace != 2 {
+			t.Errorf("trace filter leaked event with trace %d", e.Trace)
+		}
+	}
+	// Zero Trace matches everything, including untraced events.
+	evs, _, _ = j.Since(0, 0, Filter{})
+	if len(evs) != 7 {
+		t.Errorf("zero filter returned %d events, want 7", len(evs))
+	}
+}

@@ -241,6 +241,27 @@ func (f *Fabric) SetAllRates(bytesPerSec float64) error {
 	return nil
 }
 
+// SetNodeRate changes both NIC links of one node, modeling a degraded or
+// throttled NIC (the health plane's fault-injection knob). Disk rates are
+// unaffected.
+func (f *Fabric) SetNodeRate(n topology.NodeID, bytesPerSec float64) error {
+	if n < 0 || int(n) >= f.top.Nodes() {
+		return fmt.Errorf("%w: %d", topology.ErrUnknownNode, n)
+	}
+	if err := f.nodeUp[n].SetRate(bytesPerSec); err != nil {
+		return err
+	}
+	return f.nodeDown[n].SetRate(bytesPerSec)
+}
+
+// NodeRate returns the configured rate of the node's uplink NIC.
+func (f *Fabric) NodeRate(n topology.NodeID) (float64, error) {
+	if n < 0 || int(n) >= f.top.Nodes() {
+		return 0, fmt.Errorf("%w: %d", topology.ErrUnknownNode, n)
+	}
+	return f.nodeUp[n].Rate(), nil
+}
+
 // EnableDisk attaches a shaped disk to every node: local (same-node)
 // transfers thereafter cost bytes/rate seconds instead of being free.
 func (f *Fabric) EnableDisk(bytesPerSec float64) error {
@@ -456,12 +477,14 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // otherwise instantaneous. Streams carry no payload themselves: the caller
 // owns the bytes and copies them at most once per delivered replica.
 type Stream struct {
-	f     *Fabric
-	src   topology.NodeID
-	dst   topology.NodeID
-	links []*Link
-	cross bool
-	local bool
+	f      *Fabric
+	src    topology.NodeID
+	dst    topology.NodeID
+	links  []*Link
+	cross  bool
+	local  bool
+	trace  uint64 // trace ID adopted from the opening context
+	opened time.Time
 
 	mu     sync.Mutex
 	sent   int64
@@ -469,12 +492,15 @@ type Stream struct {
 }
 
 // OpenStream validates the path and registers an open stream from src to
-// dst. The caller must Close it.
+// dst. The caller must Close it. When the context carries a telemetry span
+// (the data path attaches its operation span), the stream's journal events
+// are stamped with that span's trace ID, tying fabric activity to the
+// end-to-end request.
 func (f *Fabric) OpenStream(ctx context.Context, src, dst topology.NodeID) (*Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s := &Stream{f: f, src: src, dst: dst}
+	s := &Stream{f: f, src: src, dst: dst, trace: telemetry.TraceFromContext(ctx), opened: time.Now()}
 	if src == dst {
 		if _, err := f.top.RackOf(src); err != nil {
 			return nil, err
@@ -503,6 +529,7 @@ func (f *Fabric) OpenStream(ctx context.Context, src, dst topology.NodeID) (*Str
 		e := events.New(events.TransferStarted, "fabric")
 		e.Node, e.Peer, e.Cross = src, dst, s.cross
 		e.Detail = linkPath(s.links)
+		e.Trace = s.trace
 		j.Publish(e)
 	}
 	return s, nil
@@ -596,6 +623,8 @@ func (s *Stream) Close() {
 		e := events.New(events.TransferFinished, "fabric")
 		e.Node, e.Peer, e.Cross, e.Bytes = s.src, s.dst, s.cross, sent
 		e.Detail = linkPath(s.links)
+		e.Trace = s.trace
+		e.Dur = time.Since(s.opened)
 		j.Publish(e)
 	}
 }

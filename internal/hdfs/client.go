@@ -3,12 +3,14 @@ package hdfs
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"ear/internal/blockstore"
 	"ear/internal/events"
 	"ear/internal/fabric"
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 	"ear/internal/workgroup"
 )
@@ -96,10 +98,14 @@ func (c *Cluster) WriteBlockCtx(ctx context.Context, client topology.NodeID, dat
 	if m := c.metrics(); m != nil {
 		defer func(t0 time.Time) { m.writeLat.Observe(time.Since(t0).Seconds()) }(time.Now())
 	}
-	meta, err := c.nn.AllocateBlock(len(data))
+	span, ctx := c.opSpan(ctx, "client", "client.write-block")
+	span.Arg("node", strconv.Itoa(int(client)))
+	defer span.End()
+	meta, err := c.nn.AllocateBlockCtx(ctx, len(data))
 	if err != nil {
 		return 0, err
 	}
+	span.Arg("block", strconv.FormatInt(int64(meta.ID), 10))
 	if c.cfg.SequentialDataPath {
 		err = c.writeStoreAndForward(ctx, client, meta, data)
 	} else {
@@ -109,7 +115,7 @@ func (c *Cluster) WriteBlockCtx(ctx context.Context, client topology.NodeID, dat
 		c.abortWrite(meta)
 		return 0, err
 	}
-	if err := c.nn.CommitBlock(meta.ID); err != nil {
+	if err := c.nn.CommitBlockCtx(ctx, meta.ID); err != nil {
 		return 0, err
 	}
 	return meta.ID, nil
@@ -146,14 +152,15 @@ func (c *Cluster) writeStoreAndForward(ctx context.Context, client topology.Node
 		if err := dn.Store.Put(DataKey(meta.ID), payload); err != nil {
 			return fmt.Errorf("replica on node %d: %w", n, err)
 		}
-		c.publishReplicaWritten(meta.ID, n, len(payload))
+		c.publishReplicaWritten(ctx, meta.ID, n, len(payload))
 		prev = n
 	}
 	return nil
 }
 
-// publishReplicaWritten journals the durable landing of one replica.
-func (c *Cluster) publishReplicaWritten(id topology.BlockID, n topology.NodeID, size int) {
+// publishReplicaWritten journals the durable landing of one replica,
+// stamped with the context's trace.
+func (c *Cluster) publishReplicaWritten(ctx context.Context, id topology.BlockID, n topology.NodeID, size int) {
 	j := c.Journal()
 	if j == nil {
 		return
@@ -162,6 +169,7 @@ func (c *Cluster) publishReplicaWritten(id topology.BlockID, n topology.NodeID, 
 	ev.Block = id
 	ev.Node = n
 	ev.Bytes = int64(size)
+	ev.Trace = telemetry.TraceFromContext(ctx)
 	j.Publish(ev)
 }
 
@@ -197,6 +205,7 @@ func (c *Cluster) writePipelined(ctx context.Context, client topology.NodeID, me
 		bufs[i] = make([]byte, len(data))
 	}
 
+	parent := telemetry.SpanFromContext(ctx)
 	g, gctx := workgroup.WithContext(ctx)
 	for i := 0; i < nHops; i++ {
 		i := i
@@ -208,6 +217,13 @@ func (c *Cluster) writePipelined(ctx context.Context, client topology.NodeID, me
 		}
 		dst := meta.Nodes[i]
 		g.Go(func() error {
+			// Hops run concurrently, so each sits on its own display track;
+			// the span belongs to the receiving DataNode.
+			hop := parent.ChildTrack("datanode.pipeline-hop").
+				Arg(telemetry.ComponentArg, "datanode").
+				Arg("node", strconv.Itoa(int(dst))).
+				Arg("hop", strconv.Itoa(i))
+			defer hop.End()
 			st, err := c.fab.OpenStream(gctx, src, dst)
 			if err != nil {
 				return err
@@ -257,7 +273,7 @@ func (c *Cluster) writePipelined(ctx context.Context, client topology.NodeID, me
 		if err := dn.Store.Put(DataKey(meta.ID), bufs[i]); err != nil {
 			return fmt.Errorf("replica on node %d: %w", n, err)
 		}
-		c.publishReplicaWritten(meta.ID, n, len(bufs[i]))
+		c.publishReplicaWritten(ctx, meta.ID, n, len(bufs[i]))
 	}
 	return nil
 }
@@ -304,6 +320,9 @@ func (c *Cluster) ReadBlockCtx(ctx context.Context, client topology.NodeID, id t
 	if m := c.metrics(); m != nil {
 		defer func(t0 time.Time) { m.readLat.Observe(time.Since(t0).Seconds()) }(time.Now())
 	}
+	span, ctx := c.opSpan(ctx, "client", "client.read-block")
+	span.Arg("block", strconv.FormatInt(int64(id), 10))
+	defer span.End()
 	live, err := c.nn.LiveReplicas(id)
 	if err != nil {
 		return nil, err
@@ -522,6 +541,12 @@ func (c *Cluster) RepairBlock(id topology.BlockID) (topology.NodeID, error) {
 // RepairBlockCtx rebuilds a lost block onto a fresh live node and updates
 // the NameNode, the RaidNode recovery path. It returns the chosen node.
 func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topology.NodeID, error) {
+	if m := c.metrics(); m != nil {
+		defer func(t0 time.Time) { m.repairLat.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
+	span, ctx := c.opSpan(ctx, "raidnode", "raidnode.repair-block")
+	span.Arg("block", strconv.FormatInt(int64(id), 10))
+	defer span.End()
 	meta, err := c.nn.Block(id)
 	if err != nil {
 		return 0, err
@@ -542,6 +567,7 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 		ev.Block = id
 		ev.Stripe = meta.Stripe
 		ev.Node = target
+		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
 	}
 	// The rebuilt block lives in a pooled buffer; the store keeps its own
@@ -567,6 +593,7 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 		ev.Stripe = meta.Stripe
 		ev.Node = target
 		ev.Bytes = int64(len(buf))
+		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
 	}
 	return target, nil

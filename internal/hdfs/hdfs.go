@@ -8,6 +8,7 @@
 package hdfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -161,6 +162,8 @@ type clusterMetrics struct {
 	gatherPar  *telemetry.Metric // hdfs_gather_parallelism
 	encMBps    *telemetry.Metric // raidnode_encode_mbps
 	poolHit    *telemetry.Metric // erasure_pool_hit_ratio
+	encStripe  *telemetry.Metric // raidnode_stripe_encode_seconds
+	repairLat  *telemetry.Metric // hdfs_repair_seconds
 }
 
 // SetTelemetry publishes the cluster's metrics into the registry and wires
@@ -196,6 +199,10 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 			telemetry.ExponentialBuckets(64, 2, 12)).With(),
 		poolHit: reg.Gauge("erasure_pool_hit_ratio",
 			"Fraction of buffer-pool Gets served from recycled buffers.").With(),
+		encStripe: reg.Histogram("raidnode_stripe_encode_seconds",
+			"Wall time to encode one stripe end to end (gather, compute, parity upload, replica delete).", nil).With(),
+		repairLat: reg.Histogram("hdfs_repair_seconds",
+			"Block repair latency (degraded gather, decode, store, metadata update).", nil).With(),
 	}
 	c.tel.Store(m)
 	c.fab.SetTelemetry(reg)
@@ -228,6 +235,27 @@ func (c *Cluster) metrics() *clusterMetrics { return c.tel.Load() }
 // trace returns the installed tracer; nil (a valid no-op tracer) when
 // unobserved.
 func (c *Cluster) trace() *telemetry.Tracer { return c.tracer.Load() }
+
+// opSpan opens the span for one client-path operation: a child of the
+// caller's span when the context carries one (continuing its trace — this
+// is how a netcfs RPC span extends into the data path), else a fresh root
+// on the cluster tracer. The returned context carries the new span so
+// downstream components — NameNode allocation, pipeline hops, fabric
+// streams, journal publishers — join the same trace. With no tracer and no
+// inbound span both returns are the no-op values.
+func (c *Cluster) opSpan(ctx context.Context, component, name string) (*telemetry.Span, context.Context) {
+	var sp *telemetry.Span
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		sp = parent.Child(name)
+	} else {
+		sp = c.trace().Start(name)
+	}
+	if sp == nil {
+		return nil, ctx
+	}
+	sp.Arg(telemetry.ComponentArg, component)
+	return sp, telemetry.ContextWithSpan(ctx, sp)
+}
 
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {

@@ -1,10 +1,12 @@
 package hdfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -161,6 +163,7 @@ type NameNode struct {
 type nnMetrics struct {
 	allocOps  *telemetry.Metric // namenode_alloc_ops
 	attemptNs *telemetry.Metric // placement_attempt_ns
+	allocLat  *telemetry.Metric // namenode_alloc_seconds
 }
 
 // newNameNode builds the shared core; callers attach placement shards.
@@ -245,6 +248,9 @@ func (nn *NameNode) SetTelemetry(reg *telemetry.Registry) {
 		attemptNs: reg.Histogram("placement_attempt_ns",
 			"Cost of one candidate-layout placement attempt (nanoseconds).",
 			telemetry.ExponentialBuckets(128, 2, 18)).With(),
+		allocLat: reg.Histogram("namenode_alloc_seconds",
+			"Block allocation latency (placement decision plus metadata registration).",
+			telemetry.ExponentialBuckets(1e-6, 2, 16)).With(),
 	}
 	nn.tel.Store(m)
 }
@@ -279,10 +285,24 @@ func (nn *NameNode) draw() uint64 {
 	return x
 }
 
-// AllocateBlock reserves a block ID and decides its replica placement. Only
-// the chosen placement shard and the block's table shard are locked; separate
-// racks allocate concurrently.
+// AllocateBlock reserves a block with a background (untraced) context. See
+// AllocateBlockCtx.
 func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
+	return nn.AllocateBlockCtx(context.Background(), size)
+}
+
+// AllocateBlockCtx reserves a block ID and decides its replica placement.
+// Only the chosen placement shard and the block's table shard are locked;
+// separate racks allocate concurrently. When the context carries a
+// telemetry span (a traced client write), the allocation runs under a
+// "namenode.allocate" child span and the BlockAllocated / StripeGrouped
+// journal events carry the trace ID.
+func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta, error) {
+	sp := telemetry.SpanFromContext(ctx).Child("namenode.allocate").
+		Arg(telemetry.ComponentArg, "namenode")
+	defer sp.End()
+	trace := sp.TraceID()
+	allocStart := time.Now()
 	defer nn.serialSection()()
 	id := topology.BlockID(nn.nextBlock.Add(1) - 1)
 
@@ -333,6 +353,7 @@ func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 		ev.Block = id
 		ev.Bytes = int64(size)
 		ev.Nodes = append([]topology.NodeID(nil), out.Nodes...)
+		ev.Trace = trace
 		j.Publish(ev)
 	}
 	sh.mu.Unlock()
@@ -344,19 +365,31 @@ func (nn *NameNode) AllocateBlock(size int) (*BlockMeta, error) {
 			pending = append(pending, nn.registerStripeLocked(s))
 		}
 		nn.mu.Unlock()
+		for i := range pending {
+			pending[i].Trace = trace
+		}
 		nn.publishAll(pending)
 	}
 	if m := nn.metrics(); m != nil {
 		m.allocOps.Inc()
 		m.attemptNs.Observe(float64(elapsed.Nanoseconds()) / float64(attempts))
+		m.allocLat.Observe(time.Since(allocStart).Seconds())
 	}
+	sp.Arg("block", strconv.FormatInt(int64(id), 10))
 	return out, nil
 }
 
-// CommitBlock records that the block's replicas are durably written; the
-// block becomes eligible for stripe grouping (EAR sealed the stripe at
-// placement time; RR blocks queue for RaidNode grouping).
+// CommitBlock records a durably written block with a background (untraced)
+// context. See CommitBlockCtx.
 func (nn *NameNode) CommitBlock(id topology.BlockID) error {
+	return nn.CommitBlockCtx(context.Background(), id)
+}
+
+// CommitBlockCtx records that the block's replicas are durably written; the
+// block becomes eligible for stripe grouping (EAR sealed the stripe at
+// placement time; RR blocks queue for RaidNode grouping). The context's
+// trace, if any, is stamped on the BlockCommitted journal event.
+func (nn *NameNode) CommitBlockCtx(ctx context.Context, id topology.BlockID) error {
 	defer nn.serialSection()()
 	bs := nn.blockShardFor(id)
 	bs.mu.Lock()
@@ -386,6 +419,7 @@ func (nn *NameNode) CommitBlock(id topology.BlockID) error {
 		ev := events.New(events.BlockCommitted, "namenode")
 		ev.Block = id
 		ev.Nodes = nodes
+		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
 	}
 	return nil

@@ -201,8 +201,15 @@ func (r *RaidNode) EncodeAll() (EncodeStats, error) {
 // give up and running tasks abort their in-flight transfers within one
 // chunk reservation.
 func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
-	jobSpan := r.c.trace().Start("encode-job")
+	var jobSpan *telemetry.Span
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		jobSpan = parent.Child("encode-job")
+	} else {
+		jobSpan = r.c.trace().Start("encode-job")
+	}
+	jobSpan.Arg(telemetry.ComponentArg, "raidnode")
 	defer jobSpan.End()
+	ctx = telemetry.ContextWithSpan(ctx, jobSpan)
 	tel := r.c.metrics()
 
 	sel := jobSpan.Child("stripe-selection")
@@ -234,9 +241,11 @@ func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
 			StrictRack: t.strict,
 			Run: func(taskCtx context.Context, on topology.NodeID) error {
 				taskSpan := jobSpan.ChildTrack("map-task").
+					Arg(telemetry.ComponentArg, "raidnode").
 					Arg("task", name).
 					Arg("node", strconv.Itoa(int(on)))
 				defer taskSpan.End()
+				taskCtx = telemetry.ContextWithSpan(taskCtx, taskSpan)
 				// Stripes are independent, so the task keeps up to
 				// EncodeParallelism of them in flight: one stripe's parity
 				// uploads overlap the next stripe's gather and compute.
@@ -310,11 +319,19 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	if err != nil {
 		return 0, false, err
 	}
+	stripeStart := time.Now()
+	defer func() {
+		if m := c.metrics(); m != nil {
+			m.encStripe.Observe(time.Since(stripeStart).Seconds())
+		}
+	}()
+	trace := telemetry.TraceFromContext(ctx)
 	if j := c.Journal(); j != nil {
 		ev := events.New(events.StripeEncodeStarted, "raidnode")
 		ev.Stripe = info.ID
 		ev.Node = encoder
 		ev.Rack = encRack
+		ev.Trace = trace
 		j.Publish(ev)
 	}
 	fanIn := gatherFanIn
@@ -490,6 +507,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 				ev.Block = b
 				ev.Stripe = info.ID
 				ev.Node = n
+				ev.Trace = trace
 				jnl.Publish(ev)
 			}
 		}

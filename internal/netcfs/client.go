@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
 
@@ -30,6 +31,17 @@ type Client struct {
 	// notices the disconnect and cancels the abandoned operation's
 	// in-flight transfers. Zero (the default) never times out.
 	Timeout time.Duration
+
+	tracer *telemetry.Tracer
+}
+
+// SetTracer installs a tracer: each RPC opens an rpc.<op> client span whose
+// identity crosses the wire in the request, so a traced server continues the
+// same trace. Without a tracer every call still carries a fresh trace ID.
+func (c *Client) SetTracer(tr *telemetry.Tracer) {
+	c.mu.Lock()
+	c.tracer = tr
+	c.mu.Unlock()
 }
 
 // Dial connects to a server.
@@ -54,6 +66,17 @@ func (c *Client) call(req Request) (Response, error) {
 	req.Client = c.ClientNode
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.tracer != nil {
+		sp := c.tracer.Start("rpc." + req.Op.String())
+		sp.Arg(telemetry.ComponentArg, "client")
+		sc := sp.Context()
+		req.Trace, req.Span = sc.Trace, sc.Span
+		defer sp.End()
+	} else {
+		// Tracerless clients still mint a trace ID so server-side spans
+		// and journal events group per RPC.
+		req.Trace = telemetry.NewTraceID()
+	}
 	if c.Timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 			return Response{}, fmt.Errorf("netcfs deadline %v: %w", req.Op, err)

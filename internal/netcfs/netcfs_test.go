@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"ear/internal/events"
 	"ear/internal/hdfs"
 	"ear/internal/telemetry"
 )
@@ -358,5 +359,117 @@ func TestStatsRPC(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`netcfs_requests_total{op="ping"} 1`)) {
 		t.Errorf("shared registry missing ping count:\n%s", buf.String())
+	}
+}
+
+// TestTracePropagationAcrossWire: a traced client RPC and the traced server
+// handling it must share one trace ID, carried in the request frame, and the
+// server's cluster spans and journal events must join that same trace.
+func TestTracePropagationAcrossWire(t *testing.T) {
+	srv, c := startServer(t, "ear")
+	clientTr := telemetry.NewTracer()
+	serverTr := telemetry.NewTracer()
+	c.SetTracer(clientTr)
+	srv.SetTracer(serverTr)
+	jnl := events.NewJournal(4096)
+	srv.cluster.SetJournal(jnl)
+	srv.cluster.SetTracer(serverTr)
+
+	if err := c.Create("/t.dat"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 8<<10)
+	rand.New(rand.NewSource(5)).Read(payload)
+	if err := c.Append("/t.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseFile("/t.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	var appendTrace uint64
+	for _, s := range clientTr.Spans() {
+		if s.Name == "rpc.append" {
+			appendTrace = s.Trace
+			if got := s.Args[telemetry.ComponentArg]; got != "client" {
+				t.Errorf("client rpc span component = %q, want client", got)
+			}
+		}
+	}
+	if appendTrace == 0 {
+		t.Fatal("client tracer recorded no rpc.append span")
+	}
+
+	var serverRPC, serverWrite, serverHops int
+	for _, s := range serverTr.Spans() {
+		if s.Trace != appendTrace {
+			continue
+		}
+		switch s.Name {
+		case "rpc.append":
+			serverRPC++
+			if s.Remote == 0 {
+				t.Error("server rpc.append span lost the remote parent link")
+			}
+		case "client.write-block":
+			serverWrite++
+		case "datanode.pipeline-hop":
+			serverHops++
+		}
+	}
+	if serverRPC != 1 {
+		t.Fatalf("server rpc.append spans in client's trace = %d, want 1", serverRPC)
+	}
+	if serverWrite == 0 || serverHops == 0 {
+		t.Errorf("server write/hop spans in trace = %d/%d, want both > 0", serverWrite, serverHops)
+	}
+
+	// Combined client+server span set: the append trace crosses components.
+	all := append(clientTr.Spans(), serverTr.Spans()...)
+	if got := telemetry.MultiComponentTraces(all); got < 1 {
+		t.Errorf("MultiComponentTraces(client+server) = %d, want >= 1", got)
+	}
+
+	// Journal events of the write carry the propagated trace.
+	evs, _, _ := jnl.Since(0, 0, events.Filter{Trace: appendTrace})
+	byType := map[events.Type]int{}
+	for _, e := range evs {
+		byType[e.Type]++
+	}
+	for _, typ := range []events.Type{events.BlockAllocated, events.ReplicaWritten, events.BlockCommitted} {
+		if byType[typ] == 0 {
+			t.Errorf("no %s journal event carries the RPC trace", typ)
+		}
+	}
+}
+
+// TestTracerlessClientStillMintsTraceIDs: without a client tracer the
+// request still carries a nonzero trace ID, so a traced server groups each
+// RPC's activity.
+func TestTracerlessClientStillMintsTraceIDs(t *testing.T) {
+	srv, c := startServer(t, "rr")
+	serverTr := telemetry.NewTracer()
+	srv.SetTracer(serverTr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	var traces []uint64
+	for _, s := range serverTr.Spans() {
+		if s.Name == "rpc.ping" {
+			traces = append(traces, s.Trace)
+		}
+	}
+	if len(traces) != 2 {
+		t.Fatalf("rpc.ping server spans = %d, want 2", len(traces))
+	}
+	if traces[0] == 0 || traces[1] == 0 {
+		t.Fatal("tracerless client produced a zero trace ID")
+	}
+	if traces[0] == traces[1] {
+		t.Fatal("distinct RPCs share a trace ID")
 	}
 }

@@ -83,6 +83,14 @@ type Request struct {
 	Data   []byte
 	Node   topology.NodeID
 	Block  topology.BlockID
+
+	// Trace and Span carry the caller's telemetry.SpanContext across the
+	// wire, flattened for gob. The server adopts them (Tracer.StartRemote)
+	// so its spans and journal events join the client's trace; a client
+	// without a tracer still stamps a fresh Trace per call so server-side
+	// activity groups per RPC. Zero means untraced.
+	Trace uint64
+	Span  int64
 }
 
 // EncodeSummary is the wire form of hdfs.EncodeStats.

@@ -50,6 +50,31 @@ type Server struct {
 	cursor    hdfs.StatsCursor
 	encTotals EncodeSummary
 	locality  map[string]int
+	tracer    *telemetry.Tracer
+}
+
+// SetTracer installs a tracer: each request is handled under an rpc.<op>
+// span that adopts the trace identity carried in the request, so the
+// server's spans — and the cluster spans and journal events beneath them —
+// join the calling client's trace.
+func (s *Server) SetTracer(tr *telemetry.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
+}
+
+// traceSpan opens the handling span for one request (nil without a tracer).
+func (s *Server) traceSpan(req *Request) *telemetry.Span {
+	s.mu.Lock()
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	sp := tr.StartRemote("rpc."+req.Op.String(),
+		telemetry.SpanContext{Trace: req.Trace, Span: req.Span})
+	sp.Arg(telemetry.ComponentArg, "rpc")
+	return sp
 }
 
 // Serve starts accepting connections on addr (use "127.0.0.1:0" to let the
@@ -192,7 +217,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	for req := range reqs {
 		start := time.Now()
-		resp := s.handle(ctx, req)
+		hctx := ctx
+		sp := s.traceSpan(req)
+		if sp != nil {
+			hctx = telemetry.ContextWithSpan(ctx, sp)
+		}
+		resp := s.handle(hctx, req)
+		sp.End()
 		s.observe(req.Op, time.Since(start))
 		if err := enc.Encode(resp); err != nil {
 			return

@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,10 +15,12 @@ import (
 // Child, Arg, and End call on nil receivers does nothing, so instrumented
 // code never needs nil checks. All methods are safe for concurrent use.
 type Tracer struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	spans  []*Span
-	nextID int64
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []*Span
+	nextID  int64
+	limit   int   // max retained spans, 0 = unlimited
+	dropped int64 // spans discarded by the limit
 }
 
 // NewTracer creates a tracer whose timestamps are relative to now.
@@ -23,14 +28,102 @@ func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
 }
 
+// SetLimit caps how many spans the tracer retains (0 restores unlimited
+// retention). Spans started past the cap are fully usable — children,
+// args, trace identity — but are not recorded; Dropped counts them. A
+// long-running daemon sets a limit so the trace buffer cannot grow without
+// bound.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans the retention limit discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards every recorded span (and the dropped count), keeping the
+// epoch, ID sequence, and limit. In-flight spans keep working; they are
+// simply no longer exported.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// traceSeq feeds NewTraceID; traceBase folds in process start time so IDs
+// from different processes (client and server of one RPC) do not collide.
+var (
+	traceSeq  atomic.Uint64
+	traceBase = uint64(time.Now().UnixNano())
+)
+
+// NewTraceID returns a fresh nonzero trace identifier: a splitmix64 hash of
+// a process-wide counter and the process start time. Callers that have a
+// Tracer get trace IDs implicitly from Start; NewTraceID exists for
+// tracerless clients that still want their requests correlated end to end
+// (the netcfs client stamps one per RPC even when no tracer is installed).
+func NewTraceID() uint64 {
+	for {
+		x := traceBase + traceSeq.Add(1)*0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// SpanContext is the serializable identity of a span: the trace it belongs
+// to and the span's ID within the tracer that recorded it. It is what
+// crosses process boundaries (the netcfs protocol carries one per request)
+// and what journal events store as their correlation key. The zero value
+// means "untraced".
+type SpanContext struct {
+	Trace uint64
+	Span  int64
+}
+
+// FormatTraceID renders a trace ID the way the Chrome-trace export and the
+// admin endpoints do: 16 hex digits.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ComponentArg is the span annotation naming the component that produced
+// the span ("client", "namenode", "datanode", "raidnode", "rpc"). Traces
+// spanning two or more distinct components are what MultiComponentTraces
+// counts.
+const ComponentArg = "component"
+
 // Span is one timed operation. Spans form a tree through parent links;
 // concurrent siblings can be placed on their own display track with
-// ChildTrack. A nil *Span is a valid no-op.
+// ChildTrack. Every span belongs to a trace: roots started with Start get a
+// fresh trace ID, children inherit their parent's, and StartRemote
+// continues a trace that began in another process. A nil *Span is a valid
+// no-op.
 type Span struct {
 	tr     *Tracer
 	id     int64
-	parent int64 // 0 for roots
-	track  int64 // Chrome trace tid: spans sharing a track nest visually
+	parent int64  // 0 for roots
+	track  int64  // Chrome trace tid: spans sharing a track nest visually
+	trace  uint64 // trace ID shared by the whole request tree
+	remote int64  // parent span ID in the originating process (StartRemote)
 	name   string
 	start  time.Time
 
@@ -40,45 +133,87 @@ type Span struct {
 	args  map[string]string
 }
 
-// newSpan allocates and registers a span.
-func (t *Tracer) newSpan(name string, parent, track int64) *Span {
+// newSpan allocates and registers a span. All identity fields (id, parent,
+// track, trace, name, start) are final once newSpan returns: concurrent
+// readers obtain the *Span through a happens-before edge (the t.mu handoff
+// or the channel/call that delivered the pointer), so only the mutable
+// dur/ended/args state needs s.mu.
+func (t *Tracer) newSpan(name string, parent, track int64, trace uint64, remote int64) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextID++
-	s := &Span{tr: t, id: t.nextID, parent: parent, track: track, name: name, start: time.Now()}
+	s := &Span{
+		tr: t, id: t.nextID, parent: parent, track: track,
+		trace: trace, remote: remote, name: name, start: time.Now(),
+	}
 	if track <= 0 {
 		s.track = s.id
 	}
-	t.spans = append(t.spans, s)
+	if t.limit > 0 && len(t.spans) >= t.limit {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, s)
+	}
 	return s
 }
 
-// Start opens a root span on its own track. Returns nil when the tracer is
-// nil.
+// Start opens a root span on its own track with a fresh trace ID. Returns
+// nil when the tracer is nil.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.newSpan(name, 0, 0)
+	return t.newSpan(name, 0, 0, NewTraceID(), 0)
+}
+
+// StartRemote opens a root span continuing a trace that originated
+// elsewhere (typically deserialized from a protocol header): the new span
+// adopts sc.Trace — drawing a fresh trace ID when it is zero — and records
+// sc.Span as its remote parent. Returns nil when the tracer is nil.
+func (t *Tracer) StartRemote(name string, sc SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if sc.Trace == 0 {
+		sc.Trace = NewTraceID()
+	}
+	return t.newSpan(name, 0, 0, sc.Trace, sc.Span)
 }
 
 // Child opens a sub-span on the same display track as its parent (rendered
-// nested in a trace viewer). Returns nil when the span is nil.
+// nested in a trace viewer), inheriting the parent's trace. Returns nil
+// when the span is nil.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.newSpan(name, s.id, s.track)
+	return s.tr.newSpan(name, s.id, s.track, s.trace, 0)
 }
 
 // ChildTrack opens a sub-span on a fresh display track, for children that
-// run concurrently with their siblings (e.g. parallel map tasks). Returns
-// nil when the span is nil.
+// run concurrently with their siblings (e.g. parallel map tasks). The child
+// inherits the parent's trace. Returns nil when the span is nil.
 func (s *Span) ChildTrack(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.newSpan(name, s.id, -1) // -1: force a new track
+	return s.tr.newSpan(name, s.id, -1, s.trace, 0) // -1: force a new track
+}
+
+// Context returns the span's serializable identity, zero for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// TraceID returns the span's trace ID, zero for a nil span.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
 }
 
 // Arg attaches a key/value annotation, returning the span for chaining.
@@ -108,10 +243,42 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span, the propagation
+// vehicle between components: the client data path attaches its operation
+// span, and everything downstream — NameNode allocation, fabric streams,
+// journal publishers — picks it up with SpanFromContext to join the same
+// trace. Attaching a nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span the context carries, nil (a valid no-op
+// span) when there is none.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// TraceFromContext returns the trace ID of the context's span, zero when
+// the context is untraced. Journal publishers use it to stamp events.
+func TraceFromContext(ctx context.Context) uint64 {
+	return SpanFromContext(ctx).TraceID()
+}
+
 // SpanSnapshot is the exported state of one span.
 type SpanSnapshot struct {
 	ID     int64
 	Parent int64
+	Trace  uint64
+	// Remote is the originating process's parent span ID for spans started
+	// with StartRemote, 0 otherwise.
+	Remote int64
 	Name   string
 	Start  time.Duration // offset from the tracer epoch
 	Dur    time.Duration
@@ -134,6 +301,8 @@ func (t *Tracer) Spans() []SpanSnapshot {
 		out[i] = SpanSnapshot{
 			ID:     s.id,
 			Parent: s.parent,
+			Trace:  s.trace,
+			Remote: s.remote,
 			Name:   s.name,
 			Start:  s.start.Sub(epoch),
 			Dur:    s.dur,
@@ -148,6 +317,36 @@ func (t *Tracer) Spans() []SpanSnapshot {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// MultiComponentTraces counts the distinct traces among the snapshots whose
+// spans carry two or more distinct ComponentArg annotations — the "did the
+// trace actually cross a component boundary" check CI asserts on. Spans
+// without a component annotation do not contribute.
+func MultiComponentTraces(spans []SpanSnapshot) int {
+	comps := make(map[uint64]map[string]bool)
+	for _, s := range spans {
+		if s.Trace == 0 {
+			continue
+		}
+		c := s.Args[ComponentArg]
+		if c == "" {
+			continue
+		}
+		set := comps[s.Trace]
+		if set == nil {
+			set = make(map[string]bool)
+			comps[s.Trace] = set
+		}
+		set[c] = true
+	}
+	n := 0
+	for _, set := range comps {
+		if len(set) >= 2 {
+			n++
+		}
+	}
+	return n
 }
 
 // chromeEvent is one entry of the Chrome trace event format ("X" complete
@@ -165,8 +364,10 @@ type chromeEvent struct {
 
 // WriteChromeTrace renders every ended span as a Chrome trace event array,
 // loadable by chrome://tracing and Perfetto. Unended spans are emitted with
-// the duration observed so far. Span identity and parent links travel in
-// the args ("span", "parent").
+// the duration observed so far. Span identity, parent links, and trace
+// membership travel in the args ("span", "parent", "trace",
+// "remote_parent"), so filtering a viewer on one trace ID isolates one
+// end-to-end request.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := w.Write([]byte("[]\n"))
@@ -200,6 +401,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		ev.Args["span"] = strconv.FormatInt(s.id, 10)
 		if s.parent != 0 {
 			ev.Args["parent"] = strconv.FormatInt(s.parent, 10)
+		}
+		if s.trace != 0 {
+			ev.Args["trace"] = FormatTraceID(s.trace)
+		}
+		if s.remote != 0 {
+			ev.Args["remote_parent"] = strconv.FormatInt(s.remote, 10)
 		}
 		events = append(events, ev)
 	}

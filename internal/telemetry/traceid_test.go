@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestTraceIdentityInheritance(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("op")
+	if root.TraceID() == 0 {
+		t.Fatal("root span has zero trace ID")
+	}
+	child := root.Child("phase")
+	grand := child.ChildTrack("parallel")
+	if child.TraceID() != root.TraceID() || grand.TraceID() != root.TraceID() {
+		t.Errorf("trace not inherited: root=%x child=%x grand=%x",
+			root.TraceID(), child.TraceID(), grand.TraceID())
+	}
+	other := tr.Start("op2")
+	if other.TraceID() == root.TraceID() {
+		t.Error("independent roots share a trace ID")
+	}
+	sc := child.Context()
+	if sc.Trace != root.TraceID() || sc.Span == 0 {
+		t.Errorf("Context() = %+v, want trace %x and nonzero span", sc, root.TraceID())
+	}
+	if got := FormatTraceID(0xabc); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Errorf("FormatTraceID = %q, want 16 hex digits", got)
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	origin := NewTracer()
+	rpc := origin.Start("rpc.append")
+	sc := rpc.Context()
+
+	server := NewTracer()
+	handler := server.StartRemote("rpc.append", sc)
+	if handler.TraceID() != rpc.TraceID() {
+		t.Errorf("remote span trace = %x, want %x", handler.TraceID(), rpc.TraceID())
+	}
+	snap := server.Spans()
+	if len(snap) != 1 {
+		t.Fatalf("server spans = %d, want 1", len(snap))
+	}
+	if snap[0].Remote != sc.Span {
+		t.Errorf("remote parent = %d, want %d", snap[0].Remote, sc.Span)
+	}
+	// Zero context mints a fresh trace instead of an untraced span.
+	fresh := server.StartRemote("rpc.ping", SpanContext{})
+	if fresh.TraceID() == 0 {
+		t.Error("StartRemote with zero context produced trace 0")
+	}
+	// Nil tracer stays a no-op.
+	var nilTr *Tracer
+	if sp := nilTr.StartRemote("x", sc); sp != nil {
+		t.Error("nil tracer StartRemote returned non-nil span")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if got := TraceFromContext(context.Background()); got != 0 {
+		t.Errorf("TraceFromContext(background) = %x, want 0", got)
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Errorf("SpanFromContext(background) = %v, want nil", got)
+	}
+	ctx := context.Background()
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Error("ContextWithSpan(nil) must return ctx unchanged")
+	}
+	tr := NewTracer()
+	sp := tr.Start("op")
+	ctx = ContextWithSpan(ctx, sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Error("span lost in context round trip")
+	}
+	if got := TraceFromContext(ctx); got != sp.TraceID() {
+		t.Errorf("TraceFromContext = %x, want %x", got, sp.TraceID())
+	}
+}
+
+func TestNewTraceIDUniqueUnderConcurrency(t *testing.T) {
+	const goroutines, per = 16, 500
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for i := 0; i < per; i++ {
+				id := NewTraceID()
+				if id == 0 {
+					t.Error("NewTraceID returned 0")
+					return
+				}
+				local = append(local, id)
+			}
+			mu.Lock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate trace ID %x", id)
+				}
+				seen[id] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpanLimitAndReset(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	var spans []*Span
+	for i := 0; i < 5; i++ {
+		spans = append(spans, tr.Start("s"))
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("retained spans = %d, want 2 (limit)", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	// A dropped span stays fully usable; its children count against the
+	// limit like any other span.
+	dropped := spans[4]
+	if dropped == nil || dropped.TraceID() == 0 {
+		t.Fatal("span past the limit is not usable")
+	}
+	child := dropped.Child("c").Arg("k", "v")
+	child.End()
+	dropped.End()
+	if got := tr.Dropped(); got != 4 {
+		t.Errorf("dropped after child = %d, want 4", got)
+	}
+	tr.Reset()
+	if got, d := len(tr.Spans()), tr.Dropped(); got != 0 || d != 0 {
+		t.Errorf("after Reset: spans=%d dropped=%d, want 0/0", got, d)
+	}
+	// Limit survives Reset; unlimited restores with SetLimit(0).
+	tr.Start("a")
+	tr.Start("b")
+	tr.Start("c")
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("limit did not survive Reset: %d spans", got)
+	}
+	tr.SetLimit(0)
+	tr.Start("d")
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("SetLimit(0): spans = %d, want 3", got)
+	}
+}
+
+func TestMultiComponentTracesCounting(t *testing.T) {
+	mk := func(trace uint64, comp string) SpanSnapshot {
+		s := SpanSnapshot{Trace: trace}
+		if comp != "" {
+			s.Args = map[string]string{ComponentArg: comp}
+		}
+		return s
+	}
+	spans := []SpanSnapshot{
+		mk(1, "client"), mk(1, "namenode"), mk(1, "datanode"), // multi
+		mk(2, "client"), mk(2, "client"), // single component
+		mk(3, "raidnode"), mk(3, ""), // unannotated span ignored
+		mk(0, "client"), mk(0, "datanode"), // untraced ignored
+	}
+	if got := MultiComponentTraces(spans); got != 1 {
+		t.Errorf("MultiComponentTraces = %d, want 1", got)
+	}
+}
+
+// TestTracerRaceStress exercises every concurrent combination the daemon
+// hits: spans created, annotated, and ended while other goroutines export,
+// reset, and re-limit the tracer. Run with -race.
+func TestTracerRaceStress(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(256)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.Start("op")
+				root.Arg("worker", "w")
+				child := root.Child("phase")
+				grand := child.ChildTrack("fan")
+				grand.Arg(ComponentArg, "datanode").End()
+				child.End()
+				remote := tr.StartRemote("rpc", root.Context())
+				remote.End()
+				root.End()
+				if i%50 == w {
+					tr.Reset()
+				}
+				if i%67 == w {
+					tr.SetLimit(128 + i)
+				}
+			}
+		}()
+	}
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Spans()
+				_ = tr.WriteChromeTrace(io.Discard)
+				tr.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}
