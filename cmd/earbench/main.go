@@ -13,15 +13,21 @@
 //     rollback-based incremental feasibility vs the clone-and-recompute
 //     ablation vs preliminary EAR vs RR) and NameNode block-allocation
 //     throughput across goroutine counts, sharded vs single-global-mutex.
+//   - meta (BENCH_meta.json): the durable metadata plane — raw write-ahead
+//     log append throughput per fsync policy, group-commit batching under
+//     SyncAlways, the AllocateBlock overhead of write-ahead logging vs the
+//     in-memory path, and restart-replay plus snapshot-restart time at
+//     -replay-blocks committed blocks.
 //
-// CI runs all three as smoke checks; the snapshots document the speedups the
-// streaming data path, the coding kernels, and the metadata hot path buy.
+// CI runs the suites as smoke checks; the snapshots document the speedups
+// the streaming data path, the coding kernels, and the metadata plane buy.
 //
 // Usage:
 //
 //	earbench -suite datapath -out BENCH_datapath.json -writes 20 -stripes 4
 //	earbench -suite erasure -out BENCH_erasure.json
 //	earbench -suite placement -out BENCH_placement.json -blocks 4000
+//	earbench -suite meta -out BENCH_meta.json -replay-blocks 100000
 package main
 
 import (
@@ -113,11 +119,12 @@ func main() {
 }
 
 func run() error {
-	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, or placement")
+	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, placement, or meta")
 	out := flag.String("out", "", "snapshot output path ('-' for stdout; default BENCH_<suite>.json)")
 	writes := flag.Int("writes", 20, "block writes per write/read scenario (datapath)")
 	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
-	blocks := flag.Int("blocks", 4000, "block placements per scenario (placement)")
+	blocks := flag.Int("blocks", 4000, "block placements per scenario (placement, meta)")
+	replayBlocks := flag.Int("replay-blocks", 100000, "committed blocks in the restart-replay scenario (meta)")
 	flag.Parse()
 
 	if *out == "" {
@@ -130,6 +137,8 @@ func run() error {
 		return runErasure(*out, *stripes)
 	case "placement":
 		return runPlacement(*out, *blocks)
+	case "meta":
+		return runMeta(*out, *blocks, *replayBlocks)
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
 	}

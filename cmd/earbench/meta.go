@@ -1,0 +1,355 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ear/internal/hdfs"
+	"ear/internal/metalog"
+	"ear/internal/placement"
+)
+
+// metaLogResult is one raw write-ahead-log append scenario: a single
+// appender streaming small records under the given fsync policy.
+type metaLogResult struct {
+	Policy        string  `json:"policy"`
+	Appends       int     `json:"appends"`
+	NsPerAppend   float64 `json:"ns_per_append"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	Fsyncs        uint64  `json:"fsyncs"`
+}
+
+// groupCommitResult measures SyncAlways group commit: g goroutines each
+// append a record and block in WaitDurable until an fsync covers it.
+// Concurrent waiters batch behind one fsync, so AppendsPerFsync is the
+// amortization factor the batching buys.
+type groupCommitResult struct {
+	Goroutines      int     `json:"goroutines"`
+	NsPerDurableOp  float64 `json:"ns_per_durable_op"`
+	AppendsPerFsync float64 `json:"appends_per_fsync"`
+}
+
+// metaAllocResult is one AllocateBlock scenario: the same sharded NameNode
+// hot path with the metadata plane in memory only, or write-ahead logged
+// under each fsync policy.
+type metaAllocResult struct {
+	Mode      string  `json:"mode"` // in-memory | wal-interval | wal-always | wal-none
+	Blocks    int     `json:"blocks"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// metaSnapshotDoc is the meta suite's emitted document.
+type metaSnapshotDoc struct {
+	GeneratedAt string   `json:"generated_at"`
+	Host        hostInfo `json:"host"`
+	// Log is raw single-appender log throughput per fsync policy.
+	Log []metaLogResult `json:"log"`
+	// GroupCommit is durable-append latency under SyncAlways across
+	// goroutine counts.
+	GroupCommit []groupCommitResult `json:"group_commit"`
+	// Alloc compares the AllocateBlock hot path with and without the log.
+	Alloc []metaAllocResult `json:"alloc"`
+	// AllocIntervalOverhead is wal-interval ns/op over in-memory ns/op —
+	// the cost of durability on the default policy (acceptance: <= 2x).
+	AllocIntervalOverhead float64 `json:"alloc_interval_overhead"`
+	// Restart-replay: a NameNode holding ReplayBlocks committed blocks is
+	// closed and recovered from the log alone, then snapshotted and
+	// recovered again from the snapshot plus an empty tail.
+	ReplayBlocks               int     `json:"replay_blocks"`
+	ReplayOps                  int64   `json:"replay_ops"`
+	RestartReplaySeconds       float64 `json:"restart_replay_seconds"`
+	ReplayOpsPerSec            float64 `json:"replay_ops_per_sec"`
+	SnapshotSeconds            float64 `json:"snapshot_seconds"`
+	SnapshotBytes              int     `json:"snapshot_bytes"`
+	RestartFromSnapshotSeconds float64 `json:"restart_from_snapshot_seconds"`
+}
+
+// runMeta benchmarks the durable metadata plane: raw log appends per fsync
+// policy, group-commit batching, the AllocateBlock overhead of write-ahead
+// logging, and restart-replay time at replayBlocks committed blocks.
+func runMeta(out string, blocks, replayBlocks int) error {
+	snap := metaSnapshotDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        host(),
+	}
+
+	// Raw append throughput, one appender, 64-byte records. SyncAlways pays
+	// a full fsync per record when nothing else is in flight, so it runs a
+	// smaller batch.
+	payload := make([]byte, 64)
+	for _, pol := range []metalog.SyncPolicy{metalog.SyncInterval, metalog.SyncAlways, metalog.SyncNone} {
+		n := 50000
+		if pol == metalog.SyncAlways {
+			n = 1000
+		}
+		res, err := withTempLog(pol, func(l *metalog.Log) (metaLogResult, error) {
+			t0 := time.Now()
+			for i := 0; i < n; i++ {
+				lsn, err := l.Append(payload)
+				if err != nil {
+					return metaLogResult{}, err
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					return metaLogResult{}, err
+				}
+			}
+			secs := time.Since(t0).Seconds()
+			return metaLogResult{
+				Policy: pol.String(), Appends: n,
+				NsPerAppend:   secs * 1e9 / float64(n),
+				AppendsPerSec: float64(n) / secs,
+				Fsyncs:        l.Stats().Fsyncs,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		snap.Log = append(snap.Log, res)
+	}
+
+	// Group commit: concurrent durable appends batch behind shared fsyncs.
+	for _, g := range []int{1, 4, 16} {
+		const total = 2000
+		res, err := withTempLog(metalog.SyncAlways, func(l *metalog.Log) (groupCommitResult, error) {
+			var wg sync.WaitGroup
+			errs := make([]error, g)
+			per := total / g
+			t0 := time.Now()
+			for i := 0; i < g; i++ {
+				n := per
+				if i == g-1 {
+					n = total - per*(g-1)
+				}
+				wg.Add(1)
+				go func(slot, n int) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						lsn, err := l.Append(payload)
+						if err == nil {
+							err = l.WaitDurable(lsn)
+						}
+						if err != nil {
+							errs[slot] = err
+							return
+						}
+					}
+				}(i, n)
+			}
+			wg.Wait()
+			secs := time.Since(t0).Seconds()
+			for _, err := range errs {
+				if err != nil {
+					return groupCommitResult{}, err
+				}
+			}
+			st := l.Stats()
+			fsyncs := st.Fsyncs
+			if fsyncs == 0 {
+				fsyncs = 1
+			}
+			return groupCommitResult{
+				Goroutines:      g,
+				NsPerDurableOp:  secs * 1e9 / total,
+				AppendsPerFsync: float64(st.Appends) / float64(fsyncs),
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		snap.GroupCommit = append(snap.GroupCommit, res)
+	}
+
+	// AllocateBlock with and without the write-ahead log, 4 goroutines (the
+	// durable modes group-commit across them).
+	cfg, err := placementBenchConfig()
+	if err != nil {
+		return err
+	}
+	var inmemNs, intervalNs float64
+	for _, mode := range []struct {
+		name string
+		sync metalog.SyncPolicy
+		wal  bool
+	}{
+		{"in-memory", 0, false},
+		{"wal-interval", metalog.SyncInterval, true},
+		{"wal-always", metalog.SyncAlways, true},
+		{"wal-none", metalog.SyncNone, true},
+	} {
+		secs, err := allocDurable(cfg, mode.wal, mode.sync, blocks)
+		if err != nil {
+			return err
+		}
+		ns := secs * 1e9 / float64(blocks)
+		snap.Alloc = append(snap.Alloc, metaAllocResult{
+			Mode: mode.name, Blocks: blocks,
+			NsPerOp: ns, OpsPerSec: float64(blocks) / secs,
+		})
+		switch mode.name {
+		case "in-memory":
+			inmemNs = ns
+		case "wal-interval":
+			intervalNs = ns
+		}
+	}
+	if inmemNs > 0 {
+		snap.AllocIntervalOverhead = intervalNs / inmemNs
+	}
+
+	// Restart-replay at replayBlocks committed blocks: build the state once
+	// (SyncNone — the build is not what's measured; Close flushes), then
+	// time a pure log replay, a snapshot, and a snapshot-based restart.
+	dir, err := os.MkdirTemp("", "earbench-meta-replay-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := buildReplayState(cfg, dir, replayBlocks); err != nil {
+		return err
+	}
+
+	open := func() (*hdfs.NameNode, float64, error) {
+		nn, err := hdfs.NewShardedNameNode(cfg, "ear", 1, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		l, err := metalog.Open(metalog.Options{Dir: dir, Sync: metalog.SyncNone})
+		if err != nil {
+			return nil, 0, err
+		}
+		t0 := time.Now()
+		if err := nn.RecoverMeta(l); err != nil {
+			l.Close()
+			return nil, 0, err
+		}
+		return nn, time.Since(t0).Seconds(), nil
+	}
+
+	nn, replaySecs, err := open()
+	if err != nil {
+		return err
+	}
+	snap.ReplayBlocks = nn.BlockCount()
+	snap.ReplayOps = nn.RecoveredOps()
+	snap.RestartReplaySeconds = replaySecs
+	if replaySecs > 0 {
+		snap.ReplayOpsPerSec = float64(snap.ReplayOps) / replaySecs
+	}
+	if snap.ReplayBlocks < replayBlocks {
+		return fmt.Errorf("replay state holds %d blocks, want >= %d", snap.ReplayBlocks, replayBlocks)
+	}
+
+	t0 := time.Now()
+	if err := nn.SnapshotNow(); err != nil {
+		return err
+	}
+	snap.SnapshotSeconds = time.Since(t0).Seconds()
+	snap.SnapshotBytes = len(nn.StateDigest())
+	if err := nn.CloseMeta(); err != nil {
+		return err
+	}
+
+	nn, snapRestartSecs, err := open()
+	if err != nil {
+		return err
+	}
+	snap.RestartFromSnapshotSeconds = snapRestartSecs
+	if err := nn.CloseMeta(); err != nil {
+		return err
+	}
+
+	if err := writeSnapshot(out, snap); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("earbench: wrote %s (alloc interval overhead %.2fx, replay %d blocks / %d ops in %.2fs, snapshot restart %.3fs)\n",
+			out, snap.AllocIntervalOverhead, snap.ReplayBlocks, snap.ReplayOps,
+			snap.RestartReplaySeconds, snap.RestartFromSnapshotSeconds)
+	}
+	return nil
+}
+
+// withTempLog runs fn against a fresh log in a throwaway directory.
+func withTempLog[T any](pol metalog.SyncPolicy, fn func(*metalog.Log) (T, error)) (T, error) {
+	var zero T
+	dir, err := os.MkdirTemp("", "earbench-meta-log-")
+	if err != nil {
+		return zero, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := metalog.Open(metalog.Options{Dir: dir, Sync: pol})
+	if err != nil {
+		return zero, err
+	}
+	defer l.Close()
+	// The directory is fresh; recovery is a no-op but positions the log for
+	// appending (and starts the interval fsyncer).
+	noop := func([]byte) error { return nil }
+	if err := l.Recover(noop, func(uint64, []byte) error { return nil }); err != nil {
+		return zero, err
+	}
+	return fn(l)
+}
+
+// allocDurable measures `blocks` AllocateBlock calls across 4 goroutines on
+// a sharded EAR NameNode, optionally write-ahead logged under pol.
+func allocDurable(cfg placement.Config, wal bool, pol metalog.SyncPolicy, blocks int) (float64, error) {
+	nn, err := hdfs.NewShardedNameNode(cfg, "ear", 1, false)
+	if err != nil {
+		return 0, err
+	}
+	if wal {
+		dir, err := os.MkdirTemp("", "earbench-meta-alloc-")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		l, err := metalog.Open(metalog.Options{Dir: dir, Sync: pol})
+		if err != nil {
+			return 0, err
+		}
+		if err := nn.RecoverMeta(l); err != nil {
+			l.Close()
+			return 0, err
+		}
+		defer nn.CloseMeta()
+	}
+	return allocHammer(nn, 4, blocks)
+}
+
+// buildReplayState populates a durable NameNode with `blocks` committed
+// blocks (allocate + commit, stripes sealing as they fill) and closes it,
+// leaving the log on disk for the replay measurements.
+func buildReplayState(cfg placement.Config, dir string, blocks int) error {
+	nn, err := hdfs.NewShardedNameNode(cfg, "ear", 1, false)
+	if err != nil {
+		return err
+	}
+	l, err := metalog.Open(metalog.Options{Dir: dir, Sync: metalog.SyncNone})
+	if err != nil {
+		return err
+	}
+	if err := nn.RecoverMeta(l); err != nil {
+		l.Close()
+		return err
+	}
+	for i := 0; i < blocks; i++ {
+		meta, err := nn.AllocateBlock(1)
+		if err != nil {
+			nn.CloseMeta()
+			return err
+		}
+		if err := nn.CommitBlock(meta.ID); err != nil {
+			nn.CloseMeta()
+			return err
+		}
+	}
+	if _, err := nn.FlushOpenStripes(); err != nil {
+		nn.CloseMeta()
+		return err
+	}
+	return nn.CloseMeta()
+}

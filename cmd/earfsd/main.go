@@ -141,6 +141,9 @@ func run() error {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		spanCap  = flag.Int("span-limit", 200000, "max retained trace spans (0 = unlimited)")
 		sloWin   = flag.Duration("slo-window", time.Minute, "rolling window for SLO error budgets")
+		metaDir  = flag.String("meta-dir", "", "durable metadata-plane directory: every NameNode mutation is write-ahead logged there and recovered on restart (empty = in-memory metadata)")
+		metaSync = flag.String("meta-sync", "interval", `metadata log fsync policy: "interval", "always" or "none"`)
+		metaSnap = flag.Int64("meta-snapshot-every", 100000, "checkpoint the metadata plane every N log appends, truncating the covered log (0 = never)")
 	)
 	flag.Parse()
 
@@ -160,11 +163,18 @@ func run() error {
 		BlockSizeBytes:       *block,
 		BandwidthBytesPerSec: *bwMBps * (1 << 20),
 		Seed:                 *seed,
+		MetaDir:              *metaDir,
+		MetaSync:             *metaSync,
+		MetaSnapshotEvery:    *metaSnap,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+	if *metaDir != "" {
+		nn := cluster.NameNode()
+		slog.Info("metadata plane recovered", "dir", *metaDir, "replayed_ops", nn.RecoveredOps(), "blocks", nn.BlockCount())
+	}
 
 	// One registry backs everything: cluster internals (client latency,
 	// RaidNode counters, fabric bytes, MapReduce gauges) plus the RPC

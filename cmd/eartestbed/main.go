@@ -30,6 +30,17 @@
 //
 //	eartestbed -exp a1 -trace out.json -require-trace 1
 //	eartestbed -exp a1 -audit -timeline timeline.json -health health.json
+//
+// The "crash" experiment is the durable-metadata-plane scenario and runs in
+// two invocations sharing -meta-dir: the first populates an EAR cluster,
+// starts encoding, and SIGKILLs its own process the moment the first stripe
+// reports encoded (so the run dies mid-transition with exit code 137); the
+// second recovers the metadata plane from the write-ahead log, audits the
+// recovered layout, requeues the interrupted encodings, and serves fresh
+// writes:
+//
+//	eartestbed -exp crash -crash-phase run -meta-dir /tmp/earmeta   # exits 137
+//	eartestbed -exp crash -crash-phase recover -meta-dir /tmp/earmeta
 package main
 
 import (
@@ -56,20 +67,22 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", or "recovery"`)
-		stripes  = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
-		jobs     = flag.Int("jobs", 50, "SWIM jobs in A.3")
-		rate     = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
-		lead     = flag.Duration("lead", 2*time.Second, "A.2 write lead time before encoding")
-		series   = flag.Bool("series", false, "print the A.2 write-response series")
-		seed     = flag.Int64("seed", 1, "random seed")
-		traceOut = flag.String("trace", "", "write the encode-path span timeline to this file as Chrome trace JSON")
-		traceMin = flag.Int("require-trace", 0, "exit nonzero unless at least N traces cross a component boundary")
-		auditRun = flag.Bool("audit", false, "run the invariant auditor over every cluster; exit nonzero on any violation")
-		auditOut = flag.String("audit-out", "", "also write the audit reports to this file as JSON (implies -audit)")
-		timeline = flag.String("timeline", "", "write the per-link fabric utilization timeline to this file as JSON")
-		healthMon = flag.String("health", "", "run the health monitor on every cluster and write final per-node scores to this file as JSON")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "recovery", or "crash"`)
+		stripes    = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
+		jobs       = flag.Int("jobs", 50, "SWIM jobs in A.3")
+		rate       = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
+		lead       = flag.Duration("lead", 2*time.Second, "A.2 write lead time before encoding")
+		series     = flag.Bool("series", false, "print the A.2 write-response series")
+		seed       = flag.Int64("seed", 1, "random seed")
+		traceOut   = flag.String("trace", "", "write the encode-path span timeline to this file as Chrome trace JSON")
+		traceMin   = flag.Int("require-trace", 0, "exit nonzero unless at least N traces cross a component boundary")
+		auditRun   = flag.Bool("audit", false, "run the invariant auditor over every cluster; exit nonzero on any violation")
+		auditOut   = flag.String("audit-out", "", "also write the audit reports to this file as JSON (implies -audit)")
+		timeline   = flag.String("timeline", "", "write the per-link fabric utilization timeline to this file as JSON")
+		healthMon  = flag.String("health", "", "run the health monitor on every cluster and write final per-node scores to this file as JSON")
+		metaDir    = flag.String("meta-dir", "", "durable metadata-plane directory (required by -exp crash)")
+		crashPhase = flag.String("crash-phase", "run", `crash experiment phase: "run" (dies by SIGKILL) or "recover"`)
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *auditOut != "" {
@@ -186,6 +199,28 @@ func run() error {
 			return err
 		}
 		fmt.Println(t)
+	case "crash":
+		copts := experiments.CrashOptions{TestbedOptions: base, MetaDir: *metaDir}
+		switch *crashPhase {
+		case "run":
+			err := experiments.RunCrashRun(copts, func() error {
+				slog.Info("first stripe encoded; killing the process mid-transition")
+				return syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+			})
+			if err != nil {
+				return err
+			}
+			// A returned SIGKILL means the signal was not delivered.
+			return fmt.Errorf("crash run phase survived its own SIGKILL")
+		case "recover":
+			rep, err := experiments.RunCrashRecover(copts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep)
+		default:
+			return fmt.Errorf("unknown -crash-phase %q (want run or recover)", *crashPhase)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

@@ -78,12 +78,12 @@ func (v Violation) Transient() bool { return v.ResolvedSeq != 0 }
 
 // Report is the auditor's summary.
 type Report struct {
-	Events     uint64      `json:"events"`
-	Blocks     int         `json:"blocks"`
-	Stripes    int         `json:"stripes"`
-	Encoded    int         `json:"encoded_stripes"`
-	Ongoing    []Violation `json:"ongoing"`
-	Transient  []Violation `json:"transient"`
+	Events    uint64      `json:"events"`
+	Blocks    int         `json:"blocks"`
+	Stripes   int         `json:"stripes"`
+	Encoded   int         `json:"encoded_stripes"`
+	Ongoing   []Violation `json:"ongoing"`
+	Transient []Violation `json:"transient"`
 	// Clean is true when no violation — ongoing or transient — was ever
 	// observed.
 	Clean bool `json:"clean"`

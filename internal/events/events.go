@@ -91,6 +91,18 @@ const (
 	// hysteresis threshold.
 	NodeDegraded  Type = "node-degraded"
 	NodeRecovered Type = "node-recovered"
+
+	// MetaRecoveryStarted / MetaRecovered bracket a NameNode crash
+	// recovery: snapshot load plus write-ahead-log tail replay.
+	// MetaRecovered's Dur is the recovery time, Bytes the replayed record
+	// count, and Detail the recovered block/stripe counts. Between the two,
+	// the NameNode republishes its recovered layout as canonical events so
+	// a freshly attached auditor can rebuild its model.
+	MetaRecoveryStarted Type = "meta-recovery-started"
+	MetaRecovered       Type = "meta-recovered"
+	// MetaCheckpointed marks a metadata snapshot written and the op log
+	// truncated behind it. Bytes is the snapshot size, Dur the write time.
+	MetaCheckpointed Type = "meta-checkpointed"
 )
 
 // Event is one journal entry. Zero-valued correlation keys mean "not
@@ -137,7 +149,7 @@ type Event struct {
 	Cross bool `json:"cross,omitempty"`
 	// Nodes and Blocks carry set-valued payloads (replica sets, parity
 	// placements, stripe membership).
-	Nodes  []topology.NodeID `json:"nodes,omitempty"`
+	Nodes  []topology.NodeID  `json:"nodes,omitempty"`
 	Blocks []topology.BlockID `json:"blocks,omitempty"`
 	// Detail is a short free-form annotation (link path, task name, ...).
 	Detail string `json:"detail,omitempty"`

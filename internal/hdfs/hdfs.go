@@ -14,12 +14,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ear/internal/blockstore"
 	"ear/internal/erasure"
 	"ear/internal/events"
 	"ear/internal/fabric"
 	"ear/internal/mapred"
+	"ear/internal/metalog"
 	"ear/internal/placement"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
@@ -78,6 +80,25 @@ type Config struct {
 	// one-big-lock behavior. It exists for benchmarking and equivalence
 	// testing; production configurations leave it false.
 	SerializeMetadata bool
+
+	// MetaDir, when set, makes the metadata plane durable: NewCluster opens
+	// a write-ahead op log there, recovers whatever a previous incarnation
+	// left (snapshot plus log tail), and routes every NameNode mutation
+	// through it. Empty keeps the in-memory-only metadata plane.
+	MetaDir string
+	// MetaSync selects the log's fsync policy: "interval" (group fsyncs on a
+	// timer, the default), "always" (fsync before every mutation returns),
+	// or "none" (OS-buffered only).
+	MetaSync string
+	// MetaSyncEvery is the fsync period under MetaSync "interval"
+	// (default 25ms).
+	MetaSyncEvery time.Duration
+	// MetaSegmentBytes caps one log segment (default 16 MiB).
+	MetaSegmentBytes int64
+	// MetaSnapshotEvery, when positive, checkpoints the metadata plane after
+	// that many log appends, truncating the covered log prefix. 0 means
+	// snapshots happen only on explicit NameNode.SnapshotNow calls.
+	MetaSnapshotEvery int64
 }
 
 // withDefaults fills zero fields.
@@ -147,6 +168,26 @@ type Cluster struct {
 	tel    atomic.Pointer[clusterMetrics]
 	tracer atomic.Pointer[telemetry.Tracer]
 	jrn    atomic.Pointer[events.Journal]
+
+	// fsyncObs forwards the metadata log's fsync durations into the
+	// metalog_fsync_seconds histogram; non-nil only when MetaDir is set.
+	// The indirection exists because the log opens (and may already fsync
+	// during recovery) before SetTelemetry runs.
+	fsyncObs *fsyncObserver
+}
+
+// fsyncObserver adapts metalog's FsyncObserver callback to a telemetry
+// histogram installed later (nil until SetTelemetry; observations before
+// that are dropped, matching every other sink's attach-before-traffic
+// contract).
+type fsyncObserver struct {
+	hist atomic.Pointer[telemetry.Metric]
+}
+
+func (o *fsyncObserver) observe(d time.Duration) {
+	if h := o.hist.Load(); h != nil {
+		h.Observe(d.Seconds())
+	}
 }
 
 // clusterMetrics bundles the cluster's metric handles.
@@ -205,6 +246,11 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 			"Block repair latency (degraded gather, decode, store, metadata update).", nil).With(),
 	}
 	c.tel.Store(m)
+	if c.fsyncObs != nil {
+		c.fsyncObs.hist.Store(reg.Histogram("metalog_fsync_seconds",
+			"Duration of one metadata-log group-commit fsync.",
+			telemetry.ExponentialBuckets(1e-5, 2, 16)).With())
+	}
 	c.fab.SetTelemetry(reg)
 	c.jt.SetTelemetry(reg)
 	c.nn.SetTelemetry(reg)
@@ -285,6 +331,29 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var fsyncObs *fsyncObserver
+	if cfg.MetaDir != "" {
+		sync, err := metalog.ParseSyncPolicy(cfg.MetaSync)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		fsyncObs = &fsyncObserver{}
+		l, err := metalog.Open(metalog.Options{
+			Dir:           cfg.MetaDir,
+			Sync:          sync,
+			SyncEvery:     cfg.MetaSyncEvery,
+			SegmentBytes:  cfg.MetaSegmentBytes,
+			FsyncObserver: fsyncObs.observe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := nn.RecoverMeta(l); err != nil {
+			l.Close()
+			return nil, err
+		}
+		nn.SetAutoSnapshot(cfg.MetaSnapshotEvery)
+	}
 	fab, err := fabric.New(top, cfg.BandwidthBytesPerSec)
 	if err != nil {
 		return nil, err
@@ -317,14 +386,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
 		bufPool:   erasure.NewBufferPool(),
 		zeroBlock: make([]byte, cfg.BlockSizeBytes),
+		fsyncObs:  fsyncObs,
 	}
 	c.raid = newRaidNode(c)
 	return c, nil
 }
 
-// Close shuts down the cluster's background components.
+// Close shuts down the cluster's background components and flushes and
+// closes the metadata log when one is attached.
 func (c *Cluster) Close() {
 	c.jt.Close()
+	_ = c.nn.CloseMeta()
 }
 
 // Config returns the effective configuration.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ear/internal/events"
+	"ear/internal/metalog"
 	"ear/internal/placement"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
@@ -93,9 +94,45 @@ type attemptCounter interface {
 	LastPlaceAttempts() int
 }
 
+// targetReporter is the policy capability of reporting the target-rack set
+// of the stripe the last placement joined (EAR implements it); the op layer
+// records it so replay reopens stripes without consuming randomness.
+type targetReporter interface {
+	LastPlaceTargets() []topology.RackID
+}
+
+// placementRestorer is the policy capability of deterministically re-applying
+// a recorded placement decision during crash-recovery replay (EAR implements
+// it; RR keeps no placement state and needs none).
+type placementRestorer interface {
+	RestorePlacement(block topology.BlockID, core topology.RackID, nodes []topology.NodeID, targets []topology.RackID, iterations int) error
+}
+
+// openStateExporter is the policy capability of exporting and restoring its
+// open-stripe state for snapshots (EAR implements it).
+type openStateExporter interface {
+	OpenState() (topology.StripeID, []*placement.StripeInfo)
+	RestoreOpenState(next topology.StripeID, open []*placement.StripeInfo) error
+}
+
+// openDropper is the policy capability of dropping one open stripe by core
+// rack, the replay counterpart of FlushOpen (EAR implements it).
+type openDropper interface {
+	DropOpen(core topology.RackID) *placement.StripeInfo
+}
+
 // NameNode holds all metadata: block locations, the placement policy hook
 // (the paper's first HDFS modification), and the pre-encoding store mapping
 // stripes to their block lists (the second modification).
+//
+// Every mutation is a typed operation record (op.go): the propose step makes
+// the policy decisions (placement search, planning — anything that consumes
+// randomness), encodes the decided outcome as an op, appends it to the
+// write-ahead log when one is attached, and only then applies it via the
+// same mutation helpers crash-recovery replay uses — so the live path and
+// replay cannot diverge. Each op's single canonical journal event comes from
+// opEvent; replay applies ops without publishing, keeping recovery invisible
+// to telemetry.
 //
 // Concurrency layout — four independent lock domains instead of one global
 // mutex:
@@ -107,9 +144,13 @@ type attemptCounter interface {
 //     planner rng, planOverride).
 //   - rrMu / deadMu: the RR grouping queue and node liveness set.
 //
-// Lock ordering: placementShard.mu and mu are never held together with each
-// other; either may acquire blockShard.mu; blockShard.mu may acquire deadMu.
-// Never acquire in the reverse direction.
+// Lock ordering: placementShard.mu or rrMu may acquire mu (stripe
+// registration logs and applies under the caller's lock so the write-ahead
+// log's order matches the stripe-ID order); any of them may acquire
+// blockShard.mu; blockShard.mu may acquire deadMu. Never acquire in the
+// reverse direction. Ops that mutate a lock domain's state are appended to
+// the log while that domain's lock is held, which is what makes replay in
+// log order equivalent to the live interleaving.
 type NameNode struct {
 	cfg        placement.Config
 	policyName string
@@ -157,6 +198,28 @@ type NameNode struct {
 	jrn atomic.Pointer[events.Journal]
 
 	tel atomic.Pointer[nnMetrics]
+
+	// wal, when non-nil, is the durable op log every mutation is appended
+	// to before it is applied. Attached once via RecoverMeta before the
+	// NameNode serves traffic; nil keeps the pre-durability in-memory
+	// behavior. An append failure is sticky in the log and surfaces as an
+	// error on every subsequent mutation — the metadata plane refuses to
+	// advance past state it cannot make durable.
+	wal *metalog.Log
+
+	// recoveredIn holds the duration of the last RecoverMeta, observed into
+	// namenode_recovery_seconds when telemetry attaches (recovery runs
+	// before SetTelemetry on the restart path); recoveredOps counts the log
+	// records it replayed.
+	recoveredIn  atomic.Int64 // nanoseconds; 0 = no recovery ran
+	recoveredOps atomic.Int64
+
+	// Auto-checkpoint state (durability.go): snapEvery arms a snapshot every
+	// N log appends, lastSnapAppends remembers the append count at the last
+	// one, snapInFlight keeps concurrent mutations from stacking snapshots.
+	snapEvery       atomic.Int64
+	lastSnapAppends atomic.Int64
+	snapInFlight    atomic.Bool
 }
 
 // nnMetrics bundles the NameNode's metric handles.
@@ -164,6 +227,7 @@ type nnMetrics struct {
 	allocOps  *telemetry.Metric // namenode_alloc_ops
 	attemptNs *telemetry.Metric // placement_attempt_ns
 	allocLat  *telemetry.Metric // namenode_alloc_seconds
+	recovery  *telemetry.Metric // namenode_recovery_seconds
 }
 
 // newNameNode builds the shared core; callers attach placement shards.
@@ -251,8 +315,17 @@ func (nn *NameNode) SetTelemetry(reg *telemetry.Registry) {
 		allocLat: reg.Histogram("namenode_alloc_seconds",
 			"Block allocation latency (placement decision plus metadata registration).",
 			telemetry.ExponentialBuckets(1e-6, 2, 16)).With(),
+		recovery: reg.Histogram("namenode_recovery_seconds",
+			"Crash-recovery duration: snapshot load plus op-log tail replay.",
+			telemetry.ExponentialBuckets(1e-3, 2, 16)).With(),
 	}
 	nn.tel.Store(m)
+	// Recovery ran before telemetry attached (the restart path recovers
+	// first, then wires observability); surface its duration retroactively
+	// instead of letting it vanish.
+	if ns := nn.recoveredIn.Load(); ns > 0 {
+		m.recovery.Observe(time.Duration(ns).Seconds())
+	}
 }
 
 // metrics returns the installed metric handles, nil when unobserved.
@@ -271,6 +344,37 @@ func (nn *NameNode) serialSection() func() {
 // blockShardFor returns the block-table shard owning the ID.
 func (nn *NameNode) blockShardFor(id topology.BlockID) *blockShard {
 	return &nn.blockTab[uint64(id)%blockTableShards]
+}
+
+// logOp appends the encoded op to the write-ahead log and returns its LSN,
+// or (0, nil) when no log is attached. Callers hold the lock guarding the
+// state the op mutates, so per lock domain the log order equals the apply
+// order — the property replay depends on.
+func (nn *NameNode) logOp(op *nnOp) (uint64, error) {
+	if nn.wal == nil {
+		return 0, nil
+	}
+	lsn, err := nn.wal.Append(op.encode(nil))
+	if err != nil {
+		return 0, fmt.Errorf("hdfs: logging %v op: %w", op.kind, err)
+	}
+	return lsn, nil
+}
+
+// waitDurable blocks until the op at lsn is fsynced, per the log's sync
+// policy (only SyncAlways actually waits). A no-op without a log. Every
+// mutation path calls it after releasing its locks, which makes it the one
+// place to piggyback the auto-checkpoint check (maybeSnapshot needs the
+// whole plane unlocked).
+func (nn *NameNode) waitDurable(lsn uint64) error {
+	if nn.wal == nil || lsn == 0 {
+		return nil
+	}
+	if err := nn.wal.WaitDurable(lsn); err != nil {
+		return err
+	}
+	nn.maybeSnapshot()
+	return nil
 }
 
 // draw is a lock-free splitmix64 step used for shard routing and core-rack
@@ -306,14 +410,15 @@ func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta,
 	defer nn.serialSection()()
 	id := topology.BlockID(nn.nextBlock.Add(1) - 1)
 
-	var sh *placementShard
+	var shardIdx int32
 	core := topology.RackID(-1)
 	if nn.routeByRack {
 		core = topology.RackID(nn.draw() % uint64(len(nn.shards)))
-		sh = nn.shards[core]
+		shardIdx = int32(core)
 	} else {
-		sh = nn.shards[nn.draw()%uint64(len(nn.shards))]
+		shardIdx = int32(nn.draw() % uint64(len(nn.shards)))
 	}
+	sh := nn.shards[shardIdx]
 
 	sh.mu.Lock()
 	t0 := time.Now()
@@ -330,18 +435,42 @@ func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta,
 		return nil, err
 	}
 	attempts := 1
+	var targets []topology.RackID
 	if ac, ok := sh.policy.(attemptCounter); ok {
 		if a := ac.LastPlaceAttempts(); a > 0 {
 			attempts = a
 		}
 	}
-	sealed := sh.policy.TakeSealed()
+	if tp, ok := sh.policy.(targetReporter); ok {
+		targets = tp.LastPlaceTargets()
+	}
+	if core < 0 {
+		// The policy drew the core rack itself (single-shard EAR via Place);
+		// recover it from the first replica so replay can restore into the
+		// right open stripe. RR has no stripe state and ignores it.
+		if _, isRestorer := sh.policy.(placementRestorer); isRestorer && len(pl.Nodes) > 0 {
+			if r, rerr := nn.cfg.Topology.RackOf(pl.Nodes[0]); rerr == nil {
+				core = r
+			}
+		}
+	}
 
-	meta := &BlockMeta{ID: id, Size: size, Nodes: append([]topology.NodeID(nil), pl.Nodes...), Stripe: -1}
-	bs := nn.blockShardFor(id)
-	bs.mu.Lock()
-	bs.blocks[id] = meta
-	bs.mu.Unlock()
+	op := &nnOp{
+		kind:     opAllocate,
+		block:    id,
+		size:     int64(size),
+		shard:    shardIdx,
+		core:     core,
+		attempts: attempts,
+		nodes:    pl.Nodes,
+		targets:  targets,
+	}
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	meta := nn.applyAllocate(op)
 	out := cloneBlockMeta(meta)
 
 	// Publish the allocation before releasing the placement shard: a later
@@ -349,27 +478,42 @@ func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta,
 	// that stripe's StripeGrouped event must trail every member's
 	// BlockAllocated event in the journal.
 	if j := nn.journal(); j != nil {
-		ev := events.New(events.BlockAllocated, "namenode")
-		ev.Block = id
-		ev.Bytes = int64(size)
-		ev.Nodes = append([]topology.NodeID(nil), out.Nodes...)
-		ev.Trace = trace
-		j.Publish(ev)
+		if ev, ok := opEvent(op); ok {
+			ev.Trace = trace
+			j.Publish(ev)
+		}
+	}
+
+	// Drain and register stripes the placement sealed, while still holding
+	// the shard: the seal op is logged and applied under nn.mu so the
+	// stripe-ID sequence matches the log order across shards.
+	var pending []events.Event
+	for _, s := range sh.policy.TakeSealed() {
+		sop := &nnOp{kind: opSealStripe, shard: shardIdx}
+		nn.mu.Lock()
+		l, serr := nn.logOp(sop)
+		if serr != nil {
+			nn.mu.Unlock()
+			sh.mu.Unlock()
+			return nil, serr
+		}
+		if l > lsn {
+			lsn = l
+		}
+		nn.registerStripeLocked(s)
+		nn.mu.Unlock()
+		sop.stripe, sop.core, sop.blocks = s.ID, s.CoreRack, s.Blocks
+		if ev, ok := opEvent(sop); ok {
+			ev.Trace = trace
+			pending = append(pending, ev)
+		}
 	}
 	sh.mu.Unlock()
 
-	if len(sealed) > 0 {
-		pending := make([]events.Event, 0, len(sealed))
-		nn.mu.Lock()
-		for _, s := range sealed {
-			pending = append(pending, nn.registerStripeLocked(s))
-		}
-		nn.mu.Unlock()
-		for i := range pending {
-			pending[i].Trace = trace
-		}
-		nn.publishAll(pending)
+	if err := nn.waitDurable(lsn); err != nil {
+		return nil, err
 	}
+	nn.publishAll(pending)
 	if m := nn.metrics(); m != nil {
 		m.allocOps.Inc()
 		m.attemptNs.Observe(float64(elapsed.Nanoseconds()) / float64(attempts))
@@ -377,6 +521,31 @@ func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta,
 	}
 	sp.Arg("block", strconv.FormatInt(int64(id), 10))
 	return out, nil
+}
+
+// applyAllocate installs a block-allocation op's metadata record: the shared
+// apply step of the live path and replay. The placement policy's state was
+// already advanced by the caller (PlaceAt live, RestorePlacement in replay).
+func (nn *NameNode) applyAllocate(op *nnOp) *BlockMeta {
+	// Live allocation pre-assigns IDs with an atomic add, so this is a no-op
+	// there; replay advances the counter past every recorded ID.
+	for {
+		cur := nn.nextBlock.Load()
+		if cur >= int64(op.block)+1 || nn.nextBlock.CompareAndSwap(cur, int64(op.block)+1) {
+			break
+		}
+	}
+	meta := &BlockMeta{
+		ID:     op.block,
+		Size:   int(op.size),
+		Nodes:  append([]topology.NodeID(nil), op.nodes...),
+		Stripe: -1,
+	}
+	bs := nn.blockShardFor(op.block)
+	bs.mu.Lock()
+	bs.blocks[op.block] = meta
+	bs.mu.Unlock()
+	return meta
 }
 
 // CommitBlock records a durably written block with a background (untraced)
@@ -391,6 +560,7 @@ func (nn *NameNode) CommitBlock(id topology.BlockID) error {
 // trace, if any, is stamped on the BlockCommitted journal event.
 func (nn *NameNode) CommitBlockCtx(ctx context.Context, id topology.BlockID) error {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opCommit, block: id}
 	bs := nn.blockShardFor(id)
 	bs.mu.Lock()
 	meta, ok := bs.blocks[id]
@@ -402,27 +572,43 @@ func (nn *NameNode) CommitBlockCtx(ctx context.Context, id topology.BlockID) err
 		bs.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d aborted", id)
 	}
-	meta.Committed = true
-	j := nn.journal()
-	var nodes []topology.NodeID
-	if j != nil {
-		nodes = append(nodes, meta.Nodes...)
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		bs.mu.Unlock()
+		return err
 	}
+	op.nodes = nn.applyCommitLocked(meta)
 	bs.mu.Unlock()
 
-	if nn.policyName == "rr" {
-		nn.rrMu.Lock()
-		nn.rrPending = append(nn.rrPending, id)
-		nn.rrMu.Unlock()
+	nn.enqueueRRPending(id)
+	if err := nn.waitDurable(lsn); err != nil {
+		return err
 	}
-	if j != nil {
-		ev := events.New(events.BlockCommitted, "namenode")
-		ev.Block = id
-		ev.Nodes = nodes
-		ev.Trace = telemetry.TraceFromContext(ctx)
-		j.Publish(ev)
+	if j := nn.journal(); j != nil {
+		if ev, ok := opEvent(op); ok {
+			ev.Trace = telemetry.TraceFromContext(ctx)
+			j.Publish(ev)
+		}
 	}
 	return nil
+}
+
+// applyCommitLocked marks the block committed and returns a copy of its
+// replica set; the shared apply step of commit. Caller holds the block's
+// table-shard mutex.
+func (nn *NameNode) applyCommitLocked(meta *BlockMeta) []topology.NodeID {
+	meta.Committed = true
+	return append([]topology.NodeID(nil), meta.Nodes...)
+}
+
+// enqueueRRPending queues a committed block for RaidNode grouping (RR only).
+func (nn *NameNode) enqueueRRPending(id topology.BlockID) {
+	if nn.policyName != "rr" {
+		return
+	}
+	nn.rrMu.Lock()
+	nn.rrPending = append(nn.rrPending, id)
+	nn.rrMu.Unlock()
 }
 
 // publishAll publishes events gathered under a lock, in order.
@@ -444,6 +630,7 @@ func (nn *NameNode) publishAll(evs []events.Event) {
 // the zero-padding of short stripes. Aborting a committed block is an error.
 func (nn *NameNode) AbortBlock(id topology.BlockID) error {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opAbort, block: id}
 	bs := nn.blockShardFor(id)
 	bs.mu.Lock()
 	meta, ok := bs.blocks[id]
@@ -455,19 +642,35 @@ func (nn *NameNode) AbortBlock(id topology.BlockID) error {
 		bs.mu.Unlock()
 		return fmt.Errorf("hdfs: block %d already committed", id)
 	}
-	meta.Aborted = true
-	meta.Nodes = nil
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		bs.mu.Unlock()
+		return err
+	}
+	applyAbortLocked(meta)
 	bs.mu.Unlock()
-	ev := events.New(events.BlockAborted, "namenode")
-	ev.Block = id
-	nn.journal().Publish(ev)
+	if err := nn.waitDurable(lsn); err != nil {
+		return err
+	}
+	if ev, ok := opEvent(op); ok {
+		nn.journal().Publish(ev)
+	}
 	return nil
 }
 
-// registerStripeLocked assigns the next stripe ID, stores the stripe, and
-// returns the StripeGrouped event for the caller to publish once nn.mu is
-// released. Caller holds nn.mu.
-func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Event {
+// applyAbortLocked clears the block's replicas and flags it aborted; the
+// shared apply step of abort. Caller holds the block's table-shard mutex.
+func applyAbortLocked(meta *BlockMeta) {
+	meta.Aborted = true
+	meta.Nodes = nil
+}
+
+// registerStripeLocked assigns the next stripe ID and stores the stripe:
+// the shared apply step of every stripe-registering op (seal, flush, group).
+// The caller holds nn.mu and appended the op under the same hold, so the
+// stripe-ID sequence always matches the log order. The caller builds the
+// StripeGrouped event from the registered info via opEvent.
+func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) {
 	info.ID = nn.nextStripe
 	nn.nextStripe++
 	nn.stripes[info.ID] = &StripeMeta{Info: info}
@@ -480,11 +683,6 @@ func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Even
 		}
 		bs.mu.Unlock()
 	}
-	ev := events.New(events.StripeGrouped, "namenode")
-	ev.Stripe = info.ID
-	ev.Rack = info.CoreRack
-	ev.Blocks = append([]topology.BlockID(nil), info.Blocks...)
-	return ev
 }
 
 // TakePendingStripes drains the pre-encoding store. Under RR it first
@@ -493,7 +691,7 @@ func (nn *NameNode) registerStripeLocked(info *placement.StripeInfo) events.Even
 func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
 	defer nn.serialSection()()
 	var pending []events.Event
-	var groups []*placement.StripeInfo
+	var lsn uint64
 	if nn.policyName == "rr" {
 		nn.rrMu.Lock()
 		if len(nn.rrPending) >= nn.cfg.K {
@@ -510,25 +708,82 @@ func (nn *NameNode) TakePendingStripes() ([]*placement.StripeInfo, error) {
 				placements[b] = topology.Placement{Block: b, Nodes: append([]topology.NodeID(nil), meta.Nodes...)}
 				bs.mu.RUnlock()
 			}
-			var err error
-			groups, err = placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
+			groups, err := placement.GroupIntoStripes(nn.cfg.K, nn.rrPending, placements, 0)
 			if err != nil {
 				nn.rrMu.Unlock()
 				return nil, err
 			}
-			nn.rrPending = nn.rrPending[len(groups)*nn.cfg.K:]
+			for _, g := range groups {
+				op := &nnOp{kind: opGroupStripe, blocks: append([]topology.BlockID(nil), g.Blocks...)}
+				nn.mu.Lock()
+				l, err := nn.logOp(op)
+				if err != nil {
+					nn.mu.Unlock()
+					nn.rrMu.Unlock()
+					return nil, err
+				}
+				if l > lsn {
+					lsn = l
+				}
+				nn.registerStripeLocked(g)
+				nn.mu.Unlock()
+				nn.removePendingLocked(g.Blocks)
+				op.stripe, op.core = g.ID, g.CoreRack
+				if ev, ok := opEvent(op); ok {
+					pending = append(pending, ev)
+				}
+			}
 		}
 		nn.rrMu.Unlock()
 	}
 	nn.mu.Lock()
-	for _, g := range groups {
-		pending = append(pending, nn.registerStripeLocked(g))
+	var out []*placement.StripeInfo
+	if len(nn.preEncoding) > 0 {
+		dop := &nnOp{kind: opDrainPending}
+		l, err := nn.logOp(dop)
+		if err != nil {
+			nn.mu.Unlock()
+			return nil, err
+		}
+		if l > lsn {
+			lsn = l
+		}
+		out = nn.applyDrainLocked()
 	}
-	out := nn.preEncoding
-	nn.preEncoding = nil
 	nn.mu.Unlock()
+	if err := nn.waitDurable(lsn); err != nil {
+		return nil, err
+	}
 	nn.publishAll(pending)
 	return out, nil
+}
+
+// applyDrainLocked hands the pre-encoding store to the caller and clears it;
+// the shared apply step of drain-pending. Caller holds nn.mu.
+func (nn *NameNode) applyDrainLocked() []*placement.StripeInfo {
+	out := nn.preEncoding
+	nn.preEncoding = nil
+	return out
+}
+
+// removePendingLocked deletes the given blocks from the RR grouping queue,
+// preserving the order of the remainder; the shared apply step of a group
+// op's queue side. Caller holds rrMu.
+func (nn *NameNode) removePendingLocked(members []topology.BlockID) {
+	if len(members) == 0 || len(nn.rrPending) == 0 {
+		return
+	}
+	drop := make(map[topology.BlockID]bool, len(members))
+	for _, b := range members {
+		drop[b] = true
+	}
+	kept := nn.rrPending[:0]
+	for _, b := range nn.rrPending {
+		if !drop[b] {
+			kept = append(kept, b)
+		}
+	}
+	nn.rrPending = kept
 }
 
 // PendingStripeCount reports how many sealed stripes await encoding
@@ -554,28 +809,48 @@ type flusher interface {
 
 // FlushOpenStripes seals every in-progress stripe regardless of fill level
 // (short stripes are zero-padded at encode time). Under RR it is a no-op:
-// leftover blocks smaller than one stripe stay replicated.
-func (nn *NameNode) FlushOpenStripes() int {
+// leftover blocks smaller than one stripe stay replicated. It returns the
+// number of stripes flushed; the error is non-nil only when the write-ahead
+// log rejected an op (already-flushed stripes stay registered).
+func (nn *NameNode) FlushOpenStripes() (int, error) {
 	defer nn.serialSection()()
-	var flushed []*placement.StripeInfo
-	for _, sh := range nn.shards {
+	var pending []events.Event
+	var lsn uint64
+	count := 0
+	for si, sh := range nn.shards {
 		sh.mu.Lock()
-		if f, ok := sh.policy.(flusher); ok {
-			flushed = append(flushed, f.FlushOpen()...)
+		f, ok := sh.policy.(flusher)
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		for _, s := range f.FlushOpen() {
+			op := &nnOp{kind: opFlushStripe, shard: int32(si), core: s.CoreRack}
+			nn.mu.Lock()
+			l, err := nn.logOp(op)
+			if err != nil {
+				nn.mu.Unlock()
+				sh.mu.Unlock()
+				return count, err
+			}
+			if l > lsn {
+				lsn = l
+			}
+			nn.registerStripeLocked(s)
+			nn.mu.Unlock()
+			count++
+			op.stripe, op.core, op.blocks = s.ID, s.CoreRack, s.Blocks
+			if ev, ok := opEvent(op); ok {
+				pending = append(pending, ev)
+			}
 		}
 		sh.mu.Unlock()
 	}
-	if len(flushed) == 0 {
-		return 0
+	if err := nn.waitDurable(lsn); err != nil {
+		return count, err
 	}
-	pending := make([]events.Event, 0, len(flushed))
-	nn.mu.Lock()
-	for _, s := range flushed {
-		pending = append(pending, nn.registerStripeLocked(s))
-	}
-	nn.mu.Unlock()
 	nn.publishAll(pending)
-	return len(flushed)
+	return count, nil
 }
 
 // PlanStripe computes the post-encoding layout for a stripe.
@@ -606,20 +881,43 @@ func (nn *NameNode) SetPlanOverrideForTest(fn func(*placement.StripeInfo, *place
 // copy, so the caller's plan never aliases NameNode state).
 func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEncodingPlan) error {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opEncodeCommit, stripe: id, plan: plan}
 	nn.mu.Lock()
 	sm, ok := nn.stripes[id]
 	if !ok {
 		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		nn.mu.Unlock()
+		return err
+	}
+	if err := nn.applyEncodeLocked(sm, plan); err != nil {
+		nn.mu.Unlock()
+		return err
+	}
+	nn.mu.Unlock()
+	if err := nn.waitDurable(lsn); err != nil {
+		return err
+	}
+	if ev, ok := opEvent(op); ok {
+		nn.journal().Publish(ev)
+	}
+	return nil
+}
+
+// applyEncodeLocked collapses every member of an encoded stripe to its
+// single kept replica and stores the plan; the shared apply step of
+// encode-commit. Caller holds nn.mu.
+func (nn *NameNode) applyEncodeLocked(sm *StripeMeta, plan *placement.PostEncodingPlan) error {
 	for i, b := range sm.Info.Blocks {
 		bs := nn.blockShardFor(b)
 		bs.mu.Lock()
 		meta, ok := bs.blocks[b]
 		if !ok {
 			bs.mu.Unlock()
-			nn.mu.Unlock()
-			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, id)
+			return fmt.Errorf("%w: %d in stripe %d", ErrUnknownBlock, b, sm.Info.ID)
 		}
 		if meta.Aborted {
 			// Aborted members encoded as zeros; they keep no replica.
@@ -632,11 +930,6 @@ func (nn *NameNode) CommitEncoding(id topology.StripeID, plan *placement.PostEnc
 	}
 	sm.Plan = plan.Clone()
 	sm.Encoded = true
-	nn.mu.Unlock()
-	ev := events.New(events.StripeEncoded, "namenode")
-	ev.Stripe = id
-	ev.Nodes = append([]topology.NodeID(nil), plan.Parity...)
-	nn.journal().Publish(ev)
 	return nil
 }
 
@@ -704,27 +997,37 @@ func (nn *NameNode) LiveReplicas(id topology.BlockID) ([]topology.NodeID, error)
 	return live, nil
 }
 
-// MarkDead declares a node failed; its replicas become unreadable.
+// MarkDead declares a node failed; its replicas become unreadable. Liveness
+// transitions are logged like every mutation but applied even if the log
+// rejects the append (failing to record a death must not leave the NameNode
+// routing reads to a dead node); the log's sticky error still surfaces on
+// the next fallible mutation.
 func (nn *NameNode) MarkDead(n topology.NodeID) {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opNodeDead, node: n}
 	nn.deadMu.Lock()
+	lsn, _ := nn.logOp(op)
 	nn.dead[n] = true
 	nn.deadMu.Unlock()
-	ev := events.New(events.NodeDead, "namenode")
-	ev.Node = n
-	nn.journal().Publish(ev)
+	_ = nn.waitDurable(lsn)
+	if ev, ok := opEvent(op); ok {
+		nn.journal().Publish(ev)
+	}
 }
 
 // MarkAlive reverses MarkDead: the node rejoins the cluster (its stale
 // replicas are assumed invalidated by the rejoin protocol).
 func (nn *NameNode) MarkAlive(n topology.NodeID) {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opNodeAlive, node: n}
 	nn.deadMu.Lock()
+	lsn, _ := nn.logOp(op)
 	delete(nn.dead, n)
 	nn.deadMu.Unlock()
-	ev := events.New(events.NodeAlive, "namenode")
-	ev.Node = n
-	nn.journal().Publish(ev)
+	_ = nn.waitDurable(lsn)
+	if ev, ok := opEvent(op); ok {
+		nn.journal().Publish(ev)
+	}
 }
 
 // IsDead reports whether the node failed.
@@ -736,35 +1039,57 @@ func (nn *NameNode) IsDead(n topology.NodeID) bool {
 }
 
 // UpdateBlockLocation rewrites a block's replica set (used by the
-// BlockMover and by repair).
+// BlockMover and by repair). No NameNode event: the data-path layer that
+// moved the bytes publishes ReplicaRelocated/ReplicaDeleted.
 func (nn *NameNode) UpdateBlockLocation(id topology.BlockID, nodes []topology.NodeID) error {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opBlockMoved, block: id, nodes: nodes}
 	bs := nn.blockShardFor(id)
 	bs.mu.Lock()
-	defer bs.mu.Unlock()
 	meta, ok := bs.blocks[id]
 	if !ok {
+		bs.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		bs.mu.Unlock()
+		return err
+	}
+	applyBlockMovedLocked(meta, nodes)
+	bs.mu.Unlock()
+	return nn.waitDurable(lsn)
+}
+
+// applyBlockMovedLocked rewrites the block's replica set; the shared apply
+// step of block-moved. Caller holds the block's table-shard mutex.
+func applyBlockMovedLocked(meta *BlockMeta, nodes []topology.NodeID) {
 	meta.Nodes = append([]topology.NodeID(nil), nodes...)
-	return nil
 }
 
 // UpdateParityLocation rewrites the location of one parity block of a
 // stripe (used by the BlockMover).
 func (nn *NameNode) UpdateParityLocation(id topology.StripeID, idx int, node topology.NodeID) error {
 	defer nn.serialSection()()
+	op := &nnOp{kind: opParityMoved, stripe: id, idx: idx, node: node}
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	sm, ok := nn.stripes[id]
 	if !ok {
+		nn.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownStripe, id)
 	}
 	if sm.Plan == nil || idx < 0 || idx >= len(sm.Plan.Parity) {
+		nn.mu.Unlock()
 		return fmt.Errorf("hdfs: stripe %d has no parity index %d", id, idx)
 	}
+	lsn, err := nn.logOp(op)
+	if err != nil {
+		nn.mu.Unlock()
+		return err
+	}
 	sm.Plan.Parity[idx] = node
-	return nil
+	nn.mu.Unlock()
+	return nn.waitDurable(lsn)
 }
 
 // BlockCount returns the number of allocated blocks.

@@ -3,10 +3,17 @@ package placement
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ear/internal/maxflow"
 	"ear/internal/topology"
 )
+
+// sortStripesByCore orders stripes by core rack (at most one open stripe per
+// rack, so the order is total) for deterministic serialization.
+func sortStripesByCore(s []*StripeInfo) {
+	sort.Slice(s, func(i, j int) bool { return s[i].CoreRack < s[j].CoreRack })
+}
 
 // EAR implements encoding-aware replication (paper Section III). Each rack
 // owns one open stripe at a time; a block's first replica lands in some rack
@@ -29,6 +36,7 @@ type EAR struct {
 	racks        []topology.RackID
 	scratch      layoutScratch
 	lastAttempts int
+	lastTargets  []topology.RackID
 	// flowPool recycles the flow state of sealed stripes: once a stripe
 	// seals, nothing reads its graph again, so the next open stripe reuses
 	// the adjacency storage instead of rebuilding it from zero.
@@ -70,6 +78,12 @@ func NewEAR(cfg Config, rng *rand.Rand) (*EAR, error) {
 // count); 0 before the first call.
 func (p *EAR) LastPlaceAttempts() int { return p.lastAttempts }
 
+// LastPlaceTargets returns the target-rack set of the stripe the most recent
+// Place/PlaceAt call placed into (nil when TargetRacks is unset). The
+// write-ahead op layer records it so replay can reopen the stripe with the
+// same targets instead of re-drawing them from the rng.
+func (p *EAR) LastPlaceTargets() []topology.RackID { return p.lastTargets }
+
 // Name returns "ear" (or "ear-preliminary").
 func (p *EAR) Name() string {
 	if p.cfg.Preliminary {
@@ -102,15 +116,125 @@ func (p *EAR) PlaceAt(block topology.BlockID, core topology.RackID) (topology.Pl
 		return topology.Placement{}, err
 	}
 	pl := topology.Placement{Block: block, Nodes: nodes}
-	os.info.Blocks = append(os.info.Blocks, block)
+	p.commitPlacement(os, pl, iters)
+	return pl, nil
+}
+
+// commitPlacement records an accepted placement on its open stripe and seals
+// the stripe once it reaches k blocks. Shared by the live path (PlaceAt) and
+// the replay path (RestorePlacement).
+func (p *EAR) commitPlacement(os *openStripe, pl topology.Placement, iters int) {
+	os.info.Blocks = append(os.info.Blocks, pl.Block)
 	os.info.Placements = append(os.info.Placements, pl.Clone())
 	os.info.Iterations = append(os.info.Iterations, iters)
+	p.lastTargets = os.info.Targets
 	if len(os.info.Blocks) == p.cfg.K {
 		p.sealed = append(p.sealed, os.info)
 		p.recycleFlow(os)
-		delete(p.open, core)
+		delete(p.open, os.info.CoreRack)
 	}
-	return pl, nil
+}
+
+// RestorePlacement re-applies a placement decision recorded in the op log:
+// the block joins the open stripe of the given core rack (created with the
+// recorded target racks if absent — no rng draw), its recorded layout is
+// committed into the incremental flow state, and the stripe seals at k
+// blocks exactly as on the live path. The layout was accepted when it was
+// recorded, so a rejection here means the log does not match the topology
+// and is reported as an error rather than retried.
+func (p *EAR) RestorePlacement(block topology.BlockID, core topology.RackID, nodes []topology.NodeID, targets []topology.RackID, iterations int) error {
+	if int(core) < 0 || int(core) >= p.cfg.Topology.Racks() {
+		return fmt.Errorf("%w: %d", topology.ErrUnknownRack, core)
+	}
+	os, ok := p.open[core]
+	if !ok {
+		var err error
+		os, err = p.openWith(core, append([]topology.RackID(nil), targets...))
+		if err != nil {
+			return err
+		}
+	}
+	if !p.cfg.Preliminary && !p.cfg.FullRecompute {
+		ok, err := os.flow.tryAdd(nodes)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("placement: recorded layout for block %d rejected by stripe %d flow — log and topology disagree", block, os.info.ID)
+		}
+	}
+	p.lastAttempts = iterations
+	p.commitPlacement(os, topology.Placement{Block: block, Nodes: cloneNodes(nodes)}, iterations)
+	return nil
+}
+
+// DropOpen removes and returns the open stripe of the given core rack
+// without sealing it (nil when the rack has none) — the replay counterpart
+// of FlushOpen, driven one recorded stripe at a time so the flush order in
+// the op log is reproduced exactly.
+func (p *EAR) DropOpen(core topology.RackID) *StripeInfo {
+	os, ok := p.open[core]
+	if !ok {
+		return nil
+	}
+	p.recycleFlow(os)
+	delete(p.open, core)
+	return os.info
+}
+
+// OpenState exports the policy's replayable state: the stripe-ID counter and
+// clones of the open stripes sorted by core rack. It is the deterministic
+// serialization surface for NameNode snapshots; the rng is deliberately
+// excluded (randomness is consumed at propose time and its outcomes are what
+// the ops record). Sealed-but-undrained stripes are not exported — the
+// NameNode drains TakeSealed under the same lock as PlaceAt, so none exist
+// when a snapshot runs.
+func (p *EAR) OpenState() (next topology.StripeID, open []*StripeInfo) {
+	open = make([]*StripeInfo, 0, len(p.open))
+	for _, os := range p.open {
+		open = append(open, os.info.Clone())
+	}
+	sortStripesByCore(open)
+	return p.nextStripe, open
+}
+
+// RestoreOpenState resets the policy to a snapshot exported by OpenState,
+// rebuilding each open stripe's incremental flow graph by re-admitting its
+// recorded placements. A placement the flow rejects means the snapshot does
+// not match the topology and is an error.
+func (p *EAR) RestoreOpenState(next topology.StripeID, open []*StripeInfo) error {
+	for r, os := range p.open {
+		p.recycleFlow(os)
+		delete(p.open, r)
+	}
+	p.sealed = nil
+	p.nextStripe = next
+	for _, info := range open {
+		if len(info.Blocks) >= p.cfg.K {
+			return fmt.Errorf("placement: snapshot open stripe %d already holds %d >= k blocks", info.ID, len(info.Blocks))
+		}
+		os := &openStripe{info: &StripeInfo{ID: info.ID, CoreRack: info.CoreRack,
+			Targets: append([]topology.RackID(nil), info.Targets...)}}
+		if err := p.attachFlow(os); err != nil {
+			return err
+		}
+		for i, pl := range info.Placements {
+			if !p.cfg.Preliminary && !p.cfg.FullRecompute {
+				ok, err := os.flow.tryAdd(pl.Nodes)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("placement: snapshot layout for block %d rejected by stripe %d flow", pl.Block, info.ID)
+				}
+			}
+			os.info.Blocks = append(os.info.Blocks, info.Blocks[i])
+			os.info.Placements = append(os.info.Placements, pl.Clone())
+			os.info.Iterations = append(os.info.Iterations, info.Iterations[i])
+		}
+		p.open[info.CoreRack] = os
+	}
+	return nil
 }
 
 // recycleFlow returns a sealed stripe's flow state to the pool.
@@ -147,36 +271,55 @@ func (p *EAR) openFor(core topology.RackID) (*openStripe, error) {
 	if os, ok := p.open[core]; ok {
 		return os, nil
 	}
-	info := &StripeInfo{
-		ID:       p.nextStripe,
-		CoreRack: core,
-	}
-	p.nextStripe++
+	var targets []topology.RackID
 	if p.cfg.TargetRacks > 0 && p.cfg.TargetRacks < p.cfg.Topology.Racks() {
 		others, err := sampleRacksExcluding(allRacks(p.cfg.Topology), core, p.cfg.TargetRacks-1, p.rng)
 		if err != nil {
 			return nil, err
 		}
-		info.Targets = append([]topology.RackID{core}, others...)
+		targets = append([]topology.RackID{core}, others...)
 	}
+	return p.openWith(core, targets)
+}
+
+// openWith opens a stripe for the rack with an already-decided target set —
+// the rng-free tail of openFor, called directly by RestorePlacement with the
+// targets recorded in the op log.
+func (p *EAR) openWith(core topology.RackID, targets []topology.RackID) (*openStripe, error) {
+	info := &StripeInfo{
+		ID:       p.nextStripe,
+		CoreRack: core,
+		Targets:  targets,
+	}
+	p.nextStripe++
 	os := &openStripe{info: info}
-	if !p.cfg.Preliminary && !p.cfg.FullRecompute {
-		if n := len(p.flowPool); n > 0 {
-			f := p.flowPool[n-1]
-			p.flowPool[n-1] = nil
-			p.flowPool = p.flowPool[:n-1]
-			f.reset(info)
-			os.flow = f
-		} else {
-			f, err := newStripeFlow(p.cfg, info)
-			if err != nil {
-				return nil, err
-			}
-			os.flow = f
-		}
+	if err := p.attachFlow(os); err != nil {
+		return nil, err
 	}
 	p.open[core] = os
 	return os, nil
+}
+
+// attachFlow gives an open stripe its incremental flow state (pooled when
+// available), or leaves it nil in preliminary/full-recompute modes.
+func (p *EAR) attachFlow(os *openStripe) error {
+	if p.cfg.Preliminary || p.cfg.FullRecompute {
+		return nil
+	}
+	if n := len(p.flowPool); n > 0 {
+		f := p.flowPool[n-1]
+		p.flowPool[n-1] = nil
+		p.flowPool = p.flowPool[:n-1]
+		f.reset(os.info)
+		os.flow = f
+	} else {
+		f, err := newStripeFlow(p.cfg, os.info)
+		if err != nil {
+			return err
+		}
+		os.flow = f
+	}
+	return nil
 }
 
 // remoteRacks returns the racks eligible for a stripe's non-first replicas:
