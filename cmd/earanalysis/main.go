@@ -5,9 +5,10 @@
 // Figure 14) and C.2 (read hotness, Figure 15).
 //
 // With -traffic, it also runs one write -> encode -> delete lifecycle per
-// placement policy on the scaled testbed and prints the cross-rack vs
-// intra-rack byte breakdown of each phase, cross-checked against the
-// fabric's own payload counters.
+// placement policy on the scaled testbed — with the gather encode path and
+// again with the pipelined one — and prints the cross-rack vs intra-rack
+// byte breakdown of each phase, cross-checked against the fabric's own
+// payload counters.
 //
 // Usage:
 //
@@ -82,12 +83,15 @@ func run() error {
 		fmt.Println(t)
 	}
 	if *traffic {
-		for _, policy := range []string{"rr", "ear"} {
-			res, err := experiments.RunTraffic(experiments.TestbedOptions{Seed: *seed}, policy, 9, 6)
-			if err != nil {
-				return err
+		for _, pipelined := range []bool{false, true} {
+			for _, policy := range []string{"rr", "ear"} {
+				opts := experiments.TestbedOptions{Seed: *seed, PipelinedEncode: pipelined}
+				res, err := experiments.RunTraffic(opts, policy, 9, 6)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.Summary)
 			}
-			fmt.Println(res.Summary)
 		}
 	}
 	return nil

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ear/internal/hdfs"
+	"ear/internal/topology"
+)
+
+// encodePipeResult is one measured encode scenario of the encodepipe suite.
+type encodePipeResult struct {
+	Name string `json:"name"`
+	// Pipelined says which encode path ran; ChunkBytes is the pipeline's
+	// chunk size (0 for the gather path).
+	Pipelined  bool `json:"pipelined"`
+	ChunkBytes int  `json:"chunk_bytes,omitempty"`
+	// InjectedFrac is the background cross-traffic rate as a fraction of
+	// link bandwidth.
+	InjectedFrac float64 `json:"injected_frac"`
+	Stripes      int     `json:"stripes"`
+	// MBPerSec is encoded data throughput (k data blocks per stripe over the
+	// job's wall clock).
+	MBPerSec float64 `json:"mb_per_sec"`
+	// CrossCoreBytesPerStripe is the fabric's cross-rack payload delta over
+	// the encode job divided by stripes (injected traffic carries no
+	// payload, so the counter stays clean under background load).
+	CrossCoreBytesPerStripe float64 `json:"cross_core_bytes_per_stripe"`
+	// CrossRackDownloads is the job's cross-rack traffic in
+	// block-equivalents (pipelined hops count m blocks per rack boundary).
+	CrossRackDownloads int `json:"cross_rack_downloads"`
+}
+
+// encodePipeSnapshot is the encodepipe suite's emitted document.
+type encodePipeSnapshot struct {
+	GeneratedAt    string             `json:"generated_at"`
+	Host           hostInfo           `json:"host"`
+	Racks          int                `json:"racks"`
+	NodesPerRack   int                `json:"nodes_per_rack"`
+	K              int                `json:"k"`
+	N              int                `json:"n"`
+	BlockSizeBytes int                `json:"block_size_bytes"`
+	LinkMBps       float64            `json:"link_mb_per_sec"`
+	Results        []encodePipeResult `json:"results"`
+	// PipelineSpeedup is pipelined MB/s over gather MB/s at the default
+	// chunk size with no background traffic.
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// CrossCoreReduction is 1 - pipelined/gather cross-core bytes per
+	// stripe at the same operating point.
+	CrossCoreReduction float64 `json:"cross_core_reduction"`
+}
+
+// runEncodePipe benchmarks the RapidRAID-style pipelined distributed encode
+// against the gather baseline on a shaped fabric: a wide code (14,12) on a
+// 4x4 topology, so the gather path funnels twelve blocks into one encoder
+// node while the pipeline ships only m=2 partial sums per rack boundary. The
+// grid crosses the two encode paths with pipeline chunk sizes and SWIM-style
+// background traffic.
+func runEncodePipe(out string, stripes int) error {
+	const (
+		racks  = 4
+		npr    = 4
+		k      = 12
+		n      = 14
+		blockB = 256 << 10
+		linkBs = 4 << 20
+	)
+	snap := encodePipeSnapshot{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		Host:           host(),
+		Racks:          racks,
+		NodesPerRack:   npr,
+		K:              k,
+		N:              n,
+		BlockSizeBytes: blockB,
+		LinkMBps:       linkBs / (1 << 20),
+	}
+
+	run := func(name string, pipelined bool, chunk int, frac float64) (encodePipeResult, error) {
+		cfg := hdfs.Config{
+			Racks:                    racks,
+			NodesPerRack:             npr,
+			Policy:                   "rr",
+			Replicas:                 2,
+			K:                        k,
+			N:                        n,
+			C:                        npr,
+			BlockSizeBytes:           blockB,
+			BandwidthBytesPerSec:     linkBs,
+			DiskBandwidthBytesPerSec: 2 * linkBs,
+			MapTasks:                 4,
+			Seed:                     1,
+			PipelinedEncode:          pipelined,
+			PipelineChunkBytes:       chunk,
+		}
+		c, err := hdfs.NewCluster(cfg)
+		if err != nil {
+			return encodePipeResult{}, err
+		}
+		defer c.Close()
+		// Populate unthrottled — the write phase is not part of the
+		// measurement — then restore the shaped rates.
+		if err := c.Fabric().SetAllRates(64 << 30); err != nil {
+			return encodePipeResult{}, err
+		}
+		if err := c.Fabric().SetDiskRates(64 << 30); err != nil {
+			return encodePipeResult{}, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		payload := make([]byte, blockB)
+		for i := 0; i < stripes*k; i++ {
+			rng.Read(payload)
+			client := topology.NodeID(rng.Intn(c.Topology().Nodes()))
+			if _, err := c.WriteBlock(client, payload); err != nil {
+				return encodePipeResult{}, err
+			}
+		}
+		c.NameNode().FlushOpenStripes()
+		if err := c.Fabric().SetAllRates(linkBs); err != nil {
+			return encodePipeResult{}, err
+		}
+		if err := c.Fabric().SetDiskRates(2 * linkBs); err != nil {
+			return encodePipeResult{}, err
+		}
+		var injectors []interface{ Close() }
+		if frac > 0 {
+			nodes := c.Topology().Nodes()
+			for a := 0; a+1 < nodes; a += 2 {
+				inj, err := c.Fabric().InjectTraffic(topology.NodeID(a), topology.NodeID(a+1), frac*linkBs)
+				if err != nil {
+					return encodePipeResult{}, err
+				}
+				injectors = append(injectors, inj)
+			}
+		}
+		defer func() {
+			for _, inj := range injectors {
+				inj.Close()
+			}
+		}()
+		before := c.Fabric().Snapshot()
+		st, err := c.RaidNode().EncodeAll()
+		if err != nil {
+			return encodePipeResult{}, err
+		}
+		d := c.Fabric().Snapshot().Sub(before)
+		if st.Stripes == 0 {
+			return encodePipeResult{}, fmt.Errorf("%s: no stripes encoded", name)
+		}
+		if pipelined && st.PipelinedStripes != st.Stripes {
+			return encodePipeResult{}, fmt.Errorf("%s: %d of %d stripes took the pipeline", name, st.PipelinedStripes, st.Stripes)
+		}
+		return encodePipeResult{
+			Name:                    name,
+			Pipelined:               pipelined,
+			ChunkBytes:              chunk,
+			InjectedFrac:            frac,
+			Stripes:                 st.Stripes,
+			MBPerSec:                st.ThroughputMBps,
+			CrossCoreBytesPerStripe: float64(d.CrossRackBytes) / float64(st.Stripes),
+			CrossRackDownloads:      st.CrossRackDownloads,
+		}, nil
+	}
+
+	var gather0, pipe0 encodePipeResult
+	for _, frac := range []float64{0, 0.4} {
+		r, err := run(fmt.Sprintf("gather_bg%.1f", frac), false, 0, frac)
+		if err != nil {
+			return err
+		}
+		if frac == 0 {
+			gather0 = r
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	for _, chunk := range []int{16 << 10, 64 << 10, 256 << 10} {
+		for _, frac := range []float64{0, 0.4} {
+			r, err := run(fmt.Sprintf("pipelined_chunk%dk_bg%.1f", chunk>>10, frac), true, chunk, frac)
+			if err != nil {
+				return err
+			}
+			if chunk == 64<<10 && frac == 0 {
+				pipe0 = r
+			}
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	if gather0.MBPerSec > 0 {
+		snap.PipelineSpeedup = pipe0.MBPerSec / gather0.MBPerSec
+	}
+	if gather0.CrossCoreBytesPerStripe > 0 {
+		snap.CrossCoreReduction = 1 - pipe0.CrossCoreBytesPerStripe/gather0.CrossCoreBytesPerStripe
+	}
+
+	if err := writeSnapshot(out, snap); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("earbench: wrote %s (pipeline speedup %.2fx, cross-core bytes/stripe -%.1f%%)\n",
+			out, snap.PipelineSpeedup, snap.CrossCoreReduction*100)
+	}
+	return nil
+}

@@ -18,6 +18,10 @@
 //     SyncAlways, the AllocateBlock overhead of write-ahead logging vs the
 //     in-memory path, and restart-replay plus snapshot-restart time at
 //     -replay-blocks committed blocks.
+//   - encodepipe (BENCH_encodepipe.json): the RapidRAID-style pipelined
+//     distributed encode vs the gather baseline on a wide (14,12) code —
+//     encode MB/s and cross-core bytes per stripe across pipeline chunk
+//     sizes and injected background traffic.
 //
 // CI runs the suites as smoke checks; the snapshots document the speedups
 // the streaming data path, the coding kernels, and the metadata plane buy.
@@ -28,6 +32,7 @@
 //	earbench -suite erasure -out BENCH_erasure.json
 //	earbench -suite placement -out BENCH_placement.json -blocks 4000
 //	earbench -suite meta -out BENCH_meta.json -replay-blocks 100000
+//	earbench -suite encodepipe -out BENCH_encodepipe.json -stripes 6
 package main
 
 import (
@@ -119,7 +124,7 @@ func main() {
 }
 
 func run() error {
-	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, placement, or meta")
+	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, placement, meta, or encodepipe")
 	out := flag.String("out", "", "snapshot output path ('-' for stdout; default BENCH_<suite>.json)")
 	writes := flag.Int("writes", 20, "block writes per write/read scenario (datapath)")
 	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
@@ -139,6 +144,8 @@ func run() error {
 		return runPlacement(*out, *blocks)
 	case "meta":
 		return runMeta(*out, *blocks, *replayBlocks)
+	case "encodepipe":
+		return runEncodePipe(*out, *stripes)
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
 	}

@@ -14,6 +14,12 @@
 //	eartestbed -exp a1udp
 //	eartestbed -exp a2
 //	eartestbed -exp a3 -jobs 50
+//	eartestbed -exp encodewindow
+//
+// The "encodewindow" experiment measures how much the pipelined distributed
+// encode shrinks the encode window — the wall-clock span during which
+// stripes sit between replication and full parity protection — under
+// injected background traffic, with the pipeline knob off and on.
 //
 // With -trace, the encode jobs' span timeline is written as Chrome trace
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev (the buffer
@@ -67,7 +73,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "recovery", or "crash"`)
+		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "encodewindow", "recovery", or "crash"`)
 		stripes    = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
 		jobs       = flag.Int("jobs", 50, "SWIM jobs in A.3")
 		rate       = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
@@ -189,6 +195,12 @@ func run() error {
 		}
 	case "a3":
 		res, err := experiments.RunA3(experiments.A3Options{TestbedOptions: base, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+	case "encodewindow":
+		res, err := experiments.RunEncodeWindow(base)
 		if err != nil {
 			return err
 		}

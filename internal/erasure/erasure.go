@@ -227,6 +227,18 @@ func (c *Coder) EncodeInto(data, parity [][]byte) error {
 // parityRow returns (without copying) row i of the parity matrix.
 func (c *Coder) parityRow(i int) []byte { return c.parityRows[i] }
 
+// ParityRowView returns (without copying) row i of the parity coefficient
+// matrix: k coefficients, one per data position. Callers must treat the row
+// as immutable. The pipelined encoder distributes these rows to the replica
+// holders so each hop can fold its local blocks into the partial parity
+// sums with MulAddSlice.
+func (c *Coder) ParityRowView(i int) ([]byte, error) {
+	if i < 0 || i >= c.M() {
+		return nil, fmt.Errorf("%w: parity row %d of %d", ErrInvalidParams, i, c.M())
+	}
+	return c.parityRows[i], nil
+}
+
 // EncodeStripe returns the complete stripe: the k data blocks (shared, not
 // copied) followed by the m freshly computed parity blocks.
 func (c *Coder) EncodeStripe(data [][]byte) ([][]byte, error) {

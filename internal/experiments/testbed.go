@@ -35,6 +35,16 @@ type TestbedOptions struct {
 	DiskBytesPerSec float64
 	MapTasks        int
 	Seed            int64
+	// PipelinedEncode runs every encode through the RapidRAID-style
+	// distributed pipeline instead of the gather path.
+	PipelinedEncode bool
+	// PipelineChunkBytes overrides the pipelined encode's chunk size
+	// (0 = fabric default).
+	PipelineChunkBytes int
+	// C bounds blocks of one stripe per rack after encoding (default 1,
+	// the paper's setting; multi-node-rack geometries need more so a
+	// stripe fits in the cluster).
+	C int
 	// Tracer, when non-nil, is installed on every cluster the experiment
 	// builds, so encoding jobs emit per-phase spans (eartestbed -trace).
 	Tracer *telemetry.Tracer
@@ -85,11 +95,18 @@ func (o TestbedOptions) withDefaults() TestbedOptions {
 		// link rate reproduces the testbed's local-read advantage.
 		o.DiskBytesPerSec = o.BandwidthBytesPerSec * 2
 	}
+	if o.C == 0 {
+		o.C = 1
+	}
 	return o
 }
 
 // clusterConfig derives the hdfs config for a policy and code.
 func (o TestbedOptions) clusterConfig(policy string, n, k int) hdfs.Config {
+	c := o.C
+	if c == 0 {
+		c = 1
+	}
 	return hdfs.Config{
 		Racks:                    o.Racks,
 		NodesPerRack:             o.NodesPerRack,
@@ -97,12 +114,14 @@ func (o TestbedOptions) clusterConfig(policy string, n, k int) hdfs.Config {
 		Replicas:                 o.Replicas,
 		K:                        k,
 		N:                        n,
-		C:                        1,
+		C:                        c,
 		BlockSizeBytes:           o.BlockSizeBytes,
 		BandwidthBytesPerSec:     o.BandwidthBytesPerSec,
 		DiskBandwidthBytesPerSec: o.DiskBytesPerSec,
 		MapTasks:                 o.MapTasks,
 		Seed:                     o.Seed,
+		PipelinedEncode:          o.PipelinedEncode,
+		PipelineChunkBytes:       o.PipelineChunkBytes,
 	}
 }
 

@@ -156,9 +156,13 @@ func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, e
 	sampler.Stop()
 	res.Timeline = sampler.Timeline()
 
+	mode := "gather"
+	if cfg.PipelinedEncode {
+		mode = "pipelined"
+	}
 	t := &Table{
 		ID:      "traffic",
-		Caption: fmt.Sprintf("Per-phase cross-rack vs intra-rack traffic, policy %s (%d,%d)", policy, n, k),
+		Caption: fmt.Sprintf("Per-phase cross-rack vs intra-rack traffic, policy %s (%d,%d), %s encode", policy, n, k, mode),
 		Headers: []string{"phase", "transfers", "xrack MB", "intra MB", "fabric xrack MB", "fabric intra MB"},
 		Notes: []string{
 			fmt.Sprintf("journal vs fabric max discrepancy: %.3f%%", res.MaxDiscrepancy*100),

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestRunTrafficConsistency runs the write/encode/delete breakdown for both
 // policies and pins the cross-checks: the journal-derived byte totals agree
@@ -44,6 +47,36 @@ func TestRunTrafficConsistency(t *testing.T) {
 		}
 		if res.Summary == nil {
 			t.Errorf("%s: no summary table", policy)
+		}
+	}
+}
+
+// TestRunTrafficPipelined pins the chained-transfer accounting of the
+// pipelined encode path: every partial-sum hop runs over a real fabric
+// stream that journals itself against the links it traverses, so the
+// journal-derived byte totals still agree with the fabric counters within
+// 1% when the encode phase is a chain of per-hop streams instead of a
+// star of gather downloads.
+func TestRunTrafficPipelined(t *testing.T) {
+	opts := fastTestbed()
+	opts.PipelinedEncode = true
+	for _, policy := range []string{"rr", "ear"} {
+		res, err := RunTraffic(opts, policy, 6, 4)
+		if err != nil {
+			t.Fatalf("RunTraffic %s pipelined: %v", policy, err)
+		}
+		if res.MaxDiscrepancy > 0.01 {
+			t.Errorf("%s pipelined: journal vs fabric discrepancy %.4f exceeds 1%%", policy, res.MaxDiscrepancy)
+		}
+		byName := map[string]PhaseTraffic{}
+		for _, p := range res.Phases {
+			byName[p.Phase] = p
+		}
+		if e := byName["encode"]; e.Transfers == 0 || e.CrossRackBytes+e.IntraRackBytes == 0 {
+			t.Errorf("%s pipelined: encode phase moved nothing: %+v", policy, e)
+		}
+		if res.Summary == nil || !strings.Contains(res.Summary.Caption, "pipelined") {
+			t.Errorf("%s: summary caption does not name the pipelined mode", policy)
 		}
 	}
 }

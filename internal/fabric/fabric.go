@@ -596,6 +596,15 @@ func (s *Stream) account(c int) {
 	}
 }
 
+// Cross reports whether the stream's path crosses the rack core. Chained
+// transfers (the pipelined encoder's partial-sum hops) use it to attribute
+// their bytes to the link class they actually traversed.
+func (s *Stream) Cross() bool { return s.cross }
+
+// Local reports whether the stream is a same-node (disk) stream that is
+// excluded from the network payload counters.
+func (s *Stream) Local() bool { return s.local }
+
 // Sent returns the payload bytes delivered so far.
 func (s *Stream) Sent() int64 {
 	s.mu.Lock()

@@ -208,13 +208,13 @@ func TestCrossRackNotCountedOnFailedGather(t *testing.T) {
 		}
 	}
 	parent := tr.Start("test-encode")
-	cross, _, err := c.encodeStripe(context.Background(), stripes[0], encoder, parent)
+	res, err := c.encodeStripe(context.Background(), stripes[0], encoder, parent)
 	parent.End()
 	if err == nil {
 		t.Fatal("encodeStripe succeeded with no replica bytes anywhere")
 	}
-	if cross != 0 {
-		t.Errorf("failed gather counted %d cross-rack downloads, want 0", cross)
+	if res.cross != 0 {
+		t.Errorf("failed gather counted %d cross-rack downloads, want 0", res.cross)
 	}
 	for _, s := range tr.Spans() {
 		if s.Name != "download" {

@@ -1,0 +1,300 @@
+package hdfs
+
+// RapidRAID-style pipelined distributed encoding. Instead of gathering k
+// whole blocks to the encoder and running the coding kernels there, the
+// replica holders of the stripe form a chain (placement.PlanPipeline) and
+// walk the stripe chunk by chunk: each hop receives the upstream partial
+// parity chunk over a fabric stream, folds its locally stored members into
+// the m partial sums with gf256.MulAddSlice, and forwards the accumulated
+// partial downstream. Transfer and arithmetic for chunk i+1 overlap the
+// forwarding of chunk i, and where a rack holds several stripe members the
+// chain aggregates them before crossing the core, so per-stripe cross-rack
+// traffic drops from one block per remote member to m partial-sum blocks
+// per rack boundary. The final hop (the encoder itself, or a terminal
+// receive-only stage when the encoder holds no replica) accumulates the
+// completed parity; nothing is stored anywhere until the whole pipeline has
+// succeeded, so a canceled pipeline commits nothing.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"ear/internal/fabric"
+	"ear/internal/gf256"
+	"ear/internal/placement"
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+	"ear/internal/workgroup"
+)
+
+// pipeStage is one hop of the encode pipeline at runtime: the planned hop
+// plus its accumulator buffers and timing stamps. The last stage's
+// accumulators become the stripe's parity blocks.
+type pipeStage struct {
+	node      topology.NodeID
+	rack      topology.RackID
+	positions []int
+	acc       [][]byte
+	// crossIn records whether the inbound partial-sum stream crossed the
+	// rack core (set by the stage goroutine from the stream's path, read
+	// after the pipeline joins).
+	crossIn bool
+	tFirst  time.Time
+	tLast   time.Time
+}
+
+// pipelineParity materializes the stripe's parity blocks through the
+// distributed pipeline. It returns pooled parity buffers the caller must
+// release and the aborted-member mask, and fills res.cross (m
+// block-equivalents per rack boundary crossed) and res.partialBytes (total
+// partial-sum bytes shipped between hops). The parent span receives one
+// child span per hop.
+func (c *Cluster) pipelineParity(ctx context.Context, info *placement.StripeInfo, encoder topology.NodeID, encRack topology.RackID, parent *telemetry.Span, res *stripeResult) ([][]byte, []bool, error) {
+	blockSize := c.cfg.BlockSizeBytes
+	m := c.coder.M()
+	rows := make([][]byte, m)
+	for j := range rows {
+		row, err := c.coder.ParityRowView(j)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows[j] = row
+	}
+	// Resolve the live holders of every position. Aborted members and
+	// short-stripe padding contribute zeros and need no hop.
+	aborted := make([]bool, len(info.Blocks))
+	replicas := make([][]topology.NodeID, c.cfg.K)
+	for i, b := range info.Blocks {
+		live, err := c.nn.LiveReplicas(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(live) == 0 {
+			if meta, merr := c.nn.Block(b); merr == nil && meta.Aborted {
+				aborted[i] = true
+				continue
+			}
+			return nil, nil, fmt.Errorf("stripe %d block %d: %w", info.ID, b, ErrNoReplica)
+		}
+		replicas[i] = live
+	}
+	hops, err := placement.PlanPipeline(c.top, replicas, encoder)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stripe %d: %w", info.ID, err)
+	}
+
+	// Final parity buffers; released here on failure, by the caller on
+	// success (the ok flag flips at the success return).
+	pbufs := make([][]byte, m)
+	for j := range pbufs {
+		pbufs[j] = c.bufPool.Get(blockSize)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			for _, p := range pbufs {
+				c.bufPool.Put(p)
+			}
+		}
+	}()
+	if len(hops) == 0 {
+		// Every member aborted (or the stripe is empty): the parity of an
+		// all-zero stripe is zero.
+		for j := range pbufs {
+			copy(pbufs[j], c.zeroBlock)
+		}
+		ok = true
+		return pbufs, aborted, nil
+	}
+
+	// Build the runtime stages: one per planned hop, plus a terminal
+	// receive-only stage when the chain does not already end at the
+	// encoder. Intermediate accumulators are pooled and always released;
+	// the last stage accumulates directly into the parity buffers.
+	stages := make([]*pipeStage, 0, len(hops)+1)
+	for _, h := range hops {
+		stages = append(stages, &pipeStage{node: h.Node, rack: h.Rack, positions: h.Positions})
+	}
+	if last := stages[len(stages)-1]; last.node != encoder {
+		stages = append(stages, &pipeStage{node: encoder, rack: encRack})
+	}
+	for s, st := range stages {
+		if s == len(stages)-1 {
+			st.acc = pbufs
+			continue
+		}
+		st.acc = make([][]byte, m)
+		for j := range st.acc {
+			st.acc[j] = c.bufPool.Get(blockSize)
+		}
+	}
+	defer func() {
+		for s, st := range stages {
+			if s == len(stages)-1 {
+				continue
+			}
+			for _, a := range st.acc {
+				c.bufPool.Put(a)
+			}
+		}
+	}()
+
+	chunk := c.cfg.PipelineChunkBytes
+	nChunks := (blockSize + chunk - 1) / chunk
+	start := time.Now()
+
+	// ready[s] carries chunk indices whose partial sums have landed in
+	// stage s's upstream accumulator (nothing for stage 0, which starts
+	// from zeros). Buffered to nChunks so a fast upstream never blocks; the
+	// group context covers abandonment.
+	ready := make([]chan int, len(stages))
+	for s := range ready {
+		ready[s] = make(chan int, nChunks)
+	}
+	for idx := 0; idx < nChunks; idx++ {
+		ready[0] <- idx
+	}
+	close(ready[0])
+
+	g, gctx := workgroup.WithContext(ctx)
+	for s := range stages {
+		s, st := s, stages[s]
+		g.Go(func() error {
+			hop := parent.ChildTrack("raidnode.pipeline-hop").
+				Arg(telemetry.ComponentArg, "raidnode").
+				Arg("stripe", strconv.FormatInt(int64(info.ID), 10)).
+				Arg("node", strconv.Itoa(int(st.node))).
+				Arg("hop", strconv.Itoa(s)).
+				Arg("members", strconv.Itoa(len(st.positions)))
+			defer hop.End()
+			// Inbound partial-sum stream from the previous hop: m chunk-sized
+			// partials per chunk index, attributed by the fabric to every
+			// link the hop traverses (satellite: chained-transfer accounting
+			// falls out of using one real stream per hop).
+			var in *fabric.Stream
+			if s > 0 {
+				var err error
+				in, err = c.fab.OpenStream(gctx, stages[s-1].node, st.node)
+				if err != nil {
+					return err
+				}
+				defer in.Close()
+				st.crossIn = in.Cross()
+			}
+			// Local members: read once into pooled buffers; the shaped disk
+			// stream charges their bytes chunk by chunk as they are folded.
+			var blocks [][]byte
+			var disk *fabric.Stream
+			if len(st.positions) > 0 {
+				dn, err := c.DataNodeOf(st.node)
+				if err != nil {
+					return err
+				}
+				blocks = make([][]byte, len(st.positions))
+				defer func() {
+					for _, b := range blocks {
+						if b != nil {
+							c.bufPool.Put(b)
+						}
+					}
+				}()
+				for pi, pos := range st.positions {
+					buf := c.bufPool.Get(blockSize)
+					blocks[pi] = buf
+					if err := dn.Store.GetInto(DataKey(info.Blocks[pos]), buf); err != nil {
+						return fmt.Errorf("stripe %d position %d on node %d: %w", info.ID, pos, st.node, err)
+					}
+				}
+				disk, err = c.fab.OpenStream(gctx, st.node, st.node)
+				if err != nil {
+					return err
+				}
+				defer disk.Close()
+			}
+			for {
+				var idx int
+				var chOk bool
+				select {
+				case idx, chOk = <-ready[s]:
+					if !chOk {
+						if s+1 < len(stages) {
+							close(ready[s+1])
+						}
+						return nil
+					}
+				case <-gctx.Done():
+					return gctx.Err()
+				}
+				lo := idx * chunk
+				hi := min(lo+chunk, blockSize)
+				if in != nil {
+					// Receive the upstream partial sums for this chunk range
+					// (m partials of hi-lo bytes), then adopt them.
+					if err := in.Send(gctx, m*(hi-lo)); err != nil {
+						return err
+					}
+					prev := stages[s-1].acc
+					for j := 0; j < m; j++ {
+						copy(st.acc[j][lo:hi], prev[j][lo:hi])
+					}
+				} else {
+					for j := 0; j < m; j++ {
+						copy(st.acc[j][lo:hi], c.zeroBlock[lo:hi])
+					}
+				}
+				if len(st.positions) > 0 {
+					if err := disk.Send(gctx, len(st.positions)*(hi-lo)); err != nil {
+						return err
+					}
+					for pi, pos := range st.positions {
+						b := blocks[pi]
+						for j := 0; j < m; j++ {
+							if coef := rows[j][pos]; coef != 0 {
+								gf256.MulAddSlice(coef, b[lo:hi], st.acc[j][lo:hi])
+							}
+						}
+					}
+				}
+				now := time.Now()
+				if st.tFirst.IsZero() {
+					st.tFirst = now
+				}
+				st.tLast = now
+				if s+1 < len(stages) {
+					ready[s+1] <- idx
+				}
+			}
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, nil, err
+	}
+	end := time.Now()
+	// Account the chained transfers: every inbound hop shipped m partial
+	// blocks, crossing the core where the planned chain crossed racks.
+	for s := 1; s < len(stages); s++ {
+		res.partialBytes += int64(m) * int64(blockSize)
+		if stages[s].crossIn {
+			res.cross += m
+		}
+	}
+	if tel := c.metrics(); tel != nil {
+		busy := time.Duration(0)
+		for _, st := range stages {
+			if st.tFirst.IsZero() {
+				continue
+			}
+			busy += st.tLast.Sub(st.tFirst)
+			tel.pipeHopFill.Observe(st.tFirst.Sub(start).Seconds())
+			tel.pipeHopDrain.Observe(end.Sub(st.tLast).Seconds())
+		}
+		if wall := end.Sub(start); wall > 0 {
+			tel.pipeDepth.Observe(busy.Seconds() / wall.Seconds())
+		}
+		tel.poolHit.Set(c.bufPool.HitRate())
+	}
+	ok = true
+	return pbufs, aborted, nil
+}

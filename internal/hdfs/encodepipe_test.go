@@ -1,0 +1,392 @@
+package hdfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ear/internal/events"
+	"ear/internal/events/audit"
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+)
+
+// populatePipeTest drives an identical write sequence into a cluster: full
+// stripes, one aborted member mid-stream, and a short tail stripe, then
+// seals every open stripe. The write path does not depend on the encode
+// knob, so two clusters configured identically except for PipelinedEncode
+// end up with bit-identical pre-encode state.
+func populatePipeTest(t *testing.T, c *Cluster, seed int64) map[topology.BlockID][]byte {
+	t.Helper()
+	cfg := c.Config()
+	rng := rand.New(rand.NewSource(seed))
+	contents := make(map[topology.BlockID][]byte)
+	write := func(n int) {
+		ids, m := writeBlocks(t, c, n, rng)
+		_ = ids
+		for id, d := range m {
+			contents[id] = d
+		}
+	}
+	write(cfg.K) // one full stripe
+	// Abort an allocation mid-stream: the member encodes as zeros.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.WriteBlockCtx(ctx, 0, make([]byte, cfg.BlockSizeBytes)); err == nil {
+		t.Fatal("write under canceled context should fail")
+	}
+	write(cfg.K)     // fill the stripe holding the aborted member, start more
+	write(cfg.K / 2) // short tail stripe once flushed
+	if _, err := c.NameNode().FlushOpenStripes(); err != nil {
+		t.Fatalf("FlushOpenStripes: %v", err)
+	}
+	return contents
+}
+
+// verifyParities checks every encoded stripe's stored parity blocks against
+// ground truth computed directly from the written contents (zeros for
+// aborted members and short-stripe padding).
+func verifyParities(t *testing.T, c *Cluster, contents map[topology.BlockID][]byte) int {
+	t.Helper()
+	cfg := c.Config()
+	nn := c.NameNode()
+	zero := make([]byte, cfg.BlockSizeBytes)
+	checked := 0
+	for _, id := range nn.EncodedStripes() {
+		sm, err := nn.Stripe(id)
+		if err != nil {
+			t.Fatalf("stripe %d: %v", id, err)
+		}
+		data := make([][]byte, cfg.K)
+		for i := range data {
+			data[i] = zero
+		}
+		for i, b := range sm.Info.Blocks {
+			if d, okc := contents[b]; okc {
+				data[i] = d
+			}
+		}
+		want, err := c.Coder().Encode(data)
+		if err != nil {
+			t.Fatalf("stripe %d ground-truth encode: %v", id, err)
+		}
+		if sm.Plan == nil {
+			t.Fatalf("stripe %d encoded without a plan", id)
+		}
+		for j, node := range sm.Plan.Parity {
+			dn, err := c.DataNodeOf(node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dn.Store.Get(ParityKey(id, j))
+			if err != nil {
+				t.Fatalf("stripe %d parity %d on node %d: %v", id, j, node, err)
+			}
+			if !bytes.Equal(got, want[j]) {
+				t.Fatalf("stripe %d parity %d differs from ground truth", id, j)
+			}
+			checked++
+		}
+	}
+	return checked
+}
+
+// TestPipelinedEncodeMatchesGather is the differential property test: for a
+// spread of (k, m, block size, chunk size, rack layout, policy) geometries
+// — including short and aborted-member stripes — the pipelined path must
+// produce byte-identical parity to the gather path, and both must match
+// parity computed directly from the written bytes.
+func TestPipelinedEncodeMatchesGather(t *testing.T) {
+	geoms := []struct {
+		name  string
+		cfg   Config
+		chunk int
+	}{
+		{
+			name: "ear-6x3-k4n6",
+			cfg: Config{Racks: 6, NodesPerRack: 3, Policy: "ear", Replicas: 3,
+				K: 4, N: 6, C: 1, BlockSizeBytes: 8 << 10,
+				BandwidthBytesPerSec: 64 << 20, MapTasks: 4, Seed: 1},
+			chunk: 2 << 10,
+		},
+		{
+			name: "rr-3x4-k6n9-disk",
+			cfg: Config{Racks: 3, NodesPerRack: 4, Policy: "rr", Replicas: 2,
+				K: 6, N: 9, C: 3, BlockSizeBytes: 16 << 10,
+				BandwidthBytesPerSec: 64 << 20, DiskBandwidthBytesPerSec: 256 << 20,
+				MapTasks: 2, Seed: 2},
+			chunk: 4 << 10,
+		},
+		{
+			// Odd block size not divisible by the chunk: exercises the
+			// partial final chunk of every hop.
+			name: "rr-5x2-k8n10-oddblock",
+			cfg: Config{Racks: 5, NodesPerRack: 2, Policy: "rr", Replicas: 2,
+				K: 8, N: 10, C: 2, BlockSizeBytes: 10000,
+				BandwidthBytesPerSec: 64 << 20, MapTasks: 3, Seed: 3},
+			chunk: 4096,
+		},
+		{
+			name: "ear-4x3-k8n12-smallchunk",
+			cfg: Config{Racks: 4, NodesPerRack: 3, Policy: "ear", Replicas: 2,
+				K: 8, N: 12, C: 3, BlockSizeBytes: 12 << 10,
+				BandwidthBytesPerSec: 64 << 20, MapTasks: 2, Seed: 4},
+			chunk: 1 << 10,
+		},
+	}
+	for _, g := range geoms {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			gatherCfg := g.cfg
+			pipeCfg := g.cfg
+			pipeCfg.PipelinedEncode = true
+			pipeCfg.PipelineChunkBytes = g.chunk
+
+			gather, err := NewCluster(gatherCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer gather.Close()
+			pipe, err := NewCluster(pipeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pipe.Close()
+
+			seed := g.cfg.Seed + 100
+			gc := populatePipeTest(t, gather, seed)
+			pc := populatePipeTest(t, pipe, seed)
+			if len(gc) != len(pc) {
+				t.Fatalf("write divergence: %d vs %d blocks", len(gc), len(pc))
+			}
+
+			gs, err := gather.RaidNode().EncodeAll()
+			if err != nil {
+				t.Fatalf("gather EncodeAll: %v", err)
+			}
+			ps, err := pipe.RaidNode().EncodeAll()
+			if err != nil {
+				t.Fatalf("pipelined EncodeAll: %v", err)
+			}
+			if gs.Stripes != ps.Stripes {
+				t.Fatalf("stripe count divergence: gather %d, pipelined %d", gs.Stripes, ps.Stripes)
+			}
+			if gs.PipelinedStripes != 0 {
+				t.Errorf("gather path reported %d pipelined stripes", gs.PipelinedStripes)
+			}
+			if ps.PipelinedStripes != ps.Stripes {
+				t.Errorf("pipelined path encoded %d of %d stripes through the pipeline",
+					ps.PipelinedStripes, ps.Stripes)
+			}
+			if ps.PartialSumBytes <= 0 {
+				t.Error("pipelined path shipped no partial-sum bytes")
+			}
+			// Same stripe membership on both clusters (placement is
+			// write-time and the write sequences were identical).
+			gIDs := gather.NameNode().EncodedStripes()
+			pIDs := pipe.NameNode().EncodedStripes()
+			if len(gIDs) != len(pIDs) {
+				t.Fatalf("encoded stripe sets differ: %v vs %v", gIDs, pIDs)
+			}
+			for i := range gIDs {
+				gm, err := gather.NameNode().Stripe(gIDs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				pm, err := pipe.NameNode().Stripe(pIDs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gm.Info.ID != pm.Info.ID || len(gm.Info.Blocks) != len(pm.Info.Blocks) {
+					t.Fatalf("stripe %v membership differs from %v", gm.Info, pm.Info)
+				}
+				for j := range gm.Info.Blocks {
+					if gm.Info.Blocks[j] != pm.Info.Blocks[j] {
+						t.Fatalf("stripe %d member %d differs", gm.Info.ID, j)
+					}
+				}
+			}
+			if n := verifyParities(t, gather, gc); n == 0 {
+				t.Fatal("gather cluster verified no parity blocks")
+			}
+			if n := verifyParities(t, pipe, pc); n == 0 {
+				t.Fatal("pipelined cluster verified no parity blocks")
+			}
+			// Degraded reads work through pipelined parity too.
+			var victim topology.BlockID = -1
+			for id := range pc {
+				victim = id
+				break
+			}
+			vm, err := pipe.NameNode().Block(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vm.Nodes) == 1 {
+				pipe.NameNode().MarkDead(vm.Nodes[0])
+				got, err := pipe.ReadBlock(0, victim)
+				if err != nil {
+					t.Fatalf("degraded read: %v", err)
+				}
+				if !bytes.Equal(got, pc[victim]) {
+					t.Fatal("degraded read content mismatch after pipelined encode")
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedEncodeCancelCommitsNothing kills the context mid-pipeline on
+// a slow fabric and verifies the staged-commit contract: no parity key
+// lands in any store, no replica is deleted, the auditor stays clean, and
+// the requeued stripes re-encode correctly afterwards.
+func TestPipelinedEncodeCancelCommitsNothing(t *testing.T) {
+	cfg := testConfig("ear")
+	cfg.PipelinedEncode = true
+	cfg.BlockSizeBytes = 256 << 10
+	cfg.BandwidthBytesPerSec = 64 << 10 // ~4s per block: cancel lands mid-chunk
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	jrn := events.NewJournal(4096)
+	c.SetJournal(jrn)
+	aud := audit.New(c.Topology(), audit.Config{Replicas: cfg.Replicas, C: cfg.C, CheckCoreRack: true})
+	aud.Attach(jrn)
+
+	// Populate at full speed, then throttle for the canceled encode.
+	if err := c.Fabric().SetAllRates(64 << 30); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	_, contents := writeBlocks(t, c, 2*cfg.K, rng)
+	if _, err := c.NameNode().FlushOpenStripes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fabric().SetAllRates(cfg.BandwidthBytesPerSec); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := func() map[topology.NodeID][]string {
+		keys := make(map[topology.NodeID][]string)
+		for n := 0; n < c.Topology().Nodes(); n++ {
+			dn, err := c.DataNodeOf(topology.NodeID(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range dn.Store.Keys() {
+				keys[topology.NodeID(n)] = append(keys[topology.NodeID(n)], k.String())
+			}
+		}
+		return keys
+	}
+	before := snapshot()
+	goroutines := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := c.RaidNode().EncodeAllCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EncodeAllCtx under timeout = %v, want DeadlineExceeded", err)
+	}
+	// The canceled pipeline must wind down without leaking hop goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutines && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	after := snapshot()
+	for n, keys := range after {
+		if len(keys) != len(before[n]) {
+			t.Fatalf("node %d stores changed across canceled encode: %v -> %v", n, before[n], keys)
+		}
+	}
+	if len(after) != len(before) {
+		t.Fatalf("store population changed: %d -> %d nodes", len(before), len(after))
+	}
+	if rep := aud.Report(); rep.Total() != 0 {
+		t.Fatalf("auditor dirty after canceled pipeline: %+v", rep)
+	}
+
+	// The interrupted stripes requeue and re-encode cleanly at full speed.
+	requeued, err := c.NameNode().RequeueUnencodedStripes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued == 0 {
+		t.Fatal("no stripes requeued after canceled encode")
+	}
+	if err := c.Fabric().SetAllRates(64 << 30); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatalf("re-encode after cancel: %v", err)
+	}
+	if stats.Stripes != requeued {
+		t.Fatalf("re-encoded %d stripes, requeued %d", stats.Stripes, requeued)
+	}
+	if n := verifyParities(t, c, contents); n == 0 {
+		t.Fatal("no parity verified after re-encode")
+	}
+	if rep := aud.Report(); rep.Total() != 0 {
+		t.Fatalf("auditor dirty after re-encode: %+v", rep)
+	}
+}
+
+// TestPipelinedEncodeTelemetry checks the overlap instrumentation: per-hop
+// fill/drain histograms populate and measured pipeline depth exceeds 1
+// (arithmetic genuinely overlapped transfer).
+func TestPipelinedEncodeTelemetry(t *testing.T) {
+	cfg := testConfig("ear")
+	cfg.PipelinedEncode = true
+	cfg.BlockSizeBytes = 256 << 10
+	cfg.BandwidthBytesPerSec = 8 << 20
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+
+	rng := rand.New(rand.NewSource(29))
+	writeBlocks(t, c, 2*cfg.K, rng)
+	if _, err := c.NameNode().FlushOpenStripes(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.RaidNode().EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PipelinedStripes != stats.Stripes || stats.Stripes == 0 {
+		t.Fatalf("pipelined %d of %d stripes", stats.PipelinedStripes, stats.Stripes)
+	}
+	if stats.PartialSumBytes <= 0 {
+		t.Error("PartialSumBytes not accumulated")
+	}
+	snap := reg.Snapshot()
+	seen := make(map[string]bool)
+	for _, fam := range snap {
+		for _, s := range fam.Series {
+			if s.Count > 0 || s.Value > 0 {
+				seen[fam.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{
+		"raidnode_pipe_hop_fill_seconds",
+		"raidnode_pipe_hop_drain_seconds",
+		"raidnode_pipe_depth",
+		"raidnode_partial_sum_bytes_total",
+		"raidnode_pipelined_stripes_total",
+	} {
+		if !seen[name] {
+			t.Errorf("%s not populated by a pipelined encode", name)
+		}
+	}
+}

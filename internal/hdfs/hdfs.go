@@ -75,6 +75,19 @@ type Config struct {
 	// on concurrently, so the gather, compute, and upload phases of
 	// different stripes overlap (default 4). SequentialDataPath forces 1.
 	EncodeParallelism int
+	// PipelinedEncode switches stripe encoding from gather-everything-then-
+	// encode to the RapidRAID-style distributed pipeline: the replica
+	// holders chain chunk-by-chunk partial parity sums toward the encoder,
+	// aggregating intra-rack before each core crossing, so transfer and
+	// GF(256) arithmetic overlap and only partial sums cross the core. The
+	// gather path remains the ablation baseline; SequentialDataPath forces
+	// it. Parity content is bit-identical either way.
+	PipelinedEncode bool
+	// PipelineChunkBytes is the granularity at which pipelined encoding
+	// streams and folds partial sums (default fabric.ChunkBytes). Smaller
+	// chunks fill the pipeline faster; larger ones amortize per-chunk
+	// shaping overhead.
+	PipelineChunkBytes int
 	// SerializeMetadata funnels every NameNode operation through a single
 	// global mutex, reverting the sharded metadata path to the historical
 	// one-big-lock behavior. It exists for benchmarking and equivalence
@@ -126,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EncodeParallelism == 0 {
 		c.EncodeParallelism = 4
+	}
+	if c.PipelineChunkBytes == 0 {
+		c.PipelineChunkBytes = fabric.ChunkBytes
 	}
 	return c
 }
@@ -205,6 +221,15 @@ type clusterMetrics struct {
 	poolHit    *telemetry.Metric // erasure_pool_hit_ratio
 	encStripe  *telemetry.Metric // raidnode_stripe_encode_seconds
 	repairLat  *telemetry.Metric // hdfs_repair_seconds
+
+	// Pipelined-encode instrumentation: per-hop fill/drain latency, the
+	// measured overlap (busy-hop-seconds per wall-second), and the partial-
+	// sum traffic the pipeline ships in place of whole-block gathers.
+	pipeHopFill  *telemetry.Metric // raidnode_pipe_hop_fill_seconds
+	pipeHopDrain *telemetry.Metric // raidnode_pipe_hop_drain_seconds
+	pipeDepth    *telemetry.Metric // raidnode_pipe_depth
+	partialBytes *telemetry.Metric // raidnode_partial_sum_bytes_total
+	pipeStripes  *telemetry.Metric // raidnode_pipelined_stripes_total
 }
 
 // SetTelemetry publishes the cluster's metrics into the registry and wires
@@ -244,6 +269,17 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 			"Wall time to encode one stripe end to end (gather, compute, parity upload, replica delete).", nil).With(),
 		repairLat: reg.Histogram("hdfs_repair_seconds",
 			"Block repair latency (degraded gather, decode, store, metadata update).", nil).With(),
+		pipeHopFill: reg.Histogram("raidnode_pipe_hop_fill_seconds",
+			"Time from pipeline start until a hop folds its first chunk.", nil).With(),
+		pipeHopDrain: reg.Histogram("raidnode_pipe_hop_drain_seconds",
+			"Time from a hop's last chunk until the whole pipeline finishes.", nil).With(),
+		pipeDepth: reg.Histogram("raidnode_pipe_depth",
+			"Measured encode-pipeline overlap: busy hop-seconds per wall-second (1 = no overlap, = hop count means a full pipeline).",
+			[]float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16}).With(),
+		partialBytes: reg.Counter("raidnode_partial_sum_bytes_total",
+			"Partial parity-sum bytes shipped between pipelined-encode hops.").With(),
+		pipeStripes: reg.Counter("raidnode_pipelined_stripes_total",
+			"Stripes encoded through the distributed pipeline.").With(),
 	}
 	c.tel.Store(m)
 	if c.fsyncObs != nil {
@@ -308,6 +344,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.EncodeParallelism < 0 {
 		return nil, fmt.Errorf("%w: EncodeParallelism %d", ErrInvalidConfig, cfg.EncodeParallelism)
+	}
+	if cfg.PipelineChunkBytes < 0 {
+		return nil, fmt.Errorf("%w: PipelineChunkBytes %d", ErrInvalidConfig, cfg.PipelineChunkBytes)
 	}
 	top, err := topology.New(cfg.Racks, cfg.NodesPerRack)
 	if err != nil {

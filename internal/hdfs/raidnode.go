@@ -49,6 +49,14 @@ type EncodeStats struct {
 	// Violations counts stripes whose post-encoding layout breaks
 	// rack-level fault tolerance and needs the BlockMover.
 	Violations int
+	// PipelinedStripes counts stripes encoded through the distributed
+	// pipeline (Config.PipelinedEncode) rather than the gather path.
+	PipelinedStripes int
+	// PartialSumBytes is the partial parity-sum traffic shipped between
+	// pipeline hops; the pipelined path's replacement for gather traffic.
+	// Cross-rack partial hops also count toward CrossRackDownloads at m
+	// block-equivalents per boundary so the two paths stay comparable.
+	PartialSumBytes int64
 	// TaskPlacements records where each encoding map task ran.
 	TaskPlacements []mapred.Placement
 }
@@ -75,6 +83,8 @@ type StatsCursor struct {
 	duration     time.Duration
 	crossRack    int
 	violations   int
+	pipelined    int
+	partialBytes int64
 	placements   int
 	gen          int
 }
@@ -108,6 +118,8 @@ func (r *RaidNode) StatsSince(cur StatsCursor) (EncodeStats, StatsCursor) {
 		Duration:           r.stats.Duration - cur.duration,
 		CrossRackDownloads: r.stats.CrossRackDownloads - cur.crossRack,
 		Violations:         r.stats.Violations - cur.violations,
+		PipelinedStripes:   r.stats.PipelinedStripes - cur.pipelined,
+		PartialSumBytes:    r.stats.PartialSumBytes - cur.partialBytes,
 	}
 	if cur.placements < len(r.stats.TaskPlacements) {
 		d.TaskPlacements = append([]mapred.Placement(nil), r.stats.TaskPlacements[cur.placements:]...)
@@ -121,6 +133,8 @@ func (r *RaidNode) StatsSince(cur StatsCursor) (EncodeStats, StatsCursor) {
 		duration:     r.stats.Duration,
 		crossRack:    r.stats.CrossRackDownloads,
 		violations:   r.stats.Violations,
+		pipelined:    r.stats.PipelinedStripes,
+		partialBytes: r.stats.PartialSumBytes,
 		placements:   len(r.stats.TaskPlacements),
 		gen:          r.gen,
 	}
@@ -258,24 +272,34 @@ func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
 				for _, s := range t.stripes {
 					s := s
 					sg.Go(func() error {
-						cross, violated, err := r.c.encodeStripe(sctx, s, on, taskSpan)
+						res, err := r.c.encodeStripe(sctx, s, on, taskSpan)
 						if err != nil {
 							return err
 						}
 						encodedBytes := int64(len(s.Blocks) * r.c.cfg.BlockSizeBytes)
 						mu.Lock()
-						stats.CrossRackDownloads += cross
-						if violated {
+						stats.CrossRackDownloads += res.cross
+						if res.violated {
 							stats.Violations++
 						}
 						stats.EncodedBytes += encodedBytes
+						if res.pipelined {
+							stats.PipelinedStripes++
+						}
+						stats.PartialSumBytes += res.partialBytes
 						mu.Unlock()
 						if tel != nil {
-							tel.crossDl.Add(float64(cross))
-							if violated {
+							tel.crossDl.Add(float64(res.cross))
+							if res.violated {
 								tel.violations.Inc()
 							}
 							tel.encBytes.Add(float64(encodedBytes))
+							if res.pipelined {
+								tel.pipeStripes.Inc()
+							}
+							if res.partialBytes > 0 {
+								tel.partialBytes.Add(float64(res.partialBytes))
+							}
 						}
 						return nil
 					})
@@ -300,24 +324,37 @@ func (r *RaidNode) EncodeAllCtx(ctx context.Context) (EncodeStats, error) {
 	r.stats.Duration += stats.Duration
 	r.stats.CrossRackDownloads += stats.CrossRackDownloads
 	r.stats.Violations += stats.Violations
+	r.stats.PipelinedStripes += stats.PipelinedStripes
+	r.stats.PartialSumBytes += stats.PartialSumBytes
 	r.stats.TaskPlacements = append(r.stats.TaskPlacements, placements...)
 	r.mu.Unlock()
 	return stats, nil
 }
 
+// stripeResult summarizes one stripe's encode for the job-level stats
+// merge: cross-rack traffic (block-equivalents), whether the committed
+// layout violates rack fault tolerance, and — in pipelined mode — the
+// partial-sum bytes that replaced gather traffic.
+type stripeResult struct {
+	cross        int
+	violated     bool
+	pipelined    bool
+	partialBytes int64
+}
+
 // encodeStripe performs the paper's three-step encoding operation on the
-// given node: download one replica of each data block, compute and upload
-// the parity blocks, delete the redundant replicas. Downloads and uploads
-// run concurrently with bounded fan-in (sequential when
-// Config.SequentialDataPath is set); the fabric's shaping serializes them
-// where links are shared, as the TaskTracker's parallel reads of Section
-// II-A would be. It returns the number of cross-rack downloads and whether
-// the stripe's layout violates rack-level fault tolerance. The parent span
-// (nil for untraced runs) receives one child span per phase.
-func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, encoder topology.NodeID, parent *telemetry.Span) (int, bool, error) {
+// given node: materialize the parity blocks (by gathering one replica of
+// each data block to the encoder, or — with Config.PipelinedEncode — by
+// chaining partial parity sums through the replica holders), upload them,
+// and delete the redundant replicas. The fabric's shaping serializes
+// transfers where links are shared, as the TaskTracker's parallel reads of
+// Section II-A would be. The parent span (nil for untraced runs) receives
+// one child span per phase.
+func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, encoder topology.NodeID, parent *telemetry.Span) (stripeResult, error) {
+	var res stripeResult
 	encRack, err := c.top.RackOf(encoder)
 	if err != nil {
-		return 0, false, err
+		return res, err
 	}
 	stripeStart := time.Now()
 	defer func() {
@@ -325,6 +362,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			m.encStripe.Observe(time.Since(stripeStart).Seconds())
 		}
 	}()
+	res.pipelined = c.cfg.PipelinedEncode && !c.cfg.SequentialDataPath
 	trace := telemetry.TraceFromContext(ctx)
 	if j := c.Journal(); j != nil {
 		ev := events.New(events.StripeEncodeStarted, "raidnode")
@@ -332,8 +370,114 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		ev.Node = encoder
 		ev.Rack = encRack
 		ev.Trace = trace
+		if res.pipelined {
+			ev.Detail = "pipelined"
+		}
 		j.Publish(ev)
 	}
+	// Both paths return pooled parity buffers (released here, success or
+	// not) and the aborted-member mask; nothing has been committed yet, so
+	// a cancellation up to this point leaves no trace in any store.
+	var (
+		parity  [][]byte
+		aborted []bool
+	)
+	if res.pipelined {
+		parity, aborted, err = c.pipelineParity(ctx, info, encoder, encRack, parent, &res)
+	} else {
+		parity, aborted, err = c.gatherParity(ctx, info, encoder, encRack, parent, &res)
+	}
+	defer func() {
+		for _, p := range parity {
+			c.bufPool.Put(p)
+		}
+	}()
+	if err != nil {
+		return res, err
+	}
+	plan, err := c.nn.PlanStripe(info)
+	if err != nil {
+		return res, err
+	}
+	// Parity uploads go out with bounded fan-in. Puts are staged until every
+	// shaped transfer has finished — the same contract as the write
+	// pipeline — so a cancellation mid-upload commits nothing: no store
+	// gains a parity key, no replica is deleted, and the requeued stripe
+	// re-encodes from its intact replicas.
+	fanIn := gatherFanIn
+	if c.cfg.SequentialDataPath {
+		fanIn = 1
+	}
+	pw := parent.Child("parity-write")
+	ug, uctx := workgroup.WithContext(ctx)
+	ug.SetLimit(fanIn)
+	for j, node := range plan.Parity {
+		j, node := j, node
+		ug.Go(func() error {
+			if err := c.transferShaped(uctx, encoder, node, len(parity[j])); err != nil {
+				return fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
+			}
+			return nil
+		})
+	}
+	err = ug.Wait()
+	pw.End()
+	if err != nil {
+		return res, err
+	}
+	for j, node := range plan.Parity {
+		dn, err := c.DataNodeOf(node)
+		if err != nil {
+			return res, err
+		}
+		if err := dn.Store.Put(ParityKey(info.ID, j), parity[j]); err != nil {
+			return res, fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
+		}
+	}
+	// Delete redundant replicas, keeping the plan's chosen one. Aborted
+	// members never stored anything.
+	del := parent.Child("replica-delete")
+	defer del.End()
+	jnl := c.Journal()
+	for i, b := range info.Blocks {
+		if aborted[i] {
+			continue
+		}
+		for _, n := range info.Placements[i].Nodes {
+			if n == plan.Keep[i] {
+				continue
+			}
+			dn, err := c.DataNodeOf(n)
+			if err != nil {
+				return res, err
+			}
+			if err := dn.Store.Delete(DataKey(b)); err != nil {
+				return res, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
+			}
+			if jnl != nil {
+				ev := events.New(events.ReplicaDeleted, "raidnode")
+				ev.Block = b
+				ev.Stripe = info.ID
+				ev.Node = n
+				ev.Trace = trace
+				jnl.Publish(ev)
+			}
+		}
+	}
+	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
+		return res, err
+	}
+	res.violated = plan.Violation
+	return res, nil
+}
+
+// gatherParity is the baseline encode data path: download one replica of
+// each data block to the encoder with bounded fan-in (sequential when
+// Config.SequentialDataPath is set), then run the coding kernels over the
+// gathered blocks. It returns pooled parity buffers the caller must
+// release, the aborted-member mask, and fills res.cross with the count of
+// cross-rack block downloads.
+func (c *Cluster) gatherParity(ctx context.Context, info *placement.StripeInfo, encoder topology.NodeID, encRack topology.RackID, parent *telemetry.Span, res *stripeResult) ([][]byte, []bool, error) {
 	fanIn := gatherFanIn
 	if c.cfg.SequentialDataPath {
 		fanIn = 1
@@ -341,19 +485,16 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	dl := parent.Child("download").Arg("stripe", strconv.FormatInt(int64(info.ID), 10))
 	// Gather and parity buffers come from the cluster pool; zero-valued
 	// members (aborted blocks, short-stripe padding) share the one immutable
-	// zero block, which the coding kernels only ever read. All pooled
-	// buffers go back when the stripe is done, success or not.
+	// zero block, which the coding kernels only ever read. The gather
+	// buffers go back when this returns, success or not; parity buffers are
+	// released on failure and handed to the caller on success.
 	data := make([][]byte, c.cfg.K)
 	pooled := make([]bool, c.cfg.K)
-	var parity [][]byte
 	defer func() {
 		for i, ok := range pooled {
 			if ok {
 				c.bufPool.Put(data[i])
 			}
-		}
-		for _, p := range parity {
-			c.bufPool.Put(p)
 		}
 	}()
 	// Resolve sources up front (cheap metadata work); aborted members have
@@ -370,7 +511,7 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		live, err := c.nn.LiveReplicas(b)
 		if err != nil {
 			dl.End()
-			return 0, false, err
+			return nil, nil, err
 		}
 		if len(live) == 0 {
 			if meta, merr := c.nn.Block(b); merr == nil && meta.Aborted {
@@ -382,12 +523,12 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		src, err := c.chooseReplica(live, encoder)
 		if err != nil {
 			dl.End()
-			return 0, false, fmt.Errorf("stripe %d block %d: %w", info.ID, b, err)
+			return nil, nil, fmt.Errorf("stripe %d block %d: %w", info.ID, b, err)
 		}
 		srcRack, err := c.top.RackOf(src)
 		if err != nil {
 			dl.End()
-			return 0, false, err
+			return nil, nil, err
 		}
 		jobs = append(jobs, fetchJob{i: i, b: b, src: src, cross: srcRack != encRack})
 	}
@@ -424,26 +565,37 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 			return nil
 		})
 	}
-	err = g.Wait()
+	err := g.Wait()
 	dl.Arg("cross_rack_downloads", strconv.FormatInt(cross.Load(), 10)).End()
+	res.cross = int(cross.Load())
 	if err != nil {
-		return int(cross.Load()), false, err
+		return nil, nil, err
 	}
 	// Zero-pad short stripes to k blocks.
 	for i := len(info.Blocks); i < c.cfg.K; i++ {
 		data[i] = c.zeroBlock
 	}
 	encSpan := parent.Child("encode")
-	parity = make([][]byte, c.coder.M())
-	for j := range parity {
-		parity[j] = c.bufPool.Get(c.cfg.BlockSizeBytes)
+	pbufs := make([][]byte, c.coder.M())
+	ok := false
+	defer func() {
+		if !ok {
+			for _, p := range pbufs {
+				if p != nil {
+					c.bufPool.Put(p)
+				}
+			}
+		}
+	}()
+	for j := range pbufs {
+		pbufs[j] = c.bufPool.Get(c.cfg.BlockSizeBytes)
 	}
 	encStart := time.Now()
-	err = c.coder.EncodeInto(data, parity)
+	err = c.coder.EncodeInto(data, pbufs)
 	encDur := time.Since(encStart)
 	encSpan.End()
 	if err != nil {
-		return int(cross.Load()), false, err
+		return nil, nil, err
 	}
 	if m := c.metrics(); m != nil {
 		if secs := encDur.Seconds(); secs > 0 {
@@ -451,71 +603,8 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 		}
 		m.poolHit.Set(c.bufPool.HitRate())
 	}
-	plan, err := c.nn.PlanStripe(info)
-	if err != nil {
-		return int(cross.Load()), false, err
-	}
-	// Parity uploads go out with the same bounded fan-in. The store keeps
-	// its own copy, so the pooled parity buffers are recycled afterwards.
-	pw := parent.Child("parity-write")
-	ug, uctx := workgroup.WithContext(ctx)
-	ug.SetLimit(fanIn)
-	for j, node := range plan.Parity {
-		j, node := j, node
-		ug.Go(func() error {
-			err := c.transferShaped(uctx, encoder, node, len(parity[j]))
-			if err == nil {
-				var dn *DataNode
-				dn, err = c.DataNodeOf(node)
-				if err == nil {
-					err = dn.Store.Put(ParityKey(info.ID, j), parity[j])
-				}
-			}
-			if err != nil {
-				return fmt.Errorf("upload parity %d to node %d: %w", j, node, err)
-			}
-			return nil
-		})
-	}
-	err = ug.Wait()
-	pw.End()
-	if err != nil {
-		return int(cross.Load()), false, err
-	}
-	// Delete redundant replicas, keeping the plan's chosen one. Aborted
-	// members never stored anything.
-	del := parent.Child("replica-delete")
-	defer del.End()
-	jnl := c.Journal()
-	for i, b := range info.Blocks {
-		if aborted[i] {
-			continue
-		}
-		for _, n := range info.Placements[i].Nodes {
-			if n == plan.Keep[i] {
-				continue
-			}
-			dn, err := c.DataNodeOf(n)
-			if err != nil {
-				return int(cross.Load()), false, err
-			}
-			if err := dn.Store.Delete(DataKey(b)); err != nil {
-				return int(cross.Load()), false, fmt.Errorf("delete replica of %d on %d: %w", b, n, err)
-			}
-			if jnl != nil {
-				ev := events.New(events.ReplicaDeleted, "raidnode")
-				ev.Block = b
-				ev.Stripe = info.ID
-				ev.Node = n
-				ev.Trace = trace
-				jnl.Publish(ev)
-			}
-		}
-	}
-	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
-		return int(cross.Load()), false, err
-	}
-	return int(cross.Load()), plan.Violation, nil
+	ok = true
+	return pbufs, aborted, nil
 }
 
 // PlacementMonitor scans encoded stripes and returns the IDs of those whose

@@ -1,0 +1,140 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"ear/internal/topology"
+)
+
+// PipelineHop is one stage of a RapidRAID-style pipelined encode: the node
+// that folds its local stripe members into the partial parity sums as they
+// stream through, and the data positions it contributes.
+type PipelineHop struct {
+	Node topology.NodeID
+	Rack topology.RackID
+	// Positions lists the stripe data positions (indices into the stripe's
+	// block list) whose bytes this hop reads locally, sorted ascending.
+	Positions []int
+}
+
+// PlanPipeline orders the replica holders of a stripe into an encode
+// pipeline ending at the sink (the encoding node). replicas[i] lists the
+// live holders of stripe position i; an empty entry means the position
+// contributes zeros (aborted member or short-stripe padding) and needs no
+// hop. The plan is a minimal-ish cover of the positions by holders (greedy
+// set cover: each chosen node folds every still-uncovered position it
+// holds), ordered so that hops in the same rack are adjacent and the sink's
+// rack comes last. Partial sums therefore aggregate within each rack before
+// crossing the core once per rack boundary, and the final hop-to-sink
+// transfer is intra-rack whenever the sink's rack holds any member.
+//
+// The plan is deterministic: ties prefer the sink itself, then sink-rack
+// nodes, then the lowest node ID, so two calls with the same inputs yield
+// the same chain (the differential tests rely on this).
+func PlanPipeline(top *topology.Topology, replicas [][]topology.NodeID, sink topology.NodeID) ([]PipelineHop, error) {
+	sinkRack, err := top.RackOf(sink)
+	if err != nil {
+		return nil, err
+	}
+	// holders: node -> positions it can serve, racks resolved once.
+	holds := make(map[topology.NodeID][]int)
+	rackOf := make(map[topology.NodeID]topology.RackID)
+	uncovered := 0
+	for i, nodes := range replicas {
+		if len(nodes) == 0 {
+			continue
+		}
+		uncovered++
+		for _, n := range nodes {
+			if _, ok := rackOf[n]; !ok {
+				r, err := top.RackOf(n)
+				if err != nil {
+					return nil, err
+				}
+				rackOf[n] = r
+			}
+			holds[n] = append(holds[n], i)
+		}
+	}
+	covered := make(map[int]bool, uncovered)
+	var hops []PipelineHop
+	for len(covered) < uncovered {
+		var best topology.NodeID = -1
+		bestGain, bestRank := 0, -1
+		for n, positions := range holds {
+			gain := 0
+			for _, p := range positions {
+				if !covered[p] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			// Rank breaks gain ties: the sink itself beats its rack peers,
+			// which beat remote nodes; equal ranks resolve to the lowest ID.
+			rank := 0
+			switch {
+			case n == sink:
+				rank = 2
+			case rackOf[n] == sinkRack:
+				rank = 1
+			}
+			if gain > bestGain ||
+				(gain == bestGain && (rank > bestRank || (rank == bestRank && n < best))) {
+				best, bestGain, bestRank = n, gain, rank
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("placement: pipeline cover stuck with %d of %d positions uncovered",
+				uncovered-len(covered), uncovered)
+		}
+		hop := PipelineHop{Node: best, Rack: rackOf[best]}
+		for _, p := range holds[best] {
+			if !covered[p] {
+				covered[p] = true
+				hop.Positions = append(hop.Positions, p)
+			}
+		}
+		sort.Ints(hop.Positions)
+		hops = append(hops, hop)
+		delete(holds, best)
+	}
+	// Rack-contiguous order with the sink's rack last; within a rack the
+	// sink node itself goes last so the chain can terminate there without an
+	// extra hop. Everything else orders by (rack, node) for determinism.
+	sort.SliceStable(hops, func(a, b int) bool {
+		ra, rb := hops[a].Rack, hops[b].Rack
+		if (ra == sinkRack) != (rb == sinkRack) {
+			return rb == sinkRack
+		}
+		if ra != rb {
+			return ra < rb
+		}
+		if (hops[a].Node == sink) != (hops[b].Node == sink) {
+			return hops[b].Node == sink
+		}
+		return hops[a].Node < hops[b].Node
+	})
+	return hops, nil
+}
+
+// PipelineRackBoundaries counts the cross-rack transitions a pipeline plan
+// incurs, including the final hop-to-sink transfer. Each boundary ships one
+// set of partial parity sums across the core.
+func PipelineRackBoundaries(hops []PipelineHop, sinkRack topology.RackID) int {
+	if len(hops) == 0 {
+		return 0
+	}
+	boundaries := 0
+	for i := 1; i < len(hops); i++ {
+		if hops[i].Rack != hops[i-1].Rack {
+			boundaries++
+		}
+	}
+	if hops[len(hops)-1].Rack != sinkRack {
+		boundaries++
+	}
+	return boundaries
+}

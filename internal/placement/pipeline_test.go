@@ -1,0 +1,182 @@
+package placement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ear/internal/topology"
+)
+
+// checkPipeline validates the structural invariants of a pipeline plan:
+// every non-empty position covered exactly once by a node that holds it,
+// rack-contiguous hop order with the sink's rack last, and the sink node
+// itself terminal when it participates.
+func checkPipeline(t *testing.T, top *topology.Topology, replicas [][]topology.NodeID, sink topology.NodeID, hops []PipelineHop) {
+	t.Helper()
+	covered := make(map[int]int)
+	for _, h := range hops {
+		rk, err := top.RackOf(h.Node)
+		if err != nil {
+			t.Fatalf("hop node %d: %v", h.Node, err)
+		}
+		if rk != h.Rack {
+			t.Errorf("hop node %d labeled rack %d, actual %d", h.Node, h.Rack, rk)
+		}
+		if len(h.Positions) == 0 {
+			t.Errorf("hop node %d contributes no positions", h.Node)
+		}
+		for _, p := range h.Positions {
+			covered[p]++
+			holds := false
+			for _, n := range replicas[p] {
+				if n == h.Node {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				t.Errorf("hop node %d assigned position %d it does not hold", h.Node, p)
+			}
+		}
+	}
+	for p, nodes := range replicas {
+		want := 0
+		if len(nodes) > 0 {
+			want = 1
+		}
+		if covered[p] != want {
+			t.Errorf("position %d covered %d times, want %d", p, covered[p], want)
+		}
+	}
+	// Rack contiguity: once the chain leaves a rack it never returns, and
+	// the sink's rack, when present, is the final run.
+	sinkRack, err := top.RackOf(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[topology.RackID]bool)
+	for i, h := range hops {
+		if i > 0 && h.Rack == hops[i-1].Rack {
+			continue
+		}
+		if seen[h.Rack] {
+			t.Errorf("rack %d appears in two separate runs: %v", h.Rack, hops)
+		}
+		seen[h.Rack] = true
+	}
+	for i, h := range hops {
+		if h.Rack == sinkRack && i < len(hops)-1 && hops[len(hops)-1].Rack != sinkRack {
+			t.Errorf("sink rack %d not last in chain: %v", sinkRack, hops)
+		}
+		if h.Node == sink && i != len(hops)-1 {
+			t.Errorf("sink node %d not terminal: %v", sink, hops)
+		}
+	}
+}
+
+func TestPlanPipelineStructure(t *testing.T) {
+	top, err := topology.New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions spread over three racks, one aborted (empty) entry, sink in
+	// rack 0 holding position 3. Nodes 0-2 rack 0, 3-5 rack 1, 6-8 rack 2.
+	replicas := [][]topology.NodeID{
+		{3, 6}, // racks 1 and 2
+		{4, 0}, // racks 1 and 0
+		{},     // aborted: contributes zeros
+		{1, 7}, // racks 0 and 2
+		{5},    // rack 1 only
+	}
+	sink := topology.NodeID(1)
+	hops, err := PlanPipeline(top, replicas, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, top, replicas, sink, hops)
+	if last := hops[len(hops)-1]; last.Rack != 0 {
+		t.Errorf("chain ends in rack %d, want the sink's rack 0: %v", last.Rack, hops)
+	}
+	// The sink holds position 3, so the chain must terminate at the sink
+	// itself and need no extra receive-only stage.
+	if last := hops[len(hops)-1]; last.Node != sink {
+		t.Errorf("chain ends at node %d, want sink %d: %v", last.Node, sink, hops)
+	}
+	if b := PipelineRackBoundaries(hops, 0); b < 1 || b > 2 {
+		t.Errorf("rack boundaries = %d, want 1 or 2 for a 3-rack chain ending at the sink", b)
+	}
+}
+
+func TestPlanPipelineAllAborted(t *testing.T) {
+	top, err := topology.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := PlanPipeline(top, make([][]topology.NodeID, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 0 {
+		t.Errorf("all-aborted stripe planned %d hops, want 0", len(hops))
+	}
+	if b := PipelineRackBoundaries(hops, 0); b != 0 {
+		t.Errorf("empty chain has %d boundaries, want 0", b)
+	}
+}
+
+func TestPlanPipelineIntraRackAggregation(t *testing.T) {
+	// All members in the sink's rack: no boundary is ever crossed.
+	top, err := topology.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := [][]topology.NodeID{{0}, {1}, {2}, {3}, {0, 2}}
+	hops, err := PlanPipeline(top, replicas, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPipeline(t, top, replicas, 1, hops)
+	if b := PipelineRackBoundaries(hops, 0); b != 0 {
+		t.Errorf("single-rack stripe crossed %d boundaries, want 0", b)
+	}
+}
+
+func TestPlanPipelineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		racks := 2 + rng.Intn(5)
+		npr := 1 + rng.Intn(4)
+		top, err := topology.New(racks, npr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := top.Nodes()
+		k := 1 + rng.Intn(12)
+		replicas := make([][]topology.NodeID, k)
+		for i := range replicas {
+			r := rng.Intn(4) // 0 = aborted member
+			seen := make(map[topology.NodeID]bool)
+			for len(replicas[i]) < r && len(seen) < nodes {
+				n := topology.NodeID(rng.Intn(nodes))
+				if !seen[n] {
+					seen[n] = true
+					replicas[i] = append(replicas[i], n)
+				}
+			}
+		}
+		sink := topology.NodeID(rng.Intn(nodes))
+		hops, err := PlanPipeline(top, replicas, sink)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkPipeline(t, top, replicas, sink, hops)
+		again, err := PlanPipeline(top, replicas, sink)
+		if err != nil {
+			t.Fatalf("trial %d replan: %v", trial, err)
+		}
+		if !reflect.DeepEqual(hops, again) {
+			t.Fatalf("trial %d: plan not deterministic:\n%v\n%v", trial, hops, again)
+		}
+	}
+}
