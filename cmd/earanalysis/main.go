@@ -10,12 +10,18 @@
 // byte breakdown of each phase, cross-checked against the fabric's own
 // payload counters.
 //
+// With -tenants, it runs a tenant-tagged transition under both policies
+// and cross-checks that the per-tenant byte attribution sums to the
+// fabric's own cross-/intra-rack totals within 1%, printing the
+// per-tenant breakdown.
+//
 // Usage:
 //
 //	earanalysis -fig3 -mc 500
 //	earanalysis -theorem1 -stripes 1000
 //	earanalysis -c1 -c2 -runs 50
 //	earanalysis -traffic
+//	earanalysis -tenants
 package main
 
 import (
@@ -40,6 +46,7 @@ func run() error {
 		c1       = flag.Bool("c1", false, "reproduce Experiment C.1 (storage balance, Figure 14)")
 		c2       = flag.Bool("c2", false, "reproduce Experiment C.2 (read hotness, Figure 15)")
 		traffic  = flag.Bool("traffic", false, "per-phase cross-rack vs intra-rack traffic breakdown (RR and EAR)")
+		tenants  = flag.Bool("tenants", false, "per-tenant accounting cross-check: run a tenant-tagged transition and verify per-tenant byte attribution sums to the fabric totals within 1%")
 		all      = flag.Bool("all", false, "run every analysis")
 		mc       = flag.Int("mc", 0, "Monte-Carlo stripes per Figure 3 cell (0 = analytic only)")
 		stripes  = flag.Int("stripes", 500, "stripes measured for Theorem 1")
@@ -48,11 +55,11 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if !*fig3 && !*theorem1 && !*c1 && !*c2 && !*traffic {
+	if !*fig3 && !*theorem1 && !*c1 && !*c2 && !*traffic && !*tenants {
 		*all = true
 	}
 	if *all {
-		*fig3, *theorem1, *c1, *c2, *traffic = true, true, true, true, true
+		*fig3, *theorem1, *c1, *c2, *traffic, *tenants = true, true, true, true, true, true
 	}
 	if *fig3 {
 		t, err := experiments.RunFig3(experiments.Fig3Options{MonteCarloStripes: *mc, Seed: *seed})
@@ -91,6 +98,29 @@ func run() error {
 					return err
 				}
 				fmt.Println(res.Summary)
+			}
+		}
+	}
+	if *tenants {
+		// RunTransition itself fails if any policy's per-tenant byte
+		// attribution drifts more than 1% from the fabric's own counters,
+		// so a clean table here is the cross-check passing.
+		res, err := experiments.RunTransition(experiments.TransitionOptions{
+			TestbedOptions: experiments.TestbedOptions{Stripes: 8, Seed: *seed},
+		})
+		if err != nil {
+			return fmt.Errorf("tenant accounting cross-check: %w", err)
+		}
+		fmt.Println(res.Summary)
+		for _, run := range res.Runs {
+			fmt.Printf("-- %s per-tenant bytes (fabric: %d cross-rack, %d intra-rack) --\n",
+				run.Policy, run.FabricCrossBytes, run.FabricIntraBytes)
+			for _, ts := range run.Tenants {
+				fmt.Printf("%-12s cross=%-12d intra=%-12d", ts.Tenant, ts.CrossRackBytes, ts.IntraRackBytes)
+				for _, op := range ts.Ops {
+					fmt.Printf(" %s=%d/%dB", op.Op, op.Count, op.Bytes)
+				}
+				fmt.Println()
 			}
 		}
 	}

@@ -59,6 +59,7 @@ func printStats(rep *netcfs.StatsReport) {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7070", "earfsd address")
 	timeout := flag.Duration("timeout", 0, "per-RPC deadline (0 = none); on expiry the server cancels the in-flight operation")
+	tenantName := flag.String("tenant", "", "tenant identity charged for this invocation's resource usage (empty = system)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -70,6 +71,7 @@ func run() error {
 	}
 	defer client.Close()
 	client.Timeout = *timeout
+	client.Tenant = *tenantName
 
 	switch cmd := args[0]; cmd {
 	case "put":

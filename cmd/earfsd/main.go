@@ -8,15 +8,19 @@
 //	earfsd -listen :7070 -policy ear -racks 8 -nodes 4 -k 6 -n 9
 //
 // With -admin, earfsd also serves an HTTP observability endpoint:
-// /metrics (Prometheus text format, or JSON via Accept: application/json /
-// ?format=json), /debug/vars (expvar, including the RaidNode's cumulative
-// encoding statistics), /debug/pprof/*, /events (the structured event
-// journal, cursor + filter, including ?trace= to follow one request),
-// /audit (the invariant auditor's report), /timeline (per-link fabric
-// utilization), /trace (Chrome-trace export of every request span;
-// ?reset=1 drains the buffer), /slo (per-operation error budgets and burn
-// rates) and /health (per-node health scores from the slow-node detector).
-// /timeline, /slo and /health accept ?view=html for a self-contained chart:
+// /metrics (JSON by default, Prometheus text exposition via ?format=prom
+// or an Accept header preferring text/plain), /debug/vars (expvar,
+// including the RaidNode's cumulative encoding statistics),
+// /debug/pprof/*, /events (the structured event journal, cursor + filter,
+// including ?trace= to follow one request), /audit (the invariant
+// auditor's report), /timeline (per-link fabric utilization), /trace
+// (Chrome-trace export of every request span; ?reset=1 drains the
+// buffer), /slo (per-operation error budgets and burn rates), /health
+// (per-node health scores from the slow-node detector), /progress (the
+// replication-to-EC transition tracker: encode backlog, ETA and
+// durability-exposure windows) and /tenants (per-tenant resource
+// accounting). /timeline, /slo, /health, /progress and /tenants accept
+// ?view=html for a self-contained chart:
 //
 //	earfsd -admin 127.0.0.1:7071
 package main
@@ -41,6 +45,7 @@ import (
 	"ear/internal/fabric"
 	"ear/internal/hdfs"
 	"ear/internal/netcfs"
+	"ear/internal/progress"
 	"ear/internal/telemetry"
 	"ear/internal/telemetry/slo"
 )
@@ -67,18 +72,18 @@ func parseLevel(s string) (slog.Level, error) {
 func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// Content negotiation: Prometheus text is the default; JSON when
-		// the client asks via ?format=json or an Accept header that
-		// prefers application/json.
-		if r.URL.Query().Get("format") == "json" ||
-			strings.Contains(r.Header.Get("Accept"), "application/json") {
-			writeJSON(w, reg.Snapshot())
+		// Content negotiation: JSON is the default; Prometheus 0.0.4 text
+		// exposition when the client asks via ?format=prom or an Accept
+		// header that prefers text/plain (what a Prometheus scraper sends).
+		if r.URL.Query().Get("format") == "prom" ||
+			strings.Contains(r.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := reg.WritePrometheus(w); err != nil {
+				slog.Warn("metrics write failed", "err", err)
+			}
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := reg.WritePrometheus(w); err != nil {
-			slog.Warn("metrics write failed", "err", err)
-		}
+		writeJSON(w, reg.Snapshot())
 	})
 
 	// Publish the RaidNode's cumulative encoding statistics as one expvar
@@ -106,7 +111,12 @@ func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability
 		}
 		return out
 	})
-	vars := expvar.NewMap("earfsd")
+	// expvar registration is global and panics on duplicates; reuse the map
+	// when adminMux is built more than once in a process (tests).
+	vars, ok := expvar.Get("earfsd").(*expvar.Map)
+	if vars == nil || !ok {
+		vars = expvar.NewMap("earfsd")
+	}
 	vars.Set("encode", encodeVar)
 	mux.Handle("/debug/vars", expvar.Handler())
 
@@ -116,6 +126,8 @@ func adminMux(reg *telemetry.Registry, cluster *hdfs.Cluster, obs *observability
 	mux.HandleFunc("/trace", obs.handleTrace)
 	mux.HandleFunc("/slo", obs.handleSLO)
 	mux.HandleFunc("/health", obs.handleHealth)
+	mux.HandleFunc("/progress", obs.handleProgress)
+	mux.HandleFunc("/tenants", obs.handleTenants)
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -207,6 +219,26 @@ func run() error {
 	})
 	aud.Attach(jrn)
 
+	// The transition progress tracker folds the same journal into the
+	// per-stripe lifecycle state machine behind /progress: encode backlog,
+	// ETA and the durability-exposure windows. Always on, like the auditor;
+	// after a durable-metadata restart it rebuilds from the recovered-state
+	// backfill the NameNode publishes.
+	prog := progress.New(progress.Config{
+		Replicas: cluster.Config().Replicas,
+		Policy:   *policy,
+	})
+	prog.SetTelemetry(reg)
+	prog.Attach(jrn)
+
+	// After a durable-metadata restart the journal ring starts empty:
+	// replay the canonical event stream implied by the recovered layout so
+	// the auditor and progress tracker resume from the pre-crash state
+	// instead of an empty model.
+	if *metaDir != "" && cluster.NameNode().RecoveredOps() > 0 {
+		cluster.NameNode().PublishRecoveredState(jrn)
+	}
+
 	srv, err := netcfs.Serve(cluster, *listen)
 	if err != nil {
 		return err
@@ -245,6 +277,7 @@ func run() error {
 		obs := &observability{
 			journal: jrn, auditor: aud, sampler: sampler,
 			tracer: tracer, slo: tracker, health: health,
+			progress: prog, tenants: cluster.Tenants(),
 		}
 		go func() {
 			if err := http.Serve(ln, adminMux(reg, cluster, obs)); err != nil {

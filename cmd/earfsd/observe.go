@@ -11,22 +11,28 @@ import (
 	"ear/internal/events/audit"
 	"ear/internal/fabric"
 	"ear/internal/hdfs"
+	"ear/internal/progress"
 	"ear/internal/telemetry"
 	"ear/internal/telemetry/slo"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 )
 
 // observability bundles the journal-backed instruments the admin endpoint
 // serves: the event journal (/events), the invariant auditor (/audit), the
 // fabric utilization sampler (/timeline), the request tracer (/trace), the
-// SLO tracker (/slo) and the node health monitor (/health).
+// SLO tracker (/slo), the node health monitor (/health), the transition
+// progress tracker (/progress) and the per-tenant accounting table
+// (/tenants).
 type observability struct {
-	journal *events.Journal
-	auditor *audit.Auditor
-	sampler *fabric.Sampler
-	tracer  *telemetry.Tracer
-	slo     *slo.Tracker
-	health  *hdfs.HealthMonitor
+	journal  *events.Journal
+	auditor  *audit.Auditor
+	sampler  *fabric.Sampler
+	tracer   *telemetry.Tracer
+	slo      *slo.Tracker
+	health   *hdfs.HealthMonitor
+	progress *progress.Tracker
+	tenants  *tenant.Table
 }
 
 // handleEvents serves cursor reads over the journal. Query parameters:
@@ -154,6 +160,42 @@ func (o *observability) handleHealth(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		if err := writeBlobHTML(w, healthPage, rep); err != nil {
 			slog.Warn("health html write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleProgress serves the transition progress tracker's report: encode
+// backlog, throughput-windowed ETA, the progress curve and the
+// durability-exposure windows. JSON by default, a self-contained HTML view
+// with ?view=html.
+func (o *observability) handleProgress(w http.ResponseWriter, r *http.Request) {
+	rep := o.progress.Report()
+	if r.URL.Query().Get("view") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeBlobHTML(w, progressPage, rep); err != nil {
+			slog.Warn("progress html write failed", "err", err)
+		}
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleTenants serves the per-tenant resource accounting table: per-op
+// counts, bytes and rolling rates plus cross-/intra-rack fabric splits.
+// JSON by default, a self-contained HTML view with ?view=html.
+func (o *observability) handleTenants(w http.ResponseWriter, r *http.Request) {
+	cross, intra := o.tenants.FabricTotals()
+	rep := map[string]any{
+		"tenants":          o.tenants.Snapshot(),
+		"cross_rack_bytes": cross,
+		"intra_rack_bytes": intra,
+	}
+	if r.URL.Query().Get("view") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeBlobHTML(w, tenantsPage, rep); err != nil {
+			slog.Warn("tenants html write failed", "err", err)
 		}
 		return
 	}
@@ -354,6 +396,125 @@ for (const n of nodes) {
     '<td>' + n.failures.toFixed(2) + '</td>' +
     '<td>' + state + '</td>';
   rows.appendChild(tr);
+}
+</script></body></html>
+`
+
+// progressPage is the self-contained /progress?view=html document: the
+// encode-backlog summary, a canvas progress curve and the durability
+// exposure windows. No external assets.
+const progressPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ear transition progress</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin: 1.2em 0 .3em; }
+table { border-collapse: collapse; }
+th, td { padding: .3em .8em; border-bottom: 1px solid #ddd; text-align: right; }
+th { color: #555; } td.name { text-align: left; }
+.bar { width: 24em; height: 14px; background: #eee; border-radius: 7px; overflow: hidden; }
+.bar div { height: 100%%; background: #27ae60; }
+canvas { background: #fff; border: 1px solid #ddd; }
+.legend { color: #777; margin: .5em 0 1em; }
+.risk { color: #c0392b; font-weight: 600; } .clear { color: #27ae60; }
+</style></head><body>
+<h1>Replication &rarr; erasure-coding transition</h1>
+<div class="legend" id="meta"></div>
+<div class="bar"><div id="fill"></div></div>
+<p id="stats"></p>
+<h2>Progress curve</h2>
+<canvas id="curve" width="720" height="160"></canvas>
+<h2 id="risktitle">Durability exposure</h2>
+<table><thead><tr>
+<th style="text-align:left">invariant</th><th>stripe</th><th>block</th>
+<th>opened seq</th><th>resolved seq</th><th>exposed</th>
+</tr></thead><tbody id="rows"></tbody></table>
+<script>
+const REP = %s;
+const frac = REP.fraction_encoded || 0;
+document.getElementById('fill').style.width = (100 * frac) + '%%';
+document.getElementById('meta').textContent = 'policy ' + REP.policy +
+  ', ' + REP.encoded_stripes + '/' + REP.total_stripes + ' stripes encoded (' +
+  (100 * frac).toFixed(1) + '%%), ' + REP.events + ' events folded' +
+  (REP.recovering ? ' — rebuilding from recovered state' : '');
+const eta = REP.eta_seconds;
+document.getElementById('stats').textContent =
+  'backlog ' + REP.backlog_stripes + ' stripes / ' + REP.backlog_bytes + ' bytes, rate ' +
+  (REP.rate_bytes_per_sec || 0).toFixed(0) + ' B/s, ETA ' +
+  (eta < 0 ? 'unknown' : eta.toFixed(1) + 's') + ', at risk now: ' + REP.blocks_at_risk;
+const cv = document.getElementById('curve'), g = cv.getContext('2d');
+const pts = REP.curve || [];
+if (pts.length) {
+  const tMax = Math.max(pts[pts.length - 1].t, 1e-9);
+  g.strokeStyle = '#2980b9'; g.fillStyle = '#2980b9';
+  g.beginPath(); g.moveTo(0, cv.height);
+  for (const p of pts) {
+    g.lineTo(p.t / tMax * cv.width, cv.height - p.fraction * (cv.height - 4));
+  }
+  g.globalAlpha = 0.25; g.lineTo(pts[pts.length - 1].t / tMax * cv.width, cv.height);
+  g.closePath(); g.fill(); g.globalAlpha = 1; g.stroke();
+}
+const wins = REP.exposure_windows || [];
+document.getElementById('risktitle').textContent = 'Durability exposure (' + wins.length +
+  ' windows, ' + (REP.total_exposure_seconds || 0).toFixed(3) + 's total)';
+const rows = document.getElementById('rows');
+for (const v of wins) {
+  const tr = document.createElement('tr');
+  const open = !v.resolved_seq;
+  tr.innerHTML = '<td class="name">' + v.invariant + '</td>' +
+    '<td>' + v.stripe + '</td><td>' + v.block + '</td>' +
+    '<td>' + v.opened_seq + '</td>' +
+    '<td>' + (open ? '<span class="risk">open</span>' : v.resolved_seq) + '</td>' +
+    '<td>' + v.seconds.toFixed(4) + 's</td>';
+  rows.appendChild(tr);
+}
+if (!wins.length) {
+  const tr = document.createElement('tr');
+  tr.innerHTML = '<td class="name clear" colspan="6">no exposure windows</td>';
+  rows.appendChild(tr);
+}
+</script></body></html>
+`
+
+// tenantsPage is the self-contained /tenants?view=html document: one block
+// per tenant with its per-op table and fabric byte split. No external
+// assets.
+const tenantsPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ear tenants</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin: 1.2em 0 .3em; }
+table { border-collapse: collapse; margin-bottom: 1em; }
+th, td { padding: .3em .8em; border-bottom: 1px solid #ddd; text-align: right; }
+th { color: #555; } td.name { text-align: left; font-weight: 600; }
+.legend { color: #777; margin: .5em 0 1em; }
+</style></head><body>
+<h1>Per-tenant resource accounting</h1>
+<div class="legend" id="meta"></div>
+<div id="tenants"></div>
+<script>
+const REP = %s;
+document.getElementById('meta').textContent = 'fabric totals: ' +
+  REP.cross_rack_bytes + ' B cross-rack, ' + REP.intra_rack_bytes + ' B intra-rack';
+const root = document.getElementById('tenants');
+for (const t of (REP.tenants || [])) {
+  const h2 = document.createElement('h2');
+  h2.textContent = t.tenant + ' — ' + t.cross_rack_bytes + ' B cross-rack, ' +
+    t.intra_rack_bytes + ' B intra-rack';
+  root.appendChild(h2);
+  const tbl = document.createElement('table');
+  tbl.innerHTML = '<thead><tr><th style="text-align:left">op</th><th>count</th>' +
+    '<th>bytes</th><th>count/s</th><th>bytes/s</th></tr></thead>';
+  const body = document.createElement('tbody');
+  for (const op of (t.ops || [])) {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td class="name">' + op.op + '</td>' +
+      '<td>' + op.count + '</td><td>' + op.bytes + '</td>' +
+      '<td>' + op.count_per_sec.toFixed(2) + '</td>' +
+      '<td>' + op.bytes_per_sec.toFixed(0) + '</td>';
+    body.appendChild(tr);
+  }
+  tbl.appendChild(body);
+  root.appendChild(tbl);
 }
 </script></body></html>
 `

@@ -21,6 +21,22 @@
 // stripes sit between replication and full parity protection — under
 // injected background traffic, with the pipeline knob off and on.
 //
+// The "transition" experiment drives a full replication-to-erasure-coding
+// transition under both policies with the whole observability plane
+// attached: the progress tracker must reach 100% encoded with no residual
+// at-risk blocks, its durability-exposure windows must agree with the
+// invariant auditor, and per-tenant byte attribution (writes are spread
+// across -tenant-count tenants) must reproduce the fabric's byte totals:
+//
+//	eartestbed -exp transition -tenant-count 3
+//
+// With -progress, every cluster any experiment builds gets a transition
+// progress tracker and the final reports (encode backlog, ETA, durability
+// exposure windows) are written as JSON; with -tenants, every cluster's
+// per-tenant accounting snapshot is written as JSON:
+//
+//	eartestbed -exp a1 -audit -progress progress.json -tenants tenants.json
+//
 // With -trace, the encode jobs' span timeline is written as Chrome trace
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev (the buffer
 // is also flushed on SIGINT/SIGTERM, so an interrupted run still yields a
@@ -73,7 +89,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "encodewindow", "recovery", or "crash"`)
+		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "encodewindow", "transition", "recovery", or "crash"`)
 		stripes    = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
 		jobs       = flag.Int("jobs", 50, "SWIM jobs in A.3")
 		rate       = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
@@ -86,6 +102,9 @@ func run() error {
 		auditOut   = flag.String("audit-out", "", "also write the audit reports to this file as JSON (implies -audit)")
 		timeline   = flag.String("timeline", "", "write the per-link fabric utilization timeline to this file as JSON")
 		healthMon  = flag.String("health", "", "run the health monitor on every cluster and write final per-node scores to this file as JSON")
+		progOut    = flag.String("progress", "", "run the transition progress tracker on every cluster and write final reports (backlog, ETA, durability exposure) to this file as JSON")
+		tenantsOut = flag.String("tenants", "", "write every cluster's per-tenant resource accounting snapshot to this file as JSON")
+		tenantN    = flag.Int("tenant-count", 3, "distinct tenants the transition experiment spreads its writes across")
 		metaDir    = flag.String("meta-dir", "", "durable metadata-plane directory (required by -exp crash)")
 		crashPhase = flag.String("crash-phase", "run", `crash experiment phase: "run" (dies by SIGKILL) or "recover"`)
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -112,6 +131,8 @@ func run() error {
 		audit:    *auditRun,
 		timeline: *timeline != "",
 		health:   *healthMon != "",
+		progress: *progOut != "",
+		tenants:  *tenantsOut != "",
 	}
 	if obs.active() {
 		base.ClusterHook = obs.hook
@@ -205,6 +226,15 @@ func run() error {
 			return err
 		}
 		fmt.Println(res.Summary)
+	case "transition":
+		res, err := experiments.RunTransition(experiments.TransitionOptions{
+			TestbedOptions: base,
+			Tenants:        *tenantN,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
 	case "recovery":
 		t, err := experiments.RunRecovery(experiments.RecoveryOptions{Stripes: *stripes / 3, Seed: *seed})
 		if err != nil {
@@ -260,6 +290,18 @@ func run() error {
 			return fmt.Errorf("health write: %w", err)
 		}
 		slog.Info("health report written", "path", *healthMon)
+	}
+	if *progOut != "" {
+		if err := obs.writeProgressJSON(*progOut); err != nil {
+			return fmt.Errorf("progress write: %w", err)
+		}
+		slog.Info("progress report written", "path", *progOut)
+	}
+	if *tenantsOut != "" {
+		if err := obs.writeTenantsJSON(*tenantsOut); err != nil {
+			return fmt.Errorf("tenants write: %w", err)
+		}
+		slog.Info("tenant accounting written", "path", *tenantsOut)
 	}
 	if *auditRun {
 		if *auditOut != "" {

@@ -11,6 +11,8 @@ import (
 	"ear/internal/events/audit"
 	"ear/internal/fabric"
 	"ear/internal/hdfs"
+	"ear/internal/progress"
+	"ear/internal/tenant"
 )
 
 // clusterObserver instruments every cluster an experiment builds (testbed
@@ -25,6 +27,8 @@ type clusterObserver struct {
 	audit    bool
 	timeline bool
 	health   bool
+	progress bool
+	tenants  bool
 
 	mu        sync.Mutex
 	auditors  []*audit.Auditor
@@ -34,10 +38,16 @@ type clusterObserver struct {
 	offsets   []float64
 	monitors  []*hdfs.HealthMonitor
 	monLabels []string
+	trackers  []*progress.Tracker
+	trkLabels []string
+	tables    []*tenant.Table
+	tabLabels []string
 }
 
 // active reports whether the observer has anything to do.
-func (o *clusterObserver) active() bool { return o.audit || o.timeline || o.health }
+func (o *clusterObserver) active() bool {
+	return o.audit || o.timeline || o.health || o.progress || o.tenants
+}
 
 // hook is the TestbedOptions.ClusterHook: called once per cluster built.
 func (o *clusterObserver) hook(c *hdfs.Cluster) {
@@ -45,8 +55,9 @@ func (o *clusterObserver) hook(c *hdfs.Cluster) {
 	label := fmt.Sprintf("%s (%d,%d)", cfg.Policy, cfg.N, cfg.K)
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.audit || o.health {
-		// The auditor and the health monitor both feed off the journal.
+	if o.audit || o.health || o.progress {
+		// The auditor, the health monitor and the progress tracker all feed
+		// off the journal.
 		j := events.NewJournal(0)
 		c.SetJournal(j)
 		if o.audit {
@@ -66,6 +77,16 @@ func (o *clusterObserver) hook(c *hdfs.Cluster) {
 			o.monitors = append(o.monitors, m)
 			o.monLabels = append(o.monLabels, label)
 		}
+		if o.progress {
+			p := progress.New(progress.Config{Replicas: cfg.Replicas, Policy: cfg.Policy})
+			p.Attach(j)
+			o.trackers = append(o.trackers, p)
+			o.trkLabels = append(o.trkLabels, label)
+		}
+	}
+	if o.tenants {
+		o.tables = append(o.tables, c.Tenants())
+		o.tabLabels = append(o.tabLabels, label)
 	}
 	if o.timeline {
 		s := fabric.NewSampler(c.Fabric(), 0)
@@ -146,6 +167,44 @@ func (o *clusterObserver) writeHealthJSON(path string) error {
 			e.Degraded = append(e.Degraded, int(n))
 		}
 		out[i] = e
+	}
+	o.mu.Unlock()
+	return writeJSONFile(path, out)
+}
+
+// writeProgressJSON writes the per-cluster transition progress reports to
+// path.
+func (o *clusterObserver) writeProgressJSON(path string) error {
+	o.mu.Lock()
+	type entry struct {
+		Cluster string          `json:"cluster"`
+		Report  progress.Report `json:"report"`
+	}
+	out := make([]entry, len(o.trackers))
+	for i, p := range o.trackers {
+		out[i] = entry{Cluster: o.trkLabels[i], Report: p.Report()}
+	}
+	o.mu.Unlock()
+	return writeJSONFile(path, out)
+}
+
+// writeTenantsJSON writes the per-cluster tenant accounting snapshots to
+// path.
+func (o *clusterObserver) writeTenantsJSON(path string) error {
+	o.mu.Lock()
+	type entry struct {
+		Cluster        string               `json:"cluster"`
+		Tenants        []tenant.TenantStats `json:"tenants"`
+		CrossRackBytes int64                `json:"cross_rack_bytes"`
+		IntraRackBytes int64                `json:"intra_rack_bytes"`
+	}
+	out := make([]entry, len(o.tables))
+	for i, t := range o.tables {
+		cross, intra := t.FabricTotals()
+		out[i] = entry{
+			Cluster: o.tabLabels[i], Tenants: t.Snapshot(),
+			CrossRackBytes: cross, IntraRackBytes: intra,
+		}
 	}
 	o.mu.Unlock()
 	return writeJSONFile(path, out)

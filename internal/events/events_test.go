@@ -357,3 +357,48 @@ func TestTraceFilter(t *testing.T) {
 		t.Errorf("zero filter returned %d events, want 7", len(evs))
 	}
 }
+
+// TestFilterCombinedPredicates: every set predicate must hold at once —
+// trace + type + node narrows to exactly the events satisfying all three,
+// including the Peer-matches-Node rule, and near-miss events (two of three
+// predicates) are excluded.
+func TestFilterCombinedPredicates(t *testing.T) {
+	j := NewJournal(0)
+	node := topology.NodeID(4)
+	other := topology.NodeID(5)
+	const trace = uint64(0xabcd)
+
+	publish := func(typ Type, n topology.NodeID, peer topology.NodeID, tr uint64) {
+		e := New(typ, "test")
+		e.Node, e.Peer, e.Trace = n, peer, tr
+		j.Publish(e)
+	}
+	publish(TransferStarted, node, -1, trace)    // full match on Node
+	publish(TransferStarted, other, node, trace) // full match via Peer
+	publish(TransferStarted, node, -1, 0x9999)   // wrong trace
+	publish(TransferFinished, node, -1, trace)   // wrong type
+	publish(TransferStarted, other, -1, trace)   // wrong node
+
+	f := Filter{Type: TransferStarted, Node: &node, Trace: trace}
+	evs, _, _ := j.Since(0, 0, f)
+	if len(evs) != 2 {
+		t.Fatalf("combined trace+type+node filter matched %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("matched seqs %d,%d, want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+
+	// The same filter plus a subsystem that never occurs matches nothing.
+	f.Subsystem = "absent"
+	if evs, _, _ := j.Since(0, 0, f); len(evs) != 0 {
+		t.Errorf("adding an absent subsystem still matched %d events", len(evs))
+	}
+
+	// Cursor semantics are preserved under combined filters: next advances
+	// past everything considered, so a re-poll returns nothing new.
+	f.Subsystem = ""
+	_, next, _ := j.Since(0, 0, f)
+	if evs, _, _ := j.Since(next, 0, f); len(evs) != 0 {
+		t.Errorf("re-poll after cursor advance returned %d events", len(evs))
+	}
+}

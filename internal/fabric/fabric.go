@@ -18,6 +18,7 @@ import (
 
 	"ear/internal/events"
 	"ear/internal/telemetry"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 )
 
@@ -189,6 +190,13 @@ type Fabric struct {
 	// journal, when non-nil, receives transfer-started/-finished events with
 	// the link path of every stream (guarded by mu; nil journals no-op).
 	journal *events.Journal
+
+	// acct, when non-nil, receives a per-tenant copy of every payload byte
+	// the fabric books in its cross-/intra-rack counters (guarded by mu; a
+	// nil table no-ops). Because the charge happens at the same accounting
+	// point, summing the table over tenants reproduces the fabric totals
+	// exactly.
+	acct *tenant.Table
 }
 
 // New builds a fabric where every node NIC and every rack core link runs at
@@ -422,6 +430,15 @@ func (f *Fabric) SetJournal(j *events.Journal) {
 	f.mu.Unlock()
 }
 
+// SetAccounting installs the per-tenant accounting table: every stream
+// thereafter charges its payload bytes (split by rack locality) to the
+// tenant carried by the context it was opened under. A nil table detaches.
+func (f *Fabric) SetAccounting(t *tenant.Table) {
+	f.mu.Lock()
+	f.acct = t
+	f.mu.Unlock()
+}
+
 // linkPath renders the traversed links as "node0.up>rack0.up>rack1.down>...",
 // the event journal's link-path annotation.
 func linkPath(links []*Link) string {
@@ -484,6 +501,7 @@ type Stream struct {
 	cross  bool
 	local  bool
 	trace  uint64 // trace ID adopted from the opening context
+	tenant string // accounting identity adopted from the opening context
 	opened time.Time
 
 	mu     sync.Mutex
@@ -500,7 +518,12 @@ func (f *Fabric) OpenStream(ctx context.Context, src, dst topology.NodeID) (*Str
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s := &Stream{f: f, src: src, dst: dst, trace: telemetry.TraceFromContext(ctx), opened: time.Now()}
+	s := &Stream{
+		f: f, src: src, dst: dst,
+		trace:  telemetry.TraceFromContext(ctx),
+		tenant: tenant.FromContext(ctx),
+		opened: time.Now(),
+	}
 	if src == dst {
 		if _, err := f.top.RackOf(src); err != nil {
 			return nil, err
@@ -590,10 +613,12 @@ func (s *Stream) account(c int) {
 		s.f.intraRack += int64(c)
 		m = s.f.mIntra
 	}
+	acct := s.f.acct
 	s.f.mu.Unlock()
 	if m != nil {
 		m.Add(float64(c))
 	}
+	acct.ChargeFabric(s.tenant, s.cross, int64(c))
 }
 
 // Cross reports whether the stream's path crosses the rack core. Chained

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ear/internal/events"
+	"ear/internal/progress"
 	"ear/internal/telemetry"
 	"ear/internal/topology"
 )
@@ -55,13 +56,15 @@ func BenchmarkWriteBlock(b *testing.B) {
 }
 
 // BenchmarkWriteBlockObserved is BenchmarkWriteBlock with the full
-// observability stack installed — metrics registry, tracer and journal —
-// so comparing the two bounds the per-write observability tax (budget:
+// observability stack installed — metrics registry, tracer, journal,
+// transition progress tracker and the always-on tenant table — so
+// comparing the two bounds the per-write observability tax (budget:
 // under 3% of the pipelined write). The tracer is drained periodically the
 // way a polling /trace?reset=1 consumer would.
 func BenchmarkWriteBlockObserved(b *testing.B) {
 	benchModes(b, func(b *testing.B, sequential bool) {
-		c, err := NewCluster(benchConfig(sequential))
+		cfg := benchConfig(sequential)
+		c, err := NewCluster(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +73,10 @@ func BenchmarkWriteBlockObserved(b *testing.B) {
 		tr := telemetry.NewTracer()
 		tr.SetLimit(1 << 16)
 		c.SetTracer(tr)
-		c.SetJournal(events.NewJournal(8192))
+		jrn := events.NewJournal(8192)
+		c.SetJournal(jrn)
+		prog := progress.New(progress.Config{Replicas: cfg.Replicas, Policy: cfg.Policy})
+		prog.Attach(jrn)
 		data := make([]byte, c.Config().BlockSizeBytes)
 		rand.New(rand.NewSource(1)).Read(data)
 		b.SetBytes(int64(len(data)))

@@ -11,6 +11,7 @@ import (
 	"ear/internal/events"
 	"ear/internal/fabric"
 	"ear/internal/telemetry"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 	"ear/internal/workgroup"
 )
@@ -118,6 +119,7 @@ func (c *Cluster) WriteBlockCtx(ctx context.Context, client topology.NodeID, dat
 	if err := c.nn.CommitBlockCtx(ctx, meta.ID); err != nil {
 		return 0, err
 	}
+	c.acct.Charge(tenant.FromContext(ctx), "write", 1, int64(len(data)))
 	return meta.ID, nil
 }
 
@@ -342,7 +344,11 @@ func (c *Cluster) ReadBlockCtx(ctx context.Context, client topology.NodeID, id t
 	if err != nil {
 		return nil, err
 	}
-	return c.fab.TransferCtx(ctx, src, client, data)
+	out, err := c.fab.TransferCtx(ctx, src, client, data)
+	if err == nil {
+		c.acct.Charge(tenant.FromContext(ctx), "read", 1, int64(len(out)))
+	}
+	return out, err
 }
 
 // stripeSurvivors gathers up to k live blocks of a stripe (data and
@@ -596,6 +602,9 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
 	}
+	// Repair is background work with no requester context: bill the block's
+	// recorded owner so tenants see the recovery cost of their own data.
+	c.acct.Charge(c.acct.Owner(id), "repair", 1, int64(len(buf)))
 	return target, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"ear/internal/metalog"
 	"ear/internal/placement"
 	"ear/internal/telemetry"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 )
 
@@ -184,6 +185,13 @@ type Cluster struct {
 	tel    atomic.Pointer[clusterMetrics]
 	tracer atomic.Pointer[telemetry.Tracer]
 	jrn    atomic.Pointer[events.Journal]
+
+	// acct is the per-tenant resource accounting table, always on (charges
+	// are two map lookups under one mutex). Every resource sink — NameNode
+	// allocations, client writes/reads, fabric bytes, RaidNode encode and
+	// repair work — charges the tenant carried by the operation's context,
+	// or the block's recorded owner for background work.
+	acct *tenant.Table
 
 	// fsyncObs forwards the metadata log's fsync durations into the
 	// metalog_fsync_seconds histogram; non-nil only when MetaDir is set.
@@ -426,7 +434,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		bufPool:   erasure.NewBufferPool(),
 		zeroBlock: make([]byte, cfg.BlockSizeBytes),
 		fsyncObs:  fsyncObs,
+		acct:      tenant.NewTable(),
 	}
+	fab.SetAccounting(c.acct)
+	nn.setAccounting(c.acct)
 	c.raid = newRaidNode(c)
 	return c, nil
 }
@@ -446,6 +457,11 @@ func (c *Cluster) Topology() *topology.Topology { return c.top }
 
 // Fabric returns the shaped network (for traffic injection and accounting).
 func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Tenants returns the per-tenant resource accounting table (always
+// present; the earfsd /tenants endpoint and the earanalysis cross-check
+// read it).
+func (c *Cluster) Tenants() *tenant.Table { return c.acct }
 
 // NameNode returns the metadata service.
 func (c *Cluster) NameNode() *NameNode { return c.nn }

@@ -15,6 +15,7 @@ import (
 	"ear/internal/metalog"
 	"ear/internal/placement"
 	"ear/internal/telemetry"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 )
 
@@ -220,6 +221,12 @@ type NameNode struct {
 	snapEvery       atomic.Int64
 	lastSnapAppends atomic.Int64
 	snapInFlight    atomic.Bool
+
+	// acct, when non-nil, receives per-tenant charges for allocation work
+	// and records each block's owning tenant at allocation time (set once by
+	// NewCluster before traffic; ownership is observability state, never
+	// written to the WAL).
+	acct *tenant.Table
 }
 
 // nnMetrics bundles the NameNode's metric handles.
@@ -298,6 +305,10 @@ func NewShardedNameNode(cfg placement.Config, policyName string, seed int64, ser
 // (allocation, commit, abort, stripe grouping, encode commit, liveness)
 // publish into it; nil detaches.
 func (nn *NameNode) SetJournal(j *events.Journal) { nn.jrn.Store(j) }
+
+// setAccounting installs the per-tenant accounting table. Called once by
+// NewCluster before the NameNode serves traffic.
+func (nn *NameNode) setAccounting(t *tenant.Table) { nn.acct = t }
 
 // journal returns the installed journal; nil (a valid no-op) otherwise.
 func (nn *NameNode) journal() *events.Journal { return nn.jrn.Load() }
@@ -518,6 +529,13 @@ func (nn *NameNode) AllocateBlockCtx(ctx context.Context, size int) (*BlockMeta,
 		m.allocOps.Inc()
 		m.attemptNs.Observe(float64(elapsed.Nanoseconds()) / float64(attempts))
 		m.allocLat.Observe(time.Since(allocStart).Seconds())
+	}
+	// Charge the allocation and remember the block's owner so later
+	// background work on it (encode, repair) is charged to the same tenant.
+	if nn.acct != nil {
+		owner := tenant.FromContext(ctx)
+		nn.acct.Charge(owner, "alloc", 1, int64(size))
+		nn.acct.SetOwner(id, owner)
 	}
 	sp.Arg("block", strconv.FormatInt(int64(id), 10))
 	return out, nil

@@ -467,6 +467,14 @@ func (c *Cluster) encodeStripe(ctx context.Context, info *placement.StripeInfo, 
 	if err := c.nn.CommitEncoding(info.ID, plan); err != nil {
 		return res, err
 	}
+	// Encoding is background work driven by the RaidNode, not a tenant
+	// request: bill each member block's owner for its share of the stripe.
+	for i, b := range info.Blocks {
+		if aborted[i] {
+			continue
+		}
+		c.acct.Charge(c.acct.Owner(b), "encode", 1, int64(c.cfg.BlockSizeBytes))
+	}
 	res.violated = plan.Violation
 	return res, nil
 }

@@ -31,6 +31,12 @@ type Client struct {
 	// notices the disconnect and cancels the abandoned operation's
 	// in-flight transfers. Zero (the default) never times out.
 	Timeout time.Duration
+	// Tenant names the accounting identity every request is charged to on
+	// the server (empty = the system tenant). Set it once after Dial; it
+	// rides each request beside the trace ID, so it survives reconnects
+	// trivially — a new connection with the same Tenant keeps the same
+	// accounting identity.
+	Tenant string
 
 	tracer *telemetry.Tracer
 }
@@ -64,6 +70,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // call performs one round trip.
 func (c *Client) call(req Request) (Response, error) {
 	req.Client = c.ClientNode
+	req.Tenant = c.Tenant
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.tracer != nil {

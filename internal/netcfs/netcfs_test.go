@@ -473,3 +473,84 @@ func TestTracerlessClientStillMintsTraceIDs(t *testing.T) {
 		t.Fatal("distinct RPCs share a trace ID")
 	}
 }
+
+// TestTenantAndTracePropagationAcrossReconnect: the tenant identity and
+// trace IDs ride every request of a connection, and a client that
+// reconnects (a fresh Dial session against the same server) keeps charging
+// the same tenant — the accounting table accumulates across connections.
+func TestTenantAndTracePropagationAcrossReconnect(t *testing.T) {
+	srv, first := startServer(t, "ear")
+	serverTr := telemetry.NewTracer()
+	srv.SetTracer(serverTr)
+	srv.cluster.SetTracer(serverTr)
+	payload := make([]byte, 8<<10)
+	rand.New(rand.NewSource(31)).Read(payload)
+
+	first.Tenant = "acme"
+	if err := first.Create("/a.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Append("/a.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect: a new session, same tenant identity.
+	second, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.Tenant = "acme"
+	if err := second.Append("/a.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Also one block from a different tenant, to check isolation.
+	third, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	third.Tenant = "beta"
+	if err := third.Create("/b.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := third.Append("/b.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	byTenant := map[string]map[string]int64{}
+	for _, ts := range srv.cluster.Tenants().Snapshot() {
+		ops := map[string]int64{}
+		for _, op := range ts.Ops {
+			ops[op.Op] = op.Count
+		}
+		byTenant[ts.Tenant] = ops
+	}
+	if got := byTenant["acme"]["write"]; got != 2 {
+		t.Errorf("acme writes across reconnect = %d, want 2 (table: %v)", got, byTenant)
+	}
+	if got := byTenant["beta"]["write"]; got != 1 {
+		t.Errorf("beta writes = %d, want 1 (table: %v)", got, byTenant)
+	}
+	if byTenant["acme"]["alloc"] != 2 || byTenant["beta"]["alloc"] != 1 {
+		t.Errorf("alloc charges did not follow the wire tenant: %v", byTenant)
+	}
+
+	// Each connection's appends still carry distinct nonzero trace IDs.
+	traces := map[uint64]bool{}
+	for _, s := range serverTr.Spans() {
+		if s.Name == "rpc.append" {
+			if s.Trace == 0 {
+				t.Fatal("rpc.append span with zero trace ID")
+			}
+			traces[s.Trace] = true
+		}
+	}
+	if len(traces) != 3 {
+		t.Errorf("distinct append traces = %d, want 3", len(traces))
+	}
+}

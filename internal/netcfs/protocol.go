@@ -91,6 +91,14 @@ type Request struct {
 	// activity groups per RPC. Zero means untraced.
 	Trace uint64
 	Span  int64
+
+	// Tenant names the accounting identity the request's resource usage —
+	// allocations, fabric bytes, and the background encode/repair work its
+	// blocks later cause — is charged to. Empty means the system tenant.
+	// Rides beside Trace the same way: old peers ignore the field (gob
+	// tolerates unknown fields), new servers re-establish it on the
+	// handler context.
+	Tenant string
 }
 
 // EncodeSummary is the wire form of hdfs.EncodeStats.

@@ -14,6 +14,7 @@ import (
 
 	"ear/internal/hdfs"
 	"ear/internal/telemetry"
+	"ear/internal/tenant"
 	"ear/internal/topology"
 )
 
@@ -222,6 +223,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if sp != nil {
 			hctx = telemetry.ContextWithSpan(ctx, sp)
 		}
+		// Re-establish the wire-carried tenant on the handler context so
+		// every resource sink beneath the handler charges the right tenant.
+		hctx = tenant.NewContext(hctx, req.Tenant)
 		resp := s.handle(hctx, req)
 		sp.End()
 		s.observe(req.Op, time.Since(start))

@@ -1,0 +1,581 @@
+// Package progress watches the replication→erasure-coding transition
+// through the cluster event journal and answers the two questions an
+// operator of that transition actually asks: how far along is the encode
+// backlog (and when will it finish), and how much data is currently below
+// its target redundancy (and for how long has it been exposed).
+//
+// A Tracker subscribes to an events.Journal (the same attachment contract
+// as the audit.Auditor: synchronous, O(1)-ish per event, never calls back
+// into the journal) and maintains a per-stripe lifecycle state machine —
+// allocated → grouped → encode-started → encoded → replica-cleaned — from
+// which it derives:
+//
+//   - the encode backlog: stripes and bytes grouped but not yet encoded,
+//   - a throughput-windowed ETA: encoded bytes/s over a trailing sample
+//     window, projected over the remaining backlog,
+//   - a progress curve (fraction encoded over time) for comparing policies
+//     (EAR vs RR) run-to-run,
+//   - a durability-exposure metric: blocks currently below target
+//     redundancy, with the wall-clock window of every exposure — surfaced
+//     as the hdfs_blocks_at_risk gauge and the hdfs_exposure_seconds
+//     histogram.
+//
+// The at-risk state machine deliberately mirrors the auditor's
+// replica-count and partial-delete invariants, transition for transition
+// (same suspension rules while an encode is in flight, same event scoping),
+// so every exposure window the tracker reports corresponds one-to-one to an
+// auditor violation window — the integration tests assert the sequence
+// numbers match exactly.
+//
+// Restarts are survived for free: the PR-7 metadata plane republishes the
+// recovered layout (PublishRecoveredState) into the new process's journal
+// before traffic flows, so a tracker attached at startup rebuilds its model
+// from the backfill. Throughput samples and curve points are suppressed
+// between MetaRecoveryStarted and MetaRecovered so the replayed encodes do
+// not masquerade as instantaneous throughput.
+package progress
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ear/internal/events"
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+)
+
+// Config shapes the tracker.
+type Config struct {
+	// Replicas is the pre-encode replication factor r (the target
+	// redundancy a committed, not-yet-encoded block must keep).
+	Replicas int
+	// Policy labels reports and metrics ("ear", "rr"); purely descriptive.
+	Policy string
+}
+
+// Invariant names for risk windows, matching the auditor's.
+const (
+	RiskReplicaCount  = "replica-count"
+	RiskPartialDelete = "partial-delete"
+)
+
+// RiskWindow is one durability exposure: the interval during which a block
+// (or an encoded stripe's member) sat below its target redundancy. Sequence
+// numbers match the auditor's violation windows for the same invariant.
+type RiskWindow struct {
+	Invariant string            `json:"invariant"`
+	Stripe    topology.StripeID `json:"stripe"`
+	Block     topology.BlockID  `json:"block"`
+	OpenedSeq uint64            `json:"opened_seq"`
+	// ResolvedSeq is 0 while the exposure is ongoing.
+	ResolvedSeq  uint64    `json:"resolved_seq,omitempty"`
+	OpenedWall   time.Time `json:"opened_wall"`
+	ResolvedWall time.Time `json:"resolved_wall,omitempty"`
+	// Seconds is the exposure duration (ongoing windows report the time
+	// exposed so far, measured at report time).
+	Seconds float64 `json:"seconds"`
+}
+
+// Resolved reports whether the exposure has closed.
+func (w RiskWindow) Resolved() bool { return w.ResolvedSeq != 0 }
+
+// CurvePoint is one sample of the progress curve.
+type CurvePoint struct {
+	// Seconds since the tracker started observing.
+	Seconds float64 `json:"t"`
+	// EncodedStripes / TotalStripes at the sample, and the fraction.
+	EncodedStripes int     `json:"encoded"`
+	TotalStripes   int     `json:"total"`
+	Fraction       float64 `json:"fraction"`
+	EncodedBytes   int64   `json:"encoded_bytes"`
+}
+
+// Report is the tracker's summary: the operator view behind earfsd
+// /progress and eartestbed -progress.
+type Report struct {
+	Policy string `json:"policy"`
+	Events uint64 `json:"events"`
+
+	// Stripe lifecycle counts.
+	TotalStripes    int `json:"total_stripes"`
+	PendingStripes  int `json:"pending_stripes"`
+	EncodingStripes int `json:"encoding_stripes"`
+	EncodedStripes  int `json:"encoded_stripes"`
+
+	// Backlog and completion.
+	BacklogStripes  int     `json:"backlog_stripes"`
+	BacklogBytes    int64   `json:"backlog_bytes"`
+	TotalBytes      int64   `json:"total_bytes"`
+	EncodedBytes    int64   `json:"encoded_bytes"`
+	FractionEncoded float64 `json:"fraction_encoded"`
+
+	// Throughput and projection. RateBytesPerSec is the trailing-window
+	// encode rate; ETASeconds projects it over the backlog (0 when the
+	// backlog is empty, +Inf encoded as -1 when no throughput has been
+	// observed yet).
+	RateBytesPerSec float64 `json:"rate_bytes_per_sec"`
+	ETASeconds      float64 `json:"eta_seconds"`
+
+	// Durability exposure.
+	BlocksAtRisk    int          `json:"blocks_at_risk"`
+	ExposureWindows []RiskWindow `json:"exposure_windows,omitempty"`
+	// TotalExposureSeconds sums every closed window plus the age of open
+	// ones.
+	TotalExposureSeconds float64 `json:"total_exposure_seconds"`
+
+	Curve []CurvePoint `json:"curve,omitempty"`
+
+	// Recovering is true between MetaRecoveryStarted and MetaRecovered.
+	Recovering bool `json:"recovering,omitempty"`
+}
+
+// blockState mirrors the auditor's per-block model (plus the size needed
+// for byte-level backlog accounting).
+type blockState struct {
+	replicas  map[topology.NodeID]bool
+	stripe    topology.StripeID
+	size      int64
+	committed bool
+	aborted   bool
+	encoded   bool
+}
+
+// stripeState mirrors the auditor's per-stripe model plus byte totals.
+type stripeState struct {
+	blocks   []topology.BlockID
+	bytes    int64
+	encoding bool
+	encoded  bool
+}
+
+// throughput sampling geometry: rate over the trailing rateWindow of
+// samples recorded at each StripeEncoded.
+const (
+	maxSamples     = 64
+	rateWindowSecs = 30.0
+	maxCurvePoints = 2048
+)
+
+// sample is one (time, cumulative encoded bytes) observation.
+type sample struct {
+	t     time.Time
+	bytes int64
+}
+
+// Tracker consumes the event stream and maintains transition progress and
+// durability-exposure state. All methods are safe for concurrent use;
+// Attach subscribes it to a journal.
+type Tracker struct {
+	cfg Config
+
+	mu     sync.Mutex
+	start  time.Time
+	events uint64
+
+	blocks  map[topology.BlockID]*blockState
+	stripes map[topology.StripeID]*stripeState
+
+	totalStripes   int
+	encodedStripes int
+	totalBytes     int64
+	encodedBytes   int64
+
+	samples []sample // ring, newest last
+	curve   []CurvePoint
+	stride  int // curve decimation stride
+
+	// open maps a risk key to its index in windows; closed windows keep
+	// their slot (the auditor's open/all idiom).
+	open    map[string]int
+	windows []RiskWindow
+
+	recovering bool
+
+	now func() time.Time // injectable for tests
+
+	// Telemetry handles, nil until SetTelemetry.
+	mAtRisk   *telemetry.Metric
+	mExposure *telemetry.Metric
+	mBacklogS *telemetry.Metric
+	mBacklogB *telemetry.Metric
+	mFraction *telemetry.Metric
+}
+
+// New builds a tracker.
+func New(cfg Config) *Tracker {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "unknown"
+	}
+	t := &Tracker{
+		cfg:     cfg,
+		blocks:  make(map[topology.BlockID]*blockState),
+		stripes: make(map[topology.StripeID]*stripeState),
+		open:    make(map[string]int),
+		stride:  1,
+		now:     time.Now,
+	}
+	t.start = t.now()
+	return t
+}
+
+// exposureBuckets bound the hdfs_exposure_seconds histogram: exposure in a
+// shaped testbed run is milliseconds-to-seconds; in a real transition it
+// can be minutes.
+var exposureBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 300, 1800}
+
+// SetTelemetry registers the tracker's metric families on reg and keeps
+// the handles: hdfs_blocks_at_risk, hdfs_exposure_seconds,
+// hdfs_encode_backlog_stripes, hdfs_encode_backlog_bytes,
+// hdfs_encoded_fraction — all labeled by placement policy.
+func (t *Tracker) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mAtRisk = reg.Gauge("hdfs_blocks_at_risk",
+		"Blocks currently below their target redundancy.", "policy").With(t.cfg.Policy)
+	t.mExposure = reg.Histogram("hdfs_exposure_seconds",
+		"Duration blocks spent below target redundancy (observed when the exposure closes).",
+		exposureBuckets, "policy").With(t.cfg.Policy)
+	t.mBacklogS = reg.Gauge("hdfs_encode_backlog_stripes",
+		"Stripes grouped but not yet encoded.", "policy").With(t.cfg.Policy)
+	t.mBacklogB = reg.Gauge("hdfs_encode_backlog_bytes",
+		"Bytes grouped but not yet encoded.", "policy").With(t.cfg.Policy)
+	t.mFraction = reg.Gauge("hdfs_encoded_fraction",
+		"Fraction of grouped stripes already encoded.", "policy").With(t.cfg.Policy)
+}
+
+// Attach subscribes the tracker to the journal, returning the cancel
+// function. Attach before traffic flows (and before the recovered-state
+// backfill): events already rotated out of the ring are not replayed.
+func (t *Tracker) Attach(j *events.Journal) (cancel func()) {
+	return j.Subscribe(t.Observe)
+}
+
+// Observe folds one event into the model. It is the subscriber the journal
+// calls under its lock; tests may also feed events directly.
+func (t *Tracker) Observe(e events.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events++
+
+	switch e.Type {
+	case events.BlockAllocated:
+		b := t.block(e.Block)
+		if e.Bytes > 0 {
+			b.size = e.Bytes
+		}
+		for _, n := range e.Nodes {
+			b.replicas[n] = true
+		}
+	case events.ReplicaWritten:
+		t.block(e.Block).replicas[e.Node] = true
+	case events.BlockCommitted:
+		b := t.block(e.Block)
+		b.committed = true
+		if len(e.Nodes) > 0 {
+			b.replicas = make(map[topology.NodeID]bool, len(e.Nodes))
+			for _, n := range e.Nodes {
+				b.replicas[n] = true
+			}
+		}
+	case events.BlockAborted:
+		b := t.block(e.Block)
+		b.aborted = true
+		b.replicas = make(map[topology.NodeID]bool)
+	case events.StripeGrouped:
+		s := t.stripe(e.Stripe)
+		if len(s.blocks) == 0 {
+			t.totalStripes++
+		} else {
+			t.totalBytes -= s.bytes // regroup: replace, don't double-count
+		}
+		s.blocks = append([]topology.BlockID(nil), e.Blocks...)
+		s.bytes = 0
+		for _, id := range e.Blocks {
+			b := t.block(id)
+			b.stripe = e.Stripe
+			s.bytes += b.size
+		}
+		t.totalBytes += s.bytes
+	case events.StripeEncodeStarted:
+		t.stripe(e.Stripe).encoding = true
+	case events.StripeEncoded:
+		s := t.stripe(e.Stripe)
+		s.encoding = false
+		if !s.encoded {
+			s.encoded = true
+			t.encodedStripes++
+			t.encodedBytes += s.bytes
+			if !t.recovering {
+				t.recordEncodeLocked(e.Wall)
+			}
+		}
+		for _, id := range s.blocks {
+			t.block(id).encoded = true
+		}
+	case events.ReplicaDeleted:
+		delete(t.block(e.Block).replicas, e.Node)
+	case events.ReplicaRelocated:
+		if e.Detail != "parity" {
+			b := t.block(e.Block)
+			delete(b.replicas, e.Node)
+			b.replicas[e.Peer] = true
+		}
+	case events.RepairFinished:
+		t.block(e.Block).replicas[e.Node] = true
+	case events.MetaRecoveryStarted:
+		t.recovering = true
+	case events.MetaRecovered:
+		t.recovering = false
+	}
+
+	t.checkRiskLocked(e)
+	t.updateGaugesLocked()
+}
+
+// block returns (creating) the model entry for id.
+func (t *Tracker) block(id topology.BlockID) *blockState {
+	b, ok := t.blocks[id]
+	if !ok {
+		b = &blockState{replicas: make(map[topology.NodeID]bool), stripe: events.NoneStripe}
+		t.blocks[id] = b
+	}
+	return b
+}
+
+// stripe returns (creating) the model entry for id.
+func (t *Tracker) stripe(id topology.StripeID) *stripeState {
+	s, ok := t.stripes[id]
+	if !ok {
+		s = &stripeState{}
+		t.stripes[id] = s
+	}
+	return s
+}
+
+// recordEncodeLocked adds a throughput sample and a curve point for one
+// newly encoded stripe.
+func (t *Tracker) recordEncodeLocked(wall time.Time) {
+	if wall.IsZero() {
+		wall = t.now()
+	}
+	t.samples = append(t.samples, sample{t: wall, bytes: t.encodedBytes})
+	if len(t.samples) > maxSamples {
+		t.samples = t.samples[len(t.samples)-maxSamples:]
+	}
+	if t.encodedStripes%t.stride != 0 && t.encodedStripes != t.totalStripes {
+		return
+	}
+	if len(t.curve) >= maxCurvePoints {
+		kept := t.curve[:0]
+		for i := 0; i < len(t.curve); i += 2 {
+			kept = append(kept, t.curve[i])
+		}
+		t.curve = kept
+		t.stride *= 2
+	}
+	frac := 0.0
+	if t.totalStripes > 0 {
+		frac = float64(t.encodedStripes) / float64(t.totalStripes)
+	}
+	t.curve = append(t.curve, CurvePoint{
+		Seconds:        wall.Sub(t.start).Seconds(),
+		EncodedStripes: t.encodedStripes,
+		TotalStripes:   t.totalStripes,
+		Fraction:       frac,
+		EncodedBytes:   t.encodedBytes,
+	})
+}
+
+// checkRiskLocked re-evaluates the durability exposures the event can
+// affect, with exactly the auditor's scoping: the event's block first, then
+// every member of the event's (or the block's) stripe.
+func (t *Tracker) checkRiskLocked(e events.Event) {
+	sid := e.Stripe
+	if sid == events.NoneStripe && e.Block != events.NoneBlock {
+		if b, ok := t.blocks[e.Block]; ok {
+			sid = b.stripe
+		}
+	}
+	if e.Block != events.NoneBlock {
+		t.checkReplicaRiskLocked(e.Block, e)
+	}
+	if sid == events.NoneStripe {
+		return
+	}
+	s, ok := t.stripes[sid]
+	if !ok {
+		return
+	}
+	for _, id := range s.blocks {
+		t.checkReplicaRiskLocked(id, e)
+	}
+	t.checkPartialDeleteRiskLocked(sid, s, e)
+}
+
+// checkReplicaRiskLocked mirrors the auditor's replica-count invariant: a
+// committed, pre-encode block keeps >= r replicas, the check suspended
+// while its stripe encodes and once it is encoded.
+func (t *Tracker) checkReplicaRiskLocked(id topology.BlockID, e events.Event) {
+	b, ok := t.blocks[id]
+	if !ok {
+		return
+	}
+	key := fmt.Sprintf("%s/b%d", RiskReplicaCount, id)
+	suspended := b.aborted || b.encoded || !b.committed
+	if s, ok := t.stripes[b.stripe]; ok && (s.encoding || s.encoded) {
+		suspended = true
+	}
+	atRisk := !suspended && len(b.replicas) < t.cfg.Replicas
+	t.setRiskLocked(key, atRisk, e, RiskWindow{
+		Invariant: RiskReplicaCount,
+		Stripe:    b.stripe,
+		Block:     id,
+	})
+}
+
+// checkPartialDeleteRiskLocked mirrors the auditor's partial-delete
+// invariant: post-encode, every non-aborted member keeps >= 1 replica.
+func (t *Tracker) checkPartialDeleteRiskLocked(sid topology.StripeID, s *stripeState, e events.Event) {
+	key := fmt.Sprintf("%s/s%d", RiskPartialDelete, sid)
+	lost := events.NoneBlock
+	if s.encoded {
+		for _, id := range s.blocks {
+			if b, ok := t.blocks[id]; ok && !b.aborted && len(b.replicas) == 0 {
+				lost = id
+				break
+			}
+		}
+	}
+	t.setRiskLocked(key, lost != events.NoneBlock, e, RiskWindow{
+		Invariant: RiskPartialDelete,
+		Stripe:    sid,
+		Block:     lost,
+	})
+}
+
+// setRiskLocked opens or closes the exposure window identified by key (the
+// auditor's setState idiom), observing the closed duration into the
+// exposure histogram.
+func (t *Tracker) setRiskLocked(key string, atRisk bool, e events.Event, proto RiskWindow) {
+	idx, isOpen := t.open[key]
+	switch {
+	case atRisk && !isOpen:
+		proto.OpenedSeq = e.Seq
+		proto.OpenedWall = e.Wall
+		if proto.OpenedWall.IsZero() {
+			proto.OpenedWall = t.now()
+		}
+		t.windows = append(t.windows, proto)
+		t.open[key] = len(t.windows) - 1
+	case !atRisk && isOpen:
+		w := &t.windows[idx]
+		w.ResolvedSeq = e.Seq
+		w.ResolvedWall = e.Wall
+		if w.ResolvedWall.IsZero() {
+			w.ResolvedWall = t.now()
+		}
+		w.Seconds = w.ResolvedWall.Sub(w.OpenedWall).Seconds()
+		if t.mExposure != nil {
+			t.mExposure.Observe(w.Seconds)
+		}
+		delete(t.open, key)
+	}
+}
+
+// updateGaugesLocked refreshes the registered gauges.
+func (t *Tracker) updateGaugesLocked() {
+	if t.mAtRisk == nil {
+		return
+	}
+	t.mAtRisk.Set(float64(len(t.open)))
+	t.mBacklogS.Set(float64(t.totalStripes - t.encodedStripes))
+	t.mBacklogB.Set(float64(t.totalBytes - t.encodedBytes))
+	if t.totalStripes > 0 {
+		t.mFraction.Set(float64(t.encodedStripes) / float64(t.totalStripes))
+	}
+}
+
+// rateLocked computes the trailing-window encode throughput in bytes/s.
+func (t *Tracker) rateLocked() float64 {
+	if len(t.samples) < 2 {
+		// One (or zero) samples: fall back to lifetime average.
+		if t.encodedBytes > 0 {
+			if el := t.now().Sub(t.start).Seconds(); el > 0 {
+				return float64(t.encodedBytes) / el
+			}
+		}
+		return 0
+	}
+	last := t.samples[len(t.samples)-1]
+	first := t.samples[0]
+	for _, s := range t.samples {
+		if last.t.Sub(s.t).Seconds() <= rateWindowSecs {
+			first = s
+			break
+		}
+	}
+	dt := last.t.Sub(first.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(last.bytes-first.bytes) / dt
+}
+
+// Report summarizes the transition so far. Exposure windows are returned
+// in opening order; ongoing windows report their age at call time.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+
+	r := Report{
+		Policy:         t.cfg.Policy,
+		Events:         t.events,
+		TotalStripes:   t.totalStripes,
+		EncodedStripes: t.encodedStripes,
+		TotalBytes:     t.totalBytes,
+		EncodedBytes:   t.encodedBytes,
+		Recovering:     t.recovering,
+	}
+	for _, s := range t.stripes {
+		if s.encoding && !s.encoded {
+			r.EncodingStripes++
+		}
+	}
+	r.PendingStripes = t.totalStripes - t.encodedStripes - r.EncodingStripes
+	r.BacklogStripes = t.totalStripes - t.encodedStripes
+	r.BacklogBytes = t.totalBytes - t.encodedBytes
+	if t.totalStripes > 0 {
+		r.FractionEncoded = float64(t.encodedStripes) / float64(t.totalStripes)
+	}
+
+	r.RateBytesPerSec = t.rateLocked()
+	switch {
+	case r.BacklogBytes <= 0:
+		r.ETASeconds = 0
+	case r.RateBytesPerSec > 0:
+		r.ETASeconds = float64(r.BacklogBytes) / r.RateBytesPerSec
+	default:
+		r.ETASeconds = -1 // no throughput observed yet: unknown
+	}
+
+	r.BlocksAtRisk = len(t.open)
+	r.ExposureWindows = make([]RiskWindow, len(t.windows))
+	copy(r.ExposureWindows, t.windows)
+	for i := range r.ExposureWindows {
+		w := &r.ExposureWindows[i]
+		if !w.Resolved() {
+			w.Seconds = now.Sub(w.OpenedWall).Seconds()
+		}
+		r.TotalExposureSeconds += w.Seconds
+	}
+	r.Curve = append([]CurvePoint(nil), t.curve...)
+	return r
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition reads Prometheus 0.0.4 text back into a map from
+// "name{sorted,labels}" to value, skipping comments. It understands the
+// subset WritePrometheus emits: one float per sample line, labels with
+// backslash escaping.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// promKey renders the key parseExposition produces for a series, matching
+// the writer's label ordering: sorted keys, with the extra pair (the
+// histogram "le" bound) appended last.
+func promKey(name string, labels map[string]string, extraK, extraV string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 && extraK == "" {
+		return name
+	}
+	esc := strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, k, esc.Replace(labels[k])))
+	}
+	if extraK != "" {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extraK, esc.Replace(extraV)))
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// TestPrometheusRoundTrip writes a populated registry as Prometheus text,
+// parses it back, and checks every sample against the registry's own
+// Snapshot: counters and gauges by value, histograms bucket for bucket
+// plus sum and count. This is the contract the /metrics content
+// negotiation relies on — both formats describe the same state.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_bytes_total", "bytes moved", "locality", "op").With("cross", "encode").Add(4096)
+	reg.Counter("rt_bytes_total", "bytes moved", "locality", "op").With("intra", "write").Add(123)
+	reg.Gauge("rt_backlog", "stripes pending").With().Set(17)
+	h := reg.Histogram("rt_lat_seconds", "latency", []float64{0.01, 0.1, 1}, "op")
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.With("read").Observe(v)
+	}
+	h.With("repair").Observe(0.25)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseExposition(t, b.String())
+
+	checked := 0
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			switch fam.Kind {
+			case "histogram":
+				cum := uint64(0)
+				for i, bound := range s.Bounds {
+					key := promKey(fam.Name+"_bucket", s.Labels, "le", formatBound(bound))
+					got, ok := parsed[key]
+					if !ok {
+						t.Fatalf("bucket %s missing from exposition", key)
+					}
+					if uint64(got) != s.Buckets[i] {
+						t.Errorf("%s = %v, snapshot %d", key, got, s.Buckets[i])
+					}
+					if s.Buckets[i] < cum {
+						t.Errorf("%s: cumulative buckets decreased", key)
+					}
+					cum = s.Buckets[i]
+					checked++
+				}
+				inf := promKey(fam.Name+"_bucket", s.Labels, "le", "+Inf")
+				if got := parsed[inf]; uint64(got) != s.Count {
+					t.Errorf("%s = %v, snapshot count %d", inf, parsed[inf], s.Count)
+				}
+				if got := parsed[promKey(fam.Name+"_sum", s.Labels, "", "")]; got != s.Sum {
+					t.Errorf("%s_sum = %v, snapshot %v", fam.Name, got, s.Sum)
+				}
+				if got := parsed[promKey(fam.Name+"_count", s.Labels, "", "")]; uint64(got) != s.Count {
+					t.Errorf("%s_count = %v, snapshot %d", fam.Name, got, s.Count)
+				}
+				checked += 3
+			default:
+				key := promKey(fam.Name, s.Labels, "", "")
+				got, ok := parsed[key]
+				if !ok {
+					t.Fatalf("series %s missing from exposition", key)
+				}
+				if got != s.Value {
+					t.Errorf("%s = %v, snapshot %v", key, got, s.Value)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("round-trip only checked %d samples", checked)
+	}
+}

@@ -1,0 +1,161 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ear/internal/topology"
+)
+
+func TestContextCarriage(t *testing.T) {
+	if got := FromContext(context.Background()); got != System {
+		t.Fatalf("empty context tenant = %q, want %q", got, System)
+	}
+	ctx := NewContext(context.Background(), "acme")
+	if got := FromContext(ctx); got != "acme" {
+		t.Fatalf("tenant = %q, want acme", got)
+	}
+	// Empty name is a no-op, not an override.
+	if got := FromContext(NewContext(ctx, "")); got != "acme" {
+		t.Fatalf("tenant after empty override = %q, want acme", got)
+	}
+	if got := FromContext(nil); got != System { //nolint:staticcheck // nil-safety contract
+		t.Fatalf("nil context tenant = %q, want %q", got, System)
+	}
+}
+
+func TestNilTableIsNoOp(t *testing.T) {
+	var tab *Table
+	tab.Charge("a", "write", 1, 10)
+	tab.ChargeFabric("a", true, 10)
+	tab.SetOwner(1, "a")
+	if got := tab.Owner(1); got != System {
+		t.Fatalf("nil table owner = %q, want %q", got, System)
+	}
+	if snap := tab.Snapshot(); snap != nil {
+		t.Fatalf("nil table snapshot = %v, want nil", snap)
+	}
+	if c, i := tab.FabricTotals(); c != 0 || i != 0 {
+		t.Fatalf("nil table totals = %d/%d, want 0/0", c, i)
+	}
+}
+
+func TestChargeAndSnapshot(t *testing.T) {
+	tab := NewTable()
+	tab.Charge("acme", "write", 2, 2048)
+	tab.Charge("acme", "alloc", 2, 0)
+	tab.Charge("beta", "write", 1, 1024)
+	tab.Charge("", "read", 1, 512) // empty tenant folds into System
+	tab.ChargeFabric("acme", true, 4096)
+	tab.ChargeFabric("acme", false, 1024)
+	tab.ChargeFabric("beta", false, 2048)
+
+	snap := tab.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(snap))
+	}
+	// Sorted by name: acme, beta, system.
+	if snap[0].Tenant != "acme" || snap[1].Tenant != "beta" || snap[2].Tenant != System {
+		t.Fatalf("tenant order = %s,%s,%s", snap[0].Tenant, snap[1].Tenant, snap[2].Tenant)
+	}
+	acme := snap[0]
+	if acme.CrossRackBytes != 4096 || acme.IntraRackBytes != 1024 {
+		t.Fatalf("acme fabric = %d/%d", acme.CrossRackBytes, acme.IntraRackBytes)
+	}
+	ops := map[string]OpStats{}
+	for _, op := range acme.Ops {
+		ops[op.Op] = op
+	}
+	if ops["write"].Count != 2 || ops["write"].Bytes != 2048 {
+		t.Fatalf("acme write = %+v", ops["write"])
+	}
+	if ops["xfer-cross"].Bytes != 4096 {
+		t.Fatalf("acme xfer-cross = %+v", ops["xfer-cross"])
+	}
+	cross, intra := tab.FabricTotals()
+	if cross != 4096 || intra != 1024+2048 {
+		t.Fatalf("fabric totals = %d/%d", cross, intra)
+	}
+}
+
+func TestOwnership(t *testing.T) {
+	tab := NewTable()
+	tab.SetOwner(topology.BlockID(7), "acme")
+	if got := tab.Owner(7); got != "acme" {
+		t.Fatalf("owner = %q", got)
+	}
+	if got := tab.Owner(8); got != System {
+		t.Fatalf("unknown owner = %q, want %q", got, System)
+	}
+}
+
+// TestRollingRates drives the injected clock across the window and checks
+// that rates decay to zero once the activity falls out of it.
+func TestRollingRates(t *testing.T) {
+	tab := NewTable()
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	tab.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	set := func(sec int64) { mu.Lock(); now = time.Unix(sec, 0); mu.Unlock() }
+
+	tab.Charge("acme", "write", 1, 1000)
+	set(1001)
+	tab.Charge("acme", "write", 1, 1000)
+
+	snap := tab.Snapshot()
+	op := snap[0].Ops[0]
+	if op.ByteRate != 200 { // 2000 bytes over a 10s window
+		t.Fatalf("byte rate = %v, want 200", op.ByteRate)
+	}
+	if op.CountRate != 0.2 {
+		t.Fatalf("count rate = %v, want 0.2", op.CountRate)
+	}
+
+	// Move past the window: cumulative totals persist, rates drop to zero.
+	set(1000 + rateWindow + 2)
+	snap = tab.Snapshot()
+	op = snap[0].Ops[0]
+	if op.ByteRate != 0 || op.CountRate != 0 {
+		t.Fatalf("stale rates = %v/%v, want 0/0", op.CountRate, op.ByteRate)
+	}
+	if op.Count != 2 || op.Bytes != 2000 {
+		t.Fatalf("cumulative = %d/%d, want 2/2000", op.Count, op.Bytes)
+	}
+}
+
+// TestConcurrentCharges exercises the table under the race detector.
+func TestConcurrentCharges(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g%4))
+			for i := 0; i < 200; i++ {
+				tab.Charge(name, "write", 1, 64)
+				tab.ChargeFabric(name, i%2 == 0, 64)
+				tab.SetOwner(topology.BlockID(i), name)
+				tab.Owner(topology.BlockID(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var count int64
+	for _, row := range tab.Snapshot() {
+		for _, op := range row.Ops {
+			if op.Op == "write" {
+				count += op.Count
+			}
+		}
+	}
+	if count != 8*200 {
+		t.Fatalf("write count = %d, want %d", count, 8*200)
+	}
+	cross, intra := tab.FabricTotals()
+	if cross+intra != 8*200*64 {
+		t.Fatalf("fabric bytes = %d, want %d", cross+intra, 8*200*64)
+	}
+}
