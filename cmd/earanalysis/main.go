@@ -4,11 +4,12 @@
 // iterations), and the Section V-C load-balancing experiments C.1 (storage,
 // Figure 14) and C.2 (read hotness, Figure 15).
 //
-// With -traffic, it also runs one write -> encode -> delete lifecycle per
-// placement policy on the scaled testbed — with the gather encode path and
-// again with the pipelined one — and prints the cross-rack vs intra-rack
-// byte breakdown of each phase, cross-checked against the fabric's own
-// payload counters.
+// With -traffic, it also runs one write -> encode -> delete -> repair
+// lifecycle per placement policy on the scaled testbed — with the gather
+// encode/repair paths and again with the pipelined encode plus two-level
+// rack-aware repair — and prints the cross-rack vs intra-rack byte
+// breakdown of each phase, cross-checked against the fabric's own payload
+// counters.
 //
 // With -tenants, it runs a tenant-tagged transition under both policies
 // and cross-checks that the per-tenant byte attribution sums to the
@@ -92,7 +93,8 @@ func run() error {
 	if *traffic {
 		for _, pipelined := range []bool{false, true} {
 			for _, policy := range []string{"rr", "ear"} {
-				opts := experiments.TestbedOptions{Seed: *seed, PipelinedEncode: pipelined}
+				opts := experiments.TestbedOptions{Seed: *seed, PipelinedEncode: pipelined,
+					RackAwareRepair: pipelined}
 				res, err := experiments.RunTraffic(opts, policy, 9, 6)
 				if err != nil {
 					return err

@@ -22,6 +22,10 @@
 //     distributed encode vs the gather baseline on a wide (14,12) code —
 //     encode MB/s and cross-core bytes per stripe across pipeline chunk
 //     sizes and injected background traffic.
+//   - recovery (BENCH_recovery.json): parallel full-node recovery through
+//     the two-level rack-aware repair path vs the naive gather on a (9,6)
+//     code packed three blocks per rack — recovery MB/s and cross-rack
+//     bytes per repaired member, with and without background traffic.
 //
 // CI runs the suites as smoke checks; the snapshots document the speedups
 // the streaming data path, the coding kernels, and the metadata plane buy.
@@ -33,6 +37,7 @@
 //	earbench -suite placement -out BENCH_placement.json -blocks 4000
 //	earbench -suite meta -out BENCH_meta.json -replay-blocks 100000
 //	earbench -suite encodepipe -out BENCH_encodepipe.json -stripes 6
+//	earbench -suite recovery -out BENCH_recovery.json -stripes 6
 package main
 
 import (
@@ -124,7 +129,7 @@ func main() {
 }
 
 func run() error {
-	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, placement, meta, or encodepipe")
+	suite := flag.String("suite", "datapath", "benchmark suite: datapath, erasure, placement, meta, encodepipe, or recovery")
 	out := flag.String("out", "", "snapshot output path ('-' for stdout; default BENCH_<suite>.json)")
 	writes := flag.Int("writes", 20, "block writes per write/read scenario (datapath)")
 	stripes := flag.Int("stripes", 4, "stripes per encode scenario")
@@ -146,6 +151,8 @@ func run() error {
 		return runMeta(*out, *blocks, *replayBlocks)
 	case "encodepipe":
 		return runEncodePipe(*out, *stripes)
+	case "recovery":
+		return runRecovery(*out, *stripes)
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
 	}

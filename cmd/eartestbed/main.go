@@ -21,6 +21,16 @@
 // stripes sit between replication and full parity protection — under
 // injected background traffic, with the pipeline knob off and on.
 //
+// The "nodefail" experiment is the node-failure recovery smoke: it encodes
+// stripes on a multi-node-rack EAR cluster, kills the node holding the most
+// stripe members, and runs the parallel two-level recovery driver with the
+// invariant auditor and the transition progress tracker attached — the run
+// fails unless every lost member is repaired, no metadata references the
+// dead node, the auditor ends with no ongoing violations, and the
+// durability-exposure ledger closes to zero:
+//
+//	eartestbed -exp nodefail -stripes 6
+//
 // The "transition" experiment drives a full replication-to-erasure-coding
 // transition under both policies with the whole observability plane
 // attached: the progress tracker must reach 100% encoded with no residual
@@ -89,7 +99,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "encodewindow", "transition", "recovery", or "crash"`)
+		exp        = flag.String("exp", "a1", `experiment: "a1", "a1udp", "a2", "a3", "encodewindow", "transition", "recovery", "nodefail", or "crash"`)
 		stripes    = flag.Int("stripes", 24, "stripes per encoding run (paper: 96)")
 		jobs       = flag.Int("jobs", 50, "SWIM jobs in A.3")
 		rate       = flag.Float64("writerate", 4, "A.2 write arrival rate (req/s)")
@@ -241,6 +251,14 @@ func run() error {
 			return err
 		}
 		fmt.Println(t)
+	case "nodefail":
+		nf := base
+		nf.RackAwareRepair = true
+		res, err := experiments.RunNodeFail(nf)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
 	case "crash":
 		copts := experiments.CrashOptions{TestbedOptions: base, MetaDir: *metaDir}
 		switch *crashPhase {

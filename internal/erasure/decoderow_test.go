@@ -1,0 +1,127 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ear/internal/gf256"
+)
+
+// TestDecodeRowReconstructs checks the decode-row view against ground
+// truth: for every geometry, scheme, lost position, and two survivor
+// flavors (data-preferring and parity-heavy), the dot product of the
+// returned coefficients with the survivor blocks must equal the lost
+// block exactly, and a position that is itself a survivor must come back
+// as a unit vector.
+func TestDecodeRowReconstructs(t *testing.T) {
+	geoms := []struct{ n, k int }{{6, 4}, {9, 6}, {14, 10}}
+	for _, scheme := range _schemes {
+		for _, g := range geoms {
+			c, err := New(g.n, g.k, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(g.n*100 + g.k)))
+			const size = 512
+			data := make([][]byte, g.k)
+			for i := range data {
+				data[i] = make([]byte, size)
+				rng.Read(data[i])
+			}
+			parity, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blockAt := func(pos int) []byte {
+				if pos < g.k {
+					return data[pos]
+				}
+				return parity[pos-g.k]
+			}
+			// lowest / highest k positions excluding idx: the first set is
+			// all-data for data losses (the fast path), the second leans on
+			// parity rows (the folded P·Inv path).
+			survivorSets := func(idx int) [][]int {
+				var low, high []int
+				for p := 0; p < g.n && len(low) < g.k; p++ {
+					if p != idx {
+						low = append(low, p)
+					}
+				}
+				for p := g.n - 1; p >= 0 && len(high) < g.k; p-- {
+					if p != idx {
+						high = append(high, p)
+					}
+				}
+				for i, j := 0, len(high)-1; i < j; i, j = i+1, j-1 {
+					high[i], high[j] = high[j], high[i]
+				}
+				return [][]int{low, high}
+			}
+			for idx := 0; idx < g.n; idx++ {
+				for _, indices := range survivorSets(idx) {
+					row, err := c.DecodeRow(indices, idx)
+					if err != nil {
+						t.Fatalf("(%d,%d) %v DecodeRow(%v, %d): %v", g.n, g.k, scheme, indices, idx, err)
+					}
+					got := make([]byte, size)
+					for i, pos := range indices {
+						if row[i] != 0 {
+							gf256.MulAddSlice(row[i], blockAt(pos), got)
+						}
+					}
+					if !bytes.Equal(got, blockAt(idx)) {
+						t.Fatalf("(%d,%d) %v: decode row for %d over %v does not reproduce the block",
+							g.n, g.k, scheme, idx, indices)
+					}
+				}
+				// A survivor position decodes as itself.
+				indices := survivorSets((idx + 1) % g.n)[0]
+				for i, pos := range indices {
+					if pos != idx {
+						continue
+					}
+					row, err := c.DecodeRow(indices, idx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j, coef := range row {
+						want := byte(0)
+						if j == i {
+							want = 1
+						}
+						if coef != want {
+							t.Fatalf("(%d,%d) %v: row for surviving %d not a unit vector: %v",
+								g.n, g.k, scheme, idx, row)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRowValidation(t *testing.T) {
+	c, err := New(6, 4, ReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		indices []int
+		idx     int
+	}{
+		{"short survivor set", []int{0, 1, 2}, 5},
+		{"index out of range", []int{0, 1, 2, 3}, 6},
+		{"negative index", []int{0, 1, 2, 3}, -1},
+		{"unsorted survivors", []int{1, 0, 2, 3}, 5},
+		{"duplicate survivors", []int{0, 0, 2, 3}, 5},
+		{"survivor out of range", []int{0, 1, 2, 6}, 5},
+	} {
+		if _, err := c.DecodeRow(tc.indices, tc.idx); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%s: DecodeRow(%v, %d) = %v, want ErrInvalidParams", tc.name, tc.indices, tc.idx, err)
+		}
+	}
+}

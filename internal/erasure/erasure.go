@@ -453,6 +453,54 @@ func (c *Coder) ReconstructBlockInto(present map[int][]byte, idx int, out []byte
 		return fmt.Errorf("%w: output buffer has %d bytes, blocks have %d", ErrShapeMismatch, len(out), size)
 	}
 
+	var coeffBuf [256]byte
+	coeffs := coeffBuf[:c.k]
+	if err := c.decodeRowInto(indices, idx, coeffs); err != nil {
+		return err
+	}
+	gf256.DotProduct(coeffs, blocks, out)
+	return nil
+}
+
+// DecodeRow returns the GF(256) coefficients that express stripe block idx
+// as a linear combination of k survivor blocks: content[idx] = sum over i
+// of coeffs[i]*content[indices[i]]. indices must be k distinct stripe
+// indices in ascending order (the order pickSurvivors produces). The matrix
+// behind the coefficients comes from the inversion cache, so repeated
+// repairs of one erasure pattern skip the O(k^3) solve. This is the
+// two-level repair path's planning primitive: each repair-pipeline hop
+// multiplies its locally held survivors by their coefficients and folds
+// them into one partial sum — distributing the exact dot product
+// ReconstructBlockInto would compute centrally.
+func (c *Coder) DecodeRow(indices []int, idx int) ([]byte, error) {
+	if idx < 0 || idx >= c.n {
+		return nil, fmt.Errorf("%w: block index %d of %d", ErrInvalidParams, idx, c.n)
+	}
+	if len(indices) != c.k {
+		return nil, fmt.Errorf("%w: got %d survivor indices, want %d", ErrInvalidParams, len(indices), c.k)
+	}
+	coeffs := make([]byte, c.k)
+	for i, sidx := range indices {
+		if sidx < 0 || sidx >= c.n || (i > 0 && sidx <= indices[i-1]) {
+			return nil, fmt.Errorf("%w: survivor indices must be ascending stripe indices, got %v", ErrInvalidParams, indices)
+		}
+		if sidx == idx {
+			// The target is itself a survivor: the unit row selects it.
+			coeffs[i] = 1
+			return coeffs, nil
+		}
+	}
+	if err := c.decodeRowInto(indices, idx, coeffs); err != nil {
+		return nil, err
+	}
+	return coeffs, nil
+}
+
+// decodeRowInto fills coeffs (length k) with the decode coefficients for
+// target idx, which must not appear among the ascending survivor indices.
+// Shared by the central reconstruction dot product and the exported
+// DecodeRow view.
+func (c *Coder) decodeRowInto(indices []int, idx int, coeffs []byte) error {
 	allData := true
 	for i, sidx := range indices {
 		if sidx != i {
@@ -461,32 +509,28 @@ func (c *Coder) ReconstructBlockInto(present map[int][]byte, idx int, out []byte
 		}
 	}
 	if allData {
-		// idx is absent from present, so with survivors 0..k-1 it must be a
-		// parity block: one dot product over the data blocks.
-		gf256.DotProduct(c.parityRows[idx-c.k], blocks, out)
+		// idx is not a survivor, so with survivors 0..k-1 it must be a
+		// parity block: the generator's parity row is the decode row.
+		copy(coeffs, c.parityRows[idx-c.k])
 		return nil
 	}
-
 	inv, err := c.decodeMatrix(indices)
 	if err != nil {
 		return err
 	}
-	var coeffBuf [256]byte
-	coeffs := coeffBuf[:c.k]
 	if idx < c.k {
 		copy(coeffs, inv.RowView(idx))
-	} else {
-		// Fold the parity row through the decode matrix: coeffs = P_row · Inv.
-		prow := c.parityRows[idx-c.k]
-		for j := 0; j < c.k; j++ {
-			var acc byte
-			for m := 0; m < c.k; m++ {
-				acc ^= gf256.Mul(prow[m], inv.At(m, j))
-			}
-			coeffs[j] = acc
-		}
+		return nil
 	}
-	gf256.DotProduct(coeffs, blocks, out)
+	// Fold the parity row through the decode matrix: coeffs = P_row · Inv.
+	prow := c.parityRows[idx-c.k]
+	for j := 0; j < c.k; j++ {
+		var acc byte
+		for m := 0; m < c.k; m++ {
+			acc ^= gf256.Mul(prow[m], inv.At(m, j))
+		}
+		coeffs[j] = acc
+	}
 	return nil
 }
 

@@ -213,7 +213,11 @@ func (a *Auditor) Observe(e events.Event) {
 			b.replicas[e.Peer] = true
 		}
 	case events.RepairFinished:
-		a.block(e.Block).replicas[e.Node] = true
+		// Parity repairs publish with Block unset (Detail "parity"); the
+		// paired ReplicaRelocated event moves the parity holder.
+		if e.Block != events.NoneBlock {
+			a.block(e.Block).replicas[e.Node] = true
+		}
 	default:
 		// Transfers, task placements, liveness, verification: no placement
 		// state to fold, but the window of any open violation still extends.

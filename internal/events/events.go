@@ -84,6 +84,13 @@ const (
 	NodeDead  Type = "node-dead"
 	NodeAlive Type = "node-alive"
 
+	// NodeRecoveryStarted / NodeRecoveryFinished bracket a full-node
+	// recovery sweep (Cluster.RecoverNode): Node is the dead node, Detail
+	// carries the lost-block count on start and the repaired count on
+	// finish.
+	NodeRecoveryStarted  Type = "node-recovery-started"
+	NodeRecoveryFinished Type = "node-recovery-finished"
+
 	// NodeDegraded / NodeRecovered track the health plane's slow-node
 	// detector: a node whose health score fell below the degraded threshold
 	// (heartbeat latency, op-latency outliers, recent failures — Detail

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ear/internal/events"
 	"ear/internal/fabric"
 	"ear/internal/hdfs"
+	"ear/internal/topology"
 )
 
 // PhaseTraffic is the rack-locality byte breakdown of one phase of a block
@@ -86,9 +88,10 @@ func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, e
 
 	// The journal must hold every transfer event of the run: bound it by the
 	// worst-case stream count (writes replicate every block, encoding touches
-	// every block and parity, each stream publishes two events) with slack.
+	// every block and parity, repair pulls up to k survivors per lost member,
+	// each stream publishes two events) with slack.
 	blocks := opts.Stripes * k * 2
-	capacity := (blocks*(cfg.Replicas+2) + opts.Stripes*(k+n)) * 4
+	capacity := (blocks*(cfg.Replicas+2) + opts.Stripes*(k+n) + opts.Stripes*(k+1)) * 4
 	j := events.NewJournal(capacity)
 	c.SetJournal(j)
 
@@ -153,6 +156,24 @@ func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, e
 	}); err != nil {
 		return nil, err
 	}
+	// Repair phase: kill the node holding the most encoded data blocks,
+	// recover every lost member, revive the node. Repair streams are
+	// journaled like any other transfer, so the journal-vs-fabric
+	// cross-check extends to the repair path (gather or two-level).
+	if err := measure("repair", func() error {
+		dead := busiestEncodedNode(c)
+		if dead < 0 {
+			return fmt.Errorf("%w: no encoded blocks to lose", ErrBadOptions)
+		}
+		c.NameNode().MarkDead(dead)
+		if _, err := c.RecoverNode(context.Background(), dead); err != nil {
+			return err
+		}
+		c.NameNode().MarkAlive(dead)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	sampler.Stop()
 	res.Timeline = sampler.Timeline()
 
@@ -160,9 +181,13 @@ func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, e
 	if cfg.PipelinedEncode {
 		mode = "pipelined"
 	}
+	repairMode := "gather"
+	if cfg.RackAwareRepair {
+		repairMode = "two-level"
+	}
 	t := &Table{
 		ID:      "traffic",
-		Caption: fmt.Sprintf("Per-phase cross-rack vs intra-rack traffic, policy %s (%d,%d), %s encode", policy, n, k, mode),
+		Caption: fmt.Sprintf("Per-phase cross-rack vs intra-rack traffic, policy %s (%d,%d), %s encode, %s repair", policy, n, k, mode, repairMode),
 		Headers: []string{"phase", "transfers", "xrack MB", "intra MB", "fabric xrack MB", "fabric intra MB"},
 		Notes: []string{
 			fmt.Sprintf("journal vs fabric max discrepancy: %.3f%%", res.MaxDiscrepancy*100),
@@ -175,4 +200,41 @@ func RunTraffic(opts TestbedOptions, policy string, n, k int) (*TrafficResult, e
 	}
 	res.Summary = t
 	return res, nil
+}
+
+// busiestEncodedNode returns the live node holding the most members (data
+// blocks or parities) of encoded stripes, or -1 when nothing is encoded —
+// the node whose failure exercises recovery hardest.
+func busiestEncodedNode(c *hdfs.Cluster) topology.NodeID {
+	nn := c.NameNode()
+	load := make(map[topology.NodeID]int)
+	for _, sid := range nn.EncodedStripes() {
+		sm, err := nn.Stripe(sid)
+		if err != nil {
+			continue
+		}
+		for _, b := range sm.Info.Blocks {
+			meta, err := nn.Block(b)
+			if err != nil || meta.Aborted {
+				continue
+			}
+			for _, n := range meta.Nodes {
+				if !nn.IsDead(n) {
+					load[n]++
+				}
+			}
+		}
+		for _, n := range sm.Plan.Parity {
+			if !nn.IsDead(n) {
+				load[n]++
+			}
+		}
+	}
+	best, bestLoad := topology.NodeID(-1), 0
+	for n, l := range load {
+		if l > bestLoad || (l == bestLoad && best >= 0 && n < best) {
+			best, bestLoad = n, l
+		}
+	}
+	return best
 }

@@ -5,11 +5,12 @@ import (
 	"testing"
 )
 
-// TestRunTrafficConsistency runs the write/encode/delete breakdown for both
-// policies and pins the cross-checks: the journal-derived byte totals agree
-// with the fabric counters within 1%, every phase appears, the encode phase
-// moves bytes, and an EAR run's delete phase is the paper's headline — zero
-// transfers, because no post-encoding relocation is ever needed.
+// TestRunTrafficConsistency runs the write/encode/delete/repair breakdown
+// for both policies and pins the cross-checks: the journal-derived byte
+// totals agree with the fabric counters within 1%, every phase appears, the
+// encode and repair phases move bytes, and an EAR run's delete phase is the
+// paper's headline — zero transfers, because no post-encoding relocation is
+// ever needed.
 func TestRunTrafficConsistency(t *testing.T) {
 	opts := fastTestbed()
 	for _, policy := range []string{"rr", "ear"} {
@@ -20,14 +21,14 @@ func TestRunTrafficConsistency(t *testing.T) {
 		if res.MaxDiscrepancy > 0.01 {
 			t.Errorf("%s: journal vs fabric discrepancy %.4f exceeds 1%%", policy, res.MaxDiscrepancy)
 		}
-		if len(res.Phases) != 3 {
-			t.Fatalf("%s: phases = %d, want write/encode/delete", policy, len(res.Phases))
+		if len(res.Phases) != 4 {
+			t.Fatalf("%s: phases = %d, want write/encode/delete/repair", policy, len(res.Phases))
 		}
 		byName := map[string]PhaseTraffic{}
 		for _, p := range res.Phases {
 			byName[p.Phase] = p
 		}
-		for _, name := range []string{"write", "encode", "delete"} {
+		for _, name := range []string{"write", "encode", "delete", "repair"} {
 			if _, ok := byName[name]; !ok {
 				t.Fatalf("%s: missing %s phase: %+v", policy, name, res.Phases)
 			}
@@ -40,6 +41,9 @@ func TestRunTrafficConsistency(t *testing.T) {
 		}
 		if d := byName["delete"]; policy == "ear" && (d.Transfers != 0 || d.CrossRackBytes != 0 || d.IntraRackBytes != 0) {
 			t.Errorf("ear: delete phase relocated blocks, want none: %+v", d)
+		}
+		if r := byName["repair"]; r.Transfers == 0 || r.CrossRackBytes+r.IntraRackBytes == 0 {
+			t.Errorf("%s: repair phase moved nothing: %+v", policy, r)
 		}
 		if res.Timeline.DurationSeconds <= 0 || len(res.Timeline.Links) == 0 {
 			t.Errorf("%s: timeline empty: duration=%g links=%d",
@@ -60,6 +64,7 @@ func TestRunTrafficConsistency(t *testing.T) {
 func TestRunTrafficPipelined(t *testing.T) {
 	opts := fastTestbed()
 	opts.PipelinedEncode = true
+	opts.RackAwareRepair = true
 	for _, policy := range []string{"rr", "ear"} {
 		res, err := RunTraffic(opts, policy, 6, 4)
 		if err != nil {
@@ -75,8 +80,12 @@ func TestRunTrafficPipelined(t *testing.T) {
 		if e := byName["encode"]; e.Transfers == 0 || e.CrossRackBytes+e.IntraRackBytes == 0 {
 			t.Errorf("%s pipelined: encode phase moved nothing: %+v", policy, e)
 		}
-		if res.Summary == nil || !strings.Contains(res.Summary.Caption, "pipelined") {
-			t.Errorf("%s: summary caption does not name the pipelined mode", policy)
+		if r := byName["repair"]; r.Transfers == 0 || r.CrossRackBytes+r.IntraRackBytes == 0 {
+			t.Errorf("%s two-level: repair phase moved nothing: %+v", policy, r)
+		}
+		if res.Summary == nil || !strings.Contains(res.Summary.Caption, "pipelined") ||
+			!strings.Contains(res.Summary.Caption, "two-level") {
+			t.Errorf("%s: summary caption does not name the pipelined/two-level modes", policy)
 		}
 	}
 }

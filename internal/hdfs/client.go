@@ -351,13 +351,94 @@ func (c *Cluster) ReadBlockCtx(ctx context.Context, client topology.NodeID, id t
 	return out, err
 }
 
+// repairTraffic accumulates the network bytes one reconstruction moved,
+// split by rack locality. Both repair paths fill it from the streams they
+// themselves open (local disk streams excluded), so the count is exact even
+// with concurrent repairs in flight — unlike a fabric snapshot delta. A nil
+// receiver discards.
+type repairTraffic struct {
+	mu    sync.Mutex
+	cross int64
+	total int64
+}
+
+// addStream books n bytes delivered over st.
+func (t *repairTraffic) addStream(st *fabric.Stream, n int64) {
+	if t == nil || st.Local() {
+		return
+	}
+	t.mu.Lock()
+	if st.Cross() {
+		t.cross += n
+	}
+	t.total += n
+	t.mu.Unlock()
+}
+
+// addCross books n bytes that crossed the rack core without a stream
+// handle (the pipeline path accounts its chained hops after the join).
+func (t *repairTraffic) addCross(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cross += n
+	t.total += n
+	t.mu.Unlock()
+}
+
+// addIntra books n rack-local network bytes.
+func (t *repairTraffic) addIntra(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total += n
+	t.mu.Unlock()
+}
+
+// bytes returns the accumulated (crossRack, total) network bytes.
+func (t *repairTraffic) bytes() (int64, int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cross, t.total
+}
+
+// nearestReplica picks the live replica a gatherer should fetch from: the
+// gatherer itself if it holds one, else the first replica in the gatherer's
+// rack, else the first live replica. Deterministic, unlike chooseReplica's
+// randomized read balancing: repair work must pick the same sources on
+// every run of a recovery plan.
+func (c *Cluster) nearestReplica(live []topology.NodeID, gatherer topology.NodeID, gatherRack topology.RackID) (topology.NodeID, error) {
+	pick, local := live[0], false
+	for _, n := range live {
+		if n == gatherer {
+			return n, nil
+		}
+		if local {
+			continue
+		}
+		r, err := c.top.RackOf(n)
+		if err != nil {
+			return 0, err
+		}
+		if r == gatherRack {
+			pick, local = n, true
+		}
+	}
+	return pick, nil
+}
+
 // stripeSurvivors gathers up to k live blocks of a stripe (data and
 // parity), transferring each to the gatherer node. Fetches run concurrently
 // in batches of the outstanding need (bounded by gatherFanIn) unless
 // Config.SequentialDataPath forces one-at-a-time gathering; in both modes
 // survivors in the gatherer's rack are preferred. It returns the blocks
-// indexed by stripe position.
-func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID, sm *StripeMeta) (map[int][]byte, error) {
+// indexed by stripe position, booking network bytes into tr (nil discards).
+func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID, sm *StripeMeta, tr *repairTraffic) (map[int][]byte, error) {
 	if sm.Plan == nil {
 		return nil, fmt.Errorf("%w: stripe %d not encoded", ErrUnknownStripe, sm.Info.ID)
 	}
@@ -397,7 +478,15 @@ func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID,
 		if len(live) == 0 {
 			continue
 		}
-		if err := add(candidate{node: live[0], key: DataKey(b), pos: i}); err != nil {
+		// Fetch from the live replica closest to the gatherer: taking an
+		// arbitrary replica would ignore a rack-local copy whenever it is
+		// not listed first, turning an intra-rack fetch into a cross-rack
+		// download.
+		node, err := c.nearestReplica(live, gatherer, gatherRack)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(candidate{node: node, key: DataKey(b), pos: i}); err != nil {
 			return nil, err
 		}
 	}
@@ -423,10 +512,18 @@ func (c *Cluster) stripeSurvivors(ctx context.Context, gatherer topology.NodeID,
 			c.bufPool.Put(buf)
 			return nil // missing or corrupt: treat as erased
 		}
-		if err := c.transferShaped(ctx, cand.node, gatherer, len(buf)); err != nil {
+		st, err := c.fab.OpenStream(ctx, cand.node, gatherer)
+		if err != nil {
 			c.bufPool.Put(buf)
 			return err
 		}
+		err = st.Send(ctx, len(buf))
+		st.Close()
+		if err != nil {
+			c.bufPool.Put(buf)
+			return err
+		}
+		tr.addStream(st, int64(len(buf)))
 		mu.Lock()
 		present[cand.pos] = buf
 		mu.Unlock()
@@ -529,7 +626,15 @@ func (c *Cluster) degradedReadInto(ctx context.Context, client topology.NodeID, 
 	if pos < 0 {
 		return fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, meta.Stripe)
 	}
-	present, err := c.stripeSurvivors(ctx, client, sm)
+	return c.gatherRepairInto(ctx, sm, pos, client, out, nil)
+}
+
+// gatherRepairInto reconstructs stripe position pos (data or parity) into
+// out on the naive gather path: download any k whole survivor blocks to the
+// gatherer, then decode centrally. This is the ablation baseline the
+// two-level pipeline (pipelineRepairInto) is measured against.
+func (c *Cluster) gatherRepairInto(ctx context.Context, sm *StripeMeta, pos int, gatherer topology.NodeID, out []byte, tr *repairTraffic) error {
+	present, err := c.stripeSurvivors(ctx, gatherer, sm, tr)
 	if err != nil {
 		return err
 	}
@@ -546,13 +651,9 @@ func (c *Cluster) RepairBlock(id topology.BlockID) (topology.NodeID, error) {
 
 // RepairBlockCtx rebuilds a lost block onto a fresh live node and updates
 // the NameNode, the RaidNode recovery path. It returns the chosen node.
+// Config.RackAwareRepair selects the two-level pipelined reconstruction;
+// the default remains the naive gather path (the ablation baseline).
 func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topology.NodeID, error) {
-	if m := c.metrics(); m != nil {
-		defer func(t0 time.Time) { m.repairLat.Observe(time.Since(t0).Seconds()) }(time.Now())
-	}
-	span, ctx := c.opSpan(ctx, "raidnode", "raidnode.repair-block")
-	span.Arg("block", strconv.FormatInt(int64(id), 10))
-	defer span.End()
 	meta, err := c.nn.Block(id)
 	if err != nil {
 		return 0, err
@@ -568,11 +669,47 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 	if err != nil {
 		return 0, err
 	}
+	if _, err := c.repairBlockOnto(ctx, id, sm, target); err != nil {
+		return 0, err
+	}
+	return target, nil
+}
+
+// repairBlockOnto rebuilds lost data block id of stripe sm onto target:
+// reconstruction over the configured path, a staged Put (nothing is stored
+// or published until the rebuild fully succeeded, so a canceled repair
+// commits nothing), the metadata update, lifecycle events, telemetry, and
+// per-tenant charging. It returns the repair's network traffic.
+func (c *Cluster) repairBlockOnto(ctx context.Context, id topology.BlockID, sm *StripeMeta, target topology.NodeID) (*repairTraffic, error) {
+	t0 := time.Now()
+	if m := c.metrics(); m != nil {
+		defer func() { m.repairLat.Observe(time.Since(t0).Seconds()) }()
+	}
+	span, ctx := c.opSpan(ctx, "raidnode", "raidnode.repair-block")
+	span.Arg("block", strconv.FormatInt(int64(id), 10))
+	defer span.End()
+	// Repair is background work with no requester context: run it under the
+	// block's recorded owner, so the fabric charges every survivor download
+	// and partial-sum hop to that tenant at the same accounting point as
+	// any foreground stream, and the op charge below matches.
+	ctx = tenant.NewContext(ctx, c.acct.Owner(id))
+	meta, err := c.nn.Block(id)
+	if err != nil {
+		return nil, err
+	}
+	pos := -1
+	for i, b := range sm.Info.Blocks {
+		if b == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("%w: block %d missing from stripe %d", ErrUnknownStripe, id, sm.Info.ID)
+	}
 	if j := c.Journal(); j != nil {
 		ev := events.New(events.RepairStarted, "raidnode")
-		ev.Block = id
-		ev.Stripe = meta.Stripe
-		ev.Node = target
+		ev.Block, ev.Stripe, ev.Node = id, sm.Info.ID, target
 		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
 	}
@@ -580,32 +717,61 @@ func (c *Cluster) RepairBlockCtx(ctx context.Context, id topology.BlockID) (topo
 	// copy on Put, so the buffer is recycled on return.
 	buf := c.bufPool.Get(c.cfg.BlockSizeBytes)
 	defer c.bufPool.Put(buf)
-	if err := c.degradedReadInto(ctx, target, id, buf); err != nil {
-		return 0, err
+	tr := &repairTraffic{}
+	if err := c.repairStripePos(ctx, sm, pos, target, buf, tr, span); err != nil {
+		return nil, err
 	}
 	dn, err := c.DataNodeOf(target)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	// The target holds no live member of the stripe, so anything stored
+	// under the key is a stale copy from before the node last died; the
+	// repair supersedes it.
+	_ = dn.Store.Delete(DataKey(id))
 	if err := dn.Store.Put(DataKey(id), buf); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := c.nn.UpdateBlockLocation(id, []topology.NodeID{target}); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if j := c.Journal(); j != nil {
 		ev := events.New(events.RepairFinished, "raidnode")
-		ev.Block = id
-		ev.Stripe = meta.Stripe
-		ev.Node = target
+		ev.Block, ev.Stripe, ev.Node = id, sm.Info.ID, target
 		ev.Bytes = int64(len(buf))
 		ev.Trace = telemetry.TraceFromContext(ctx)
 		j.Publish(ev)
+		// The repair supersedes the block's prior locations (typically a
+		// dead node's): retire them in the journal so stream-tracking
+		// models converge on the post-repair layout. Published after
+		// RepairFinished, so the modeled replica count never dips below
+		// one on a successful repair.
+		for _, n := range meta.Nodes {
+			if n == target {
+				continue
+			}
+			del := events.New(events.ReplicaDeleted, "raidnode")
+			del.Block, del.Stripe, del.Node = id, sm.Info.ID, n
+			del.Trace = telemetry.TraceFromContext(ctx)
+			j.Publish(del)
+		}
 	}
-	// Repair is background work with no requester context: bill the block's
-	// recorded owner so tenants see the recovery cost of their own data.
-	c.acct.Charge(c.acct.Owner(id), "repair", 1, int64(len(buf)))
-	return target, nil
+	c.observeRepair(tr, int64(len(buf)), time.Since(t0))
+	c.acct.Charge(tenant.FromContext(ctx), "repair", 1, int64(len(buf)))
+	return tr, nil
+}
+
+// observeRepair folds one finished repair into the repair telemetry.
+func (c *Cluster) observeRepair(tr *repairTraffic, repaired int64, d time.Duration) {
+	m := c.metrics()
+	if m == nil {
+		return
+	}
+	cross, _ := tr.bytes()
+	m.repairCross.Add(float64(cross))
+	if s := d.Seconds(); s > 0 {
+		m.repairMBps.Observe(float64(repaired) / (1 << 20) / s)
+	}
 }
 
 // pickRepairNode selects a live node holding no block of the stripe, in a

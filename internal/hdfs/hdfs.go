@@ -89,6 +89,18 @@ type Config struct {
 	// chunks fill the pipeline faster; larger ones amortize per-chunk
 	// shaping overhead.
 	PipelineChunkBytes int
+	// RackAwareRepair switches block repair from the naive gather path
+	// (download k whole survivor blocks to the repairer, decode centrally)
+	// to the two-level rack-aware path: every survivor rack folds its local
+	// survivors into one GF(256) partial sum with decode-row coefficients
+	// and ships exactly one partial across the core, chunk-pipelined along
+	// the planned chain toward the repairer. The gather path remains the
+	// ablation baseline; SequentialDataPath forces it. Repaired content is
+	// bit-identical either way.
+	RackAwareRepair bool
+	// RecoverParallelism bounds how many block repairs Cluster.RecoverNode
+	// runs concurrently when rebuilding a dead DataNode (default 8).
+	RecoverParallelism int
 	// SerializeMetadata funnels every NameNode operation through a single
 	// global mutex, reverting the sharded metadata path to the historical
 	// one-big-lock behavior. It exists for benchmarking and equivalence
@@ -143,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineChunkBytes == 0 {
 		c.PipelineChunkBytes = fabric.ChunkBytes
+	}
+	if c.RecoverParallelism == 0 {
+		c.RecoverParallelism = 8
 	}
 	return c
 }
@@ -238,6 +253,11 @@ type clusterMetrics struct {
 	pipeDepth    *telemetry.Metric // raidnode_pipe_depth
 	partialBytes *telemetry.Metric // raidnode_partial_sum_bytes_total
 	pipeStripes  *telemetry.Metric // raidnode_pipelined_stripes_total
+
+	// Repair-traffic instrumentation: the cross-rack bytes repairs pull
+	// over the core and the per-repair reconstruction throughput.
+	repairCross *telemetry.Metric // hdfs_repair_cross_rack_bytes_total
+	repairMBps  *telemetry.Metric // hdfs_repair_mbps
 }
 
 // SetTelemetry publishes the cluster's metrics into the registry and wires
@@ -288,6 +308,11 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 			"Partial parity-sum bytes shipped between pipelined-encode hops.").With(),
 		pipeStripes: reg.Counter("raidnode_pipelined_stripes_total",
 			"Stripes encoded through the distributed pipeline.").With(),
+		repairCross: reg.Counter("hdfs_repair_cross_rack_bytes_total",
+			"Bytes repairs pulled across the rack core (survivor downloads or partial-sum hops).").With(),
+		repairMBps: reg.Histogram("hdfs_repair_mbps",
+			"Per-repair reconstruction throughput (repaired bytes over repair wall time, MB/s).",
+			telemetry.ExponentialBuckets(0.25, 2, 14)).With(),
 	}
 	c.tel.Store(m)
 	if c.fsyncObs != nil {

@@ -1,0 +1,357 @@
+package hdfs
+
+// Two-level rack-aware repair. The naive repair path downloads k whole
+// survivor blocks across the core to one gatherer and decodes centrally —
+// the exact cross-rack bottleneck the paper's EAR placement eliminates for
+// encoding but never for repair. Following the rack-aware regenerating-code
+// observation (Hou, Lee, Shum, Hu), reconstruction is a single GF(256) dot
+// product over k survivors, so each survivor rack can fold its local
+// survivors into one partial sum (decode-row coefficients from the coder's
+// inversion cache) and ship exactly one partial across the core. The chain
+// planner (placement.PlanPipeline, generalized here from parity rows to
+// decode rows) orders the hops rack-contiguously with the repairer's rack
+// last, and the hops walk the block chunk by chunk over real fabric
+// streams, so transfer overlaps arithmetic and per-repair cross-rack
+// traffic drops from ~k blocks to one partial per survivor rack boundary.
+// Nothing is stored until the whole pipeline has succeeded: a canceled
+// repair commits nothing.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"ear/internal/blockstore"
+	"ear/internal/fabric"
+	"ear/internal/gf256"
+	"ear/internal/placement"
+	"ear/internal/telemetry"
+	"ear/internal/topology"
+	"ear/internal/workgroup"
+)
+
+// repairStripePos reconstructs stripe position pos (data or parity) into
+// out on the configured repair path: the two-level rack-aware pipeline when
+// Config.RackAwareRepair is set (SequentialDataPath forces the baseline),
+// else the naive gather. Both paths produce bit-identical content.
+func (c *Cluster) repairStripePos(ctx context.Context, sm *StripeMeta, pos int, target topology.NodeID, out []byte, tr *repairTraffic, parent *telemetry.Span) error {
+	if c.cfg.RackAwareRepair && !c.cfg.SequentialDataPath {
+		return c.pipelineRepairInto(ctx, sm, pos, target, out, tr, parent)
+	}
+	return c.gatherRepairInto(ctx, sm, pos, target, out, tr)
+}
+
+// repairPosKey returns the store key for a stripe position: the data block
+// for positions below k, the stripe parity above.
+func (c *Cluster) repairPosKey(sm *StripeMeta, pos int) blockstore.Key {
+	if pos < c.cfg.K {
+		return DataKey(sm.Info.Blocks[pos])
+	}
+	return ParityKey(sm.Info.ID, pos-c.cfg.K)
+}
+
+// copyRepairInto serves the degenerate repair where the target position
+// still has a live holder: read the block there and ship it to the target
+// over one shaped stream.
+func (c *Cluster) copyRepairInto(ctx context.Context, key blockstore.Key, src, target topology.NodeID, out []byte, tr *repairTraffic) error {
+	dn, err := c.DataNodeOf(src)
+	if err != nil {
+		return err
+	}
+	if err := dn.Store.GetInto(key, out); err != nil {
+		return err
+	}
+	st, err := c.fab.OpenStream(ctx, src, target)
+	if err != nil {
+		return err
+	}
+	err = st.Send(ctx, len(out))
+	st.Close()
+	if err != nil {
+		return err
+	}
+	tr.addStream(st, int64(len(out)))
+	return nil
+}
+
+// repairSurvivors selects the k survivor positions reconstructing pos and
+// resolves their holders. Positions are taken ascending (data before
+// parity, mirroring the central decoder's pickSurvivors): a data position
+// survives when it has a live replica, short-stripe padding and aborted
+// members survive for free as known zeros (no holder, no hop), and a
+// parity position survives when its holder is alive. It returns the
+// ascending index set and the live holders per stripe position (empty for
+// zero-content survivors).
+func (c *Cluster) repairSurvivors(sm *StripeMeta, pos int) ([]int, [][]topology.NodeID, error) {
+	k, n := c.cfg.K, c.cfg.N
+	indices := make([]int, 0, k)
+	holders := make([][]topology.NodeID, n)
+	for i := 0; i < n && len(indices) < k; i++ {
+		if i == pos {
+			continue
+		}
+		switch {
+		case i < len(sm.Info.Blocks):
+			live, err := c.nn.LiveReplicas(sm.Info.Blocks[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(live) == 0 {
+				meta, err := c.nn.Block(sm.Info.Blocks[i])
+				if err != nil {
+					return nil, nil, err
+				}
+				if !meta.Aborted {
+					continue // lost, not a survivor
+				}
+				// Aborted members encoded as zeros: free survivors.
+			}
+			holders[i] = live
+		case i < k:
+			// Short-stripe padding: known zero content, no hop needed.
+		default:
+			node := sm.Plan.Parity[i-k]
+			if c.nn.IsDead(node) {
+				continue
+			}
+			holders[i] = []topology.NodeID{node}
+		}
+		indices = append(indices, i)
+	}
+	if len(indices) < k {
+		return nil, nil, fmt.Errorf("%w: stripe %d position %d: only %d of %d survivors available",
+			ErrNoReplica, sm.Info.ID, pos, len(indices), k)
+	}
+	return indices, holders, nil
+}
+
+// repairStage is one hop of the repair pipeline at runtime: the planned hop
+// plus the single decode partial-sum accumulator. The last stage
+// accumulates directly into the repaired block.
+type repairStage struct {
+	node      topology.NodeID
+	rack      topology.RackID
+	positions []int
+	acc       []byte
+	// crossIn records whether the inbound partial-sum stream crossed the
+	// rack core (set by the stage goroutine, read after the join).
+	crossIn bool
+}
+
+// pipelineRepairInto reconstructs stripe position pos into out through the
+// two-level chain: PlanPipeline orders the survivor holders
+// rack-contiguously with the target's rack last, every hop folds its local
+// survivors into the single decode partial sum (coef·block per position,
+// coefficients from the cached decode row), and each rack boundary ships
+// exactly one partial-sum block, chunk by chunk over real fabric streams.
+func (c *Cluster) pipelineRepairInto(ctx context.Context, sm *StripeMeta, pos int, target topology.NodeID, out []byte, tr *repairTraffic, parent *telemetry.Span) error {
+	if sm.Plan == nil {
+		return fmt.Errorf("%w: stripe %d not encoded", ErrUnknownStripe, sm.Info.ID)
+	}
+	blockSize := c.cfg.BlockSizeBytes
+	targetRack, err := c.top.RackOf(target)
+	if err != nil {
+		return err
+	}
+	// Live content at the position itself: repair degrades to a copy from
+	// the nearest holder (the gather path does the same through present).
+	if pos < len(sm.Info.Blocks) {
+		live, err := c.nn.LiveReplicas(sm.Info.Blocks[pos])
+		if err != nil {
+			return err
+		}
+		if len(live) > 0 {
+			src, err := c.nearestReplica(live, target, targetRack)
+			if err != nil {
+				return err
+			}
+			return c.copyRepairInto(ctx, c.repairPosKey(sm, pos), src, target, out, tr)
+		}
+	} else if node := sm.Plan.Parity[pos-c.cfg.K]; !c.nn.IsDead(node) {
+		return c.copyRepairInto(ctx, c.repairPosKey(sm, pos), node, target, out, tr)
+	}
+
+	indices, holders, err := c.repairSurvivors(sm, pos)
+	if err != nil {
+		return err
+	}
+	row, err := c.coder.DecodeRow(indices, pos)
+	if err != nil {
+		return err
+	}
+	coefOf := make(map[int]byte, len(indices))
+	for i, sidx := range indices {
+		coefOf[sidx] = row[i]
+	}
+	hops, err := placement.PlanPipeline(c.top, holders, target)
+	if err != nil {
+		return fmt.Errorf("stripe %d: %w", sm.Info.ID, err)
+	}
+	if len(hops) == 0 {
+		// Every chosen survivor is a known zero (a nearly empty short
+		// stripe): the decode dot product over zeros is zero.
+		copy(out, c.zeroBlock)
+		return nil
+	}
+
+	// Runtime stages: one per planned hop, plus a terminal receive-only
+	// stage when the chain does not already end at the target. Intermediate
+	// accumulators are pooled; the last stage accumulates into out.
+	stages := make([]*repairStage, 0, len(hops)+1)
+	for _, h := range hops {
+		stages = append(stages, &repairStage{node: h.Node, rack: h.Rack, positions: h.Positions})
+	}
+	if last := stages[len(stages)-1]; last.node != target {
+		stages = append(stages, &repairStage{node: target, rack: targetRack})
+	}
+	for s, st := range stages {
+		if s == len(stages)-1 {
+			st.acc = out
+			continue
+		}
+		st.acc = c.bufPool.Get(blockSize)
+	}
+	defer func() {
+		for s, st := range stages {
+			if s == len(stages)-1 {
+				continue
+			}
+			c.bufPool.Put(st.acc)
+		}
+	}()
+
+	chunk := c.cfg.PipelineChunkBytes
+	nChunks := (blockSize + chunk - 1) / chunk
+
+	// ready[s] carries chunk indices whose partial sum has landed in stage
+	// s's upstream accumulator (stage 0 starts from zeros). Buffered to
+	// nChunks so a fast upstream never blocks; the group context covers
+	// abandonment.
+	ready := make([]chan int, len(stages))
+	for s := range ready {
+		ready[s] = make(chan int, nChunks)
+	}
+	for idx := 0; idx < nChunks; idx++ {
+		ready[0] <- idx
+	}
+	close(ready[0])
+
+	g, gctx := workgroup.WithContext(ctx)
+	for s := range stages {
+		s, st := s, stages[s]
+		g.Go(func() error {
+			hop := parent.ChildTrack("raidnode.repair-hop").
+				Arg(telemetry.ComponentArg, "raidnode").
+				Arg("stripe", strconv.FormatInt(int64(sm.Info.ID), 10)).
+				Arg("node", strconv.Itoa(int(st.node))).
+				Arg("hop", strconv.Itoa(s)).
+				Arg("members", strconv.Itoa(len(st.positions)))
+			defer hop.End()
+			// Inbound partial-sum stream from the previous hop: one
+			// chunk-sized partial per chunk index.
+			var in *fabric.Stream
+			if s > 0 {
+				var err error
+				in, err = c.fab.OpenStream(gctx, stages[s-1].node, st.node)
+				if err != nil {
+					return err
+				}
+				defer in.Close()
+				st.crossIn = in.Cross()
+			}
+			// Local survivors: read once into pooled buffers; the shaped
+			// disk stream charges their bytes chunk by chunk as they fold.
+			var blocks [][]byte
+			var disk *fabric.Stream
+			if len(st.positions) > 0 {
+				dn, err := c.DataNodeOf(st.node)
+				if err != nil {
+					return err
+				}
+				blocks = make([][]byte, len(st.positions))
+				defer func() {
+					for _, b := range blocks {
+						if b != nil {
+							c.bufPool.Put(b)
+						}
+					}
+				}()
+				for pi, p := range st.positions {
+					buf := c.bufPool.Get(blockSize)
+					blocks[pi] = buf
+					if err := dn.Store.GetInto(c.repairPosKey(sm, p), buf); err != nil {
+						return fmt.Errorf("stripe %d position %d on node %d: %w", sm.Info.ID, p, st.node, err)
+					}
+				}
+				disk, err = c.fab.OpenStream(gctx, st.node, st.node)
+				if err != nil {
+					return err
+				}
+				defer disk.Close()
+			}
+			for {
+				var idx int
+				var chOk bool
+				select {
+				case idx, chOk = <-ready[s]:
+					if !chOk {
+						if s+1 < len(stages) {
+							close(ready[s+1])
+						}
+						return nil
+					}
+				case <-gctx.Done():
+					return gctx.Err()
+				}
+				lo := idx * chunk
+				hi := min(lo+chunk, blockSize)
+				if in != nil {
+					// Receive the upstream partial sum for this chunk
+					// range, then adopt it.
+					if err := in.Send(gctx, hi-lo); err != nil {
+						return err
+					}
+					copy(st.acc[lo:hi], stages[s-1].acc[lo:hi])
+				} else {
+					copy(st.acc[lo:hi], c.zeroBlock[lo:hi])
+				}
+				if len(st.positions) > 0 {
+					if err := disk.Send(gctx, len(st.positions)*(hi-lo)); err != nil {
+						return err
+					}
+					for pi, p := range st.positions {
+						if coef := coefOf[p]; coef != 0 {
+							gf256.MulAddSlice(coef, blocks[pi][lo:hi], st.acc[lo:hi])
+						}
+					}
+				}
+				if s+1 < len(stages) {
+					ready[s+1] <- idx
+				}
+			}
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	// Account the chained transfers: every inbound hop shipped one partial
+	// block, crossing the core where the planned chain crossed racks.
+	for s := 1; s < len(stages); s++ {
+		if stages[s].crossIn {
+			tr.addCross(int64(blockSize))
+		} else {
+			tr.addIntra(int64(blockSize))
+		}
+	}
+	return nil
+}
+
+// recoveryThroughputMBps converts repaired bytes over a wall-clock span to
+// MB/s (0 for a degenerate span).
+func recoveryThroughputMBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / d.Seconds()
+}

@@ -175,6 +175,11 @@ type Tracker struct {
 
 	blocks  map[topology.BlockID]*blockState
 	stripes map[topology.StripeID]*stripeState
+	// dead holds nodes currently marked dead: their replicas stay in the
+	// block model (MarkAlive revives them) but count as unavailable for
+	// every durability check, so a node death opens exposure windows that
+	// repair (or revival) closes.
+	dead map[topology.NodeID]bool
 
 	totalStripes   int
 	encodedStripes int
@@ -214,6 +219,7 @@ func New(cfg Config) *Tracker {
 		cfg:     cfg,
 		blocks:  make(map[topology.BlockID]*blockState),
 		stripes: make(map[topology.StripeID]*stripeState),
+		dead:    make(map[topology.NodeID]bool),
 		open:    make(map[string]int),
 		stride:  1,
 		now:     time.Now,
@@ -328,7 +334,17 @@ func (t *Tracker) Observe(e events.Event) {
 			b.replicas[e.Peer] = true
 		}
 	case events.RepairFinished:
-		t.block(e.Block).replicas[e.Node] = true
+		// Parity repairs publish with Block unset (Detail "parity"): they
+		// restore stripe redundancy but are not a block replica.
+		if e.Block != events.NoneBlock {
+			t.block(e.Block).replicas[e.Node] = true
+		}
+	case events.NodeDead:
+		t.dead[e.Node] = true
+		t.recheckAllLocked(e)
+	case events.NodeAlive:
+		delete(t.dead, e.Node)
+		t.recheckAllLocked(e)
 	case events.MetaRecoveryStarted:
 		t.recovering = true
 	case events.MetaRecovered:
@@ -393,6 +409,29 @@ func (t *Tracker) recordEncodeLocked(wall time.Time) {
 	})
 }
 
+// liveCountLocked counts the block's replicas on nodes not currently dead.
+func (t *Tracker) liveCountLocked(b *blockState) int {
+	n := 0
+	for node := range b.replicas {
+		if !t.dead[node] {
+			n++
+		}
+	}
+	return n
+}
+
+// recheckAllLocked re-evaluates every tracked durability exposure — the
+// liveness transitions affect every block a node hosts, so the per-event
+// scoping of checkRiskLocked is not enough.
+func (t *Tracker) recheckAllLocked(e events.Event) {
+	for id := range t.blocks {
+		t.checkReplicaRiskLocked(id, e)
+	}
+	for sid, s := range t.stripes {
+		t.checkPartialDeleteRiskLocked(sid, s, e)
+	}
+}
+
 // checkRiskLocked re-evaluates the durability exposures the event can
 // affect, with exactly the auditor's scoping: the event's block first, then
 // every member of the event's (or the block's) stripe.
@@ -432,7 +471,7 @@ func (t *Tracker) checkReplicaRiskLocked(id topology.BlockID, e events.Event) {
 	if s, ok := t.stripes[b.stripe]; ok && (s.encoding || s.encoded) {
 		suspended = true
 	}
-	atRisk := !suspended && len(b.replicas) < t.cfg.Replicas
+	atRisk := !suspended && t.liveCountLocked(b) < t.cfg.Replicas
 	t.setRiskLocked(key, atRisk, e, RiskWindow{
 		Invariant: RiskReplicaCount,
 		Stripe:    b.stripe,
@@ -447,7 +486,7 @@ func (t *Tracker) checkPartialDeleteRiskLocked(sid topology.StripeID, s *stripeS
 	lost := events.NoneBlock
 	if s.encoded {
 		for _, id := range s.blocks {
-			if b, ok := t.blocks[id]; ok && !b.aborted && len(b.replicas) == 0 {
+			if b, ok := t.blocks[id]; ok && !b.aborted && t.liveCountLocked(b) == 0 {
 				lost = id
 				break
 			}
